@@ -1,0 +1,102 @@
+//! Service-unit charging.
+//!
+//! TeraGrid normalized heterogeneous hardware by charging per-site *charge
+//! factors*: one wall-clock core-hour on a faster machine costs more SUs.
+//! Cross-site reports then use *normalized units* (NUs) so usage is
+//! comparable federation-wide.
+
+use crate::record::JobRecord;
+use serde::{Deserialize, Serialize};
+
+/// SUs charged for `core_hours` at a site with `charge_factor`.
+pub fn su_for(core_hours: f64, charge_factor: f64) -> f64 {
+    assert!(core_hours >= 0.0, "negative core-hours");
+    assert!(charge_factor > 0.0, "charge factor must be positive");
+    core_hours * charge_factor
+}
+
+/// The federation's charging policy: per-site charge factors plus the
+/// NU conversion factor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChargePolicy {
+    /// Charge factor per site, indexed by `SiteId`.
+    pub charge_factors: Vec<f64>,
+    /// NUs per SU (the federation-wide normalization constant; TeraGrid
+    /// used a Cray X-MP-derived factor — any positive constant works).
+    pub nu_per_su: f64,
+}
+
+impl ChargePolicy {
+    /// A policy over the given per-site factors with the default NU factor.
+    pub fn new(charge_factors: Vec<f64>) -> Self {
+        assert!(!charge_factors.is_empty(), "need at least one site");
+        assert!(
+            charge_factors.iter().all(|&f| f > 0.0),
+            "charge factors must be positive"
+        );
+        ChargePolicy {
+            charge_factors,
+            nu_per_su: 1.0,
+        }
+    }
+
+    /// SUs charged for a job record.
+    pub fn su(&self, r: &JobRecord) -> f64 {
+        su_for(r.core_hours(), self.charge_factors[r.site.index()])
+    }
+
+    /// NUs charged for a job record.
+    pub fn nu(&self, r: &JobRecord) -> f64 {
+        self.su(r) * self.nu_per_su
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_des::SimTime;
+    use tg_model::SiteId;
+    use tg_workload::{JobId, ProjectId, SubmitInterface, UserId};
+
+    fn rec(site: usize, cores: usize, hours: u64) -> JobRecord {
+        JobRecord {
+            job: JobId(0),
+            user: UserId(0),
+            project: ProjectId(0),
+            site: SiteId(site),
+            submit: SimTime::ZERO,
+            start: SimTime::ZERO,
+            end: SimTime::from_hours(hours),
+            cores,
+            interface: SubmitInterface::CommandLine,
+            used_hw: false,
+            input_mb: 0.0,
+            output_mb: 0.0,
+        }
+    }
+
+    #[test]
+    fn su_scales_with_factor() {
+        assert!((su_for(100.0, 1.0) - 100.0).abs() < 1e-12);
+        assert!((su_for(100.0, 1.5) - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_charges_by_site() {
+        let p = ChargePolicy::new(vec![1.0, 2.0]);
+        let cheap = rec(0, 10, 3); // 30 core-hours × 1.0
+        let dear = rec(1, 10, 3); // 30 core-hours × 2.0
+        assert!((p.su(&cheap) - 30.0).abs() < 1e-9);
+        assert!((p.su(&dear) - 60.0).abs() < 1e-9);
+        assert!((p.nu(&dear) - 60.0).abs() < 1e-9);
+        let mut p2 = p.clone();
+        p2.nu_per_su = 0.5;
+        assert!((p2.nu(&dear) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_rejected() {
+        ChargePolicy::new(vec![1.0, 0.0]);
+    }
+}

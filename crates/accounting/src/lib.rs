@@ -1,0 +1,54 @@
+//! # tg-accounting — the measurement substrate
+//!
+//! The paper's thesis is that usage modalities can be *measured* from the
+//! records a federation already collects centrally. This crate is that
+//! record stream and the central database:
+//!
+//! * [`record`] — the record types: completed jobs, data transfers, login
+//!   sessions, science-gateway end-user attributes, and RC placements.
+//!   Job records carry only what production accounting actually sees — no
+//!   ground-truth modality, no workflow/ensemble membership; the classifier
+//!   in `tg-core` has to *infer* those.
+//! * [`charge`] — service-unit (SU) charging with per-site charge factors
+//!   and federation-normalized units (NUs).
+//! * [`db`] — the in-memory central accounting database.
+//! * [`query`] — aggregation: group-by sums, time-bucketed series, and the
+//!   per-user behavioural summaries the classifier consumes as features.
+//!
+//! ```
+//! use tg_accounting::{AccountingDb, ChargePolicy, JobRecord};
+//! use tg_des::SimTime;
+//! use tg_model::SiteId;
+//! use tg_workload::{JobId, ProjectId, SubmitInterface, UserId};
+//!
+//! let mut db = AccountingDb::new();
+//! db.add_job(JobRecord {
+//!     job: JobId(0), user: UserId(7), project: ProjectId(1), site: SiteId(0),
+//!     submit: SimTime::ZERO, start: SimTime::from_secs(600),
+//!     end: SimTime::from_hours(2), cores: 64,
+//!     interface: SubmitInterface::CommandLine, used_hw: false,
+//!     input_mb: 0.0, output_mb: 0.0,
+//! });
+//! let charges = ChargePolicy::new(vec![1.25]);
+//! let record = &db.jobs[0];
+//! assert_eq!(record.wait(), tg_des::SimDuration::from_mins(10));
+//! // 64 cores × (2h − 10min) wall = ~117.3 core-hours × 1.25 SU/core-hour.
+//! assert!((charges.su(record) - 64.0 * (7200.0 - 600.0) / 3600.0 * 1.25).abs() < 1e-9);
+//! let summaries = tg_accounting::query::user_summaries(&db);
+//! assert_eq!(summaries[0].user, UserId(7));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod charge;
+pub mod db;
+pub mod query;
+pub mod record;
+
+pub use charge::{su_for, ChargePolicy};
+pub use db::AccountingDb;
+pub use query::{GroupSums, UserSummary};
+pub use record::{
+    GatewayAttribute, JobRecord, RcPlacementRecord, SessionRecord, TransferRecord,
+};

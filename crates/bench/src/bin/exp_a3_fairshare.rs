@@ -1,0 +1,123 @@
+//! A3 (ablation) — fair-share queue ordering vs plain FIFO-EASY.
+//!
+//! The population's Zipf activity skew means a few projects dominate
+//! consumption. Under FIFO ordering their torrent of jobs queues ahead of
+//! everyone; fair-share ordering makes heavy projects absorb the queueing
+//! they cause.
+//!
+//! Expected shape: light-project jobs wait far less under fair share;
+//! heavy-project jobs wait more; overall utilization is unchanged (ordering
+//! doesn't create or destroy capacity).
+
+use serde::Serialize;
+use std::collections::HashMap;
+use tg_bench::{calibrated_users, save_json, single_site_config, Table};
+use tg_core::{replicate, Modality};
+use tg_sched::SchedulerKind;
+use tg_workload::{ModalityProfile, ProjectId};
+
+#[derive(Serialize)]
+struct A3Result {
+    scheduler: String,
+    utilization: f64,
+    heavy_mean_wait_s: f64,
+    light_mean_wait_s: f64,
+    heavy_to_light_ratio: f64,
+}
+
+fn main() {
+    let nodes = 256;
+    let cores = nodes * 8;
+    let days = 21;
+    let profile = ModalityProfile::default_for(Modality::BatchComputing);
+    let users = calibrated_users(&profile, cores, 0.85);
+
+    let mut results = Vec::new();
+    for kind in [SchedulerKind::Easy, SchedulerKind::FairshareEasy] {
+        let mut cfg = single_site_config(
+            "a3",
+            nodes,
+            8,
+            0,
+            0,
+            days,
+            &[(Modality::BatchComputing, users)],
+            kind,
+        );
+        // Strong activity skew → strongly unequal project consumption.
+        cfg.workload.mix.activity_zipf_s = 1.2;
+        cfg.workload.mix.projects = 24;
+        let reps = replicate(&cfg.build(), 16_000, 3, 0);
+        let mut utils = Vec::new();
+        let mut heavy_waits = Vec::new();
+        let mut light_waits = Vec::new();
+        for r in &reps {
+            utils.push(r.output.average_utilization());
+            // Rank projects by consumed core-hours in this run.
+            let mut usage: HashMap<ProjectId, f64> = HashMap::new();
+            for j in &r.output.db.jobs {
+                *usage.entry(j.project).or_insert(0.0) += j.core_hours();
+            }
+            let mut ranked: Vec<(ProjectId, f64)> = usage.into_iter().collect();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            let cut = (ranked.len() / 4).max(1);
+            let heavy: Vec<ProjectId> = ranked[..cut].iter().map(|&(p, _)| p).collect();
+            let light: Vec<ProjectId> = ranked[ranked.len() - cut..]
+                .iter()
+                .map(|&(p, _)| p)
+                .collect();
+            let mean_wait = |set: &[ProjectId]| {
+                let jobs: Vec<_> = r
+                    .output
+                    .db
+                    .jobs
+                    .iter()
+                    .filter(|j| set.contains(&j.project))
+                    .collect();
+                jobs.iter().map(|j| j.wait().as_secs_f64()).sum::<f64>()
+                    / jobs.len().max(1) as f64
+            };
+            heavy_waits.push(mean_wait(&heavy));
+            light_waits.push(mean_wait(&light));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let heavy = mean(&heavy_waits);
+        let light = mean(&light_waits);
+        results.push(A3Result {
+            scheduler: kind.name().to_string(),
+            utilization: mean(&utils),
+            heavy_mean_wait_s: heavy,
+            light_mean_wait_s: light,
+            heavy_to_light_ratio: heavy / light.max(1.0),
+        });
+    }
+
+    let mut table = Table::new(
+        "A3: fair-share ordering ablation (top-quartile vs bottom-quartile projects)",
+        &["scheduler", "util", "heavy wait", "light wait", "heavy/light"],
+    );
+    for r in &results {
+        table.row(vec![
+            r.scheduler.clone(),
+            format!("{:.3}", r.utilization),
+            format!("{:.0}s", r.heavy_mean_wait_s),
+            format!("{:.0}s", r.light_mean_wait_s),
+            format!("{:.2}", r.heavy_to_light_ratio),
+        ]);
+    }
+    println!("{table}");
+
+    let easy = &results[0];
+    let fs = &results[1];
+    println!(
+        "light-project wait: {:.0}s (easy) → {:.0}s (fairshare), {:.1}× better; \
+         heavy/light ratio {:.2} → {:.2}",
+        easy.light_mean_wait_s,
+        fs.light_mean_wait_s,
+        easy.light_mean_wait_s / fs.light_mean_wait_s.max(1.0),
+        easy.heavy_to_light_ratio,
+        fs.heavy_to_light_ratio,
+    );
+
+    save_json("exp_a3_fairshare", &results);
+}

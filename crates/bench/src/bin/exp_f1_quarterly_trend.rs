@@ -1,0 +1,88 @@
+//! F1 — NU usage by modality across eight simulated "quarters" with science-
+//! gateway adoption ramping.
+//!
+//! Each quarter is its own simulation window with a larger gateway
+//! population (new community users arriving through portals) while the
+//! traditional populations stay fixed.
+//!
+//! Expected shape: the gateway NU share rises monotonically across
+//! quarters; batch remains the largest NU consumer but its share declines.
+
+use serde::Serialize;
+use tg_bench::{save_json, Table};
+use tg_core::report::ModalityShares;
+use tg_core::{Modality, ScenarioConfig};
+
+#[derive(Serialize)]
+struct F1Output {
+    quarters: usize,
+    gateway_users_per_quarter: Vec<usize>,
+    nu_share_series: Vec<Vec<f64>>, // [modality][quarter]
+}
+
+fn main() {
+    let quarters = 8;
+    let days_per_quarter = 21;
+    let base_users = 350;
+    let mut gw_users_series = Vec::new();
+    let mut nu_share: Vec<Vec<f64>> = vec![Vec::new(); Modality::ALL.len()];
+
+    for q in 0..quarters {
+        let mut cfg = ScenarioConfig::baseline(base_users, days_per_quarter);
+        // Ramp gateway adoption: 40 → 400 community users over two years.
+        let gw = 40 + q * 52;
+        cfg.workload.mix.users_per_modality[Modality::ScienceGateway.index()] = gw;
+        cfg.name = format!("f1-q{q}");
+        gw_users_series.push(gw);
+        let out = cfg.build().run(3000 + q as u64);
+        let shares = ModalityShares::compute(&out.db, &out.truth, &out.charge_policy);
+        for m in Modality::ALL {
+            nu_share[m.index()].push(shares.nu_share(m));
+        }
+    }
+
+    let mut table = Table::new(
+        "F1: NU share by modality per quarter (gateway adoption ramp)",
+        &[
+            "quarter", "gw users", "batch", "interactive", "gateway", "workflow", "ensemble",
+            "data", "rc",
+        ],
+    );
+    for q in 0..quarters {
+        let mut row = vec![format!("Q{}", q + 1), gw_users_series[q].to_string()];
+        for m in Modality::ALL {
+            row.push(format!("{:.1}%", 100.0 * nu_share[m.index()][q]));
+        }
+        table.row(row);
+    }
+    println!("{table}");
+
+    let gw = &nu_share[Modality::ScienceGateway.index()];
+    let rises = gw.windows(2).filter(|w| w[1] > w[0]).count();
+    println!(
+        "gateway NU share rises in {rises}/{} transitions ({:.1}% → {:.1}%)",
+        quarters - 1,
+        100.0 * gw[0],
+        100.0 * gw[quarters - 1]
+    );
+    let batch = &nu_share[Modality::BatchComputing.index()];
+    println!(
+        "batch NU share declines {:.1}% → {:.1}% but stays largest in Q{}: {}",
+        100.0 * batch[0],
+        100.0 * batch[quarters - 1],
+        quarters,
+        Modality::ALL
+            .iter()
+            .all(|&m| m == Modality::BatchComputing
+                || nu_share[m.index()][quarters - 1] <= batch[quarters - 1])
+    );
+
+    save_json(
+        "exp_f1_quarterly_trend",
+        &F1Output {
+            quarters,
+            gateway_users_per_quarter: gw_users_series,
+            nu_share_series: nu_share,
+        },
+    );
+}

@@ -1,0 +1,80 @@
+//! F2 — Job-size (core count) CDF per modality.
+//!
+//! Pure workload characterization (no queueing needed): generate the
+//! baseline population's jobs and report per-modality core-count quantiles
+//! and CDF points.
+//!
+//! Expected shape: interactive/gateway ≪ batch; the extreme tail (hero
+//! runs) exists only in batch; ensemble members are narrow but arrive in
+//! bulk.
+
+use serde::Serialize;
+use tg_bench::{save_json, Table};
+use tg_core::Modality;
+use tg_des::stats::exact_quantile;
+use tg_des::RngFactory;
+use tg_workload::{GeneratorConfig, WorkloadGenerator};
+
+#[derive(Serialize)]
+struct F2Output {
+    quantiles: Vec<f64>,
+    per_modality_cores: Vec<Vec<f64>>, // [modality][quantile]
+    cdf_points: Vec<Vec<(f64, f64)>>,  // [modality][(cores, F)]
+}
+
+fn main() {
+    let cfg = GeneratorConfig::baseline(600, 30, 3);
+    let workload = WorkloadGenerator::new(cfg).generate(&RngFactory::new(4000));
+
+    let qs = [0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0];
+    let mut table = Table::new(
+        "F2: job-size (cores) quantiles per modality",
+        &["modality", "jobs", "P10", "P25", "P50", "P75", "P90", "P99", "max"],
+    );
+    let mut per_modality = Vec::new();
+    let mut cdfs = Vec::new();
+    for m in Modality::ALL {
+        let mut cores: Vec<f64> = workload.jobs_of(m).map(|j| j.cores as f64).collect();
+        cores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let row_q: Vec<f64> = qs
+            .iter()
+            .map(|&q| exact_quantile(&cores, q).unwrap_or(0.0))
+            .collect();
+        let mut row = vec![m.name().to_string(), cores.len().to_string()];
+        row.extend(row_q.iter().map(|v| format!("{v:.0}")));
+        table.row(row);
+        // Compact CDF: distinct core values with cumulative fraction.
+        let mut cdf = Vec::new();
+        let n = cores.len().max(1) as f64;
+        let mut i = 0;
+        while i < cores.len() {
+            let v = cores[i];
+            let mut k = i;
+            while k < cores.len() && cores[k] == v {
+                k += 1;
+            }
+            cdf.push((v, k as f64 / n));
+            i = k;
+        }
+        per_modality.push(row_q);
+        cdfs.push(cdf);
+    }
+    println!("{table}");
+
+    let p99 = |m: Modality| per_modality[m.index()][5];
+    println!(
+        "tail check: batch P99 = {:.0} cores vs gateway P99 = {:.0}, interactive P99 = {:.0}",
+        p99(Modality::BatchComputing),
+        p99(Modality::ScienceGateway),
+        p99(Modality::Interactive)
+    );
+
+    save_json(
+        "exp_f2_jobsize_cdf",
+        &F2Output {
+            quantiles: qs.to_vec(),
+            per_modality_cores: per_modality,
+            cdf_points: cdfs,
+        },
+    );
+}

@@ -1,0 +1,103 @@
+//! F4 — Science-gateway adoption sweep: as the share of users arriving
+//! through gateways grows, how do user counts, job counts, NU consumption,
+//! and gateway job waits move?
+//!
+//! Expected shape: gateway *user* share grows much faster than gateway *NU*
+//! share (gateways multiply small users, not big compute); visible community
+//! accounts stay constant (the gateways), which is exactly why per-account
+//! accounting under-counted gateway reach before end-user attributes.
+
+use serde::Serialize;
+use tg_bench::{save_json, Table};
+use tg_core::report::ModalityShares;
+use tg_core::{Modality, ScenarioConfig};
+
+#[derive(Serialize)]
+struct F4Point {
+    adoption_pct: usize,
+    gateway_users: usize,
+    total_users: usize,
+    job_share: f64,
+    nu_share: f64,
+    visible_accounts: u64,
+    gateway_mean_wait_s: f64,
+}
+
+fn main() {
+    let total = 400usize;
+    let mut points = Vec::new();
+    for adoption_pct in [5, 10, 20, 40, 60, 80] {
+        let gw_users = total * adoption_pct / 100;
+        let mut cfg = ScenarioConfig::baseline(total, 28);
+        // Rebalance: gateway takes `adoption`, the remainder splits between
+        // batch and interactive proportionally to the baseline.
+        let rest = total - gw_users;
+        let mix = &mut cfg.workload.mix;
+        mix.users_per_modality[Modality::ScienceGateway.index()] = gw_users;
+        mix.users_per_modality[Modality::BatchComputing.index()] = rest * 55 / 100;
+        mix.users_per_modality[Modality::Interactive.index()] = rest * 45 / 100;
+        for m in [
+            Modality::Workflow,
+            Modality::Ensemble,
+            Modality::DataMovement,
+            Modality::RcAccelerated,
+        ] {
+            mix.users_per_modality[m.index()] = 0;
+        }
+        cfg.workload.rc_sites.clear();
+        cfg.workload.rc_config_count = 0;
+        cfg.name = format!("f4-{adoption_pct}pct");
+        let out = cfg.build().run(6000 + adoption_pct as u64);
+        let shares = ModalityShares::compute(&out.db, &out.truth, &out.charge_policy);
+        points.push(F4Point {
+            adoption_pct,
+            gateway_users: gw_users,
+            total_users: total,
+            job_share: shares.job_share(Modality::ScienceGateway),
+            nu_share: shares.nu_share(Modality::ScienceGateway),
+            visible_accounts: shares.accounts[Modality::ScienceGateway.index()],
+            gateway_mean_wait_s: shares.mean_wait_s[Modality::ScienceGateway.index()],
+        });
+    }
+
+    let mut table = Table::new(
+        "F4: gateway adoption sweep (400 users total, 28 days)",
+        &[
+            "adoption",
+            "gw users",
+            "job share",
+            "NU share",
+            "visible accts",
+            "mean wait",
+        ],
+    );
+    for p in &points {
+        table.row(vec![
+            format!("{}%", p.adoption_pct),
+            p.gateway_users.to_string(),
+            format!("{:.1}%", 100.0 * p.job_share),
+            format!("{:.1}%", 100.0 * p.nu_share),
+            p.visible_accounts.to_string(),
+            format!("{:.0}s", p.gateway_mean_wait_s),
+        ]);
+    }
+    println!("{table}");
+
+    let first = &points[0];
+    let last = &points[points.len() - 1];
+    println!(
+        "user share 5% → 80% drives job share {:.1}% → {:.1}% but NU share only {:.1}% → {:.1}%",
+        100.0 * first.job_share,
+        100.0 * last.job_share,
+        100.0 * first.nu_share,
+        100.0 * last.nu_share
+    );
+    println!(
+        "visible accounts stay ≈ constant ({} → {}) while real users grow {}×",
+        first.visible_accounts,
+        last.visible_accounts,
+        last.gateway_users / first.gateway_users.max(1)
+    );
+
+    save_json("exp_f4_gateway_sweep", &points);
+}

@@ -1,0 +1,110 @@
+//! F5 — Average RC-task waiting time vs number of reconfigurable nodes,
+//! RC-aware vs RC-blind scheduling.
+//!
+//! "Waiting" for an RC task is everything between submission and execution
+//! start: deferral while the fabric is full plus the setup pipeline
+//! (bitstream fetch over the WAN + 15 s fabric reconfiguration). The
+//! offered load is fixed — sized to ~70% of a 16-node partition — so small
+//! partitions are overloaded and large ones are slack.
+//!
+//! Expected shape: waits fall steeply with partition size for both
+//! policies; RC-aware sits below RC-blind at every size because reuse
+//! skips the setup pipeline, and the absolute gap shrinks as the partition
+//! grows slack.
+
+use serde::Serialize;
+use tg_bench::{rc_only_config, rc_tasks_per_day_for_load, save_json, synthetic_library, Table};
+use tg_core::replicate;
+use tg_des::SimDuration;
+use tg_sched::RcPolicy;
+
+#[derive(Serialize)]
+struct F5Point {
+    nodes: usize,
+    policy: String,
+    mean_wait_s: f64,
+    ci: f64,
+    mean_turnaround_s: f64,
+    reuse_fraction: f64,
+    hw_fraction: f64,
+}
+
+fn main() {
+    let days = 2;
+    let tasks_per_day = rc_tasks_per_day_for_load(16, 8, 0.7);
+    let mut points = Vec::new();
+    for nodes in [4, 8, 16, 32, 64] {
+        for policy in [RcPolicy::AWARE, RcPolicy::BLIND] {
+            let mut cfg = rc_only_config(nodes, 8, tasks_per_day, days, 12);
+            cfg.rc_policy = policy;
+            cfg.library = Some(synthetic_library(12, SimDuration::from_secs(15), 1.0));
+            cfg.name = format!("f5-{nodes}n-{}", policy.name());
+            let reps = replicate(&cfg.build(), 8000, 3, 0);
+            let mut waits = Vec::new();
+            let mut turns = Vec::new();
+            let mut reuse_frac = Vec::new();
+            let mut hw_frac = Vec::new();
+            for r in &reps {
+                let jobs = &r.output.db.jobs;
+                waits.push(
+                    jobs.iter().map(|j| j.wait().as_secs_f64()).sum::<f64>() / jobs.len() as f64,
+                );
+                turns.push(
+                    jobs.iter()
+                        .map(|j| j.end.saturating_since(j.submit).as_secs_f64())
+                        .sum::<f64>()
+                        / jobs.len() as f64,
+                );
+                let stats = r.output.site_stats[1].rc_stats;
+                let placements = (stats.reuses + stats.reconfigs).max(1);
+                reuse_frac.push(stats.reuses as f64 / placements as f64);
+                hw_frac.push(
+                    jobs.iter().filter(|j| j.used_hw).count() as f64 / jobs.len() as f64,
+                );
+            }
+            let (mean_wait, ci) = tg_des::stats::ci_student_t(&waits);
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            points.push(F5Point {
+                nodes,
+                policy: policy.name().to_string(),
+                mean_wait_s: mean_wait,
+                ci,
+                mean_turnaround_s: mean(&turns),
+                reuse_fraction: mean(&reuse_frac),
+                hw_fraction: mean(&hw_frac),
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        format!("F5: RC-task mean wait (s) vs partition size ({tasks_per_day:.0} tasks/day offered)"),
+        &["nodes", "policy", "mean wait", "turnaround", "reuse%", "hw%"],
+    );
+    for p in &points {
+        table.row(vec![
+            p.nodes.to_string(),
+            p.policy.clone(),
+            format!("{:.1} ± {:.1}", p.mean_wait_s, p.ci),
+            format!("{:.0}", p.mean_turnaround_s),
+            format!("{:.0}%", 100.0 * p.reuse_fraction),
+            format!("{:.0}%", 100.0 * p.hw_fraction),
+        ]);
+    }
+    println!("{table}");
+
+    let aware: Vec<&F5Point> = points.iter().filter(|p| p.policy == "rc-aware").collect();
+    let blind: Vec<&F5Point> = points.iter().filter(|p| p.policy == "rc-blind").collect();
+    let wins = aware
+        .iter()
+        .zip(&blind)
+        .filter(|(a, b)| a.mean_wait_s <= b.mean_wait_s)
+        .count();
+    println!(
+        "rc-aware wins at {wins}/{} sizes; gap {:.1}s at 16 nodes, {:.1}s at 64 nodes",
+        aware.len(),
+        blind[2].mean_wait_s - aware[2].mean_wait_s,
+        blind[4].mean_wait_s - aware[4].mean_wait_s,
+    );
+
+    save_json("exp_f5_rc_waiting", &points);
+}

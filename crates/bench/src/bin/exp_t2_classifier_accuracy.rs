@@ -1,0 +1,84 @@
+//! T2 — Modality-classifier accuracy against ground truth, in both
+//! instrumentation modes.
+//!
+//! Expected shape: with gateway attributes and interface tags, macro-F1 ≥
+//! ~0.85 with gateway/RC near-perfect; records-only loses most of the
+//! gateway and workflow recall — the measured gap is the quantitative case
+//! for the attributes the TeraGrid added.
+
+use serde::Serialize;
+use tg_bench::{save_json, Table};
+use tg_core::{classify_all, Accuracy, ClassifierMode, Modality, ScenarioConfig};
+
+#[derive(Serialize)]
+struct ModeResult {
+    mode: String,
+    accuracy: f64,
+    macro_f1: f64,
+    per_class_f1: Vec<Option<f64>>,
+}
+
+#[derive(Serialize)]
+struct T2Output {
+    scenario: String,
+    jobs_scored: u64,
+    modes: Vec<ModeResult>,
+}
+
+fn main() {
+    let cfg = ScenarioConfig::baseline(500, 45);
+    let out = cfg.build().run(2000);
+
+    let mut results = Vec::new();
+    for mode in [ClassifierMode::WithAttributes, ClassifierMode::RecordsOnly] {
+        let inferred = classify_all(&out.db, mode);
+        let acc = Accuracy::score(&out.truth, &inferred);
+
+        let mut table = Table::new(
+            format!("T2: classifier accuracy, mode = {}", mode.name()),
+            &["modality", "precision", "recall", "F1"],
+        );
+        for m in Modality::ALL {
+            let i = m.index();
+            let fmt = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.3}"),
+                None => "–".to_string(),
+            };
+            table.row(vec![
+                m.name().into(),
+                fmt(acc.precision[i]),
+                fmt(acc.recall[i]),
+                fmt(acc.f1[i]),
+            ]);
+        }
+        println!("{table}");
+        println!(
+            "overall accuracy {:.3}, macro-F1 {:.3}\n",
+            acc.accuracy, acc.macro_f1
+        );
+        if mode == ClassifierMode::WithAttributes {
+            println!("confusion matrix (rows = truth, cols = inferred):");
+            println!("{}", acc.matrix);
+        }
+        results.push(ModeResult {
+            mode: mode.name().to_string(),
+            accuracy: acc.accuracy,
+            macro_f1: acc.macro_f1,
+            per_class_f1: acc.f1.clone(),
+        });
+    }
+
+    println!(
+        "attribute value: macro-F1 {:.3} (with) vs {:.3} (records-only)",
+        results[0].macro_f1, results[1].macro_f1
+    );
+
+    save_json(
+        "exp_t2_classifier_accuracy",
+        &T2Output {
+            scenario: out.scenario,
+            jobs_scored: out.db.jobs.len() as u64,
+            modes: results,
+        },
+    );
+}

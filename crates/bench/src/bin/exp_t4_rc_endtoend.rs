@@ -1,0 +1,132 @@
+//! T4 — End-to-end mixed workload on a hybrid federation:
+//! RC-aware vs RC-blind vs GPP-only.
+//!
+//! The RC site carries a batch/interactive background plus a heavy stream
+//! of hardware-accelerable tasks. GPP-only removes the fabric entirely, so
+//! accelerable tasks run as software jobs through the batch queue.
+//!
+//! Expected shape: on RC-task turnaround, aware < blind ≪ GPP-only. The
+//! aware-vs-blind gap is the setup pipeline paid on every non-reused
+//! placement; the vs-GPP gap is the kernel speedup itself (plus queueing
+//! once the software pool saturates).
+
+use serde::Serialize;
+use tg_bench::{rc_only_config, rc_tasks_per_day_for_load, save_json, synthetic_library, Table};
+use tg_core::{replicate, Modality};
+use tg_des::SimDuration;
+use tg_sched::RcPolicy;
+
+#[derive(Serialize)]
+struct T4Result {
+    variant: String,
+    rc_mean_turnaround_s: f64,
+    ci: f64,
+    rc_throughput_per_hour: f64,
+    hw_fraction: f64,
+    reuse_fraction: f64,
+    batch_mean_wait_s: f64,
+}
+
+fn main() {
+    let days = 2;
+    let tasks_per_day = rc_tasks_per_day_for_load(32, 8, 0.5);
+    let variants: [(&str, usize, RcPolicy); 3] = [
+        ("rc-aware", 32, RcPolicy::AWARE),
+        ("rc-blind", 32, RcPolicy::BLIND),
+        ("gpp-only", 0, RcPolicy::AWARE),
+    ];
+    let mut results = Vec::new();
+    for (name, rc_nodes, policy) in variants {
+        let mut cfg = rc_only_config(rc_nodes.max(1), 8, tasks_per_day, days, 12);
+        // gpp-only: strip the fabric but keep the workload identical.
+        cfg.sites[1].rc_nodes = rc_nodes;
+        cfg.rc_policy = policy;
+        cfg.library = Some(synthetic_library(12, SimDuration::from_secs(15), 1.0));
+        // A light conventional background on the same machines.
+        cfg.workload.mix.users_per_modality[Modality::BatchComputing.index()] = 6;
+        cfg.workload.mix.users_per_modality[Modality::Interactive.index()] = 15;
+        {
+            let p = cfg.workload.profile_mut(Modality::BatchComputing);
+            p.cores_weights = vec![(8, 40.0), (16, 30.0), (32, 20.0), (64, 10.0)];
+        }
+        cfg.name = format!("t4-{name}");
+        let reps = replicate(&cfg.build(), 12_000, 3, 0);
+        let mut turns = Vec::new();
+        let mut thru = Vec::new();
+        let mut hw = Vec::new();
+        let mut reuse = Vec::new();
+        let mut batch_wait = Vec::new();
+        for r in &reps {
+            let out = &r.output;
+            let rc_jobs: Vec<_> = out
+                .db
+                .jobs
+                .iter()
+                .filter(|j| out.truth_of(j.job) == Some(Modality::RcAccelerated))
+                .collect();
+            let n = rc_jobs.len().max(1) as f64;
+            turns.push(
+                rc_jobs
+                    .iter()
+                    .map(|j| j.end.saturating_since(j.submit).as_secs_f64())
+                    .sum::<f64>()
+                    / n,
+            );
+            thru.push(n / out.end.as_hours_f64());
+            hw.push(rc_jobs.iter().filter(|j| j.used_hw).count() as f64 / n);
+            let stats = out.site_stats[1].rc_stats;
+            let placements = (stats.reuses + stats.reconfigs).max(1);
+            reuse.push(stats.reuses as f64 / placements as f64);
+            let batch_jobs: Vec<_> = out
+                .db
+                .jobs
+                .iter()
+                .filter(|j| out.truth_of(j.job) == Some(Modality::BatchComputing))
+                .collect();
+            batch_wait.push(
+                batch_jobs.iter().map(|j| j.wait().as_secs_f64()).sum::<f64>()
+                    / batch_jobs.len().max(1) as f64,
+            );
+        }
+        let (mean_turn, ci) = tg_des::stats::ci_student_t(&turns);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        results.push(T4Result {
+            variant: name.to_string(),
+            rc_mean_turnaround_s: mean_turn,
+            ci,
+            rc_throughput_per_hour: mean(&thru),
+            hw_fraction: mean(&hw),
+            reuse_fraction: mean(&reuse),
+            batch_mean_wait_s: mean(&batch_wait),
+        });
+    }
+
+    let mut table = Table::new(
+        format!(
+            "T4: hybrid-site mixed workload (32 RC nodes, {tasks_per_day:.0} accelerable tasks/day)"
+        ),
+        &["variant", "rc turnaround", "rc/hour", "hw%", "reuse%", "batch wait"],
+    );
+    for r in &results {
+        table.row(vec![
+            r.variant.clone(),
+            format!("{:.0}s ± {:.0}", r.rc_mean_turnaround_s, r.ci),
+            format!("{:.0}", r.rc_throughput_per_hour),
+            format!("{:.0}%", 100.0 * r.hw_fraction),
+            format!("{:.0}%", 100.0 * r.reuse_fraction),
+            format!("{:.0}s", r.batch_mean_wait_s),
+        ]);
+    }
+    println!("{table}");
+
+    let by = |name: &str| results.iter().find(|r| r.variant == name).expect("present");
+    println!(
+        "turnaround: aware {:.0}s ≤ blind {:.0}s ≤ gpp-only {:.0}s; aware is {:.1}× faster than gpp-only",
+        by("rc-aware").rc_mean_turnaround_s,
+        by("rc-blind").rc_mean_turnaround_s,
+        by("gpp-only").rc_mean_turnaround_s,
+        by("gpp-only").rc_mean_turnaround_s / by("rc-aware").rc_mean_turnaround_s.max(1.0),
+    );
+
+    save_json("exp_t4_rc_endtoend", &results);
+}

@@ -1,0 +1,140 @@
+//! Result emission: aligned text tables on stdout, JSON on disk.
+
+use serde::Serialize;
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+
+/// A printable result table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table title (experiment id + description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        for (h, w) in self.headers.iter().zip(&widths) {
+            write!(f, "{h:>w$}  ", w = w)?;
+        }
+        writeln!(f)?;
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = h;
+            write!(f, "{:->w$}  ", "", w = w)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            for (cell, w) in row.iter().zip(&widths) {
+                write!(f, "{cell:>w$}  ", w = w)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Directory JSON results land in (`TG_RESULTS_DIR`, default `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("TG_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Write `value` as pretty JSON to `results/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Format a float with `digits` decimals (table-cell helper).
+pub fn fx(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Format a `(mean, ci)` pair as `mean ± ci`.
+pub fn mean_ci(mean: f64, ci: f64, digits: usize) -> String {
+    format!("{mean:.digits$} ± {ci:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22222".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("alpha"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rejected() {
+        Table::new("x", &["a", "b"]).row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fx(1.23456, 2), "1.23");
+        assert_eq!(mean_ci(10.0, 0.5, 1), "10.0 ± 0.5");
+    }
+
+    #[test]
+    fn save_json_respects_env_dir() {
+        let dir = std::env::temp_dir().join(format!("tgbench-{}", std::process::id()));
+        std::env::set_var("TG_RESULTS_DIR", &dir);
+        save_json("unit-test", &serde_json::json!({"k": 1}));
+        let path = dir.join("unit-test.json");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"k\""));
+        std::env::remove_var("TG_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

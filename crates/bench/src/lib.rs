@@ -1,0 +1,22 @@
+//! # tg-bench — the experiment harness
+//!
+//! One binary per reconstructed table/figure (see `DESIGN.md` §4 for the
+//! index). Binaries print the table/series the paper-style report would
+//! show and write machine-readable JSON to `results/` (override with
+//! `TG_RESULTS_DIR`). Everything is deterministic: each binary fixes its
+//! base seed and replication count.
+//!
+//! This library holds what the binaries share: result emission ([`emit`])
+//! and scenario construction/calibration helpers ([`setup`]).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod emit;
+pub mod setup;
+
+pub use emit::{save_json, Table};
+pub use setup::{
+    calibrated_users, expected_core_seconds_per_user_day, rc_only_config, rc_slots,
+    rc_tasks_per_day_for_load, single_site_config, synthetic_library,
+};

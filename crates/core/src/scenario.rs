@@ -1,0 +1,366 @@
+//! End-to-end scenario assembly: config → workload + federation →
+//! simulation → outputs.
+//!
+//! A [`Scenario`] is a pure function of `(ScenarioConfig, seed)`; every
+//! experiment binary is a sweep over configs and seeds.
+
+use crate::sim::{Event, GridSim};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tg_accounting::{AccountingDb, ChargePolicy};
+use tg_des::{Engine, RngFactory, SimTime};
+use tg_model::reconf::RcNodeStats;
+use tg_model::{ConfigLibrary, Federation, SiteConfig, SiteId};
+use tg_sched::{BatchScheduler, MetaPolicy, RcPolicy, SchedulerKind};
+use tg_workload::{GeneratorConfig, JobId, Modality, WorkloadGenerator};
+
+/// Everything that defines an experiment run (minus the seed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Scenario label for reports.
+    pub name: String,
+    /// The federation's sites.
+    pub sites: Vec<SiteConfig>,
+    /// Which site hosts the data archive / bitstream repository.
+    pub data_home: usize,
+    /// Per-site batch scheduling policy (same at every site).
+    pub scheduler: SchedulerKind,
+    /// Site-selection policy for unpinned jobs.
+    pub meta: MetaPolicy,
+    /// Reconfigurable-task policy.
+    pub rc_policy: RcPolicy,
+    /// The workload description.
+    pub workload: GeneratorConfig,
+    /// Processor-configuration library override. `None` uses
+    /// [`ConfigLibrary::synthetic`] sized to the workload's
+    /// `rc_config_count` — the reconfiguration-time sweeps inject custom
+    /// libraries here.
+    pub library: Option<ConfigLibrary>,
+    /// Periodic metric sampling interval (`None` disables; see
+    /// [`crate::sim::SampleRow`]).
+    #[serde(default)]
+    pub sample_interval: Option<tg_des::SimDuration>,
+}
+
+impl ScenarioConfig {
+    /// The baseline scenario: three heterogeneous sites (one with RC
+    /// fabric), EASY backfill, shortest-ETA metascheduling, RC-aware
+    /// placement, and the baseline population.
+    pub fn baseline(users: usize, days: u64) -> Self {
+        let sites = vec![
+            SiteConfig::medium("alpha"),
+            SiteConfig::large("bravo"),
+            SiteConfig {
+                batch_nodes: 256,
+                rc_nodes: 32,
+                rc_area_per_node: 8,
+                ..SiteConfig::medium("carol")
+            },
+        ];
+        let workload = GeneratorConfig::baseline(users, days, sites.len());
+        ScenarioConfig {
+            name: format!("baseline-{users}u-{days}d"),
+            sites,
+            data_home: 0,
+            scheduler: SchedulerKind::Easy,
+            meta: MetaPolicy::ShortestEta,
+            rc_policy: RcPolicy::AWARE,
+            workload,
+            library: None,
+            sample_interval: None,
+        }
+    }
+
+    /// Build the scenario.
+    pub fn build(self) -> Scenario {
+        assert_eq!(
+            self.workload.sites,
+            self.sites.len(),
+            "workload and federation disagree on site count"
+        );
+        assert!(self.data_home < self.sites.len(), "data home out of range");
+        Scenario { config: self }
+    }
+}
+
+/// A runnable scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    config: ScenarioConfig,
+}
+
+impl Scenario {
+    /// The configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Run with `seed`, deterministically.
+    pub fn run(&self, seed: u64) -> SimOutput {
+        let cfg = &self.config;
+        let factory = RngFactory::new(seed);
+        let library = cfg
+            .library
+            .clone()
+            .unwrap_or_else(|| ConfigLibrary::synthetic(cfg.workload.rc_config_count.max(1)));
+        assert!(
+            library.len() >= cfg.workload.rc_config_count,
+            "library smaller than the config ids the workload draws"
+        );
+        let mut builder = Federation::builder().library(library);
+        for s in &cfg.sites {
+            builder = builder.site(s.clone());
+        }
+        let federation = builder.repository_at(cfg.data_home).build();
+        let mut workload = WorkloadGenerator::new(cfg.workload.clone()).generate(&factory);
+        // Real users size jobs to the machine; the generator doesn't know
+        // machine sizes, so clamp here: a pinned job fits its site, an
+        // unpinned one fits the largest site.
+        let max_cores = federation
+            .sites()
+            .map(|s| s.cluster.total_cores())
+            .max()
+            .expect("non-empty federation");
+        for job in &mut workload.jobs {
+            let cap = match job.site_hint {
+                Some(s) => federation.site(s).cluster.total_cores(),
+                None => max_cores,
+            };
+            job.cores = job.cores.min(cap);
+        }
+        let schedulers: Vec<Box<dyn BatchScheduler>> = federation
+            .sites()
+            .map(|s| cfg.scheduler.build(s.cluster.total_cores()))
+            .collect();
+        let charge_policy =
+            ChargePolicy::new(cfg.sites.iter().map(|s| s.charge_factor).collect());
+        let mut sim = GridSim::new(
+            federation,
+            schedulers,
+            cfg.meta,
+            cfg.rc_policy,
+            SiteId(cfg.data_home),
+            workload.jobs,
+            factory,
+        );
+        if let Some(interval) = cfg.sample_interval {
+            sim = sim.with_sampling(interval);
+        }
+        let mut engine: Engine<Event> = Engine::with_capacity(1024);
+        let finished = sim.run(&mut engine);
+
+        let site_stats: Vec<SiteStats> = finished
+            .federation
+            .sites()
+            .map(|s| SiteStats {
+                name: s.name().to_string(),
+                utilization: s.cluster.utilization(finished.end),
+                core_seconds: s.cluster.core_seconds(finished.end),
+                jobs_finished: s.cluster.jobs_finished(),
+                rc_stats: s.rc.total_stats(),
+                rc_wasted_area_seconds: s.rc.wasted_area_integral(finished.end),
+                rc_busy_area_seconds: s.rc.busy_area_integral(finished.end),
+            })
+            .collect();
+
+        SimOutput {
+            scenario: cfg.name.clone(),
+            seed,
+            db: finished.db,
+            truth: finished.truth,
+            end: finished.end,
+            charge_policy,
+            site_stats,
+            samples: finished.samples,
+            population: workload.population,
+            events_delivered: engine.delivered(),
+        }
+    }
+}
+
+/// Per-site outcome statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteStats {
+    /// Site name.
+    pub name: String,
+    /// Average batch utilization over the run.
+    pub utilization: f64,
+    /// Core-seconds delivered.
+    pub core_seconds: f64,
+    /// Jobs completed at the site.
+    pub jobs_finished: u64,
+    /// RC partition counters.
+    pub rc_stats: RcNodeStats,
+    /// RC wasted-area integral (area·seconds).
+    pub rc_wasted_area_seconds: f64,
+    /// RC busy-area integral (area·seconds).
+    pub rc_busy_area_seconds: f64,
+}
+
+/// Everything one run produces.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// Scenario label.
+    pub scenario: String,
+    /// The seed used.
+    pub seed: u64,
+    /// The accounting database.
+    pub db: AccountingDb,
+    /// Ground-truth labels (scoring only).
+    pub truth: HashMap<JobId, Modality>,
+    /// Final virtual time.
+    pub end: SimTime,
+    /// The federation's charging policy.
+    pub charge_policy: ChargePolicy,
+    /// Per-site statistics.
+    pub site_stats: Vec<SiteStats>,
+    /// Periodic metric snapshots (empty unless `sample_interval` was set).
+    pub samples: Vec<crate::sim::SampleRow>,
+    /// The generated population behind the workload (ground truth for
+    /// survey experiments and field-of-science reports).
+    pub population: tg_workload::user::Population,
+    /// Events the engine delivered (cost/scale indicator).
+    pub events_delivered: u64,
+}
+
+impl SimOutput {
+    /// Ground-truth modality of a recorded job.
+    pub fn truth_of(&self, id: JobId) -> Option<Modality> {
+        self.truth.get(&id).copied()
+    }
+
+    /// Mean queue wait over all jobs, seconds.
+    pub fn mean_wait_secs(&self) -> f64 {
+        tg_accounting::query::mean_wait_secs(&self.db.jobs)
+    }
+
+    /// Federation-wide average utilization, core-weighted.
+    pub fn average_utilization(&self) -> f64 {
+        let total_cs: f64 = self.site_stats.iter().map(|s| s.core_seconds).sum();
+        let total_cap: f64 = self
+            .site_stats
+            .iter()
+            .map(|s| {
+                if s.utilization > 0.0 {
+                    s.core_seconds / s.utilization
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        if total_cap <= 0.0 {
+            0.0
+        } else {
+            total_cs / total_cap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::baseline(80, 7);
+        // Shrink the machines so the test exercises queueing.
+        cfg.sites[0].batch_nodes = 64;
+        cfg.sites[1].batch_nodes = 128;
+        cfg.sites[2].batch_nodes = 32;
+        cfg
+    }
+
+    #[test]
+    fn baseline_scenario_runs_end_to_end() {
+        let out = small().build().run(42);
+        assert!(!out.db.jobs.is_empty(), "jobs completed");
+        assert!(out.end > SimTime::from_days(6), "ran through the window");
+        assert!(out.events_delivered > out.db.jobs.len() as u64);
+        // Every recorded job has a truth label.
+        for r in &out.db.jobs {
+            assert!(out.truth_of(r.job).is_some());
+        }
+        // All seven modalities appear in the truth.
+        for m in Modality::ALL {
+            assert!(
+                out.truth.values().any(|&t| t == m),
+                "modality {m} missing from workload"
+            );
+        }
+        // RC site saw fabric activity.
+        let carol = &out.site_stats[2];
+        assert!(carol.rc_stats.completed > 0, "RC tasks ran on fabric");
+        assert!(carol.rc_busy_area_seconds > 0.0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let a = small().build().run(7);
+        let b = small().build().run(7);
+        assert_eq!(a.db.jobs, b.db.jobs);
+        assert_eq!(a.end, b.end);
+        assert_eq!(a.events_delivered, b.events_delivered);
+        let c = small().build().run(8);
+        assert_ne!(a.db.jobs.len(), 0);
+        assert!(a.db.jobs != c.db.jobs || a.end != c.end);
+    }
+
+    #[test]
+    fn utilization_is_sane() {
+        let out = small().build().run(3);
+        let u = out.average_utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+        for s in &out.site_stats {
+            assert!(s.utilization >= 0.0 && s.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on site count")]
+    fn mismatched_site_count_rejected() {
+        let mut cfg = ScenarioConfig::baseline(10, 1);
+        cfg.sites.pop();
+        cfg.build();
+    }
+
+    #[test]
+    fn sampling_produces_monotone_bounded_series() {
+        let mut cfg = small();
+        cfg.sample_interval = Some(tg_des::SimDuration::from_hours(6));
+        let out = cfg.build().run(11);
+        assert!(
+            out.samples.len() >= 7 * 4 - 2,
+            "expected ~4 samples/day over 7 days, got {}",
+            out.samples.len()
+        );
+        for w in out.samples.windows(2) {
+            assert!(w[0].at < w[1].at, "sample times must increase");
+        }
+        for row in &out.samples {
+            assert_eq!(row.busy_fraction.len(), 3);
+            assert_eq!(row.queue_len.len(), 3);
+            for &f in &row.busy_fraction {
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+        // Something was busy at some point.
+        assert!(out
+            .samples
+            .iter()
+            .any(|r| r.busy_fraction.iter().any(|&f| f > 0.0)));
+        // Disabled sampling stays empty.
+        let out2 = small().build().run(11);
+        assert!(out2.samples.is_empty());
+    }
+
+    #[test]
+    fn scenario_config_json_roundtrip() {
+        let cfg = small();
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        // Round-tripped config produces an identical simulation.
+        let a = cfg.build().run(3);
+        let b = back.build().run(3);
+        assert_eq!(a.db.jobs, b.db.jobs);
+        assert_eq!(a.end, b.end);
+    }
+}

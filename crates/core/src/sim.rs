@@ -1,0 +1,937 @@
+//! The event-driven federation simulator.
+//!
+//! `GridSim` wires the passive resource model (`tg-model`), the generated
+//! workload (`tg-workload`), and the schedulers (`tg-sched`) into one event
+//! loop, and emits accounting records (`tg-accounting`) as a production
+//! federation would.
+//!
+//! ## Job lifecycle
+//!
+//! ```text
+//! Submit ──deps?──▶ held until parents complete (workflow engine release)
+//!        └────────▶ route: RC task → RC partition flow
+//!                          else    → metascheduler picks site
+//!                   staging: big inputs transfer before queueing
+//!                   site queue → batch scheduler → start → complete
+//!                   completion → records, dependent release, backfill pass
+//! ```
+//!
+//! ## Instrumentation fidelity
+//!
+//! Records carry only what production accounting sees. Two deliberate
+//! touches of realism:
+//!
+//! * Gateway jobs are recorded under their gateway's **community account**
+//!   (one account per gateway), with a `GatewayAttribute` naming the end
+//!   user — exactly the mechanism TeraGrid introduced. The submitting
+//!   person's identity is *not* in the job record.
+//! * A workflow task's recorded submit time is its *release* time (when its
+//!   dependencies finished and the engine handed it to the queue), because
+//!   that is when the queue first saw it.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use tg_accounting::{
+    AccountingDb, GatewayAttribute, JobRecord, RcPlacementRecord, SessionRecord, TransferRecord,
+};
+use tg_des::{Ctx, Engine, RngFactory, SimTime, Simulation, StopCondition, StreamId};
+#[cfg(test)]
+use tg_des::SimDuration;
+use tg_model::reconf::HostPlan;
+use tg_model::{Federation, SiteId};
+use tg_sched::{BatchScheduler, MetaPolicy, RcDecision, RcPolicy, SiteView};
+use tg_workload::{Job, JobId, Modality, UserId};
+
+/// Base offset for synthetic gateway community accounts in job records.
+pub const COMMUNITY_ACCOUNT_BASE: usize = 10_000_000;
+
+/// Inputs/outputs at or above this size (MB) are staged over the WAN and
+/// produce transfer records; smaller ones ride along invisibly.
+pub const STAGING_THRESHOLD_MB: f64 = 500.0;
+
+/// Simulation events.
+#[derive(Debug)]
+pub enum Event {
+    /// A job arrives from the workload trace (index into the job list).
+    Submit(usize),
+    /// A job (input staged, deps met) reaches a site's batch queue.
+    Enqueue {
+        /// Target site.
+        site: SiteId,
+        /// The job.
+        job: Box<Job>,
+    },
+    /// A batch job completes.
+    Complete {
+        /// Site it ran at.
+        site: SiteId,
+        /// The finished job.
+        job: Box<Job>,
+        /// When it started (for the record).
+        started: SimTime,
+    },
+    /// An RC (hardware) task completes on a fabric region.
+    RcComplete {
+        /// Site of the RC partition.
+        site: SiteId,
+        /// Node within the partition.
+        node: tg_model::NodeId,
+        /// Region to release.
+        region: tg_model::reconf::RegionId,
+        /// The finished job.
+        job: Box<Job>,
+        /// When its *execution* began (after setup).
+        started: SimTime,
+        /// The placement record to emit.
+        placement: RcPlacementRecord,
+    },
+    /// Timer for time-triggered scheduler policies (weekly drain).
+    SchedWakeup {
+        /// Site whose scheduler asked for the wakeup.
+        site: SiteId,
+    },
+    /// Periodic metric sample (enabled via [`GridSim::with_sampling`]).
+    Sample,
+}
+
+/// One periodic metric snapshot.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SampleRow {
+    /// When the snapshot was taken.
+    pub at: SimTime,
+    /// Instantaneous busy-core fraction per site.
+    pub busy_fraction: Vec<f64>,
+    /// Queue length per site.
+    pub queue_len: Vec<usize>,
+}
+
+/// The assembled simulation.
+pub struct GridSim {
+    /// The resource model (mutated as jobs run).
+    pub federation: Federation,
+    schedulers: Vec<Box<dyn BatchScheduler>>,
+    meta_policy: MetaPolicy,
+    rc_policy: RcPolicy,
+    data_home: SiteId,
+    jobs: Vec<Option<Job>>,
+    /// Ground-truth labels by job id (kept OUT of the record stream).
+    truth: HashMap<JobId, Modality>,
+    /// Jobs waiting on workflow dependencies. Each held job is registered
+    /// under exactly *one* of its unmet deps; when that dep completes the
+    /// job is re-examined and either routed or re-registered under another
+    /// still-unmet dep. (A per-job unmet counter would go stale: deps the
+    /// job is not registered under can complete in the meantime.)
+    dep_waiters: HashMap<JobId, Vec<Job>>,
+    completed: HashSet<JobId>,
+    /// Deferred RC tasks per site (fabric was full).
+    rc_backlog: HashMap<SiteId, VecDeque<Job>>,
+    /// Armed scheduler wakeups (dedupe).
+    armed_wakeups: HashMap<SiteId, SimTime>,
+    rng: RngFactory,
+    /// The accounting database being populated.
+    pub db: AccountingDb,
+    jobs_done: usize,
+    jobs_total: usize,
+    sample_interval: Option<tg_des::SimDuration>,
+    samples: Vec<SampleRow>,
+}
+
+impl GridSim {
+    /// Assemble a simulation.
+    ///
+    /// `schedulers` must have one entry per federation site. `jobs` is the
+    /// generated workload (its ground-truth labels are extracted and
+    /// quarantined here).
+    pub fn new(
+        federation: Federation,
+        schedulers: Vec<Box<dyn BatchScheduler>>,
+        meta_policy: MetaPolicy,
+        rc_policy: RcPolicy,
+        data_home: SiteId,
+        jobs: Vec<Job>,
+        rng: RngFactory,
+    ) -> Self {
+        assert_eq!(
+            schedulers.len(),
+            federation.len(),
+            "one scheduler per site"
+        );
+        assert!(data_home.index() < federation.len(), "data home must exist");
+        let truth: HashMap<JobId, Modality> =
+            jobs.iter().map(|j| (j.id, j.true_modality)).collect();
+        let jobs_total = jobs.len();
+        let rc_backlog = federation
+            .site_ids()
+            .map(|s| (s, VecDeque::new()))
+            .collect();
+        GridSim {
+            federation,
+            schedulers,
+            meta_policy,
+            rc_policy,
+            data_home,
+            jobs: jobs.into_iter().map(Some).collect(),
+            truth,
+            dep_waiters: HashMap::new(),
+            completed: HashSet::new(),
+            rc_backlog,
+            armed_wakeups: HashMap::new(),
+            rng,
+            db: AccountingDb::new(),
+            jobs_done: 0,
+            jobs_total,
+            sample_interval: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Enable periodic metric sampling at `interval`. Sampling stops on its
+    /// own once no other events remain, so the run still drains.
+    pub fn with_sampling(mut self, interval: tg_des::SimDuration) -> Self {
+        assert!(!interval.is_zero(), "sample interval must be positive");
+        self.sample_interval = Some(interval);
+        self
+    }
+
+    fn take_sample(&mut self, ctx: &mut Ctx<Event>) {
+        let busy_fraction = self
+            .federation
+            .sites()
+            .map(|s| s.cluster.busy_cores() as f64 / s.cluster.total_cores() as f64)
+            .collect();
+        let queue_len = self.schedulers.iter().map(|s| s.queue_len()).collect();
+        self.samples.push(SampleRow {
+            at: ctx.now(),
+            busy_fraction,
+            queue_len,
+        });
+        // Reschedule only while other work remains; otherwise the sampler
+        // would keep the event queue alive forever.
+        if ctx.pending() > 0 {
+            let interval = self.sample_interval.expect("sampling enabled");
+            ctx.schedule_after(interval, Event::Sample);
+        }
+    }
+
+    /// Schedule the whole workload's submit events onto `engine`.
+    pub fn prime(&self, engine: &mut Engine<Event>) {
+        for (i, job) in self.jobs.iter().enumerate() {
+            let job = job.as_ref().expect("unconsumed at prime time");
+            engine.schedule_at(job.submit_time, Event::Submit(i));
+        }
+        if let Some(interval) = self.sample_interval {
+            engine.schedule_at(SimTime::ZERO + interval, Event::Sample);
+        }
+    }
+
+    /// Run to completion (all jobs done) with a hard event-horizon guard.
+    /// Returns the final virtual time.
+    pub fn run(mut self, engine: &mut Engine<Event>) -> FinishedSim {
+        self.prime(engine);
+        engine.run_until(&mut self, StopCondition::Exhausted);
+        assert_eq!(
+            self.jobs_done, self.jobs_total,
+            "simulation drained with {} of {} jobs unfinished",
+            self.jobs_total - self.jobs_done,
+            self.jobs_total
+        );
+        FinishedSim {
+            federation: self.federation,
+            db: self.db,
+            truth: self.truth,
+            end: engine.now(),
+            samples: self.samples,
+        }
+    }
+
+    /// Ground-truth modality of a job (for scoring only).
+    pub fn truth_of(&self, id: JobId) -> Option<Modality> {
+        self.truth.get(&id).copied()
+    }
+
+    /// Jobs completed so far.
+    pub fn jobs_done(&self) -> usize {
+        self.jobs_done
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    fn route(&mut self, ctx: &mut Ctx<Event>, mut job: Job) {
+        // Workflow release semantics: the queue sees the task now.
+        job.submit_time = job.submit_time.max(ctx.now());
+        if job.rc.is_some() {
+            let site = self.rc_site_for(&job);
+            self.route_rc(ctx, site, job);
+            return;
+        }
+        let site = match job.site_hint {
+            Some(s) => s,
+            None => self.select_site(&job),
+        };
+        // Input staging for large inputs: pay the WAN before queueing.
+        if job.input_mb >= STAGING_THRESHOLD_MB && site != self.data_home {
+            let dur = self
+                .federation
+                .network
+                .transfer_time(self.data_home, site, job.input_mb);
+            self.db.add_transfer(TransferRecord {
+                user: self.account_of(&job),
+                project: job.project,
+                src: self.data_home,
+                dst: site,
+                mb: job.input_mb,
+                start: ctx.now(),
+                end: ctx.now() + dur,
+            });
+            ctx.schedule_after(
+                dur,
+                Event::Enqueue {
+                    site,
+                    job: Box::new(job),
+                },
+            );
+        } else {
+            ctx.schedule_now(Event::Enqueue {
+                site,
+                job: Box::new(job),
+            });
+        }
+    }
+
+    fn select_site(&mut self, job: &Job) -> SiteId {
+        let views: Vec<SiteView> = self
+            .federation
+            .sites()
+            .map(|s| SiteView {
+                site: s.id(),
+                total_cores: s.cluster.total_cores(),
+                free_cores: s.cluster.free_cores(),
+                queued_core_seconds: 0.0, // refined below
+                core_speed: s.core_speed(),
+            })
+            .collect();
+        // Queue depth by scheduler queue length × job-average shape is a
+        // coarse stand-in; use queue length × estimate of this job.
+        let views: Vec<SiteView> = views
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut v)| {
+                v.queued_core_seconds = self.schedulers[i].queue_len() as f64
+                    * job.cores as f64
+                    * job.estimate.as_secs_f64();
+                v
+            })
+            .collect();
+        let mut rng = self.rng.stream(StreamId::new("meta", job.id.index() as u64));
+        self.meta_policy
+            .select(job, &views, self.data_home, &self.federation.network, &mut rng)
+            .expect("at least one site fits any generated job")
+    }
+
+    fn rc_site_for(&self, job: &Job) -> SiteId {
+        if let Some(s) = job.site_hint {
+            if self.federation.site(s).has_rc() {
+                return s;
+            }
+        }
+        self.federation
+            .sites()
+            .find(|s| s.has_rc())
+            .map(|s| s.id())
+            .unwrap_or_else(|| job.site_hint.unwrap_or(SiteId(0)))
+    }
+
+    // ------------------------------------------------------------------
+    // Batch path
+    // ------------------------------------------------------------------
+
+    fn enqueue(&mut self, ctx: &mut Ctx<Event>, site: SiteId, job: Job) {
+        self.schedulers[site.index()].submit(ctx.now(), job);
+        self.dispatch(ctx, site);
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<Event>, site: SiteId) {
+        let speed = self.federation.site(site).core_speed();
+        let cluster = &mut self.federation.site_mut(site).cluster;
+        let started = self.schedulers[site.index()].make_decisions(ctx.now(), cluster, speed);
+        for s in started {
+            let actual = s.job.runtime_on(speed, false);
+            ctx.schedule_after(
+                actual,
+                Event::Complete {
+                    site,
+                    job: Box::new(s.job),
+                    started: ctx.now(),
+                },
+            );
+        }
+        // Arm a wakeup if the policy wants one (weekly drain).
+        if let Some(at) = self.schedulers[site.index()].next_wakeup(ctx.now()) {
+            let armed = self.armed_wakeups.get(&site).copied();
+            if armed != Some(at) {
+                self.armed_wakeups.insert(site, at);
+                ctx.schedule_at(at, Event::SchedWakeup { site });
+            }
+        }
+    }
+
+    fn complete_batch(&mut self, ctx: &mut Ctx<Event>, site: SiteId, job: Job, started: SimTime) {
+        self.federation
+            .site_mut(site)
+            .cluster
+            .release(ctx.now(), job.cores);
+        self.schedulers[site.index()].on_complete(ctx.now(), job.id);
+        self.emit_records(ctx, site, &job, started, false, None);
+        self.finish_job(ctx, &job);
+        self.dispatch(ctx, site);
+    }
+
+    // ------------------------------------------------------------------
+    // RC path
+    // ------------------------------------------------------------------
+
+    fn route_rc(&mut self, ctx: &mut Ctx<Event>, site: SiteId, job: Job) {
+        if !self.federation.site(site).has_rc() {
+            // No fabric anywhere: run the software version.
+            self.enqueue(ctx, site, job);
+            return;
+        }
+        let decision = {
+            let fed = &self.federation;
+            let s = fed.site(site);
+            self.rc_policy.decide(
+                &job,
+                &s.rc,
+                &fed.library,
+                |c| fed.bitstream_fetch_time(c, site),
+                ctx.now(),
+                s.core_speed(),
+            )
+        };
+        match decision {
+            RcDecision::PlaceHw { node, plan, setup } => {
+                let reused = matches!(plan, HostPlan::Reuse(_));
+                let library = self.federation.library.clone();
+                let rc_cfg = job.rc.expect("rc job").config;
+                let speed = self.federation.site(site).core_speed();
+                let region = self
+                    .federation
+                    .site_mut(site)
+                    .rc
+                    .node_mut(node)
+                    .commit(plan, rc_cfg, &library, ctx.now());
+                let exec_start = ctx.now() + setup.total();
+                let hw_runtime = job.runtime_on(speed, true);
+                let end = exec_start + hw_runtime;
+                let deadline_met = job
+                    .rc
+                    .and_then(|rc| rc.deadline)
+                    .map(|d| end <= job.submit_time + d);
+                let placement = RcPlacementRecord {
+                    job: job.id,
+                    site,
+                    node,
+                    config: rc_cfg,
+                    reused,
+                    transfer: setup.transfer,
+                    reconfig: setup.reconfig,
+                    deadline_met,
+                };
+                ctx.schedule_at(
+                    end,
+                    Event::RcComplete {
+                        site,
+                        node,
+                        region,
+                        job: Box::new(job),
+                        started: exec_start,
+                        placement,
+                    },
+                );
+            }
+            RcDecision::RunSw => {
+                self.enqueue(ctx, site, job);
+            }
+            RcDecision::Defer => {
+                self.rc_backlog
+                    .get_mut(&site)
+                    .expect("site backlog exists")
+                    .push_back(job);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // event fields arrive together
+    fn complete_rc(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        site: SiteId,
+        node: tg_model::NodeId,
+        region: tg_model::reconf::RegionId,
+        job: Job,
+        started: SimTime,
+        placement: RcPlacementRecord,
+    ) {
+        self.federation
+            .site_mut(site)
+            .rc
+            .node_mut(node)
+            .finish(region, ctx.now());
+        self.emit_records(ctx, site, &job, started, true, Some(placement));
+        self.finish_job(ctx, &job);
+        // Fabric freed: retry deferred tasks (FIFO, stop at first re-defer).
+        loop {
+            let next = self
+                .rc_backlog
+                .get_mut(&site)
+                .expect("site backlog exists")
+                .pop_front();
+            let Some(next) = next else { break };
+            let before = self.rc_backlog[&site].len();
+            self.route_rc(ctx, site, next);
+            // If route_rc deferred it again it went to the back; avoid
+            // spinning over a full backlog in one pass.
+            if self.rc_backlog[&site].len() > before {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Records & dependency release
+    // ------------------------------------------------------------------
+
+    /// The account a job is recorded under: the gateway community account
+    /// for gateway traffic, the personal account otherwise.
+    fn account_of(&self, job: &Job) -> UserId {
+        match job.gateway {
+            Some(gw) => UserId(COMMUNITY_ACCOUNT_BASE + gw.index()),
+            None => job.user,
+        }
+    }
+
+    fn emit_records(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        site: SiteId,
+        job: &Job,
+        started: SimTime,
+        used_hw: bool,
+        placement: Option<RcPlacementRecord>,
+    ) {
+        let account = self.account_of(job);
+        self.db.add_job(JobRecord {
+            job: job.id,
+            user: account,
+            project: job.project,
+            site,
+            submit: job.submit_time,
+            start: started,
+            end: ctx.now(),
+            cores: job.cores,
+            interface: job.interface,
+            used_hw,
+            input_mb: job.input_mb,
+            output_mb: job.output_mb,
+        });
+        if let Some(gw) = job.gateway {
+            // The gateway declares which of its community end users this job
+            // served; the tag is the gateway's own id space (we use the
+            // generating person's id, which accounting treats as opaque).
+            self.db.add_gateway_attr(GatewayAttribute {
+                gateway: gw,
+                job: job.id,
+                end_user: job.user.index() as u64,
+            });
+        }
+        if let Some(p) = placement {
+            self.db.add_rc_placement(p);
+        }
+        // Interactive work implies a login session wrapping the job.
+        if job.true_modality == Modality::Interactive {
+            self.db.add_session(SessionRecord {
+                user: account,
+                site,
+                login: job.submit_time,
+                logout: ctx.now(),
+            });
+        }
+        // Output staging to the archive for big outputs.
+        if job.output_mb >= STAGING_THRESHOLD_MB && site != self.data_home {
+            let dur = self
+                .federation
+                .network
+                .transfer_time(site, self.data_home, job.output_mb);
+            self.db.add_transfer(TransferRecord {
+                user: account,
+                project: job.project,
+                src: site,
+                dst: self.data_home,
+                mb: job.output_mb,
+                start: ctx.now(),
+                end: ctx.now() + dur,
+            });
+        }
+    }
+
+    fn finish_job(&mut self, ctx: &mut Ctx<Event>, job: &Job) {
+        self.completed.insert(job.id);
+        self.jobs_done += 1;
+        if let Some(waiters) = self.dep_waiters.remove(&job.id) {
+            for waiter in waiters {
+                match waiter
+                    .deps
+                    .iter()
+                    .copied()
+                    .find(|d| !self.completed.contains(d))
+                {
+                    None => self.route(ctx, waiter),
+                    Some(next_dep) => {
+                        self.dep_waiters.entry(next_dep).or_default().push(waiter);
+                    }
+                }
+            }
+        }
+    }
+
+    fn submit_from_trace(&mut self, ctx: &mut Ctx<Event>, index: usize) {
+        let job = self.jobs[index].take().expect("submit delivered once");
+        let first_unmet = job
+            .deps
+            .iter()
+            .copied()
+            .find(|d| !self.completed.contains(d));
+        match first_unmet {
+            None => self.route(ctx, job),
+            Some(dep) => {
+                self.dep_waiters.entry(dep).or_default().push(job);
+            }
+        }
+    }
+}
+
+impl Simulation for GridSim {
+    type Event = Event;
+
+    fn handle(&mut self, ctx: &mut Ctx<Event>, event: Event) {
+        match event {
+            Event::Submit(index) => self.submit_from_trace(ctx, index),
+            Event::Enqueue { site, job } => self.enqueue(ctx, site, *job),
+            Event::Complete { site, job, started } => {
+                self.complete_batch(ctx, site, *job, started)
+            }
+            Event::RcComplete {
+                site,
+                node,
+                region,
+                job,
+                started,
+                placement,
+            } => self.complete_rc(ctx, site, node, region, *job, started, placement),
+            Event::SchedWakeup { site } => {
+                self.armed_wakeups.remove(&site);
+                self.dispatch(ctx, site);
+            }
+            Event::Sample => self.take_sample(ctx),
+        }
+    }
+}
+
+/// Everything a finished simulation leaves behind.
+pub struct FinishedSim {
+    /// Final resource-model state (utilization integrals, RC stats).
+    pub federation: Federation,
+    /// The accounting database.
+    pub db: AccountingDb,
+    /// Ground truth, for scoring only.
+    pub truth: HashMap<JobId, Modality>,
+    /// Final virtual time.
+    pub end: SimTime,
+    /// Periodic metric snapshots (empty unless sampling was enabled).
+    pub samples: Vec<SampleRow>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_model::{ConfigLibrary, Federation, SiteConfig};
+    use tg_model::config::ProcessorConfig;
+    use tg_sched::SchedulerKind;
+    use tg_workload::{ProjectId, RcRequirement, SubmitInterface, WorkflowId};
+
+    fn tiny_federation() -> Federation {
+        let mut lib = ConfigLibrary::new();
+        let mut cfg = ProcessorConfig::new("k", 4, 10.0);
+        cfg.reconfig_time = SimDuration::from_secs(5);
+        lib.add(cfg);
+        Federation::builder()
+            .site(SiteConfig {
+                batch_nodes: 4,
+                cores_per_node: 4,
+                ..SiteConfig::medium("alpha")
+            })
+            .site(SiteConfig {
+                batch_nodes: 2,
+                cores_per_node: 4,
+                rc_nodes: 2,
+                rc_area_per_node: 8,
+                ..SiteConfig::medium("gamma")
+            })
+            .library(lib)
+            .repository_at(0)
+            .build()
+    }
+
+    fn schedulers(fed: &Federation, kind: SchedulerKind) -> Vec<Box<dyn BatchScheduler>> {
+        fed.sites()
+            .map(|s| kind.build(s.cluster.total_cores()))
+            .collect()
+    }
+
+    fn run_jobs(jobs: Vec<Job>) -> FinishedSim {
+        let fed = tiny_federation();
+        let scheds = schedulers(&fed, SchedulerKind::Easy);
+        let sim = GridSim::new(
+            fed,
+            scheds,
+            MetaPolicy::ShortestEta,
+            RcPolicy::AWARE,
+            SiteId(0),
+            jobs,
+            RngFactory::new(1),
+        );
+        let mut engine = Engine::new();
+        sim.run(&mut engine)
+    }
+
+    fn job(id: usize, cores: usize, secs: u64, submit: u64) -> Job {
+        Job::batch(
+            JobId(id),
+            UserId(id),
+            ProjectId(0),
+            SimTime::from_secs(submit),
+            cores,
+            SimDuration::from_secs(secs),
+        )
+    }
+
+    #[test]
+    fn single_job_runs_and_is_recorded() {
+        let out = run_jobs(vec![job(0, 4, 100, 0).with_site(SiteId(0))]);
+        assert_eq!(out.db.jobs.len(), 1);
+        let r = &out.db.jobs[0];
+        assert_eq!(r.site, SiteId(0));
+        assert_eq!(r.wait(), SimDuration::ZERO);
+        assert_eq!(r.wall(), SimDuration::from_secs(100));
+        assert!(!r.used_hw);
+        assert_eq!(out.end, SimTime::from_secs(100));
+        // Cluster is idle again.
+        assert_eq!(out.federation.site(SiteId(0)).cluster.busy_cores(), 0);
+    }
+
+    #[test]
+    fn queueing_when_machine_full() {
+        // Site 0 has 16 cores; two 16-core jobs serialize.
+        let out = run_jobs(vec![
+            job(0, 16, 100, 0).with_site(SiteId(0)),
+            job(1, 16, 100, 0).with_site(SiteId(0)),
+        ]);
+        let r1 = out.db.jobs.iter().find(|r| r.job == JobId(1)).unwrap();
+        assert_eq!(r1.wait(), SimDuration::from_secs(100));
+        assert_eq!(out.end, SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn unpinned_jobs_go_through_the_metascheduler() {
+        let out = run_jobs(vec![job(0, 4, 100, 0), job(1, 4, 100, 0)]);
+        assert_eq!(out.db.jobs.len(), 2);
+        for r in &out.db.jobs {
+            assert!(r.site.index() < 2);
+        }
+    }
+
+    #[test]
+    fn workflow_dependencies_serialize_execution() {
+        let wf = WorkflowId(0);
+        let a = job(0, 2, 100, 0).in_workflow(wf, vec![]);
+        let b = job(1, 2, 50, 0).in_workflow(wf, vec![JobId(0)]);
+        let c = job(2, 2, 25, 0).in_workflow(wf, vec![JobId(0), JobId(1)]);
+        let out = run_jobs(vec![a, b, c]);
+        let rec = |id: usize| out.db.jobs.iter().find(|r| r.job == JobId(id)).unwrap();
+        assert_eq!(rec(1).submit, SimTime::from_secs(100), "released at parent end");
+        assert!(rec(1).start >= rec(0).end);
+        assert!(rec(2).start >= rec(1).end);
+        assert_eq!(out.end, SimTime::from_secs(175));
+        assert_eq!(rec(1).interface, SubmitInterface::WorkflowEngine);
+    }
+
+    #[test]
+    fn gateway_jobs_use_community_account_and_attrs() {
+        let g = job(0, 1, 60, 0).via_gateway(tg_workload::GatewayId(3));
+        let out = run_jobs(vec![g]);
+        let r = &out.db.jobs[0];
+        assert_eq!(r.user, UserId(COMMUNITY_ACCOUNT_BASE + 3));
+        assert_eq!(out.db.gateway_attrs.len(), 1);
+        assert_eq!(out.db.gateway_attrs[0].end_user, 0, "person id as tag");
+        assert!(out.db.has_gateway_attr(JobId(0)));
+    }
+
+    #[test]
+    fn interactive_jobs_leave_session_records() {
+        let j = job(0, 1, 300, 10).labeled(Modality::Interactive).with_site(SiteId(0));
+        let out = run_jobs(vec![j]);
+        assert_eq!(out.db.sessions.len(), 1);
+        let s = &out.db.sessions[0];
+        assert_eq!(s.login, SimTime::from_secs(10));
+        assert_eq!(s.logout, SimTime::from_secs(310));
+    }
+
+    #[test]
+    fn rc_job_runs_on_fabric_with_placement_record() {
+        let r = job(0, 1, 1000, 0)
+            .with_rc(RcRequirement {
+                config: tg_model::ConfigId(0),
+                speedup: 10.0,
+                deadline: None,
+            })
+            .with_site(SiteId(1));
+        let out = run_jobs(vec![r]);
+        let rec = &out.db.jobs[0];
+        assert!(rec.used_hw);
+        assert_eq!(out.db.rc_placements.len(), 1);
+        let p = &out.db.rc_placements[0];
+        assert!(!p.reused, "first placement reconfigures");
+        assert!(p.reconfig > SimDuration::ZERO);
+        // HW runtime 100 s + setup (fetch from site0 + 5 s reconfig).
+        assert!(out.end >= SimTime::from_secs(105));
+        let stats = out.federation.site(SiteId(1)).rc.total_stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.reconfigs, 1);
+    }
+
+    #[test]
+    fn second_rc_task_with_same_config_reuses() {
+        let mk = |id: usize, submit: u64| {
+            job(id, 1, 1000, submit)
+                .with_rc(RcRequirement {
+                    config: tg_model::ConfigId(0),
+                    speedup: 10.0,
+                    deadline: None,
+                })
+                .with_site(SiteId(1))
+        };
+        let out = run_jobs(vec![mk(0, 0), mk(1, 2000)]);
+        assert_eq!(out.db.rc_placements.len(), 2);
+        let second = out.db.rc_placements.iter().find(|p| p.job == JobId(1)).unwrap();
+        assert!(second.reused, "same config, idle region → reuse");
+        assert_eq!(second.transfer, SimDuration::ZERO);
+        let stats = out.federation.site(SiteId(1)).rc.total_stats();
+        assert_eq!(stats.reuses, 1);
+        assert_eq!(stats.reconfigs, 1);
+    }
+
+    #[test]
+    fn rc_backlog_drains_on_completion() {
+        // 2 nodes × 8 area, config area 4 → 4 concurrent tasks; submit 6.
+        let mk = |id: usize| {
+            job(id, 1, 1000, 0)
+                .with_rc(RcRequirement {
+                    config: tg_model::ConfigId(0),
+                    speedup: 10.0,
+                    deadline: None,
+                })
+                .with_site(SiteId(1))
+        };
+        let out = run_jobs((0..6).map(mk).collect());
+        assert_eq!(out.db.jobs.len(), 6);
+        assert!(out.db.jobs.iter().all(|r| r.used_hw));
+        let stats = out.federation.site(SiteId(1)).rc.total_stats();
+        assert_eq!(stats.completed, 6);
+        assert!(stats.reuses >= 2, "deferred tasks reuse freed regions");
+    }
+
+    #[test]
+    fn big_inputs_are_staged_and_recorded() {
+        let j = job(0, 2, 100, 0)
+            .with_site(SiteId(1))
+            .with_data(5_000.0, 10_000.0);
+        let out = run_jobs(vec![j]);
+        assert_eq!(out.db.transfers.len(), 2, "stage-in and stage-out");
+        let stage_in = &out.db.transfers[0];
+        assert_eq!(stage_in.src, SiteId(0));
+        assert_eq!(stage_in.dst, SiteId(1));
+        let r = &out.db.jobs[0];
+        assert!(
+            r.start > SimTime::ZERO,
+            "staging delays the start: {}",
+            r.start
+        );
+    }
+
+    #[test]
+    fn small_inputs_ride_free() {
+        let j = job(0, 2, 100, 0).with_site(SiteId(1)).with_data(10.0, 10.0);
+        let out = run_jobs(vec![j]);
+        assert!(out.db.transfers.is_empty());
+        assert_eq!(out.db.jobs[0].start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_records() {
+        let jobs: Vec<Job> = (0..20).map(|i| job(i, 1 + i % 8, 100 + i as u64, i as u64)).collect();
+        let a = run_jobs(jobs.clone());
+        let b = run_jobs(jobs);
+        assert_eq!(a.db.jobs.len(), b.db.jobs.len());
+        for (x, y) in a.db.jobs.iter().zip(&b.db.jobs) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.end, b.end);
+    }
+
+    #[test]
+    fn truth_is_quarantined_from_records() {
+        let g = job(0, 1, 60, 0).via_gateway(tg_workload::GatewayId(0));
+        let fed = tiny_federation();
+        let scheds = schedulers(&fed, SchedulerKind::Easy);
+        let sim = GridSim::new(
+            fed,
+            scheds,
+            MetaPolicy::Random,
+            RcPolicy::AWARE,
+            SiteId(0),
+            vec![g],
+            RngFactory::new(1),
+        );
+        assert_eq!(sim.truth_of(JobId(0)), Some(Modality::ScienceGateway));
+        assert_eq!(sim.truth_of(JobId(99)), None);
+    }
+
+    #[test]
+    fn weekly_drain_scheduler_wakeups_fire() {
+        // A hero job on site 0 (16 cores) under WeeklyDrain + a normal job.
+        let fed = tiny_federation();
+        let scheds: Vec<Box<dyn BatchScheduler>> = fed
+            .sites()
+            .map(|s| SchedulerKind::WeeklyDrain.build(s.cluster.total_cores()))
+            .collect();
+        let hero = job(0, 16, 3600, 0).with_site(SiteId(0));
+        let small = job(1, 2, 600, 100).with_site(SiteId(0));
+        let sim = GridSim::new(
+            fed,
+            scheds,
+            MetaPolicy::Random,
+            RcPolicy::AWARE,
+            SiteId(0),
+            vec![hero, small],
+            RngFactory::new(1),
+        );
+        let mut engine = Engine::new();
+        let out = sim.run(&mut engine);
+        let hero_rec = out.db.jobs.iter().find(|r| r.job == JobId(0)).unwrap();
+        // Hero waits for the weekly boundary.
+        assert_eq!(hero_rec.start, SimTime::from_days(7));
+        let small_rec = out.db.jobs.iter().find(|r| r.job == JobId(1)).unwrap();
+        assert!(small_rec.start < SimTime::from_days(7), "small job runs pre-drain");
+    }
+}

@@ -1,0 +1,286 @@
+//! User-survey measurement of modality shares.
+//!
+//! Accounting records are one measurement mechanism; the other one a
+//! federation actually has is **asking the users**. Surveys see the people
+//! records can't (gateway end users have no accounts) but suffer sampling
+//! error, non-response bias, and self-report confusion. This module models
+//! a survey against the ground-truth population so the two mechanisms can
+//! be compared quantitatively (experiment T5):
+//!
+//! 1. invite a random `sample_fraction` of users;
+//! 2. each invitee responds with a probability depending on their true
+//!    modality (heavy batch users answer their resource provider; transient
+//!    gateway users mostly don't);
+//! 3. respondents self-report their primary modality, confusing it with a
+//!    plausible neighbour with probability `confusion`;
+//! 4. estimate population shares, either naively (respondents as-is) or
+//!    with inverse-response-probability weighting when the response model
+//!    is known.
+
+use serde::{Deserialize, Serialize};
+use tg_des::SimRng;
+use tg_workload::{Modality, User};
+
+/// Which modality a confused respondent names instead of their true one.
+/// Neighbours are chosen for plausibility: ensemble users call themselves
+/// batch users, gateway users often name the science domain's workflow, etc.
+fn confused_with(m: Modality) -> Modality {
+    match m {
+        Modality::BatchComputing => Modality::Ensemble,
+        Modality::Interactive => Modality::BatchComputing,
+        Modality::ScienceGateway => Modality::Workflow,
+        Modality::Workflow => Modality::BatchComputing,
+        Modality::Ensemble => Modality::BatchComputing,
+        Modality::DataMovement => Modality::BatchComputing,
+        Modality::RcAccelerated => Modality::BatchComputing,
+    }
+}
+
+/// Survey design parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveyDesign {
+    /// Fraction of the user population invited, in `(0, 1]`.
+    pub sample_fraction: f64,
+    /// Response probability per *true* modality, [`Modality::ALL`] order.
+    pub response_rates: [f64; Modality::ALL.len()],
+    /// Probability a respondent names the confusable neighbour modality.
+    pub confusion: f64,
+}
+
+impl SurveyDesign {
+    /// A census with perfect response and no confusion (sanity baseline).
+    pub fn perfect() -> Self {
+        SurveyDesign {
+            sample_fraction: 1.0,
+            response_rates: [1.0; Modality::ALL.len()],
+            confusion: 0.0,
+        }
+    }
+
+    /// A realistic design: 30% invited; engaged account holders respond
+    /// often, gateway end users rarely; 10% self-report confusion.
+    pub fn realistic() -> Self {
+        let mut rates = [0.0; Modality::ALL.len()];
+        rates[Modality::BatchComputing.index()] = 0.6;
+        rates[Modality::Interactive.index()] = 0.45;
+        rates[Modality::ScienceGateway.index()] = 0.12;
+        rates[Modality::Workflow.index()] = 0.5;
+        rates[Modality::Ensemble.index()] = 0.5;
+        rates[Modality::DataMovement.index()] = 0.4;
+        rates[Modality::RcAccelerated.index()] = 0.55;
+        SurveyDesign {
+            sample_fraction: 0.3,
+            response_rates: rates,
+            confusion: 0.1,
+        }
+    }
+
+    /// Validate parameter ranges.
+    fn check(&self) {
+        assert!(
+            self.sample_fraction > 0.0 && self.sample_fraction <= 1.0,
+            "sample fraction in (0,1]"
+        );
+        assert!(
+            self.response_rates.iter().all(|&r| (0.0..=1.0).contains(&r)),
+            "response rates in [0,1]"
+        );
+        assert!((0.0..=1.0).contains(&self.confusion), "confusion in [0,1]");
+    }
+}
+
+/// What the survey measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveyResult {
+    /// Users invited.
+    pub invited: u64,
+    /// Users who responded.
+    pub responded: u64,
+    /// Raw self-reported counts per modality.
+    pub reported: [u64; Modality::ALL.len()],
+    /// Naive share estimate: reported counts normalized.
+    pub naive_share: [f64; Modality::ALL.len()],
+    /// Inverse-response-probability-weighted estimate (requires knowing the
+    /// response model; weights use the *reported* modality's rate, which is
+    /// all a real analyst has).
+    pub weighted_share: [f64; Modality::ALL.len()],
+}
+
+impl SurveyResult {
+    /// Sum of absolute share errors against a truth distribution
+    /// (total variation distance × 2).
+    pub fn l1_error(&self, truth: &[f64], weighted: bool) -> f64 {
+        let est = if weighted {
+            &self.weighted_share
+        } else {
+            &self.naive_share
+        };
+        truth
+            .iter()
+            .zip(est)
+            .map(|(t, e)| (t - e).abs())
+            .sum()
+    }
+}
+
+/// Run a survey over the population.
+pub fn run_survey(users: &[User], design: &SurveyDesign, rng: &mut SimRng) -> SurveyResult {
+    design.check();
+    let mut invited = 0u64;
+    let mut responded = 0u64;
+    let mut reported = [0u64; Modality::ALL.len()];
+    for user in users {
+        if !rng.chance(design.sample_fraction) {
+            continue;
+        }
+        invited += 1;
+        if !rng.chance(design.response_rates[user.modality.index()]) {
+            continue;
+        }
+        responded += 1;
+        let said = if rng.chance(design.confusion) {
+            confused_with(user.modality)
+        } else {
+            user.modality
+        };
+        reported[said.index()] += 1;
+    }
+    let total = responded.max(1) as f64;
+    let mut naive_share = [0.0; Modality::ALL.len()];
+    for (i, &c) in reported.iter().enumerate() {
+        naive_share[i] = c as f64 / total;
+    }
+    // Inverse-probability weighting by the reported class's response rate.
+    let mut weights = [0.0f64; Modality::ALL.len()];
+    for (i, &c) in reported.iter().enumerate() {
+        let rate = design.response_rates[i].max(1e-6);
+        weights[i] = c as f64 / rate;
+    }
+    let wtotal: f64 = weights.iter().sum::<f64>().max(1e-12);
+    let mut weighted_share = [0.0; Modality::ALL.len()];
+    for i in 0..weights.len() {
+        weighted_share[i] = weights[i] / wtotal;
+    }
+    SurveyResult {
+        invited,
+        responded,
+        reported,
+        naive_share,
+        weighted_share,
+    }
+}
+
+/// Ground-truth user-share distribution of a population, in
+/// [`Modality::ALL`] order.
+pub fn true_user_shares(users: &[User]) -> [f64; Modality::ALL.len()] {
+    let mut counts = [0u64; Modality::ALL.len()];
+    for u in users {
+        counts[u.modality.index()] += 1;
+    }
+    let total = users.len().max(1) as f64;
+    let mut shares = [0.0; Modality::ALL.len()];
+    for (i, &c) in counts.iter().enumerate() {
+        shares[i] = c as f64 / total;
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_workload::{ProjectId, UserId};
+
+    fn population(per_modality: [usize; 7]) -> Vec<User> {
+        let mut users = Vec::new();
+        let mut id = 0;
+        for (i, &n) in per_modality.iter().enumerate() {
+            for _ in 0..n {
+                users.push(User::new(UserId(id), ProjectId(0), Modality::ALL[i]));
+                id += 1;
+            }
+        }
+        users
+    }
+
+    #[test]
+    fn perfect_census_recovers_truth_exactly() {
+        let users = population([50, 20, 100, 10, 10, 5, 5]);
+        let mut rng = SimRng::seeded(1);
+        let r = run_survey(&users, &SurveyDesign::perfect(), &mut rng);
+        assert_eq!(r.invited, 200);
+        assert_eq!(r.responded, 200);
+        let truth = true_user_shares(&users);
+        assert!(r.l1_error(&truth, false) < 1e-12);
+        assert!(r.l1_error(&truth, true) < 1e-12);
+    }
+
+    #[test]
+    fn nonresponse_bias_shrinks_gateway_share_and_weighting_recovers_it() {
+        let users = population([300, 0, 600, 0, 0, 0, 0]);
+        let truth = true_user_shares(&users);
+        let mut design = SurveyDesign::perfect();
+        design.response_rates[Modality::BatchComputing.index()] = 0.8;
+        design.response_rates[Modality::ScienceGateway.index()] = 0.1;
+        let mut rng = SimRng::seeded(2);
+        let r = run_survey(&users, &design, &mut rng);
+        // Naive estimate under-counts gateways badly.
+        let gw = Modality::ScienceGateway.index();
+        assert!(
+            r.naive_share[gw] < truth[gw] - 0.2,
+            "naive {} vs truth {}",
+            r.naive_share[gw],
+            truth[gw]
+        );
+        // Weighting pulls it back near the truth.
+        assert!(
+            (r.weighted_share[gw] - truth[gw]).abs() < 0.08,
+            "weighted {} vs truth {}",
+            r.weighted_share[gw],
+            truth[gw]
+        );
+        assert!(r.l1_error(&truth, true) < r.l1_error(&truth, false));
+    }
+
+    #[test]
+    fn confusion_moves_mass_to_neighbours() {
+        let users = population([0, 0, 0, 0, 1000, 0, 0]); // all ensemble
+        let mut design = SurveyDesign::perfect();
+        design.confusion = 0.3;
+        let mut rng = SimRng::seeded(3);
+        let r = run_survey(&users, &design, &mut rng);
+        let batch = r.naive_share[Modality::BatchComputing.index()];
+        assert!((batch - 0.3).abs() < 0.05, "confused mass {batch}");
+        let ens = r.naive_share[Modality::Ensemble.index()];
+        assert!((ens - 0.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn sampling_reduces_invitations() {
+        let users = population([100, 100, 100, 0, 0, 0, 0]);
+        let mut design = SurveyDesign::perfect();
+        design.sample_fraction = 0.25;
+        let mut rng = SimRng::seeded(4);
+        let r = run_survey(&users, &design, &mut rng);
+        assert!(r.invited > 40 && r.invited < 110, "invited {}", r.invited);
+        assert_eq!(r.invited, r.responded);
+    }
+
+    #[test]
+    fn empty_population_yields_zero_shares() {
+        let mut rng = SimRng::seeded(5);
+        let r = run_survey(&[], &SurveyDesign::realistic(), &mut rng);
+        assert_eq!(r.invited, 0);
+        assert!(r.naive_share.iter().all(|&s| s == 0.0));
+        let truth = true_user_shares(&[]);
+        assert!(truth.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sample fraction")]
+    fn bad_design_rejected() {
+        let mut rng = SimRng::seeded(6);
+        let mut d = SurveyDesign::perfect();
+        d.sample_fraction = 0.0;
+        run_survey(&[], &d, &mut rng);
+    }
+}

@@ -1,0 +1,587 @@
+//! The discrete-event loop.
+//!
+//! The engine owns a priority queue of `(time, sequence, event)` entries.
+//! Popping always yields the earliest event; ties on time break by scheduling
+//! order (FIFO), which makes simultaneous-event behaviour deterministic — a
+//! property most ad-hoc `BinaryHeap<(t, ev)>` loops silently lack.
+//!
+//! User code implements [`Simulation`]: the engine pops an event and passes
+//! it to [`Simulation::handle`] together with a [`Ctx`] through which the
+//! handler schedules follow-up events, cancels pending ones, and inspects the
+//! clock. The engine never calls back re-entrantly, so handlers may freely
+//! mutate their own state.
+//!
+//! Cancellation is tombstone-based: [`Ctx::cancel`] marks an [`EventKey`] and
+//! the pop loop discards marked entries, costing O(log n) amortized rather
+//! than requiring a decrease-key heap.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifies one scheduled event so it can be cancelled before it fires.
+///
+/// Keys are unique for the lifetime of an [`Engine`] (a `u64` sequence
+/// counter; wrap-around is unreachable in practice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventKey(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Reverse ordering so BinaryHeap (a max-heap) pops the *earliest* entry;
+// among equal timestamps the lowest sequence number (earliest scheduled) wins.
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+/// A simulation model driven by an [`Engine`].
+pub trait Simulation {
+    /// The event payload type this model reacts to.
+    type Event;
+
+    /// React to one event. `ctx.now()` is the event's timestamp; follow-up
+    /// events are scheduled through `ctx`.
+    fn handle(&mut self, ctx: &mut Ctx<Self::Event>, event: Self::Event);
+}
+
+/// When the run loop should stop, checked *before* each event is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Run until no events remain.
+    Exhausted,
+    /// Run until the clock would pass the given instant; events at exactly
+    /// the horizon still fire.
+    AtTime(SimTime),
+    /// Run until the given number of events has been delivered.
+    EventCount(u64),
+}
+
+/// Why a call to [`Engine::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    QueueExhausted,
+    /// The stop condition triggered with events still pending.
+    StoppedEarly,
+}
+
+/// Scheduling context handed to [`Simulation::handle`].
+///
+/// A thin view over the engine's queue plus the frozen "current time" of the
+/// event being processed.
+pub struct Ctx<'a, E> {
+    now: SimTime,
+    queue: &'a mut BinaryHeap<Scheduled<E>>,
+    cancelled: &'a mut HashSet<u64>,
+    next_seq: &'a mut u64,
+    delivered: u64,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// The timestamp of the event currently being handled.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far in this run (including the current one).
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still pending (upper bound: cancelled-but-unpopped
+    /// entries count). Lets periodic self-rescheduling activities (metric
+    /// samplers, heartbeats) stop once they are the only thing left, so the
+    /// run can drain.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// Scheduling into the past is a model bug; it panics in debug builds and
+    /// clamps to `now` in release builds.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {
+        debug_assert!(at >= self.now, "scheduled into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = *self.next_seq;
+        *self.next_seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+        EventKey(seq)
+    }
+
+    /// Schedule `event` after the relative delay `after`.
+    #[inline]
+    pub fn schedule_after(&mut self, after: SimDuration, event: E) -> EventKey {
+        self.schedule_at(self.now + after, event)
+    }
+
+    /// Schedule `event` at the current instant, after all other events
+    /// already scheduled for this instant.
+    #[inline]
+    pub fn schedule_now(&mut self, event: E) -> EventKey {
+        self.schedule_at(self.now, event)
+    }
+
+    /// Cancel a pending event. Returns `true` if the key was still pending
+    /// (i.e. not yet delivered and not already cancelled).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if key.0 >= *self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(key.0)
+    }
+
+    /// Ask the engine to stop after this handler returns, regardless of the
+    /// active stop condition.
+    pub fn request_stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+/// The event queue and virtual clock.
+pub struct Engine<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+    delivered: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// An empty engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// An empty engine with pre-allocated queue capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Engine {
+            queue: BinaryHeap::with_capacity(cap),
+            ..Self::new()
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last delivered event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered over the engine's lifetime.
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.queue.peek().map(|s| s.at)
+    }
+
+    /// Schedule an event from outside a handler (initial conditions).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {
+        assert!(at >= self.now, "scheduled into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+        EventKey(seq)
+    }
+
+    /// Schedule an event `after` the current clock from outside a handler.
+    pub fn schedule_after(&mut self, after: SimDuration, event: E) -> EventKey {
+        self.schedule_at(self.now + after, event)
+    }
+
+    /// Cancel a pending event from outside a handler.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if key.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(key.0)
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(head) = self.queue.peek() {
+            if self.cancelled.remove(&head.seq) {
+                self.queue.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Deliver the single next event to `sim`. Returns `false` if the queue
+    /// was empty.
+    pub fn step<S: Simulation<Event = E>>(&mut self, sim: &mut S) -> bool {
+        self.skip_cancelled();
+        let Some(Scheduled { at, seq: _, event }) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "event queue yielded a past event");
+        self.now = at;
+        self.delivered += 1;
+        let mut stop = false;
+        let mut ctx = Ctx {
+            now: at,
+            queue: &mut self.queue,
+            cancelled: &mut self.cancelled,
+            next_seq: &mut self.next_seq,
+            delivered: self.delivered,
+            stop_requested: &mut stop,
+        };
+        sim.handle(&mut ctx, event);
+        true
+    }
+
+    /// Run until the queue drains.
+    pub fn run<S: Simulation<Event = E>>(&mut self, sim: &mut S) -> RunOutcome {
+        self.run_until(sim, StopCondition::Exhausted)
+    }
+
+    /// Run until `stop` triggers or the queue drains.
+    ///
+    /// With [`StopCondition::AtTime`], the clock is advanced to the horizon on
+    /// early stop so that time-weighted statistics close out correctly.
+    pub fn run_until<S: Simulation<Event = E>>(
+        &mut self,
+        sim: &mut S,
+        stop: StopCondition,
+    ) -> RunOutcome {
+        let start_delivered = self.delivered;
+        loop {
+            self.skip_cancelled();
+            let Some(head_at) = self.queue.peek().map(|s| s.at) else {
+                if let StopCondition::AtTime(horizon) = stop {
+                    self.now = self.now.max(horizon);
+                }
+                return RunOutcome::QueueExhausted;
+            };
+            match stop {
+                StopCondition::Exhausted => {}
+                StopCondition::AtTime(horizon) => {
+                    if head_at > horizon {
+                        self.now = horizon;
+                        return RunOutcome::StoppedEarly;
+                    }
+                }
+                StopCondition::EventCount(n) => {
+                    if self.delivered - start_delivered >= n {
+                        return RunOutcome::StoppedEarly;
+                    }
+                }
+            }
+            let Scheduled { at, seq: _, event } = self.queue.pop().expect("peeked");
+            self.now = at;
+            self.delivered += 1;
+            let mut stop_req = false;
+            let mut ctx = Ctx {
+                now: at,
+                queue: &mut self.queue,
+                cancelled: &mut self.cancelled,
+                next_seq: &mut self.next_seq,
+                delivered: self.delivered,
+                stop_requested: &mut stop_req,
+            };
+            sim.handle(&mut ctx, event);
+            if stop_req {
+                return RunOutcome::StoppedEarly;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Clone)]
+    enum Ev {
+        Tag(&'static str),
+        Chain(u32),
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        log: Vec<(SimTime, Ev)>,
+        cancel_target: Option<EventKey>,
+        stop_at_tag: Option<&'static str>,
+    }
+
+    impl Simulation for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+            self.log.push((ctx.now(), ev.clone()));
+            match ev {
+                Ev::Chain(n) if n > 0 => {
+                    ctx.schedule_after(SimDuration::from_secs(1), Ev::Chain(n - 1));
+                }
+                Ev::Tag(t) => {
+                    if let Some(k) = self.cancel_target.take() {
+                        assert!(ctx.cancel(k));
+                    }
+                    if self.stop_at_tag == Some(t) {
+                        ctx.request_stop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(3), Ev::Tag("c"));
+        eng.schedule_at(SimTime::from_secs(1), Ev::Tag("a"));
+        eng.schedule_at(SimTime::from_secs(2), Ev::Tag("b"));
+        let mut sim = Recorder::default();
+        assert_eq!(eng.run(&mut sim), RunOutcome::QueueExhausted);
+        let tags: Vec<_> = sim.log.iter().map(|(_, e)| e.clone()).collect();
+        assert_eq!(tags, vec![Ev::Tag("a"), Ev::Tag("b"), Ev::Tag("c")]);
+        assert_eq!(eng.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut eng = Engine::new();
+        let t = SimTime::from_secs(5);
+        for tag in ["first", "second", "third", "fourth"] {
+            eng.schedule_at(t, Ev::Tag(tag));
+        }
+        let mut sim = Recorder::default();
+        eng.run(&mut sim);
+        let tags: Vec<_> = sim
+            .log
+            .iter()
+            .map(|(_, e)| match e {
+                Ev::Tag(t) => *t,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec!["first", "second", "third", "fourth"]);
+    }
+
+    #[test]
+    fn chained_scheduling_advances_clock() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::ZERO, Ev::Chain(5));
+        let mut sim = Recorder::default();
+        eng.run(&mut sim);
+        assert_eq!(sim.log.len(), 6);
+        assert_eq!(eng.now(), SimTime::from_secs(5));
+        assert_eq!(eng.delivered(), 6);
+    }
+
+    #[test]
+    fn cancellation_prevents_delivery() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), Ev::Tag("keep"));
+        let doomed = eng.schedule_at(SimTime::from_secs(2), Ev::Tag("doomed"));
+        eng.schedule_at(SimTime::from_secs(3), Ev::Tag("keep2"));
+        assert!(eng.cancel(doomed));
+        assert!(!eng.cancel(doomed), "double-cancel reports false");
+        assert_eq!(eng.pending(), 2);
+        let mut sim = Recorder::default();
+        eng.run(&mut sim);
+        assert_eq!(sim.log.len(), 2);
+        assert!(sim.log.iter().all(|(_, e)| *e != Ev::Tag("doomed")));
+    }
+
+    #[test]
+    fn cancel_from_within_handler() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), Ev::Tag("canceller"));
+        let doomed = eng.schedule_at(SimTime::from_secs(2), Ev::Tag("doomed"));
+        let mut sim = Recorder {
+            cancel_target: Some(doomed),
+            ..Default::default()
+        };
+        eng.run(&mut sim);
+        assert_eq!(sim.log.len(), 1);
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_false() {
+        let mut eng: Engine<Ev> = Engine::new();
+        assert!(!eng.cancel(EventKey(99)));
+    }
+
+    #[test]
+    fn stop_at_time_clamps_clock_to_horizon() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), Ev::Tag("in"));
+        eng.schedule_at(SimTime::from_secs(10), Ev::Tag("out"));
+        let mut sim = Recorder::default();
+        let outcome = eng.run_until(&mut sim, StopCondition::AtTime(SimTime::from_secs(5)));
+        assert_eq!(outcome, RunOutcome::StoppedEarly);
+        assert_eq!(sim.log.len(), 1);
+        assert_eq!(eng.now(), SimTime::from_secs(5));
+        assert_eq!(eng.pending(), 1);
+    }
+
+    #[test]
+    fn stop_at_time_fires_events_exactly_at_horizon() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(5), Ev::Tag("edge"));
+        let mut sim = Recorder::default();
+        eng.run_until(&mut sim, StopCondition::AtTime(SimTime::from_secs(5)));
+        assert_eq!(sim.log.len(), 1);
+    }
+
+    #[test]
+    fn stop_at_time_on_drained_queue_advances_clock() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), Ev::Tag("only"));
+        let mut sim = Recorder::default();
+        let outcome = eng.run_until(&mut sim, StopCondition::AtTime(SimTime::from_secs(30)));
+        assert_eq!(outcome, RunOutcome::QueueExhausted);
+        assert_eq!(eng.now(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn stop_after_event_count() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::ZERO, Ev::Chain(100));
+        let mut sim = Recorder::default();
+        let outcome = eng.run_until(&mut sim, StopCondition::EventCount(10));
+        assert_eq!(outcome, RunOutcome::StoppedEarly);
+        assert_eq!(sim.log.len(), 10);
+    }
+
+    #[test]
+    fn handler_requested_stop() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), Ev::Tag("go"));
+        eng.schedule_at(SimTime::from_secs(2), Ev::Tag("stop-here"));
+        eng.schedule_at(SimTime::from_secs(3), Ev::Tag("never"));
+        let mut sim = Recorder {
+            stop_at_tag: Some("stop-here"),
+            ..Default::default()
+        };
+        let outcome = eng.run(&mut sim);
+        assert_eq!(outcome, RunOutcome::StoppedEarly);
+        assert_eq!(sim.log.len(), 2);
+    }
+
+    #[test]
+    fn run_can_resume_after_early_stop() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), Ev::Tag("a"));
+        eng.schedule_at(SimTime::from_secs(10), Ev::Tag("b"));
+        let mut sim = Recorder::default();
+        eng.run_until(&mut sim, StopCondition::AtTime(SimTime::from_secs(5)));
+        eng.run(&mut sim);
+        assert_eq!(sim.log.len(), 2);
+        assert_eq!(eng.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut eng = Engine::new();
+        let head = eng.schedule_at(SimTime::from_secs(1), Ev::Tag("head"));
+        eng.schedule_at(SimTime::from_secs(2), Ev::Tag("next"));
+        eng.cancel(head);
+        assert_eq!(eng.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn ctx_pending_lets_periodic_activities_self_terminate() {
+        // A "sampler" that re-arms itself only while other events exist.
+        struct Sampler {
+            ticks: u32,
+        }
+        impl Simulation for Sampler {
+            type Event = Ev;
+            fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+                if let Ev::Tag("tick") = ev {
+                    self.ticks += 1;
+                    if ctx.pending() > 0 {
+                        ctx.schedule_after(SimDuration::from_secs(10), Ev::Tag("tick"));
+                    }
+                }
+            }
+        }
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_secs(10), Ev::Tag("tick"));
+        eng.schedule_at(SimTime::from_secs(35), Ev::Tag("work"));
+        let mut sim = Sampler { ticks: 0 };
+        let outcome = eng.run(&mut sim);
+        assert_eq!(outcome, RunOutcome::QueueExhausted);
+        // Ticks at 10, 20, 30 re-arm (work pending); the tick at 40 sees an
+        // empty queue and stops — the run drains instead of looping forever.
+        assert_eq!(sim.ticks, 4);
+        assert_eq!(eng.now(), SimTime::from_secs(40));
+    }
+
+    #[test]
+    fn schedule_now_runs_after_peers_at_same_instant() {
+        struct S {
+            order: Vec<&'static str>,
+        }
+        impl Simulation for S {
+            type Event = Ev;
+            fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+                if let Ev::Tag(t) = ev {
+                    self.order.push(t);
+                    if t == "a" {
+                        ctx.schedule_now(Ev::Tag("injected"));
+                    }
+                }
+            }
+        }
+        let mut eng = Engine::new();
+        let t = SimTime::from_secs(1);
+        eng.schedule_at(t, Ev::Tag("a"));
+        eng.schedule_at(t, Ev::Tag("b"));
+        let mut sim = S { order: vec![] };
+        eng.run(&mut sim);
+        assert_eq!(sim.order, vec!["a", "b", "injected"]);
+    }
+}

@@ -1,0 +1,82 @@
+//! # tg-des — discrete-event simulation substrate
+//!
+//! The calibration notes for this reproduction flag the Rust DES ecosystem as
+//! thin, so the engine is built from scratch here. It provides everything the
+//! grid simulator above it needs:
+//!
+//! * [`time`] — a virtual clock ([`SimTime`]) with microsecond resolution and
+//!   ergonomic duration arithmetic.
+//! * [`engine`] — the event loop: a priority queue of timestamped events with
+//!   stable FIFO ordering among simultaneous events, cancellation, and
+//!   stop conditions.
+//! * [`rng`] — deterministic random-number streams. Every component derives
+//!   its own independent stream from a single master seed, so adding or
+//!   removing a component never perturbs the draws seen by the others.
+//! * [`dist`] — the probability distributions used by workload models
+//!   (exponential, log-normal, Weibull, Pareto, gamma, Zipf, hyperexponential,
+//!   empirical/alias sampling, ...). Implemented here rather than pulling in
+//!   `rand_distr` so sampling stays deterministic and auditable.
+//! * [`stats`] — online statistics: Welford mean/variance, time-weighted
+//!   averages (utilization), histograms, P² quantile estimation, and
+//!   Student-t confidence intervals across replications.
+//! * [`trace`] — a lightweight, optionally-enabled event trace ring buffer.
+//!
+//! ## Determinism contract
+//!
+//! A simulation run is a pure function of its configuration and master seed.
+//! The engine guarantees: (1) events at equal timestamps fire in scheduling
+//! order; (2) RNG streams are independent and keyed by stable identifiers;
+//! (3) nothing in this crate reads wall-clock time or global state.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tg_des::prelude::*;
+//!
+//! #[derive(Debug)]
+//! enum Ev { Ping(u32) }
+//!
+//! struct Counter { seen: u32 }
+//! impl Simulation for Counter {
+//!     type Event = Ev;
+//!     fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+//!         let Ev::Ping(n) = ev;
+//!         self.seen += n;
+//!         if n < 3 {
+//!             ctx.schedule_after(SimDuration::from_secs(1), Ev::Ping(n + 1));
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new();
+//! engine.schedule_at(SimTime::ZERO, Ev::Ping(1));
+//! let mut sim = Counter { seen: 0 };
+//! engine.run(&mut sim);
+//! assert_eq!(sim.seen, 6);
+//! assert_eq!(engine.now(), SimTime::from_secs(2));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dist;
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+/// Convenience re-exports of the items virtually every simulation needs.
+pub mod prelude {
+    pub use crate::dist::{Dist, DistKind};
+    pub use crate::engine::{Ctx, Engine, EventKey, Simulation, StopCondition};
+    pub use crate::rng::{RngFactory, SimRng, StreamId};
+    pub use crate::stats::{Histogram, OnlineStats, P2Quantile, TimeWeighted};
+    pub use crate::time::{SimDuration, SimTime};
+}
+
+pub use dist::{Dist, DistKind};
+pub use engine::{Ctx, Engine, EventKey, Simulation, StopCondition};
+pub use rng::{RngFactory, SimRng, StreamId};
+pub use stats::{Histogram, OnlineStats, P2Quantile, TimeWeighted};
+pub use time::{SimDuration, SimTime};

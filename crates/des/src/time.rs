@@ -1,0 +1,526 @@
+//! Virtual simulation time.
+//!
+//! Time is represented as an integer number of **microseconds** since the
+//! simulation epoch. An integer representation (rather than `f64` seconds)
+//! keeps event ordering exact and replay deterministic: two events scheduled
+//! for "the same instant" compare equal instead of differing in the last ULP.
+//!
+//! Grid simulations span months of virtual time; `u64` microseconds cover
+//! ~584,000 years, so overflow is not a practical concern (arithmetic is
+//! nevertheless `saturating_*` so misuse degrades gracefully in release
+//! builds and is caught by debug assertions in tests).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+/// Number of seconds in one minute.
+pub const SECS_PER_MIN: u64 = 60;
+/// Number of seconds in one hour.
+pub const SECS_PER_HOUR: u64 = 3_600;
+/// Number of seconds in one day.
+pub const SECS_PER_DAY: u64 = 86_400;
+/// Number of seconds in one (7-day) week.
+pub const SECS_PER_WEEK: u64 = 7 * SECS_PER_DAY;
+
+/// An instant of virtual time, measured in microseconds since the simulation
+/// epoch (time zero).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, measured in microseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant (useful as an "infinite horizon").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw microseconds since the epoch.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from whole seconds since the epoch.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds since the epoch.
+    ///
+    /// Negative or non-finite inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime(secs_f64_to_micros(s))
+    }
+
+    /// Construct from whole hours since the epoch.
+    #[inline]
+    pub const fn from_hours(h: u64) -> Self {
+        SimTime(h * SECS_PER_HOUR * MICROS_PER_SEC)
+    }
+
+    /// Construct from whole days since the epoch.
+    #[inline]
+    pub const fn from_days(d: u64) -> Self {
+        SimTime(d * SECS_PER_DAY * MICROS_PER_SEC)
+    }
+
+    /// Raw microseconds since the epoch.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since the epoch.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Fractional hours since the epoch.
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / SECS_PER_HOUR as f64
+    }
+
+    /// Fractional days since the epoch.
+    #[inline]
+    pub fn as_days_f64(self) -> f64 {
+        self.as_secs_f64() / SECS_PER_DAY as f64
+    }
+
+    /// Time elapsed since `earlier`, or zero if `earlier` is in the future.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked difference: `None` if `earlier > self`.
+    #[inline]
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    /// The second-of-day in `[0, 86400)` for diurnal cycles.
+    #[inline]
+    pub fn second_of_day(self) -> u64 {
+        (self.0 / MICROS_PER_SEC) % SECS_PER_DAY
+    }
+
+    /// Day-of-week index in `[0, 7)`; the epoch is day 0 ("Monday").
+    #[inline]
+    pub fn day_of_week(self) -> u64 {
+        (self.0 / MICROS_PER_SEC / SECS_PER_DAY) % 7
+    }
+
+    /// Zero-based index of the containing bucket of width `bucket`.
+    ///
+    /// Used for time-series aggregation (e.g. usage by quarter). Panics if
+    /// `bucket` is zero.
+    #[inline]
+    pub fn bucket_index(self, bucket: SimDuration) -> u64 {
+        assert!(bucket.0 > 0, "bucket width must be positive");
+        self.0 / bucket.0
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds. Negative/non-finite inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration(secs_f64_to_micros(s))
+    }
+
+    /// Construct from whole minutes.
+    #[inline]
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * SECS_PER_MIN * MICROS_PER_SEC)
+    }
+
+    /// Construct from whole hours.
+    #[inline]
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * SECS_PER_HOUR * MICROS_PER_SEC)
+    }
+
+    /// Construct from whole days.
+    #[inline]
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * SECS_PER_DAY * MICROS_PER_SEC)
+    }
+
+    /// Construct from whole weeks.
+    #[inline]
+    pub const fn from_weeks(w: u64) -> Self {
+        SimDuration(w * SECS_PER_WEEK * MICROS_PER_SEC)
+    }
+
+    /// Raw microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Fractional hours.
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / SECS_PER_HOUR as f64
+    }
+
+    /// Fractional days.
+    #[inline]
+    pub fn as_days_f64(self) -> f64 {
+        self.as_secs_f64() / SECS_PER_DAY as f64
+    }
+
+    /// True if this span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scale by a non-negative factor, rounding to the nearest microsecond.
+    ///
+    /// Negative or non-finite factors clamp to zero. Used for slowdown /
+    /// speedup models (e.g. hardware-accelerated task variants).
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        if !(factor.is_finite() && factor > 0.0) {
+            return SimDuration::ZERO;
+        }
+        let v = self.0 as f64 * factor;
+        if v >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(v.round() as u64)
+        }
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, rhs: SimDuration) -> SimDuration {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, rhs: SimDuration) -> SimDuration {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+#[inline]
+fn secs_f64_to_micros(s: f64) -> u64 {
+    if s.is_nan() || s <= 0.0 {
+        return 0;
+    }
+    let v = s * MICROS_PER_SEC as f64;
+    if v >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        v.round() as u64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug builds if `rhs > self`; saturates in release builds.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(rhs.0 <= self.0, "SimTime subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(rhs.0 <= self.0, "SimDuration subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        debug_assert!(rhs.0 <= self.0, "SimDuration subtraction went negative");
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = f64;
+    /// Ratio of two spans (e.g. busy-time / elapsed-time = utilization).
+    #[inline]
+    fn div(self, rhs: SimDuration) -> f64 {
+        if rhs.0 == 0 {
+            return 0.0;
+        }
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", human_duration(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", human_duration(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&human_duration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&human_duration(self.0))
+    }
+}
+
+/// Render microseconds as a compact human-readable string (`3d04h`, `12m05s`,
+/// `250ms`, ...). Chooses the two most significant units.
+fn human_duration(us: u64) -> String {
+    let secs = us / MICROS_PER_SEC;
+    let sub_ms = (us % MICROS_PER_SEC) / 1_000;
+    if secs == 0 {
+        if sub_ms > 0 {
+            return format!("{sub_ms}ms");
+        }
+        return format!("{us}us");
+    }
+    let days = secs / SECS_PER_DAY;
+    let hours = (secs % SECS_PER_DAY) / SECS_PER_HOUR;
+    let mins = (secs % SECS_PER_HOUR) / SECS_PER_MIN;
+    let s = secs % SECS_PER_MIN;
+    if days > 0 {
+        format!("{days}d{hours:02}h")
+    } else if hours > 0 {
+        format!("{hours}h{mins:02}m")
+    } else if mins > 0 {
+        format!("{mins}m{s:02}s")
+    } else {
+        format!("{s}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_secs(5).as_micros(), 5_000_000);
+        assert_eq!(SimTime::from_hours(2), SimTime::from_secs(7200));
+        assert_eq!(SimTime::from_days(1), SimTime::from_hours(24));
+        assert_eq!(SimDuration::from_weeks(1), SimDuration::from_days(7));
+        assert_eq!(SimDuration::from_mins(90), SimDuration::from_hours(1) + SimDuration::from_mins(30));
+    }
+
+    #[test]
+    fn float_conversions() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(SimTime::from_secs_f64(-4.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_secs(4);
+        assert_eq!(t + d, SimTime::from_secs(14));
+        assert_eq!(t - d, SimTime::from_secs(6));
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.saturating_since(SimTime::from_secs(3)), SimDuration::from_secs(7));
+        assert_eq!(SimTime::from_secs(3).saturating_since(t), SimDuration::ZERO);
+        assert_eq!(SimTime::from_secs(3).checked_since(t), None);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_secs(100);
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_secs(50));
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(d * 3, SimDuration::from_secs(300));
+        assert_eq!(d / 4, SimDuration::from_secs(25));
+        assert!((SimDuration::from_secs(30) / SimDuration::from_secs(60) - 0.5).abs() < 1e-12);
+        assert_eq!(SimDuration::from_secs(1) / SimDuration::ZERO, 0.0);
+    }
+
+    #[test]
+    fn saturation_at_extremes() {
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+        assert_eq!(SimTime::ZERO - SimDuration::from_secs(1), SimTime::ZERO);
+        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(SimDuration::MAX * 2, SimDuration::MAX);
+    }
+
+    #[test]
+    fn calendar_helpers() {
+        let noon_day3 = SimTime::from_days(3) + SimDuration::from_hours(12);
+        assert_eq!(noon_day3.second_of_day(), 12 * 3600);
+        assert_eq!(noon_day3.day_of_week(), 3);
+        assert_eq!(SimTime::from_days(7).day_of_week(), 0);
+        assert_eq!(SimTime::from_days(9).bucket_index(SimDuration::from_days(7)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn zero_bucket_panics() {
+        let _ = SimTime::from_secs(1).bucket_index(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = SimDuration::from_secs(1);
+        let b = SimDuration::from_secs(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12us");
+        assert_eq!(format!("{}", SimDuration::from_millis(250)), "250ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(42)), "42s");
+        assert_eq!(format!("{}", SimDuration::from_secs(125)), "2m05s");
+        assert_eq!(format!("{}", SimDuration::from_hours(3) + SimDuration::from_mins(7)), "3h07m");
+        assert_eq!(format!("{}", SimDuration::from_days(3) + SimDuration::from_hours(4)), "3d04h");
+        assert_eq!(format!("{}", SimTime::from_secs(60)), "t+1m00s");
+    }
+
+    #[test]
+    fn types_stay_word_sized() {
+        assert_eq!(std::mem::size_of::<SimTime>(), 8);
+        assert_eq!(std::mem::size_of::<SimDuration>(), 8);
+        assert_eq!(std::mem::size_of::<Option<SimDuration>>(), 16);
+    }
+}

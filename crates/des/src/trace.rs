@@ -1,0 +1,166 @@
+//! Lightweight event tracing.
+//!
+//! A bounded ring buffer of `(time, category, message)` entries that can be
+//! toggled at runtime. When disabled, [`Tracer::emit`] is a branch and
+//! nothing more — safe to leave on hot paths.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Short static category, e.g. `"sched"`, `"xfer"`.
+    pub category: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.category, self.message)
+    }
+}
+
+/// A bounded trace ring buffer.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    entries: VecDeque<TraceEntry>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// A disabled tracer holding up to `capacity` entries once enabled.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            enabled: false,
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// An enabled tracer (tests, debugging sessions).
+    pub fn enabled(capacity: usize) -> Self {
+        let mut t = Tracer::new(capacity);
+        t.enabled = true;
+        t
+    }
+
+    /// Turn tracing on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Is tracing currently on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an entry if enabled. The message closure is only evaluated when
+    /// tracing is on, so formatting cost is zero when off.
+    pub fn emit(&mut self, at: SimTime, category: &'static str, message: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            category,
+            message: message(),
+        });
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// How many entries were evicted by the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all retained entries (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_skips_formatting() {
+        let mut t = Tracer::new(10);
+        let mut evaluated = false;
+        t.emit(SimTime::ZERO, "x", || {
+            evaluated = true;
+            "boom".into()
+        });
+        assert!(!evaluated, "message closure must not run when disabled");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records() {
+        let mut t = Tracer::enabled(10);
+        t.emit(SimTime::from_secs(1), "sched", || "job 1 started".into());
+        assert_eq!(t.len(), 1);
+        let e = t.entries().next().unwrap();
+        assert_eq!(e.category, "sched");
+        assert_eq!(format!("{e}"), "[t+1s] sched: job 1 started");
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Tracer::enabled(3);
+        for i in 0..5 {
+            t.emit(SimTime::from_secs(i), "c", || format!("m{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<_> = t.entries().map(|e| e.message.clone()).collect();
+        assert_eq!(msgs, vec!["m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn toggle_and_clear() {
+        let mut t = Tracer::new(4);
+        t.set_enabled(true);
+        assert!(t.is_enabled());
+        t.emit(SimTime::ZERO, "c", || "one".into());
+        t.clear();
+        assert!(t.is_empty());
+        t.set_enabled(false);
+        t.emit(SimTime::ZERO, "c", || "two".into());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut t = Tracer::enabled(0);
+        t.emit(SimTime::ZERO, "c", || "a".into());
+        t.emit(SimTime::ZERO, "c", || "b".into());
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! The space-shared batch partition of a site.
+//!
+//! Core-granular accounting: jobs acquire a number of cores and hold them for
+//! their whole runtime (no time-sharing), which is how TeraGrid-era batch
+//! systems allocated. Placement detail below the core count is not modeled —
+//! queue dynamics don't depend on it.
+
+use tg_des::stats::Utilization;
+use tg_des::SimTime;
+
+/// Core pool of one site's batch partition.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    total_cores: usize,
+    free_cores: usize,
+    util: Utilization,
+    jobs_started: u64,
+    jobs_finished: u64,
+}
+
+impl Cluster {
+    /// A cluster with `total_cores` cores, all free, tracked from `start`.
+    pub fn new(start: SimTime, total_cores: usize) -> Self {
+        assert!(total_cores > 0, "cluster must have cores");
+        Cluster {
+            total_cores,
+            free_cores: total_cores,
+            util: Utilization::new(start, total_cores as f64),
+            jobs_started: 0,
+            jobs_finished: 0,
+        }
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> usize {
+        self.total_cores
+    }
+
+    /// Currently free cores.
+    pub fn free_cores(&self) -> usize {
+        self.free_cores
+    }
+
+    /// Currently busy cores.
+    pub fn busy_cores(&self) -> usize {
+        self.total_cores - self.free_cores
+    }
+
+    /// Can a job needing `cores` start right now?
+    pub fn can_fit(&self, cores: usize) -> bool {
+        cores <= self.free_cores
+    }
+
+    /// Would a job needing `cores` *ever* fit on this cluster?
+    pub fn can_ever_fit(&self, cores: usize) -> bool {
+        cores <= self.total_cores
+    }
+
+    /// Acquire `cores` at `now`. Returns `false` (and changes nothing) if not
+    /// enough cores are free. Panics if `cores` is zero or exceeds the
+    /// machine size — both are scheduler bugs, not load conditions.
+    pub fn acquire(&mut self, now: SimTime, cores: usize) -> bool {
+        assert!(cores > 0, "zero-core acquisition");
+        assert!(
+            cores <= self.total_cores,
+            "job larger than machine reached the cluster"
+        );
+        if cores > self.free_cores {
+            return false;
+        }
+        self.free_cores -= cores;
+        self.util.acquire(now, cores as f64);
+        self.jobs_started += 1;
+        true
+    }
+
+    /// Release `cores` at `now`.
+    pub fn release(&mut self, now: SimTime, cores: usize) {
+        assert!(
+            self.free_cores + cores <= self.total_cores,
+            "released more cores than were acquired"
+        );
+        self.free_cores += cores;
+        self.util.release(now, cores as f64);
+        self.jobs_finished += 1;
+    }
+
+    /// Average utilization (fraction of cores busy) over `[start, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.util.average(now)
+    }
+
+    /// Core-seconds delivered so far.
+    pub fn core_seconds(&self, now: SimTime) -> f64 {
+        self.util.busy_integral(now)
+    }
+
+    /// Jobs that have started on this cluster.
+    pub fn jobs_started(&self) -> u64 {
+        self.jobs_started
+    }
+
+    /// Jobs that have finished on this cluster.
+    pub fn jobs_finished(&self) -> u64 {
+        self.jobs_finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_des::SimDuration;
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let mut c = Cluster::new(SimTime::ZERO, 100);
+        assert!(c.acquire(SimTime::ZERO, 40));
+        assert_eq!(c.free_cores(), 60);
+        assert_eq!(c.busy_cores(), 40);
+        c.release(SimTime::from_secs(10), 40);
+        assert_eq!(c.free_cores(), 100);
+        assert_eq!(c.jobs_started(), 1);
+        assert_eq!(c.jobs_finished(), 1);
+    }
+
+    #[test]
+    fn acquire_fails_when_full_without_side_effects() {
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        assert!(c.acquire(SimTime::ZERO, 8));
+        assert!(!c.acquire(SimTime::ZERO, 4));
+        assert_eq!(c.free_cores(), 2);
+        assert_eq!(c.jobs_started(), 1);
+    }
+
+    #[test]
+    fn fit_predicates() {
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        c.acquire(SimTime::ZERO, 6);
+        assert!(c.can_fit(4));
+        assert!(!c.can_fit(5));
+        assert!(c.can_ever_fit(10));
+        assert!(!c.can_ever_fit(11));
+    }
+
+    #[test]
+    fn utilization_integrates() {
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        c.acquire(SimTime::ZERO, 10);
+        c.release(SimTime::from_secs(30), 10);
+        // full for 30 s, idle for 30 s
+        let now = SimTime::from_secs(60);
+        assert!((c.utilization(now) - 0.5).abs() < 1e-12);
+        assert!((c.core_seconds(now) - 300.0).abs() < 1e-9);
+        let _ = SimDuration::ZERO;
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than machine")]
+    fn oversized_job_panics() {
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        c.acquire(SimTime::ZERO, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "released more cores")]
+    fn over_release_panics() {
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        c.release(SimTime::ZERO, 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Strongly-typed identifiers.
+//!
+//! Index-style newtypes (`usize`-backed) prevent the classic "passed a node
+//! index where a site index was expected" bug without runtime cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! index_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                $name(i)
+            }
+        }
+    };
+}
+
+index_id!(
+    /// A compute site (resource provider) within the federation.
+    SiteId,
+    "site"
+);
+
+index_id!(
+    /// A reconfigurable node within one site's RC partition.
+    ///
+    /// Node ids are site-local; `(SiteId, NodeId)` is globally unique.
+    NodeId,
+    "node"
+);
+
+index_id!(
+    /// A processor configuration (FPGA bitstream type) in the
+    /// [`crate::config::ConfigLibrary`].
+    ConfigId,
+    "cfg"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(SiteId(3).to_string(), "site3");
+        assert_eq!(NodeId(0).to_string(), "node0");
+        assert_eq!(ConfigId(12).to_string(), "cfg12");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(SiteId(1));
+        s.insert(SiteId(1));
+        s.insert(SiteId(2));
+        assert_eq!(s.len(), 2);
+        assert!(SiteId(1) < SiteId(2));
+        assert_eq!(SiteId::from(7).index(), 7);
+    }
+}

@@ -1,0 +1,186 @@
+//! Inter-site wide-area network model.
+//!
+//! A hub-and-spoke topology matching the TeraGrid backbone: every site has an
+//! uplink (bandwidth + latency) to a common hub; a site-to-site transfer
+//! traverses both uplinks, so its bandwidth is the minimum of the two and its
+//! latency the sum. Transfers are contention-free (each gets full link
+//! bandwidth) — adequate for staging/bitstream latencies, and documented as a
+//! deliberate simplification in DESIGN.md.
+//!
+//! A configurable *congestion factor* per site lets experiments model
+//! overloaded links without a full flow-level model.
+
+use crate::ids::SiteId;
+use serde::{Deserialize, Serialize};
+use tg_des::SimDuration;
+
+/// One site's uplink to the backbone hub.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uplink {
+    /// Usable bandwidth in MB/s.
+    pub bandwidth_mbps: f64,
+    /// One-way latency to the hub.
+    pub latency: SimDuration,
+    /// Multiplier ≥ 1 applied to transfer times (1 = uncongested).
+    pub congestion: f64,
+}
+
+impl Uplink {
+    /// An uplink with the given bandwidth (MB/s) and latency (ms), uncongested.
+    pub fn new(bandwidth_mbps: f64, latency_ms: f64) -> Self {
+        assert!(bandwidth_mbps > 0.0, "bandwidth must be positive");
+        assert!(latency_ms >= 0.0, "latency must be non-negative");
+        Uplink {
+            bandwidth_mbps,
+            latency: SimDuration::from_secs_f64(latency_ms / 1000.0),
+            congestion: 1.0,
+        }
+    }
+}
+
+/// The federation's WAN.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Network {
+    uplinks: Vec<Uplink>,
+    /// Site hosting the configuration-bitstream repository.
+    repository: Option<SiteId>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Register a site's uplink; call once per site in site-id order.
+    pub fn add_uplink(&mut self, uplink: Uplink) -> SiteId {
+        self.uplinks.push(uplink);
+        SiteId(self.uplinks.len() - 1)
+    }
+
+    /// Number of sites attached.
+    pub fn len(&self) -> usize {
+        self.uplinks.len()
+    }
+
+    /// True if no sites are attached.
+    pub fn is_empty(&self) -> bool {
+        self.uplinks.is_empty()
+    }
+
+    /// Designate the site hosting the central bitstream repository.
+    pub fn set_repository(&mut self, site: SiteId) {
+        assert!(site.index() < self.uplinks.len(), "unknown site");
+        self.repository = Some(site);
+    }
+
+    /// The bitstream repository site, if configured.
+    pub fn repository(&self) -> Option<SiteId> {
+        self.repository
+    }
+
+    /// A site's uplink.
+    pub fn uplink(&self, site: SiteId) -> &Uplink {
+        &self.uplinks[site.index()]
+    }
+
+    /// Set a site's congestion factor (≥ 1).
+    pub fn set_congestion(&mut self, site: SiteId, factor: f64) {
+        assert!(factor >= 1.0, "congestion factor must be >= 1");
+        self.uplinks[site.index()].congestion = factor;
+    }
+
+    /// Time to move `mb` megabytes from `src` to `dst`.
+    ///
+    /// Same-site transfers are free (local staging is priced by
+    /// [`crate::storage::Storage`], not the WAN).
+    pub fn transfer_time(&self, src: SiteId, dst: SiteId, mb: f64) -> SimDuration {
+        assert!(mb >= 0.0, "negative transfer size");
+        if src == dst {
+            return SimDuration::ZERO;
+        }
+        let a = self.uplink(src);
+        let b = self.uplink(dst);
+        let bw = (a.bandwidth_mbps / a.congestion).min(b.bandwidth_mbps / b.congestion);
+        let latency = a.latency + b.latency;
+        latency + SimDuration::from_secs_f64(mb / bw)
+    }
+
+    /// Time to fetch `mb` megabytes from the bitstream repository to `dst`.
+    /// Zero if no repository is configured (bitstreams assumed pre-staged).
+    pub fn fetch_from_repository(&self, dst: SiteId, mb: f64) -> SimDuration {
+        match self.repository {
+            Some(repo) => self.transfer_time(repo, dst, mb),
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net3() -> Network {
+        let mut n = Network::new();
+        n.add_uplink(Uplink::new(1000.0, 10.0)); // site0
+        n.add_uplink(Uplink::new(100.0, 20.0)); // site1 (slow)
+        n.add_uplink(Uplink::new(1000.0, 5.0)); // site2
+        n
+    }
+
+    #[test]
+    fn transfer_uses_min_bandwidth_and_summed_latency() {
+        let n = net3();
+        // 100 MB from site0 to site1: bw = min(1000,100)=100 → 1 s; latency 30 ms.
+        let t = n.transfer_time(SiteId(0), SiteId(1), 100.0);
+        assert!((t.as_secs_f64() - 1.030).abs() < 1e-9, "{t}");
+        // Symmetric.
+        assert_eq!(t, n.transfer_time(SiteId(1), SiteId(0), 100.0));
+    }
+
+    #[test]
+    fn same_site_is_free() {
+        let n = net3();
+        assert_eq!(
+            n.transfer_time(SiteId(1), SiteId(1), 1e9),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_latency() {
+        let n = net3();
+        let t = n.transfer_time(SiteId(0), SiteId(2), 0.0);
+        assert!((t.as_secs_f64() - 0.015).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_scales_time() {
+        let mut n = net3();
+        let before = n.transfer_time(SiteId(0), SiteId(2), 1000.0);
+        n.set_congestion(SiteId(2), 4.0);
+        let after = n.transfer_time(SiteId(0), SiteId(2), 1000.0);
+        // bandwidth term ×4; latency unchanged.
+        let bw_before = before.as_secs_f64() - 0.015;
+        let bw_after = after.as_secs_f64() - 0.015;
+        assert!((bw_after / bw_before - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repository_fetch() {
+        let mut n = net3();
+        assert_eq!(n.fetch_from_repository(SiteId(1), 64.0), SimDuration::ZERO);
+        n.set_repository(SiteId(0));
+        let t = n.fetch_from_repository(SiteId(1), 100.0);
+        assert!((t.as_secs_f64() - 1.030).abs() < 1e-9);
+        // Repository-local fetch is free.
+        assert_eq!(n.fetch_from_repository(SiteId(0), 100.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown site")]
+    fn repository_must_exist() {
+        let mut n = net3();
+        n.set_repository(SiteId(9));
+    }
+}

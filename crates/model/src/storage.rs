@@ -1,0 +1,127 @@
+//! Site storage systems: scratch filesystem and archive.
+//!
+//! Prices data-staging operations (used by the data-movement usage modality
+//! and by workflow stage-in/stage-out) and tracks occupancy against quota.
+//! Bandwidth is shared fairly but without queueing detail: a transfer of
+//! `mb` at bandwidth `bw` takes `mb / bw` seconds regardless of concurrent
+//! transfers — adequate for the latency scales the experiments measure.
+
+use serde::{Deserialize, Serialize};
+use tg_des::SimDuration;
+
+/// One storage tier (scratch or archive).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageTier {
+    /// Capacity in GB.
+    pub capacity_gb: f64,
+    /// Bandwidth in MB/s.
+    pub bandwidth_mbps: f64,
+    /// Currently used GB.
+    used_gb: f64,
+}
+
+impl StorageTier {
+    /// An empty tier.
+    pub fn new(capacity_gb: f64, bandwidth_mbps: f64) -> Self {
+        assert!(capacity_gb > 0.0 && bandwidth_mbps > 0.0, "bad tier params");
+        StorageTier {
+            capacity_gb,
+            bandwidth_mbps,
+            used_gb: 0.0,
+        }
+    }
+
+    /// Occupied GB.
+    pub fn used_gb(&self) -> f64 {
+        self.used_gb
+    }
+
+    /// Free GB.
+    pub fn free_gb(&self) -> f64 {
+        (self.capacity_gb - self.used_gb).max(0.0)
+    }
+
+    /// Occupancy fraction in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        (self.used_gb / self.capacity_gb).clamp(0.0, 1.0)
+    }
+
+    /// Try to reserve `gb`; `false` if it would exceed capacity.
+    pub fn reserve(&mut self, gb: f64) -> bool {
+        assert!(gb >= 0.0, "negative reservation");
+        if self.used_gb + gb > self.capacity_gb {
+            return false;
+        }
+        self.used_gb += gb;
+        true
+    }
+
+    /// Release `gb` (clamped at zero).
+    pub fn release(&mut self, gb: f64) {
+        assert!(gb >= 0.0, "negative release");
+        self.used_gb = (self.used_gb - gb).max(0.0);
+    }
+
+    /// Time to read or write `mb` megabytes.
+    pub fn io_time(&self, mb: f64) -> SimDuration {
+        assert!(mb >= 0.0, "negative IO size");
+        SimDuration::from_secs_f64(mb / self.bandwidth_mbps)
+    }
+}
+
+/// A site's storage: scratch + archive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Storage {
+    /// The parallel scratch filesystem.
+    pub scratch: StorageTier,
+    /// The archival (tape-like) tier.
+    pub archive: StorageTier,
+}
+
+impl Storage {
+    /// Storage with the given scratch/archive bandwidths and default
+    /// capacities (100 TB scratch, 1 PB archive).
+    pub fn new(scratch_bw_mbps: f64, archive_bw_mbps: f64) -> Self {
+        Storage {
+            scratch: StorageTier::new(100_000.0, scratch_bw_mbps),
+            archive: StorageTier::new(1_000_000.0, archive_bw_mbps),
+        }
+    }
+
+    /// Time to stage `mb` from scratch into an archive (max of read+write,
+    /// pipelined → the slower side dominates).
+    pub fn archive_time(&self, mb: f64) -> SimDuration {
+        self.scratch.io_time(mb).max(self.archive.io_time(mb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let mut t = StorageTier::new(100.0, 1000.0);
+        assert!(t.reserve(60.0));
+        assert!(!t.reserve(50.0), "over quota");
+        assert_eq!(t.used_gb(), 60.0);
+        assert!((t.occupancy() - 0.6).abs() < 1e-12);
+        t.release(100.0); // clamped
+        assert_eq!(t.used_gb(), 0.0);
+        assert_eq!(t.free_gb(), 100.0);
+    }
+
+    #[test]
+    fn io_time_scales_with_size() {
+        let t = StorageTier::new(100.0, 500.0);
+        assert!((t.io_time(1000.0).as_secs_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(t.io_time(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn archive_time_is_bottleneck_side() {
+        let s = Storage::new(2000.0, 200.0);
+        // 2000 MB: scratch 1 s, archive 10 s → 10 s.
+        assert!((s.archive_time(2000.0).as_secs_f64() - 10.0).abs() < 1e-9);
+    }
+}

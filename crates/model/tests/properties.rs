@@ -1,0 +1,196 @@
+//! Property-based tests for the resource model, centered on the
+//! reconfigurable-node state machine: under arbitrary operation sequences
+//! the fabric-area invariants must hold and the plan/commit protocol must
+//! never corrupt state.
+
+use proptest::prelude::*;
+use tg_des::{SimDuration, SimTime};
+use tg_model::config::{ConfigLibrary, ProcessorConfig};
+use tg_model::network::{Network, Uplink};
+use tg_model::reconf::{HostPlan, RcNode};
+use tg_model::{Cluster, ConfigId, NodeId, SiteId};
+
+fn small_library() -> ConfigLibrary {
+    let mut lib = ConfigLibrary::new();
+    for (i, area) in [2u32, 3, 4, 5].iter().enumerate() {
+        lib.add(ProcessorConfig::new(format!("k{i}"), *area, 4.0 + i as f64));
+    }
+    lib
+}
+
+/// An operation against one RC node.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Try to host configuration `c` (by library index).
+    Host(usize),
+    /// Finish the oldest still-busy hosted region.
+    FinishOldest,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..4).prop_map(Op::Host),
+            Just(Op::FinishOldest),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    /// Area conservation under arbitrary host/finish interleavings:
+    /// busy ≤ configured ≤ total, and commit never succeeds when the plan
+    /// said infeasible.
+    #[test]
+    fn rc_node_area_invariants(ops in arb_ops(), area_total in 4u32..16) {
+        let lib = small_library();
+        let mut node = RcNode::new(NodeId(0), SimTime::ZERO, area_total, 4);
+        let mut busy: Vec<tg_model::reconf::RegionId> = Vec::new();
+        let mut t = SimTime::ZERO;
+        for op in ops {
+            t += SimDuration::from_secs(10);
+            match op {
+                Op::Host(i) => {
+                    let config = ConfigId(i);
+                    match node.plan(config, &lib) {
+                        HostPlan::Infeasible => {
+                            // Infeasible must mean: config bigger than the
+                            // fabric, or not enough free+idle area.
+                            let need = lib.get(config).area;
+                            prop_assert!(
+                                need > node.area_total()
+                                    || need > node.area_total() - node.busy_area_now()
+                            );
+                        }
+                        plan => {
+                            let rid = node.commit(plan, config, &lib, t);
+                            busy.push(rid);
+                        }
+                    }
+                }
+                Op::FinishOldest => {
+                    if !busy.is_empty() {
+                        let rid = busy.remove(0);
+                        node.finish(rid, t);
+                    }
+                }
+            }
+            prop_assert!(node.busy_area_now() <= node.configured_area_now());
+            prop_assert!(node.configured_area_now() <= node.area_total());
+            prop_assert_eq!(
+                node.free_area(),
+                node.area_total() - node.configured_area_now()
+            );
+            prop_assert_eq!(
+                node.idle_area_now(),
+                node.configured_area_now() - node.busy_area_now()
+            );
+        }
+        // Integrals are consistent: wasted + busy ≤ total capacity.
+        let horizon = t + SimDuration::from_secs(1);
+        let cap = node.area_total() as f64 * horizon.as_secs_f64();
+        let used = node.busy_area_integral(horizon) + node.wasted_area_integral(horizon);
+        prop_assert!(used <= cap + 1e-6, "used {used} vs cap {cap}");
+        prop_assert!(node.busy_area_integral(horizon) >= 0.0);
+        prop_assert!(node.wasted_area_integral(horizon) >= -1e-9);
+    }
+
+    /// Counter consistency: completions ≤ placements; hits+fetches =
+    /// reconfigs; reuses + reconfigs = total placements.
+    #[test]
+    fn rc_node_counter_identities(ops in arb_ops()) {
+        let lib = small_library();
+        let mut node = RcNode::new(NodeId(0), SimTime::ZERO, 10, 4);
+        let mut busy: Vec<tg_model::reconf::RegionId> = Vec::new();
+        let mut placements = 0u64;
+        let mut t = SimTime::ZERO;
+        for op in ops {
+            t += SimDuration::from_secs(5);
+            match op {
+                Op::Host(i) => {
+                    let config = ConfigId(i);
+                    match node.plan(config, &lib) {
+                        HostPlan::Infeasible => {}
+                        plan => {
+                            busy.push(node.commit(plan, config, &lib, t));
+                            placements += 1;
+                        }
+                    }
+                }
+                Op::FinishOldest => {
+                    if !busy.is_empty() {
+                        node.finish(busy.remove(0), t);
+                    }
+                }
+            }
+        }
+        let s = node.stats();
+        prop_assert_eq!(s.reuses + s.reconfigs, placements);
+        prop_assert_eq!(s.bitstream_fetches + s.bitstream_hits, s.reconfigs);
+        prop_assert!(s.completed <= placements);
+        prop_assert_eq!(s.completed + busy.len() as u64, placements);
+    }
+
+    /// Cluster acquire/release never goes negative or over capacity, and
+    /// acquire is all-or-nothing.
+    #[test]
+    fn cluster_core_conservation(
+        requests in prop::collection::vec((1usize..64, 1u64..100), 1..80),
+        total in 64usize..256,
+    ) {
+        let mut c = Cluster::new(SimTime::ZERO, total);
+        let mut held: Vec<(usize, u64)> = Vec::new();
+        let mut t = 0u64;
+        for (cores, dur) in requests {
+            t += 1;
+            // Release anything whose time has passed.
+            held.retain(|&(held_cores, until)| {
+                if until <= t {
+                    c.release(SimTime::from_secs(t), held_cores);
+                    false
+                } else {
+                    true
+                }
+            });
+            let free_before = c.free_cores();
+            let ok = c.acquire(SimTime::from_secs(t), cores);
+            if ok {
+                prop_assert!(cores <= free_before);
+                held.push((cores, t + dur));
+            } else {
+                prop_assert!(cores > free_before, "refused although it fit");
+                prop_assert_eq!(c.free_cores(), free_before, "failed acquire mutated state");
+            }
+            prop_assert!(c.free_cores() <= total);
+            prop_assert_eq!(c.free_cores() + c.busy_cores(), total);
+        }
+    }
+
+    /// Network transfer times are symmetric, monotone in size, and the
+    /// latency floor is exact.
+    #[test]
+    fn network_transfer_properties(
+        bw_a in 10.0f64..10_000.0,
+        bw_b in 10.0f64..10_000.0,
+        lat_a in 0.0f64..200.0,
+        lat_b in 0.0f64..200.0,
+        mb in 0.0f64..1e6,
+    ) {
+        let mut n = Network::new();
+        let a = n.add_uplink(Uplink::new(bw_a, lat_a));
+        let b = n.add_uplink(Uplink::new(bw_b, lat_b));
+        let t_ab = n.transfer_time(a, b, mb);
+        let t_ba = n.transfer_time(b, a, mb);
+        prop_assert_eq!(t_ab, t_ba);
+        let bigger = n.transfer_time(a, b, mb + 1.0);
+        prop_assert!(bigger >= t_ab);
+        let floor = n.transfer_time(a, b, 0.0);
+        let expect_floor = SimDuration::from_secs_f64((lat_a + lat_b) / 1000.0);
+        // Each latency independently rounds to whole microseconds, so the
+        // sum can differ from the f64 sum by up to 1 µs total.
+        let delta = floor.as_secs_f64() - expect_floor.as_secs_f64();
+        prop_assert!(delta.abs() <= 2e-6, "floor {floor} vs {expect_floor}");
+        prop_assert_eq!(n.transfer_time(a, a, mb), SimDuration::ZERO);
+        let _ = SiteId(0);
+    }
+}

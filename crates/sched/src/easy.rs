@@ -1,0 +1,264 @@
+//! EASY backfill (Lifka 1995).
+//!
+//! The queue head gets a *reservation* at the earliest instant enough cores
+//! will be free (by running-job estimates). Any other queued job may start
+//! immediately if it fits in the currently free cores **and** doesn't delay
+//! that reservation — either because it will finish (by estimate) before the
+//! reservation time, or because it only uses cores the reservation doesn't
+//! need ("extra" cores).
+//!
+//! EASY is what most TeraGrid-era sites actually ran, and is the scheduler
+//! the F3 wait-time experiment centers on.
+
+use crate::queue::{earliest_fit, estimated_runtime, BatchScheduler, RunningJob, Started};
+use std::collections::VecDeque;
+use tg_des::SimTime;
+use tg_model::Cluster;
+use tg_workload::{Job, JobId};
+
+/// EASY backfill scheduler.
+#[derive(Debug, Default)]
+pub struct EasyBackfill {
+    queue: VecDeque<Job>,
+    running: Vec<RunningJob>,
+}
+
+impl EasyBackfill {
+    /// An empty EASY scheduler.
+    pub fn new() -> Self {
+        EasyBackfill::default()
+    }
+}
+
+/// Start `job` on `cluster`, recording it in `running` and `out`.
+pub(crate) fn start_job(
+    now: SimTime,
+    cluster: &mut Cluster,
+    core_speed: f64,
+    job: Job,
+    running: &mut Vec<RunningJob>,
+    out: &mut Vec<Started>,
+) {
+    assert!(cluster.acquire(now, job.cores), "caller checked fit");
+    let estimated_end = now + estimated_runtime(&job, core_speed);
+    running.push(RunningJob {
+        id: job.id,
+        cores: job.cores,
+        estimated_end,
+    });
+    out.push(Started { job, estimated_end });
+}
+
+/// One EASY decision pass over `queue`: FCFS starts, head reservation, then
+/// reservation-respecting backfill. Shared with the weekly-drain policy's
+/// normal phase.
+pub(crate) fn easy_pass(
+    queue: &mut VecDeque<Job>,
+    running: &mut Vec<RunningJob>,
+    now: SimTime,
+    cluster: &mut Cluster,
+    core_speed: f64,
+    started: &mut Vec<Started>,
+) {
+    // Phase 1: start queue heads FCFS-style while they fit.
+    while let Some(head) = queue.front() {
+        if !cluster.can_fit(head.cores) {
+            break;
+        }
+        let job = queue.pop_front().expect("peeked");
+        start_job(now, cluster, core_speed, job, running, started);
+    }
+    let Some(head) = queue.front() else {
+        return;
+    };
+    // Phase 2: reservation for the (blocked) head.
+    let shadow = earliest_fit(now, cluster.free_cores(), head.cores, running);
+    // Cores free at the shadow time beyond what the head needs: a backfilled
+    // job running past the shadow may use only these.
+    let free_at_shadow = {
+        let mut free = cluster.free_cores();
+        for r in running.iter() {
+            if r.estimated_end.max(now) <= shadow {
+                free += r.cores;
+            }
+        }
+        free
+    };
+    let head_cores = head.cores;
+    let mut extra = free_at_shadow.saturating_sub(head_cores);
+
+    // Phase 3: backfill the rest of the queue in order.
+    let mut i = 1; // skip the head
+    while i < queue.len() {
+        let job = &queue[i];
+        if cluster.can_fit(job.cores) {
+            let est_end = now + estimated_runtime(job, core_speed);
+            let ok = if est_end <= shadow {
+                true
+            } else {
+                job.cores <= extra
+            };
+            if ok {
+                if est_end > shadow {
+                    extra -= job.cores;
+                }
+                let job = queue.remove(i).expect("index valid");
+                start_job(now, cluster, core_speed, job, running, started);
+                continue; // same index now holds the next job
+            }
+        }
+        i += 1;
+    }
+}
+
+impl BatchScheduler for EasyBackfill {
+    fn name(&self) -> &'static str {
+        "easy"
+    }
+
+    fn submit(&mut self, _now: SimTime, job: Job) {
+        self.queue.push_back(job);
+    }
+
+    fn on_complete(&mut self, _now: SimTime, id: JobId) {
+        if let Some(pos) = self.running.iter().position(|r| r.id == id) {
+            self.running.swap_remove(pos);
+        }
+    }
+
+    fn make_decisions(
+        &mut self,
+        now: SimTime,
+        cluster: &mut Cluster,
+        core_speed: f64,
+    ) -> Vec<Started> {
+        let mut started = Vec::new();
+        easy_pass(
+            &mut self.queue,
+            &mut self.running,
+            now,
+            cluster,
+            core_speed,
+            &mut started,
+        );
+        started
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_des::SimDuration;
+    use tg_workload::{ProjectId, UserId};
+
+    fn job(id: usize, cores: usize, secs: u64) -> Job {
+        Job::batch(
+            JobId(id),
+            UserId(0),
+            ProjectId(0),
+            SimTime::ZERO,
+            cores,
+            SimDuration::from_secs(secs),
+        )
+    }
+
+    /// The canonical EASY scenario: a blocked wide head plus a short narrow
+    /// job that finishes before the reservation → backfills.
+    #[test]
+    fn short_job_backfills_ahead_of_blocked_head() {
+        let mut s = EasyBackfill::new();
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.submit(SimTime::ZERO, job(0, 6, 1000)); // starts
+        s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        s.submit(SimTime::ZERO, job(1, 8, 100)); // blocked head → reservation at t=1000
+        s.submit(SimTime::ZERO, job(2, 4, 500)); // fits free 4, ends 500 ≤ 1000 → backfill
+        let started = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job.id, JobId(2));
+        assert_eq!(s.queue_len(), 1, "head still waits");
+    }
+
+    #[test]
+    fn backfill_may_not_delay_the_reservation() {
+        let mut s = EasyBackfill::new();
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.submit(SimTime::ZERO, job(0, 6, 1000));
+        s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        s.submit(SimTime::ZERO, job(1, 8, 100)); // reservation at t=1000 needs 8 cores
+        // Runs past the shadow and would eat cores the reservation needs
+        // (free at shadow = 10, extra = 2 < 4):
+        s.submit(SimTime::ZERO, job(2, 4, 5000));
+        let started = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        assert!(started.is_empty(), "long wide job must not backfill");
+    }
+
+    #[test]
+    fn long_narrow_job_backfills_into_extra_cores() {
+        let mut s = EasyBackfill::new();
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.submit(SimTime::ZERO, job(0, 6, 1000));
+        s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        s.submit(SimTime::ZERO, job(1, 8, 100)); // extra = 10 - 8 = 2
+        s.submit(SimTime::ZERO, job(2, 2, 9999)); // narrow enough for extra
+        let started = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job.id, JobId(2));
+    }
+
+    #[test]
+    fn extra_cores_are_consumed_by_backfills() {
+        let mut s = EasyBackfill::new();
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.submit(SimTime::ZERO, job(0, 6, 1000));
+        s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        s.submit(SimTime::ZERO, job(1, 8, 100));
+        s.submit(SimTime::ZERO, job(2, 2, 9999)); // takes both extra cores
+        s.submit(SimTime::ZERO, job(3, 2, 9999)); // no extra left → waits
+        let started = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job.id, JobId(2));
+        assert_eq!(s.queue_len(), 2);
+    }
+
+    #[test]
+    fn reservation_honored_on_completion() {
+        let mut s = EasyBackfill::new();
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.submit(SimTime::ZERO, job(0, 6, 1000));
+        let st = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        s.submit(SimTime::ZERO, job(1, 8, 100));
+        s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        // Head's reservation comes due.
+        let t = SimTime::from_secs(1000);
+        c.release(t, 6);
+        s.on_complete(t, st[0].job.id);
+        let started = s.make_decisions(t, &mut c, 1.0);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job.id, JobId(1));
+    }
+
+    #[test]
+    fn fifo_among_backfill_candidates() {
+        let mut s = EasyBackfill::new();
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.submit(SimTime::ZERO, job(0, 6, 1000));
+        s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        s.submit(SimTime::ZERO, job(1, 8, 100));
+        s.submit(SimTime::ZERO, job(2, 3, 500));
+        s.submit(SimTime::ZERO, job(3, 3, 500)); // only one of 2,3 fits (free=4)
+        let started = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job.id, JobId(2), "earlier candidate wins");
+    }
+
+    #[test]
+    fn empty_queue_is_a_noop() {
+        let mut s = EasyBackfill::new();
+        let mut c = Cluster::new(SimTime::ZERO, 4);
+        assert!(s.make_decisions(SimTime::ZERO, &mut c, 1.0).is_empty());
+    }
+}

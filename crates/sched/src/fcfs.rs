@@ -1,0 +1,141 @@
+//! Strict first-come-first-served scheduling.
+//!
+//! The head of the queue starts as soon as it fits; nothing behind it may
+//! overtake. Simple, fair, and the utilization floor every backfill variant
+//! is measured against.
+
+use crate::queue::{estimated_runtime, BatchScheduler, RunningJob, Started};
+use std::collections::VecDeque;
+use tg_des::SimTime;
+use tg_model::Cluster;
+use tg_workload::{Job, JobId};
+
+/// FCFS scheduler.
+#[derive(Debug, Default)]
+pub struct Fcfs {
+    queue: VecDeque<Job>,
+    running: Vec<RunningJob>,
+}
+
+impl Fcfs {
+    /// An empty FCFS scheduler.
+    pub fn new() -> Self {
+        Fcfs::default()
+    }
+}
+
+impl BatchScheduler for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn submit(&mut self, _now: SimTime, job: Job) {
+        self.queue.push_back(job);
+    }
+
+    fn on_complete(&mut self, _now: SimTime, id: JobId) {
+        if let Some(pos) = self.running.iter().position(|r| r.id == id) {
+            self.running.swap_remove(pos);
+        }
+    }
+
+    fn make_decisions(
+        &mut self,
+        now: SimTime,
+        cluster: &mut Cluster,
+        core_speed: f64,
+    ) -> Vec<Started> {
+        let mut started = Vec::new();
+        while let Some(head) = self.queue.front() {
+            if !cluster.can_fit(head.cores) {
+                break;
+            }
+            let job = self.queue.pop_front().expect("peeked");
+            assert!(cluster.acquire(now, job.cores), "can_fit said yes");
+            let estimated_end = now + estimated_runtime(&job, core_speed);
+            self.running.push(RunningJob {
+                id: job.id,
+                cores: job.cores,
+                estimated_end,
+            });
+            started.push(Started { job, estimated_end });
+        }
+        started
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_des::SimDuration;
+    use tg_workload::{ProjectId, UserId};
+
+    fn job(id: usize, cores: usize, secs: u64) -> Job {
+        Job::batch(
+            JobId(id),
+            UserId(0),
+            ProjectId(0),
+            SimTime::ZERO,
+            cores,
+            SimDuration::from_secs(secs),
+        )
+    }
+
+    #[test]
+    fn starts_in_order_while_fitting() {
+        let mut s = Fcfs::new();
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.submit(SimTime::ZERO, job(0, 4, 100));
+        s.submit(SimTime::ZERO, job(1, 4, 100));
+        s.submit(SimTime::ZERO, job(2, 4, 100)); // doesn't fit
+        let started = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        assert_eq!(started.len(), 2);
+        assert_eq!(started[0].job.id, JobId(0));
+        assert_eq!(started[1].job.id, JobId(1));
+        assert_eq!(s.queue_len(), 1);
+        assert_eq!(c.free_cores(), 2);
+    }
+
+    #[test]
+    fn head_blocks_everything_behind_it() {
+        let mut s = Fcfs::new();
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.submit(SimTime::ZERO, job(0, 10, 100)); // full machine
+        s.submit(SimTime::ZERO, job(1, 1, 10)); // tiny, would fit — must wait
+        let started = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        assert_eq!(started.len(), 1);
+        s.submit(SimTime::ZERO, job(2, 1, 10));
+        let started = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        assert!(started.is_empty(), "FCFS never backfills");
+        assert_eq!(s.queue_len(), 2);
+    }
+
+    #[test]
+    fn completion_frees_the_head() {
+        let mut s = Fcfs::new();
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.submit(SimTime::ZERO, job(0, 10, 100));
+        let st = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        s.submit(SimTime::ZERO, job(1, 6, 50));
+        let t1 = SimTime::from_secs(100);
+        c.release(t1, 10);
+        s.on_complete(t1, st[0].job.id);
+        let started = s.make_decisions(t1, &mut c, 1.0);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job.id, JobId(1));
+        assert_eq!(started[0].estimated_end, SimTime::from_secs(150));
+    }
+
+    #[test]
+    fn estimated_end_uses_core_speed() {
+        let mut s = Fcfs::new();
+        let mut c = Cluster::new(SimTime::ZERO, 4);
+        s.submit(SimTime::ZERO, job(0, 2, 100));
+        let st = s.make_decisions(SimTime::ZERO, &mut c, 2.0);
+        assert_eq!(st[0].estimated_end, SimTime::from_secs(50));
+    }
+}

@@ -1,0 +1,244 @@
+//! The scheduler interface and shared queue machinery.
+
+use serde::{Deserialize, Serialize};
+use tg_des::{SimDuration, SimTime};
+use tg_model::Cluster;
+use tg_workload::{Job, JobId};
+
+/// A job the scheduler has decided to start *now*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Started {
+    /// The job (removed from the queue).
+    pub job: Job,
+    /// What the scheduler believes the end time is (estimate-based); the
+    /// driver computes the *actual* completion from the true runtime.
+    pub estimated_end: SimTime,
+}
+
+/// A running job as the scheduler tracks it (estimates, not truth).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RunningJob {
+    pub id: JobId,
+    pub cores: usize,
+    pub estimated_end: SimTime,
+}
+
+/// The per-site batch scheduler interface.
+///
+/// Protocol (enforced by the driver in `tg-core`):
+/// 1. [`submit`](BatchScheduler::submit) when a job arrives;
+/// 2. [`on_complete`](BatchScheduler::on_complete) when a running job ends;
+/// 3. after any of the above — and at
+///    [`next_wakeup`](BatchScheduler::next_wakeup) instants —
+///    [`make_decisions`](BatchScheduler::make_decisions), acquiring cluster
+///    cores for every job returned.
+pub trait BatchScheduler: Send {
+    /// Scheduler name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Enqueue a job at `now`.
+    fn submit(&mut self, now: SimTime, job: Job);
+
+    /// Notify that running job `id` completed at `now`.
+    fn on_complete(&mut self, now: SimTime, id: JobId);
+
+    /// Start whatever should start now. Implementations must acquire cores
+    /// from `cluster` for each returned job. `core_speed` converts the job's
+    /// reference estimate into machine time.
+    fn make_decisions(&mut self, now: SimTime, cluster: &mut Cluster, core_speed: f64)
+        -> Vec<Started>;
+
+    /// Queue length (jobs waiting).
+    fn queue_len(&self) -> usize;
+
+    /// Next instant the scheduler wants an unconditional `make_decisions`
+    /// call (used by time-triggered policies like weekly drain).
+    fn next_wakeup(&self, _now: SimTime) -> Option<SimTime> {
+        None
+    }
+}
+
+/// Closed enumeration of the batch schedulers, for configs and sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SchedulerKind {
+    /// Strict first-come-first-served.
+    Fcfs,
+    /// EASY backfill (one reservation).
+    Easy,
+    /// Conservative backfill (all reservations).
+    Conservative,
+    /// Weekly-drain capability policy over EASY.
+    WeeklyDrain,
+    /// Weekly drain without pre-drain filling (stop-the-world baseline for
+    /// the A2 ablation).
+    NaiveDrain,
+    /// EASY backfill over a fair-share-ordered queue (one-week usage decay).
+    FairshareEasy,
+}
+
+impl SchedulerKind {
+    /// All kinds, for sweeps.
+    pub const ALL: [SchedulerKind; 6] = [
+        SchedulerKind::Fcfs,
+        SchedulerKind::Easy,
+        SchedulerKind::Conservative,
+        SchedulerKind::WeeklyDrain,
+        SchedulerKind::NaiveDrain,
+        SchedulerKind::FairshareEasy,
+    ];
+
+    /// Instantiate the scheduler.
+    pub fn build(self, machine_cores: usize) -> Box<dyn BatchScheduler> {
+        match self {
+            SchedulerKind::Fcfs => Box::new(crate::fcfs::Fcfs::new()),
+            SchedulerKind::Easy => Box::new(crate::easy::EasyBackfill::new()),
+            SchedulerKind::Conservative => {
+                Box::new(crate::conservative::ConservativeBackfill::new())
+            }
+            SchedulerKind::WeeklyDrain => Box::new(crate::drain::WeeklyDrain::new(
+                crate::easy::EasyBackfill::new(),
+                SimDuration::from_weeks(1),
+                machine_cores,
+            )),
+            SchedulerKind::NaiveDrain => Box::new(
+                crate::drain::WeeklyDrain::new(
+                    crate::easy::EasyBackfill::new(),
+                    SimDuration::from_weeks(1),
+                    machine_cores,
+                )
+                .with_predrain_fill(false),
+            ),
+            SchedulerKind::FairshareEasy => Box::new(crate::fairshare_easy::FairshareEasy::new(
+                SimDuration::from_weeks(1),
+            )),
+        }
+    }
+
+    /// Stable short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Fcfs => "fcfs",
+            SchedulerKind::Easy => "easy",
+            SchedulerKind::Conservative => "conservative",
+            SchedulerKind::WeeklyDrain => "weekly-drain",
+            SchedulerKind::NaiveDrain => "naive-drain",
+            SchedulerKind::FairshareEasy => "fairshare-easy",
+        }
+    }
+}
+
+/// Scheduler-side estimate of a job's runtime on a machine with relative
+/// `core_speed` (always based on the *estimate*, never the true runtime —
+/// schedulers don't get to peek).
+pub(crate) fn estimated_runtime(job: &Job, core_speed: f64) -> SimDuration {
+    job.estimate.mul_f64(1.0 / core_speed.max(1e-9))
+}
+
+/// Shared helper: earliest time at which `cores_needed` cores will be free,
+/// given current free cores and the running set (by estimates). Returns
+/// `now` if they are free already.
+///
+/// This is the "shadow time" computation at the heart of every backfill
+/// variant.
+pub(crate) fn earliest_fit(
+    now: SimTime,
+    free_cores: usize,
+    cores_needed: usize,
+    running: &[RunningJob],
+) -> SimTime {
+    if cores_needed <= free_cores {
+        return now;
+    }
+    let mut ends: Vec<(SimTime, usize)> = running
+        .iter()
+        .map(|r| (r.estimated_end.max(now), r.cores))
+        .collect();
+    ends.sort_unstable_by_key(|&(t, _)| t);
+    let mut free = free_cores;
+    for (t, cores) in ends {
+        free += cores;
+        if free >= cores_needed {
+            return t;
+        }
+    }
+    // Unreachable if the job fits the machine (total cores = free + running).
+    SimTime::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_workload::{ProjectId, UserId};
+
+    fn running(id: usize, cores: usize, end_s: u64) -> RunningJob {
+        RunningJob {
+            id: JobId(id),
+            cores,
+            estimated_end: SimTime::from_secs(end_s),
+        }
+    }
+
+    #[test]
+    fn earliest_fit_now_when_free() {
+        assert_eq!(
+            earliest_fit(SimTime::from_secs(5), 10, 8, &[]),
+            SimTime::from_secs(5)
+        );
+    }
+
+    #[test]
+    fn earliest_fit_waits_for_enough_completions() {
+        let r = vec![running(0, 4, 100), running(1, 4, 50), running(2, 2, 200)];
+        // free 0, need 6: at t=50 free 4; at t=100 free 8 ≥ 6.
+        assert_eq!(
+            earliest_fit(SimTime::ZERO, 0, 6, &r),
+            SimTime::from_secs(100)
+        );
+        // need 4: satisfied at first completion.
+        assert_eq!(
+            earliest_fit(SimTime::ZERO, 0, 4, &r),
+            SimTime::from_secs(50)
+        );
+    }
+
+    #[test]
+    fn earliest_fit_clamps_past_estimates_to_now() {
+        // A running job whose estimate already elapsed (overrun) still counts
+        // as ending "now or later", never in the past.
+        let r = vec![running(0, 8, 10)];
+        let t = earliest_fit(SimTime::from_secs(100), 0, 8, &r);
+        assert_eq!(t, SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn earliest_fit_unsatisfiable_is_max() {
+        let r = vec![running(0, 2, 10)];
+        assert_eq!(earliest_fit(SimTime::ZERO, 1, 10, &r), SimTime::MAX);
+    }
+
+    #[test]
+    fn estimated_runtime_scales() {
+        let j = Job::batch(
+            JobId(0),
+            UserId(0),
+            ProjectId(0),
+            SimTime::ZERO,
+            4,
+            SimDuration::from_secs(100),
+        )
+        .with_estimate(SimDuration::from_secs(200));
+        assert_eq!(estimated_runtime(&j, 1.0), SimDuration::from_secs(200));
+        assert_eq!(estimated_runtime(&j, 2.0), SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn kinds_build_and_name() {
+        for k in SchedulerKind::ALL {
+            let s = k.build(1024);
+            assert!(!s.name().is_empty());
+            assert_eq!(s.queue_len(), 0);
+        }
+        assert_eq!(SchedulerKind::Easy.name(), "easy");
+    }
+}

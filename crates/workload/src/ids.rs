@@ -1,0 +1,92 @@
+//! Identifiers for the workload domain.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! index_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                $name(i)
+            }
+        }
+    };
+}
+
+index_id!(
+    /// An individual person with a grid account. Gateway *community* users do
+    /// not get a `UserId`; they appear as gateway-attribute end users.
+    UserId,
+    "user"
+);
+
+index_id!(
+    /// An allocated project (a PI's award) that users charge SUs against.
+    ProjectId,
+    "proj"
+);
+
+index_id!(
+    /// One submitted job (or workflow task, or RC task).
+    JobId,
+    "job"
+);
+
+index_id!(
+    /// A science gateway (community account).
+    GatewayId,
+    "gw"
+);
+
+index_id!(
+    /// One workflow instance (a DAG of jobs).
+    WorkflowId,
+    "wf"
+);
+
+index_id!(
+    /// One ensemble (parameter-sweep batch) instance.
+    EnsembleId,
+    "ens"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(UserId(1).to_string(), "user1");
+        assert_eq!(ProjectId(2).to_string(), "proj2");
+        assert_eq!(JobId(3).to_string(), "job3");
+        assert_eq!(GatewayId(4).to_string(), "gw4");
+        assert_eq!(WorkflowId(5).to_string(), "wf5");
+        assert_eq!(EnsembleId(6).to_string(), "ens6");
+    }
+
+    #[test]
+    fn conversion_and_ordering() {
+        assert_eq!(JobId::from(9).index(), 9);
+        assert!(JobId(1) < JobId(2));
+    }
+}

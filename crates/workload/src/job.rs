@@ -1,0 +1,292 @@
+//! The job record.
+//!
+//! One `Job` is the unit everything downstream consumes: schedulers queue
+//! it, clusters run it, accounting charges it, and the modality classifier
+//! tries to recover `true_modality` from its observable fields.
+
+use crate::ids::{EnsembleId, GatewayId, JobId, ProjectId, UserId, WorkflowId};
+use crate::modality::Modality;
+use serde::{Deserialize, Serialize};
+use tg_des::{SimDuration, SimTime};
+use tg_model::{ConfigId, SiteId};
+
+/// Through which interface a job reached the grid — an observable the
+/// classifier may use (gateways and workflow engines tag their submissions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubmitInterface {
+    /// Direct command-line submission on a login node.
+    CommandLine,
+    /// A science-gateway portal submitting under a community account.
+    GatewayPortal,
+    /// A grid API endpoint (GRAM-style), used by tools and some gateways.
+    GridApi,
+    /// A workflow engine / metascheduler.
+    WorkflowEngine,
+}
+
+/// Reconfigurable-hardware requirement attached to a job.
+///
+/// The task has both implementations: a software (GPP) version whose runtime
+/// is the job's base [`Job::runtime`], and a hardware kernel that runs
+/// `speedup`× faster once a region is configured with `config`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RcRequirement {
+    /// The processor configuration (bitstream) the hardware version needs.
+    pub config: ConfigId,
+    /// Hardware-over-software speedup (> 1 means the kernel is faster).
+    pub speedup: f64,
+    /// Optional completion deadline (relative to submission) for the
+    /// schedule-success-rate experiments.
+    pub deadline: Option<SimDuration>,
+}
+
+/// One job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique id.
+    pub id: JobId,
+    /// Submitting account.
+    pub user: UserId,
+    /// Project charged for the usage.
+    pub project: ProjectId,
+    /// When the job enters the system.
+    pub submit_time: SimTime,
+    /// Cores requested (held exclusively for the whole runtime).
+    pub cores: usize,
+    /// Actual runtime on reference hardware (software version for RC jobs).
+    pub runtime: SimDuration,
+    /// The user's runtime estimate (what backfill reasons with); never less
+    /// than `runtime` in generated workloads, mirroring the padding real
+    /// users apply.
+    pub estimate: SimDuration,
+    /// Preferred site, if the user pinned one; `None` lets the metascheduler
+    /// choose.
+    pub site_hint: Option<SiteId>,
+    /// Submission interface.
+    pub interface: SubmitInterface,
+    /// Set when submitted by a science gateway.
+    pub gateway: Option<GatewayId>,
+    /// Set when this job is a task of a workflow instance.
+    pub workflow: Option<WorkflowId>,
+    /// Intra-workflow dependencies: this job may not start before these
+    /// complete. Empty for non-workflow jobs.
+    pub deps: Vec<JobId>,
+    /// Set when this job is a member of an ensemble (parameter sweep).
+    pub ensemble: Option<EnsembleId>,
+    /// Reconfigurable-hardware requirement, if any.
+    pub rc: Option<RcRequirement>,
+    /// Input data staged in before the run, MB.
+    pub input_mb: f64,
+    /// Output data staged out after the run, MB.
+    pub output_mb: f64,
+    /// Ground-truth modality (hidden from the classifier, used for scoring).
+    pub true_modality: Modality,
+}
+
+impl Job {
+    /// A minimal batch job; the builder-style `with_*` methods specialize it.
+    pub fn batch(
+        id: JobId,
+        user: UserId,
+        project: ProjectId,
+        submit_time: SimTime,
+        cores: usize,
+        runtime: SimDuration,
+    ) -> Self {
+        assert!(cores > 0, "job needs at least one core");
+        Job {
+            id,
+            user,
+            project,
+            submit_time,
+            cores,
+            runtime,
+            estimate: runtime,
+            site_hint: None,
+            interface: SubmitInterface::CommandLine,
+            gateway: None,
+            workflow: None,
+            deps: Vec::new(),
+            ensemble: None,
+            rc: None,
+            input_mb: 0.0,
+            output_mb: 0.0,
+            true_modality: Modality::BatchComputing,
+        }
+    }
+
+    /// Set the runtime estimate (clamped to at least the true runtime —
+    /// under-estimates would be killed by a real scheduler, which we don't
+    /// model; DESIGN.md records this).
+    pub fn with_estimate(mut self, estimate: SimDuration) -> Self {
+        self.estimate = estimate.max(self.runtime);
+        self
+    }
+
+    /// Pin the job to a site.
+    pub fn with_site(mut self, site: SiteId) -> Self {
+        self.site_hint = Some(site);
+        self
+    }
+
+    /// Mark as gateway-submitted.
+    pub fn via_gateway(mut self, gw: GatewayId) -> Self {
+        self.gateway = Some(gw);
+        self.interface = SubmitInterface::GatewayPortal;
+        self.true_modality = Modality::ScienceGateway;
+        self
+    }
+
+    /// Mark as a workflow task with dependencies.
+    pub fn in_workflow(mut self, wf: WorkflowId, deps: Vec<JobId>) -> Self {
+        self.workflow = Some(wf);
+        self.deps = deps;
+        self.interface = SubmitInterface::WorkflowEngine;
+        self.true_modality = Modality::Workflow;
+        self
+    }
+
+    /// Mark as an ensemble member.
+    pub fn in_ensemble(mut self, ens: EnsembleId) -> Self {
+        self.ensemble = Some(ens);
+        self.true_modality = Modality::Ensemble;
+        self
+    }
+
+    /// Attach a reconfigurable-hardware requirement.
+    pub fn with_rc(mut self, rc: RcRequirement) -> Self {
+        self.rc = Some(rc);
+        self.true_modality = Modality::RcAccelerated;
+        self
+    }
+
+    /// Attach staging data sizes.
+    pub fn with_data(mut self, input_mb: f64, output_mb: f64) -> Self {
+        self.input_mb = input_mb;
+        self.output_mb = output_mb;
+        self
+    }
+
+    /// Override the ground-truth modality label (used by generators for
+    /// modalities without structural markers, e.g. interactive).
+    pub fn labeled(mut self, m: Modality) -> Self {
+        self.true_modality = m;
+        self
+    }
+
+    /// Runtime of this job on a site with relative `core_speed`, using the
+    /// hardware kernel if `use_hw` and the job has one.
+    pub fn runtime_on(&self, core_speed: f64, use_hw: bool) -> SimDuration {
+        let base = self.runtime.mul_f64(1.0 / core_speed.max(1e-9));
+        match (&self.rc, use_hw) {
+            (Some(rc), true) => base.mul_f64(1.0 / rc.speedup),
+            _ => base,
+        }
+    }
+
+    /// Core-seconds this job consumes (reference hardware, software version).
+    pub fn core_seconds(&self) -> f64 {
+        self.cores as f64 * self.runtime.as_secs_f64()
+    }
+
+    /// Is this job runnable given the set of completed jobs? (Dependency
+    /// check for workflow tasks.)
+    pub fn deps_satisfied(&self, completed: impl Fn(JobId) -> bool) -> bool {
+        self.deps.iter().all(|&d| completed(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j() -> Job {
+        Job::batch(
+            JobId(1),
+            UserId(2),
+            ProjectId(3),
+            SimTime::from_secs(100),
+            16,
+            SimDuration::from_hours(2),
+        )
+    }
+
+    #[test]
+    fn batch_defaults() {
+        let job = j();
+        assert_eq!(job.true_modality, Modality::BatchComputing);
+        assert_eq!(job.interface, SubmitInterface::CommandLine);
+        assert_eq!(job.estimate, job.runtime);
+        assert!(job.deps.is_empty());
+        assert!((job.core_seconds() - 16.0 * 7200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_clamps_to_runtime() {
+        let job = j().with_estimate(SimDuration::from_mins(1));
+        assert_eq!(job.estimate, job.runtime);
+        let job = j().with_estimate(SimDuration::from_hours(4));
+        assert_eq!(job.estimate, SimDuration::from_hours(4));
+    }
+
+    #[test]
+    fn builders_set_modality_and_interface() {
+        let g = j().via_gateway(GatewayId(0));
+        assert_eq!(g.true_modality, Modality::ScienceGateway);
+        assert_eq!(g.interface, SubmitInterface::GatewayPortal);
+
+        let w = j().in_workflow(WorkflowId(4), vec![JobId(0)]);
+        assert_eq!(w.true_modality, Modality::Workflow);
+        assert_eq!(w.interface, SubmitInterface::WorkflowEngine);
+        assert_eq!(w.deps, vec![JobId(0)]);
+
+        let e = j().in_ensemble(EnsembleId(7));
+        assert_eq!(e.true_modality, Modality::Ensemble);
+
+        let r = j().with_rc(RcRequirement {
+            config: ConfigId(0),
+            speedup: 10.0,
+            deadline: None,
+        });
+        assert_eq!(r.true_modality, Modality::RcAccelerated);
+
+        let i = j().labeled(Modality::Interactive);
+        assert_eq!(i.true_modality, Modality::Interactive);
+    }
+
+    #[test]
+    fn runtime_on_scales_with_speed_and_hw() {
+        let rc = RcRequirement {
+            config: ConfigId(0),
+            speedup: 4.0,
+            deadline: None,
+        };
+        let job = j().with_rc(rc);
+        assert_eq!(job.runtime_on(1.0, false), SimDuration::from_hours(2));
+        assert_eq!(job.runtime_on(2.0, false), SimDuration::from_hours(1));
+        assert_eq!(job.runtime_on(1.0, true), SimDuration::from_mins(30));
+        // HW flag on a non-RC job is a no-op.
+        assert_eq!(j().runtime_on(1.0, true), SimDuration::from_hours(2));
+    }
+
+    #[test]
+    fn deps_satisfied_logic() {
+        let w = j().in_workflow(WorkflowId(0), vec![JobId(10), JobId(11)]);
+        assert!(!w.deps_satisfied(|d| d == JobId(10)));
+        assert!(w.deps_satisfied(|_| true));
+        assert!(j().deps_satisfied(|_| false), "no deps → always satisfied");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_job_rejected() {
+        Job::batch(
+            JobId(0),
+            UserId(0),
+            ProjectId(0),
+            SimTime::ZERO,
+            0,
+            SimDuration::from_secs(1),
+        );
+    }
+}

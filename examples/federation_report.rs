@@ -1,0 +1,89 @@
+//! The federation's "annual report": every measurement product in one run —
+//! usage by modality, by field of science, per-site utilization with a
+//! sampled time series, classifier accuracy, and a survey cross-check.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example federation_report
+//! ```
+
+use teragrid_repro::prelude::*;
+use tg_core::report::GatewayReach;
+use tg_core::survey::{run_survey, true_user_shares, SurveyDesign};
+use tg_des::StreamId;
+
+fn main() {
+    let mut cfg = ScenarioConfig::baseline(400, 21);
+    cfg.sample_interval = Some(SimDuration::from_hours(6));
+    let out = cfg.build().run(77);
+
+    println!("=== usage by modality (ground truth labels) ===");
+    let report = UsageReport::compute(&out.db, &out.truth, &out.charge_policy);
+    println!("{}", report.shares);
+
+    println!("=== usage by field of science ===");
+    let fields = FieldShares::compute(&out.db, &out.population.projects, &out.charge_policy);
+    println!("{fields}");
+
+    println!("=== gateway reach (from end-user attributes) ===");
+    let reach = GatewayReach::compute(&out.db);
+    println!("{reach}");
+    println!(
+        "{} distinct end users served through {} gateways — visible as only {} accounts\n",
+        reach.total_end_users(),
+        reach.rows.len(),
+        reach.rows.len(),
+    );
+
+    println!("=== sites ===");
+    for s in &out.site_stats {
+        println!(
+            "{:<8} utilization {:>5.1}%  jobs {:>7}  rc tasks {:>6}",
+            s.name,
+            100.0 * s.utilization,
+            s.jobs_finished,
+            s.rc_stats.completed
+        );
+    }
+    // Busiest sampled instant across the run.
+    if let Some(peak) = out.samples.iter().max_by(|a, b| {
+        let fa: f64 = a.busy_fraction.iter().sum();
+        let fb: f64 = b.busy_fraction.iter().sum();
+        fa.partial_cmp(&fb).expect("finite")
+    }) {
+        println!(
+            "peak sampled load at {}: {:?}",
+            peak.at,
+            peak.busy_fraction
+                .iter()
+                .map(|f| format!("{:.0}%", 100.0 * f))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    println!("\n=== measurement quality ===");
+    for mode in [ClassifierMode::WithAttributes, ClassifierMode::RecordsOnly] {
+        let inferred = classify_all(&out.db, mode);
+        let acc = Accuracy::score(&out.truth, &inferred);
+        println!(
+            "classifier [{}]: accuracy {:.3}, macro-F1 {:.3}",
+            mode.name(),
+            acc.accuracy,
+            acc.macro_f1
+        );
+    }
+
+    // Survey cross-check against the same population.
+    let truth = true_user_shares(&out.population.users);
+    let mut rng = RngFactory::new(77).stream(StreamId::global("report-survey"));
+    let survey = run_survey(&out.population.users, &SurveyDesign::realistic(), &mut rng);
+    println!(
+        "survey: {} invited, {} responded; gateway user share truth {:.1}% → \
+         naive {:.1}% → weighted {:.1}%",
+        survey.invited,
+        survey.responded,
+        100.0 * truth[Modality::ScienceGateway.index()],
+        100.0 * survey.naive_share[Modality::ScienceGateway.index()],
+        100.0 * survey.weighted_share[Modality::ScienceGateway.index()],
+    );
+}

@@ -1,0 +1,83 @@
+//! Weekly drain: the capability-vs-capacity study on a single large
+//! machine. Compares plain EASY backfill against the weekly-drain policy
+//! when full-machine "hero" runs are in the workload.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example weekly_drain
+//! ```
+
+use teragrid_repro::prelude::*;
+use tg_model::SiteConfig;
+
+fn scenario(kind: SchedulerKind) -> ScenarioConfig {
+    let site = SiteConfig {
+        batch_nodes: 256, // × 8 = 2048 cores
+        ..SiteConfig::medium("kraken-jr")
+    };
+    let mut mix = PopulationMix::baseline(0);
+    mix.users_per_modality = [0; Modality::ALL.len()];
+    mix.users_per_modality[Modality::BatchComputing.index()] = 26;
+    let workload = GeneratorConfig {
+        horizon: SimDuration::from_days(28),
+        mix,
+        profiles: ModalityProfile::all_defaults(),
+        sites: 1,
+        rc_sites: vec![],
+        rc_config_count: 0,
+    };
+    ScenarioConfig {
+        name: format!("weekly-drain-{}", kind.name()),
+        sites: vec![site],
+        data_home: 0,
+        scheduler: kind,
+        meta: MetaPolicy::ShortestEta,
+        rc_policy: RcPolicy::AWARE,
+        workload,
+        library: None,
+        sample_interval: None,
+    }
+}
+
+fn main() {
+    let hero_cores = (2048f64 * 0.9) as usize;
+    println!("scheduler     utilization  heroes  hero-wait  normal-wait");
+    for kind in [
+        SchedulerKind::NaiveDrain,
+        SchedulerKind::WeeklyDrain,
+        SchedulerKind::Easy,
+    ] {
+        let out = scenario(kind).build().run(7);
+        let (heroes, normal): (Vec<_>, Vec<_>) =
+            out.db.jobs.iter().partition(|j| j.cores >= hero_cores);
+        let mean_h = |v: &[&JobRecord]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().map(|j| j.wait().as_hours_f64()).sum::<f64>() / v.len() as f64
+            }
+        };
+        let mean_s = |v: &[&JobRecord]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().map(|j| j.wait().as_secs_f64()).sum::<f64>() / v.len() as f64
+            }
+        };
+        println!(
+            "{:<12}  {:>10.1}%  {:>6}  {:>8.1}h  {:>10.0}s",
+            kind.name(),
+            100.0 * out.average_utilization(),
+            heroes.len(),
+            mean_h(&heroes),
+            mean_s(&normal),
+        );
+    }
+    println!(
+        "\nThe weekly policy recovers the utilization a naive (stop-the-world)\n\
+         drain burns while bounding hero waits by the boundary cadence.\n\
+         Plain EASY here is an idealized bound: generated estimates are true\n\
+         upper bounds on runtime, so backfill packs per-hero drain ramps\n\
+         almost perfectly — production backfill never had that guarantee."
+    );
+}

@@ -1,0 +1,186 @@
+//! `tgsim` — run a simulation scenario from a JSON config file.
+//!
+//! ```text
+//! tgsim emit-baseline [USERS DAYS] > scenario.json   # write a starter config
+//! tgsim run scenario.json [--seed N] [--reps K] [--sample-hours H]
+//!       [--classify] [--out results.json]
+//! ```
+//!
+//! `run` prints the usage report (ground-truth labels) and, with
+//! `--classify`, the classifier accuracy in both instrumentation modes;
+//! `--out` writes a JSON summary.
+
+use std::process::ExitCode;
+use teragrid_repro::prelude::*;
+use tg_des::stats::ci_student_t;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tgsim emit-baseline [USERS DAYS]\n  tgsim run <scenario.json> \
+         [--seed N] [--reps K] [--sample-hours H] [--classify] [--out FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("emit-baseline") => emit_baseline(&args[1..]),
+        Some("run") => run(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn emit_baseline(rest: &[String]) -> ExitCode {
+    let users = rest
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300usize);
+    let days = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(14u64);
+    let cfg = ScenarioConfig::baseline(users, days);
+    match serde_json::to_string_pretty(&cfg) {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tgsim: cannot serialize baseline: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(rest: &[String]) -> ExitCode {
+    let Some(path) = rest.first() else {
+        return usage();
+    };
+    let mut seed = 42u64;
+    let mut reps = 1usize;
+    let mut classify = false;
+    let mut out_path: Option<String> = None;
+    let mut sample_hours: Option<u64> = None;
+    let mut i = 1;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--seed" | "--reps" | "--out" | "--sample-hours" => {
+                let flag = rest[i].clone();
+                i += 1;
+                let Some(value) = rest.get(i) else {
+                    eprintln!("tgsim: {flag} needs a value");
+                    return usage();
+                };
+                match flag.as_str() {
+                    "--seed" => match value.parse() {
+                        Ok(v) => seed = v,
+                        Err(e) => {
+                            eprintln!("tgsim: bad --seed: {e}");
+                            return usage();
+                        }
+                    },
+                    "--reps" => match value.parse() {
+                        Ok(v) if v >= 1 => reps = v,
+                        _ => {
+                            eprintln!("tgsim: bad --reps");
+                            return usage();
+                        }
+                    },
+                    "--sample-hours" => match value.parse() {
+                        Ok(v) if v >= 1 => sample_hours = Some(v),
+                        _ => {
+                            eprintln!("tgsim: bad --sample-hours");
+                            return usage();
+                        }
+                    },
+                    _ => out_path = Some(value.clone()),
+                }
+            }
+            "--classify" => classify = true,
+            other => {
+                eprintln!("tgsim: unknown flag {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tgsim: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg: ScenarioConfig = match serde_json::from_str(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tgsim: invalid scenario config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(h) = sample_hours {
+        cfg.sample_interval = Some(SimDuration::from_hours(h));
+    }
+    let scenario = cfg.build();
+    eprintln!(
+        "running `{}` × {reps} replication(s) from seed {seed} ...",
+        scenario.config().name
+    );
+    let replications = replicate(&scenario, seed, reps, 0);
+    let first = &replications[0].output;
+
+    let report = UsageReport::compute(&first.db, &first.truth, &first.charge_policy);
+    println!("{report}");
+
+    let utils: Vec<f64> = replications
+        .iter()
+        .map(|r| r.output.average_utilization())
+        .collect();
+    let (u_mean, u_ci) = ci_student_t(&utils);
+    println!(
+        "federation utilization {u_mean:.3} ± {u_ci:.3} over {} replication(s); \
+         {} jobs, {} events (first replication)",
+        reps,
+        first.db.jobs.len(),
+        first.events_delivered
+    );
+
+    let mut accuracy_summary = Vec::new();
+    if classify {
+        for mode in [ClassifierMode::WithAttributes, ClassifierMode::RecordsOnly] {
+            let inferred = classify_all(&first.db, mode);
+            let acc = Accuracy::score(&first.truth, &inferred);
+            println!(
+                "classifier [{}]: accuracy {:.3}, macro-F1 {:.3}",
+                mode.name(),
+                acc.accuracy,
+                acc.macro_f1
+            );
+            accuracy_summary.push((mode.name().to_string(), acc.accuracy, acc.macro_f1));
+        }
+    }
+
+    if let Some(out) = out_path {
+        let summary = serde_json::json!({
+            "scenario": first.scenario,
+            "seed": seed,
+            "replications": reps,
+            "jobs": first.db.jobs.len(),
+            "events": first.events_delivered,
+            "utilization": { "mean": u_mean, "ci95": u_ci },
+            "shares": report.shares,
+            "classifier": accuracy_summary
+                .iter()
+                .map(|(m, a, f)| serde_json::json!({"mode": m, "accuracy": a, "macro_f1": f}))
+                .collect::<Vec<_>>(),
+            "samples": first.samples,
+        });
+        match std::fs::write(&out, serde_json::to_string_pretty(&summary).expect("serializable")) {
+            Ok(()) => eprintln!("wrote {out}"),
+            Err(e) => {
+                eprintln!("tgsim: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

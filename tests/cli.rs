@@ -1,0 +1,107 @@
+//! Integration tests for the `tgsim` CLI binary.
+
+use std::process::Command;
+
+fn tgsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tgsim"))
+}
+
+#[test]
+fn emit_baseline_produces_valid_config() {
+    let out = tgsim()
+        .args(["emit-baseline", "40", "2"])
+        .output()
+        .expect("tgsim runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    let cfg: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(cfg["sites"].as_array().expect("sites").len(), 3);
+    assert_eq!(cfg["scheduler"], "easy");
+    assert_eq!(cfg["workload"]["sites"], 3);
+}
+
+#[test]
+fn run_executes_a_config_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("tgsim-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let scen = dir.join("scenario.json");
+    let summary = dir.join("summary.json");
+
+    let emit = tgsim()
+        .args(["emit-baseline", "40", "2"])
+        .output()
+        .expect("emit runs");
+    std::fs::write(&scen, &emit.stdout).expect("write scenario");
+
+    let run = tgsim()
+        .args([
+            "run",
+            scen.to_str().expect("utf8 path"),
+            "--seed",
+            "9",
+            "--classify",
+            "--sample-hours",
+            "12",
+            "--out",
+            summary.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run executes");
+    assert!(
+        run.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(stdout.contains("NU%"), "usage report printed");
+    assert!(stdout.contains("classifier [with-attributes]"));
+
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&summary).expect("summary written"))
+            .expect("summary is JSON");
+    assert!(parsed["jobs"].as_u64().expect("jobs") > 0);
+    assert!(!parsed["samples"].as_array().expect("samples").is_empty());
+    assert_eq!(parsed["seed"], 9);
+
+    // Same seed reproduces the same job count.
+    let rerun = tgsim()
+        .args(["run", scen.to_str().expect("utf8"), "--seed", "9"])
+        .output()
+        .expect("rerun executes");
+    let text = String::from_utf8_lossy(&rerun.stdout).to_string()
+        + &String::from_utf8_lossy(&rerun.stderr);
+    let jobs = parsed["jobs"].as_u64().expect("jobs");
+    assert!(
+        text.contains(&format!("{jobs} jobs")),
+        "deterministic job count {jobs} not found in: {text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    let out = tgsim().output().expect("runs");
+    assert!(!out.status.success());
+    let out = tgsim()
+        .args(["run", "/nonexistent/file.json"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+    let out = tgsim()
+        .args(["run", "Cargo.toml"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid scenario"));
+}
+
+#[test]
+fn checked_in_config_still_parses() {
+    // Guard against config-format drift: the committed example must load.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/configs/baseline-300u-14d.json");
+    let text = std::fs::read_to_string(path).expect("config exists");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(v["sites"].as_array().expect("sites").len(), 3);
+}

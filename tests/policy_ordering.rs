@@ -1,0 +1,133 @@
+//! Cross-crate policy-ordering checks: the qualitative relationships the
+//! evaluation section relies on must hold on small instances too.
+
+use teragrid_repro::prelude::*;
+
+/// One site, one modality, moderate pressure.
+fn single_site(kind: SchedulerKind, seed_name: &str) -> ScenarioConfig {
+    let site = SiteConfig {
+        batch_nodes: 64, // × 8 = 512 cores
+        ..SiteConfig::medium("one")
+    };
+    let mut mix = PopulationMix::baseline(0);
+    mix.users_per_modality = [0; Modality::ALL.len()];
+    mix.users_per_modality[Modality::BatchComputing.index()] = 7;
+    mix.users_per_modality[Modality::Interactive.index()] = 10;
+    let mut profiles = ModalityProfile::all_defaults();
+    // Keep jobs inside the small machine.
+    profiles[Modality::BatchComputing.index()].cores_weights =
+        vec![(16, 30.0), (32, 25.0), (64, 20.0), (128, 15.0), (256, 10.0)];
+    ScenarioConfig {
+        name: format!("{seed_name}-{}", kind.name()),
+        sites: vec![site],
+        data_home: 0,
+        scheduler: kind,
+        meta: MetaPolicy::ShortestEta,
+        rc_policy: RcPolicy::AWARE,
+        workload: GeneratorConfig {
+            horizon: SimDuration::from_days(10),
+            mix,
+            profiles,
+            sites: 1,
+            rc_sites: vec![],
+            rc_config_count: 0,
+        },
+        library: None,
+        sample_interval: None,
+    }
+}
+
+fn mean_wait_small_jobs(out: &SimOutput) -> f64 {
+    let small: Vec<_> = out.db.jobs.iter().filter(|j| j.cores <= 8).collect();
+    small.iter().map(|j| j.wait().as_secs_f64()).sum::<f64>() / small.len().max(1) as f64
+}
+
+#[test]
+fn backfilling_beats_fcfs_for_small_jobs() {
+    let fcfs = single_site(SchedulerKind::Fcfs, "order").build().run(5);
+    let easy = single_site(SchedulerKind::Easy, "order").build().run(5);
+    let cons = single_site(SchedulerKind::Conservative, "order").build().run(5);
+    let w_fcfs = mean_wait_small_jobs(&fcfs);
+    let w_easy = mean_wait_small_jobs(&easy);
+    let w_cons = mean_wait_small_jobs(&cons);
+    assert!(
+        w_easy <= w_fcfs,
+        "EASY small-job wait {w_easy} must not exceed FCFS {w_fcfs}"
+    );
+    assert!(
+        w_cons <= w_fcfs,
+        "conservative small-job wait {w_cons} must not exceed FCFS {w_fcfs}"
+    );
+}
+
+#[test]
+fn all_schedulers_complete_the_same_job_set() {
+    let mut counts = Vec::new();
+    for kind in [
+        SchedulerKind::Fcfs,
+        SchedulerKind::Easy,
+        SchedulerKind::Conservative,
+        SchedulerKind::WeeklyDrain,
+    ] {
+        let out = single_site(kind, "conserve").build().run(6);
+        counts.push(out.db.jobs.len());
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
+
+#[test]
+fn rc_aware_never_loses_to_blind_on_turnaround() {
+    use tg_bench::{rc_only_config, rc_tasks_per_day_for_load, synthetic_library};
+    let rate = rc_tasks_per_day_for_load(8, 8, 0.6);
+    let mut turnarounds = Vec::new();
+    for policy in [RcPolicy::AWARE, RcPolicy::BLIND] {
+        let mut cfg = rc_only_config(8, 8, rate, 1, 12);
+        cfg.rc_policy = policy;
+        cfg.library = Some(synthetic_library(12, SimDuration::from_secs(15), 1.0));
+        let out = cfg.build().run(9);
+        let mean = out
+            .db
+            .jobs
+            .iter()
+            .map(|j| j.end.saturating_since(j.submit).as_secs_f64())
+            .sum::<f64>()
+            / out.db.jobs.len().max(1) as f64;
+        turnarounds.push(mean);
+    }
+    assert!(
+        turnarounds[0] <= turnarounds[1] * 1.01,
+        "aware {} vs blind {}",
+        turnarounds[0],
+        turnarounds[1]
+    );
+}
+
+#[test]
+fn metascheduler_eta_beats_random_under_imbalance() {
+    let build = |policy: MetaPolicy, seed: u64| {
+        let mut cfg = single_site(SchedulerKind::Easy, "meta");
+        // Two sites, very different sizes; users unpinned.
+        cfg.sites = vec![
+            SiteConfig {
+                batch_nodes: 16,
+                ..SiteConfig::medium("tiny")
+            },
+            SiteConfig {
+                batch_nodes: 128,
+                ..SiteConfig::medium("big")
+            },
+        ];
+        cfg.workload.sites = 2;
+        cfg.meta = policy;
+        for m in Modality::ALL {
+            cfg.workload.profile_mut(m).site_pinned_prob = 0.0;
+        }
+        cfg.build().run(seed)
+    };
+    let eta: f64 = (0..3).map(|s| build(MetaPolicy::ShortestEta, s).mean_wait_secs()).sum();
+    let rnd: f64 = (0..3).map(|s| build(MetaPolicy::Random, s).mean_wait_secs()).sum();
+    assert!(
+        eta <= rnd,
+        "ETA mean wait {eta} should not exceed random {rnd}"
+    );
+}

@@ -1,0 +1,158 @@
+//! Property-based integration tests: random small scenarios must always
+//! satisfy the pipeline's conservation and consistency invariants, and the
+//! workload layer's artifacts must round-trip.
+
+use proptest::prelude::*;
+use teragrid_repro::prelude::*;
+
+/// A small random-but-valid scenario configuration.
+fn arb_scenario() -> impl Strategy<Value = (ScenarioConfig, u64)> {
+    (
+        2usize..30,   // batch users
+        0usize..20,   // interactive users
+        0usize..15,   // gateway users
+        0usize..6,    // workflow users
+        0usize..8,    // rc users
+        1u64..5,      // days
+        0usize..3,    // scheduler index
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(batch, inter, gw, wf, rc, days, sched, seed)| {
+                let site_a = SiteConfig {
+                    batch_nodes: 32,
+                    ..SiteConfig::medium("a")
+                };
+                let site_b = SiteConfig {
+                    batch_nodes: 24,
+                    rc_nodes: if rc > 0 { 4 } else { 0 },
+                    rc_area_per_node: 8,
+                    ..SiteConfig::medium("b")
+                };
+                let mut mix = PopulationMix::baseline(0);
+                mix.users_per_modality = [0; Modality::ALL.len()];
+                mix.users_per_modality[Modality::BatchComputing.index()] = batch;
+                mix.users_per_modality[Modality::Interactive.index()] = inter;
+                mix.users_per_modality[Modality::ScienceGateway.index()] = gw;
+                mix.users_per_modality[Modality::Workflow.index()] = wf;
+                mix.users_per_modality[Modality::RcAccelerated.index()] = rc;
+                let scheduler = [
+                    SchedulerKind::Fcfs,
+                    SchedulerKind::Easy,
+                    SchedulerKind::Conservative,
+                ][sched];
+                let cfg = ScenarioConfig {
+                    name: "prop".into(),
+                    sites: vec![site_a, site_b],
+                    data_home: 0,
+                    scheduler,
+                    meta: MetaPolicy::LeastLoaded,
+                    rc_policy: RcPolicy::AWARE,
+                    workload: GeneratorConfig {
+                        horizon: SimDuration::from_days(days),
+                        mix,
+                        profiles: ModalityProfile::all_defaults(),
+                        sites: 2,
+                        rc_sites: if rc > 0 { vec![SiteId(1)] } else { vec![] },
+                        rc_config_count: if rc > 0 { 6 } else { 0 },
+                    },
+                    library: None,
+                    sample_interval: None,
+                };
+                (cfg, seed)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs a full simulation
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_scenarios_conserve_jobs_and_stay_consistent((cfg, seed) in arb_scenario()) {
+        let generated = WorkloadGenerator::new(cfg.workload.clone())
+            .generate(&RngFactory::new(seed))
+            .jobs
+            .len();
+        let out = cfg.build().run(seed);
+        // Conservation.
+        prop_assert_eq!(out.db.jobs.len(), generated);
+        // Consistency of every record.
+        for r in &out.db.jobs {
+            prop_assert!(r.start >= r.submit);
+            prop_assert!(r.end > r.start);
+            prop_assert!(r.site.index() < 2);
+            prop_assert!(r.end <= out.end);
+        }
+        // Clusters fully drained.
+        for s in &out.site_stats {
+            prop_assert!(s.utilization >= 0.0 && s.utilization <= 1.0);
+        }
+        // Every completed job has exactly one truth label.
+        for r in &out.db.jobs {
+            prop_assert!(out.truth_of(r.job).is_some());
+        }
+    }
+
+    #[test]
+    fn classifier_always_labels_every_job((cfg, seed) in arb_scenario()) {
+        let out = cfg.build().run(seed);
+        for mode in [ClassifierMode::WithAttributes, ClassifierMode::RecordsOnly] {
+            let inferred = classify_all(&out.db, mode);
+            prop_assert_eq!(inferred.len(), out.db.jobs.len());
+        }
+        let inferred = classify_all(&out.db, ClassifierMode::WithAttributes);
+        let acc = Accuracy::score(&out.truth, &inferred);
+        prop_assert!(acc.accuracy >= 0.0 && acc.accuracy <= 1.0);
+        prop_assert!(acc.macro_f1 >= 0.0 && acc.macro_f1 <= 1.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn swf_roundtrip_preserves_core_fields(
+        users in 1usize..20,
+        days in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let cfg = GeneratorConfig::baseline(users.max(7) * 7, days, 2);
+        let w = WorkloadGenerator::new(cfg).generate(&RngFactory::new(seed));
+        let text = tg_workload::swf::to_swf(&w.jobs);
+        let back = tg_workload::swf::from_swf(&text).unwrap();
+        prop_assert_eq!(back.len(), w.jobs.len());
+        for (a, b) in w.jobs.iter().zip(&back) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.cores, b.cores);
+            prop_assert_eq!(a.true_modality, b.true_modality);
+            // Times round-trip at SWF's one-second resolution.
+            let dt = a.submit_time.as_secs_f64() - b.submit_time.as_secs_f64();
+            prop_assert!(dt.abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn shares_are_a_probability_distribution(
+        users in 30usize..120,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ScenarioConfig::baseline(users, 2);
+        cfg.sites[0].batch_nodes = 32;
+        cfg.sites[1].batch_nodes = 32;
+        cfg.sites[2].batch_nodes = 16;
+        let out = cfg.build().run(seed);
+        let shares = ModalityShares::compute(&out.db, &out.truth, &out.charge_policy);
+        let nu_total: f64 = Modality::ALL.iter().map(|&m| shares.nu_share(m)).sum();
+        let job_total: f64 = Modality::ALL.iter().map(|&m| shares.job_share(m)).sum();
+        if shares.total_jobs() > 0 {
+            prop_assert!((nu_total - 1.0).abs() < 1e-9);
+            prop_assert!((job_total - 1.0).abs() < 1e-9);
+        }
+    }
+}
