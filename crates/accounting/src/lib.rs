@@ -49,6 +49,4 @@ pub mod record;
 pub use charge::{su_for, ChargePolicy};
 pub use db::AccountingDb;
 pub use query::{GroupSums, UserSummary};
-pub use record::{
-    GatewayAttribute, JobRecord, RcPlacementRecord, SessionRecord, TransferRecord,
-};
+pub use record::{GatewayAttribute, JobRecord, RcPlacementRecord, SessionRecord, TransferRecord};

@@ -145,7 +145,11 @@ pub fn user_summaries(db: &AccountingDb) -> Vec<UserSummary> {
             }
             i = k;
         }
-        let batched_frac = if n > 0 { batched_jobs as f64 / n as f64 } else { 0.0 };
+        let batched_frac = if n > 0 {
+            batched_jobs as f64 / n as f64
+        } else {
+            0.0
+        };
 
         // Rate over the active span, floored at one day so sparse accounts
         // don't read as high-rate (a single afternoon of activity is not a
@@ -158,10 +162,7 @@ pub fn user_summaries(db: &AccountingDb) -> Vec<UserSummary> {
             1.0
         };
 
-        let gateway_jobs = jobs
-            .iter()
-            .filter(|j| db.has_gateway_attr(j.job))
-            .count() as u64;
+        let gateway_jobs = jobs.iter().filter(|j| db.has_gateway_attr(j.job)).count() as u64;
         let engine_jobs = jobs
             .iter()
             .filter(|j| j.interface == SubmitInterface::WorkflowEngine)

@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn bounded_slowdown_floors_short_jobs() {
         let r = rec(0, 100, 101, 1); // 1-second job, 100 s wait
-        // floor at 10 s: (100 + 10)/10 = 11
+                                     // floor at 10 s: (100 + 10)/10 = 11
         assert!((r.bounded_slowdown() - 11.0).abs() < 1e-9);
     }
 

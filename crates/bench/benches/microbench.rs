@@ -13,7 +13,9 @@ use tg_model::config::ConfigLibrary;
 use tg_model::reconf::RcPartition;
 use tg_model::Cluster;
 use tg_sched::{RcPolicy, SchedulerKind};
-use tg_workload::{GeneratorConfig, Job, JobId, ProjectId, RcRequirement, UserId, WorkloadGenerator};
+use tg_workload::{
+    GeneratorConfig, Job, JobId, ProjectId, RcRequirement, UserId, WorkloadGenerator,
+};
 
 /// Event-queue throughput: N timer events that each reschedule themselves
 /// once — the engine's pop/push hot loop.
@@ -91,8 +93,7 @@ fn bench_scheduler_round(c: &mut Criterion) {
                     (sched, cluster)
                 },
                 |(mut sched, mut cluster)| {
-                    let started =
-                        sched.make_decisions(SimTime::from_secs(1), &mut cluster, 1.0);
+                    let started = sched.make_decisions(SimTime::from_secs(1), &mut cluster, 1.0);
                     black_box(started.len())
                 },
             );
@@ -112,9 +113,12 @@ fn bench_rc_planning(c: &mut Criterion) {
         let node = tg_model::NodeId((i * 7) % 64);
         let plan = partition.node(node).plan(config, &library);
         if !matches!(plan, tg_model::reconf::HostPlan::Infeasible) {
-            let rid = partition
-                .node_mut(node)
-                .commit(plan, config, &library, SimTime::from_secs(i as u64));
+            let rid = partition.node_mut(node).commit(
+                plan,
+                config,
+                &library,
+                SimTime::from_secs(i as u64),
+            );
             if i % 2 == 0 {
                 partition
                     .node_mut(node)
@@ -161,9 +165,13 @@ fn bench_distributions(c: &mut Criterion) {
     let logn = LogNormal::from_mean_cv(3600.0, 1.5);
     let zipf = Zipf::new(10_000, 1.1);
     let mut rng = SimRng::seeded(42);
-    group.bench_function("exponential", |b| b.iter(|| black_box(expo.sample(&mut rng))));
+    group.bench_function("exponential", |b| {
+        b.iter(|| black_box(expo.sample(&mut rng)))
+    });
     group.bench_function("lognormal", |b| b.iter(|| black_box(logn.sample(&mut rng))));
-    group.bench_function("zipf_10k", |b| b.iter(|| black_box(zipf.sample_rank(&mut rng))));
+    group.bench_function("zipf_10k", |b| {
+        b.iter(|| black_box(zipf.sample_rank(&mut rng)))
+    });
     group.finish();
 }
 

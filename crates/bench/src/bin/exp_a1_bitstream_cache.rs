@@ -59,8 +59,7 @@ fn main() {
             );
             let jobs = &r.output.db.jobs;
             waits.push(
-                jobs.iter().map(|j| j.wait().as_secs_f64()).sum::<f64>()
-                    / jobs.len().max(1) as f64,
+                jobs.iter().map(|j| j.wait().as_secs_f64()).sum::<f64>() / jobs.len().max(1) as f64,
             );
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -76,7 +75,14 @@ fn main() {
 
     let mut table = Table::new(
         format!("A1: bitstream cache ablation ({nodes} RC nodes, {configs} configurations)"),
-        &["cache", "fetches", "hits", "reconfigs", "mean setup", "mean wait"],
+        &[
+            "cache",
+            "fetches",
+            "hits",
+            "reconfigs",
+            "mean setup",
+            "mean wait",
+        ],
     );
     for r in &results {
         table.row(vec![

@@ -9,7 +9,7 @@
 
 use serde::Serialize;
 use tg_bench::{calibrated_users, save_json, single_site_config, Table};
-use tg_core::{replicate, Modality};
+use tg_core::{replicate_with, Modality, RunOptions};
 use tg_sched::SchedulerKind;
 use tg_workload::ModalityProfile;
 
@@ -20,6 +20,8 @@ struct A2Result {
     ci: f64,
     normal_mean_wait_s: f64,
     hero_mean_wait_h: f64,
+    backfills: u64,
+    drains: u64,
 }
 
 fn main() {
@@ -42,7 +44,7 @@ fn main() {
             &[(Modality::BatchComputing, users)],
             kind,
         );
-        let reps = replicate(&cfg.build(), 15_000, 3, 0);
+        let reps = replicate_with(&cfg.build(), 15_000, 3, 0, &RunOptions::with_metrics());
         let mut utils = Vec::new();
         let mut normal_waits = Vec::new();
         let mut hero_waits = Vec::new();
@@ -73,18 +75,56 @@ fn main() {
                 v.iter().sum::<f64>() / v.len() as f64
             }
         };
+        // Scheduler-internal counters surface through the metrics snapshot:
+        // the weekly-drain policy both backfills under the wall and completes
+        // drains; naive draining does neither.
+        let backfills = mean(
+            &reps
+                .iter()
+                .map(|r| {
+                    r.output
+                        .metrics
+                        .as_ref()
+                        .expect("metrics requested")
+                        .counter_sum("sched.backfills.") as f64
+                })
+                .collect::<Vec<_>>(),
+        )
+        .round() as u64;
+        let drains = mean(
+            &reps
+                .iter()
+                .map(|r| {
+                    r.output
+                        .metrics
+                        .as_ref()
+                        .expect("metrics requested")
+                        .counter_sum("sched.drains.") as f64
+                })
+                .collect::<Vec<_>>(),
+        )
+        .round() as u64;
         results.push(A2Result {
             scheduler: kind.name().to_string(),
             utilization: util,
             ci,
             normal_mean_wait_s: mean(&normal_waits),
             hero_mean_wait_h: mean(&hero_waits),
+            backfills,
+            drains,
         });
     }
 
     let mut table = Table::new(
         "A2: pre-drain filling ablation (weekly drain, hero jobs present)",
-        &["scheduler", "utilization", "normal wait (s)", "hero wait (h)"],
+        &[
+            "scheduler",
+            "utilization",
+            "normal wait (s)",
+            "hero wait (h)",
+            "backfills",
+            "drains",
+        ],
     );
     for r in &results {
         table.row(vec![
@@ -92,6 +132,8 @@ fn main() {
             format!("{:.3} ± {:.3}", r.utilization, r.ci),
             format!("{:.0}", r.normal_mean_wait_s),
             format!("{:.1}", r.hero_mean_wait_h),
+            r.backfills.to_string(),
+            r.drains.to_string(),
         ]);
     }
     println!("{table}");

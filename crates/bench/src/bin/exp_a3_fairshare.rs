@@ -74,8 +74,7 @@ fn main() {
                     .iter()
                     .filter(|j| set.contains(&j.project))
                     .collect();
-                jobs.iter().map(|j| j.wait().as_secs_f64()).sum::<f64>()
-                    / jobs.len().max(1) as f64
+                jobs.iter().map(|j| j.wait().as_secs_f64()).sum::<f64>() / jobs.len().max(1) as f64
             };
             heavy_waits.push(mean_wait(&heavy));
             light_waits.push(mean_wait(&light));
@@ -94,7 +93,13 @@ fn main() {
 
     let mut table = Table::new(
         "A3: fair-share ordering ablation (top-quartile vs bottom-quartile projects)",
-        &["scheduler", "util", "heavy wait", "light wait", "heavy/light"],
+        &[
+            "scheduler",
+            "util",
+            "heavy wait",
+            "light wait",
+            "heavy/light",
+        ],
     );
     for r in &results {
         table.row(vec![

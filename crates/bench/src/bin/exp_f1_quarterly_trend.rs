@@ -44,8 +44,15 @@ fn main() {
     let mut table = Table::new(
         "F1: NU share by modality per quarter (gateway adoption ramp)",
         &[
-            "quarter", "gw users", "batch", "interactive", "gateway", "workflow", "ensemble",
-            "data", "rc",
+            "quarter",
+            "gw users",
+            "batch",
+            "interactive",
+            "gateway",
+            "workflow",
+            "ensemble",
+            "data",
+            "rc",
         ],
     );
     for q in 0..quarters {
@@ -71,10 +78,8 @@ fn main() {
         100.0 * batch[0],
         100.0 * batch[quarters - 1],
         quarters,
-        Modality::ALL
-            .iter()
-            .all(|&m| m == Modality::BatchComputing
-                || nu_share[m.index()][quarters - 1] <= batch[quarters - 1])
+        Modality::ALL.iter().all(|&m| m == Modality::BatchComputing
+            || nu_share[m.index()][quarters - 1] <= batch[quarters - 1])
     );
 
     save_json(

@@ -29,7 +29,9 @@ fn main() {
     let qs = [0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0];
     let mut table = Table::new(
         "F2: job-size (cores) quantiles per modality",
-        &["modality", "jobs", "P10", "P25", "P50", "P75", "P90", "P99", "max"],
+        &[
+            "modality", "jobs", "P10", "P25", "P50", "P75", "P90", "P99", "max",
+        ],
     );
     let mut per_modality = Vec::new();
     let mut cdfs = Vec::new();

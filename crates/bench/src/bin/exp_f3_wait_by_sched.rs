@@ -42,8 +42,7 @@ fn main() {
     let cores = nodes * cpn;
     let days = 21;
     let target_load = 0.8;
-    let batch_profile =
-        tg_workload::ModalityProfile::default_for(Modality::BatchComputing);
+    let batch_profile = tg_workload::ModalityProfile::default_for(Modality::BatchComputing);
     let batch_users = calibrated_users(&batch_profile, cores, target_load * 0.85);
     let interactive_users = 20; // a small-short stream for backfill to chew on
 
@@ -107,7 +106,15 @@ fn main() {
 
     let mut table = Table::new(
         format!("F3: mean queue wait (s) by job-size class, {cores} cores, load {target_load}"),
-        &["scheduler", "util", "1-8", "9-64", "65-512", ">512", "slowdown"],
+        &[
+            "scheduler",
+            "util",
+            "1-8",
+            "9-64",
+            "65-512",
+            ">512",
+            "slowdown",
+        ],
     );
     for r in &results {
         table.row(vec![

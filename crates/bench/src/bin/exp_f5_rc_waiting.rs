@@ -58,9 +58,7 @@ fn main() {
                 let stats = r.output.site_stats[1].rc_stats;
                 let placements = (stats.reuses + stats.reconfigs).max(1);
                 reuse_frac.push(stats.reuses as f64 / placements as f64);
-                hw_frac.push(
-                    jobs.iter().filter(|j| j.used_hw).count() as f64 / jobs.len() as f64,
-                );
+                hw_frac.push(jobs.iter().filter(|j| j.used_hw).count() as f64 / jobs.len() as f64);
             }
             let (mean_wait, ci) = tg_des::stats::ci_student_t(&waits);
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -77,8 +75,17 @@ fn main() {
     }
 
     let mut table = Table::new(
-        format!("F5: RC-task mean wait (s) vs partition size ({tasks_per_day:.0} tasks/day offered)"),
-        &["nodes", "policy", "mean wait", "turnaround", "reuse%", "hw%"],
+        format!(
+            "F5: RC-task mean wait (s) vs partition size ({tasks_per_day:.0} tasks/day offered)"
+        ),
+        &[
+            "nodes",
+            "policy",
+            "mean wait",
+            "turnaround",
+            "reuse%",
+            "hw%",
+        ],
     );
     for p in &points {
         table.row(vec![

@@ -92,7 +92,14 @@ fn main() {
 
     let mut table = Table::new(
         format!("F6: wasted-area fraction vs offered load ({nodes} nodes × 8 area)"),
-        &["load", "policy", "wasted", "busy", "reconf/task", "mean wait"],
+        &[
+            "load",
+            "policy",
+            "wasted",
+            "busy",
+            "reconf/task",
+            "mean wait",
+        ],
     );
     for p in &points {
         table.row(vec![
@@ -115,8 +122,7 @@ fn main() {
     // At trivial loads every policy reconfigures only on first touch, so
     // compare where churn exists.
     let fewest = [0.5, 0.7, 0.9].iter().all(|&l| {
-        get(l, "reuse-first").reconfigs_per_task
-            <= get(l, "best-fit").reconfigs_per_task * 1.05
+        get(l, "reuse-first").reconfigs_per_task <= get(l, "best-fit").reconfigs_per_task * 1.05
             && get(l, "reuse-first").reconfigs_per_task
                 <= get(l, "first-fit").reconfigs_per_task * 1.05
     });

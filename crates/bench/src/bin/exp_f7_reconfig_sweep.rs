@@ -55,8 +55,8 @@ fn main() {
             // Deadlines live in the workload, not in accounting records:
             // regenerate the same workload to recover them.
             let deadline_of: HashMap<JobId, SimDuration> = {
-                let w = WorkloadGenerator::new(cfg.workload.clone())
-                    .generate(&RngFactory::new(seed));
+                let w =
+                    WorkloadGenerator::new(cfg.workload.clone()).generate(&RngFactory::new(seed));
                 w.jobs
                     .iter()
                     .filter_map(|j| j.rc.and_then(|rc| rc.deadline).map(|d| (j.id, d)))
@@ -74,7 +74,10 @@ fn main() {
                 if j.used_hw {
                     hw += 1;
                 }
-                let d = deadline_of.get(&j.job).copied().expect("all tasks have deadlines");
+                let d = deadline_of
+                    .get(&j.job)
+                    .copied()
+                    .expect("all tasks have deadlines");
                 if j.end <= j.submit + d {
                     met += 1;
                 }

@@ -127,7 +127,13 @@ fn main() {
 
     let mut table = Table::new(
         format!("F8: weekly drain vs EASY with hero jobs ({cores} cores, {days} days)"),
-        &["scheduler", "utilization", "heroes", "hero wait (h)", "normal wait (s)"],
+        &[
+            "scheduler",
+            "utilization",
+            "heroes",
+            "hero wait (h)",
+            "normal wait (s)",
+        ],
     );
     for r in &results {
         table.row(vec![

@@ -9,7 +9,10 @@
 use serde::Serialize;
 use tg_bench::{save_json, Table};
 use tg_core::report::UsageReport;
-use tg_core::{replicate, Modality, ScenarioConfig};
+use tg_core::{
+    aggregate_profiles, replicate_with, MetricsSnapshot, Modality, RunOptions, ScenarioConfig,
+};
+use tg_des::SimDuration;
 
 #[derive(Serialize)]
 struct T1Output {
@@ -22,15 +25,17 @@ struct T1Output {
     nus: Vec<f64>,
     nu_share: Vec<f64>,
     job_share: Vec<f64>,
+    metrics: Option<MetricsSnapshot>,
 }
 
 fn main() {
     let users = 500;
     let days = 45;
-    let cfg = ScenarioConfig::baseline(users, days);
+    let mut cfg = ScenarioConfig::baseline(users, days);
+    cfg.sample_interval = Some(SimDuration::from_hours(6));
     let population = cfg.workload.mix.users_per_modality;
     let scenario = cfg.build();
-    let reps = replicate(&scenario, 1000, 3, 0);
+    let reps = replicate_with(&scenario, 1000, 3, 0, &RunOptions::with_metrics());
 
     // Report on the first replication; use all for the share stability note.
     let out = &reps[0].output;
@@ -47,7 +52,9 @@ fn main() {
 
     let mut shares = Table::new(
         format!("T1b: usage shares, baseline ({users} users, {days} days, ground truth)"),
-        &["modality", "users", "accounts", "jobs", "NUs", "job%", "NU%"],
+        &[
+            "modality", "users", "accounts", "jobs", "NUs", "job%", "NU%",
+        ],
     );
     let s = &report.shares;
     for m in Modality::ALL {
@@ -82,6 +89,23 @@ fn main() {
         s.accounts[Modality::ScienceGateway.index()]
     );
 
+    // Cross-check the run-level metrics against the accounting database and
+    // surface the engine profile for the batch.
+    let snap = out.metrics.as_ref().expect("metrics requested");
+    assert_eq!(
+        snap.counter_sum("completed.site."),
+        out.db.jobs.len() as u64
+    );
+    assert_eq!(
+        snap.counter_sum("completed.modality."),
+        out.db.jobs.len() as u64
+    );
+    let agg = aggregate_profiles(&reps);
+    println!(
+        "engine: {} events in {:.3}s wall ({:.0} events/s), peak queue {}",
+        agg.events_delivered, agg.wall_seconds, agg.events_per_sec, agg.peak_queue_len
+    );
+
     save_json(
         "exp_t1_modality_shares",
         &T1Output {
@@ -94,6 +118,7 @@ fn main() {
             nus: s.nus.clone(),
             nu_share: Modality::ALL.iter().map(|&m| s.nu_share(m)).collect(),
             job_share: Modality::ALL.iter().map(|&m| s.job_share(m)).collect(),
+            metrics: out.metrics.clone(),
         },
     );
 }

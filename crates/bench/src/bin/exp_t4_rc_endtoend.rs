@@ -84,7 +84,10 @@ fn main() {
                 .filter(|j| out.truth_of(j.job) == Some(Modality::BatchComputing))
                 .collect();
             batch_wait.push(
-                batch_jobs.iter().map(|j| j.wait().as_secs_f64()).sum::<f64>()
+                batch_jobs
+                    .iter()
+                    .map(|j| j.wait().as_secs_f64())
+                    .sum::<f64>()
                     / batch_jobs.len().max(1) as f64,
             );
         }
@@ -105,7 +108,14 @@ fn main() {
         format!(
             "T4: hybrid-site mixed workload (32 RC nodes, {tasks_per_day:.0} accelerable tasks/day)"
         ),
-        &["variant", "rc turnaround", "rc/hour", "hw%", "reuse%", "batch wait"],
+        &[
+            "variant",
+            "rc turnaround",
+            "rc/hour",
+            "hw%",
+            "reuse%",
+            "batch wait",
+        ],
     );
     for r in &results {
         table.row(vec![

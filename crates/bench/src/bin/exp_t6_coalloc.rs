@@ -77,10 +77,10 @@ fn main() {
                     "t6",
                     (load * 100.0) as u64 * 10_000 + k as u64 * 1_000 + r as u64,
                 ));
-                let profiles: Vec<Profile> =
-                    (0..SITES).map(|_| synthetic_profile(load, &mut rng)).collect();
-                let parts: Vec<(SiteId, usize)> =
-                    (0..k).map(|s| (SiteId(s), 64)).collect();
+                let profiles: Vec<Profile> = (0..SITES)
+                    .map(|_| synthetic_profile(load, &mut rng))
+                    .collect();
+                let parts: Vec<(SiteId, usize)> = (0..k).map(|s| (SiteId(s), 64)).collect();
                 let request = CoallocRequest::new(parts, SimDuration::from_hours(1));
                 let plan = plan_coallocation(&profiles, &request, SimTime::ZERO)
                     .expect("64 cores always eventually free");

@@ -223,9 +223,8 @@ mod tests {
         // A batch user submits 1.5 large jobs/day of ~4 h — big demand; an
         // ensemble instance expands ~60× over its per-instance rate.
         let ens_profile = ModalityProfile::default_for(Modality::Ensemble);
-        let per_instance = ens_profile.per_user_per_day
-            * ens_profile.runtime.build().mean().unwrap()
-            * 2.0; // mean cores ≈ 2
+        let per_instance =
+            ens_profile.per_user_per_day * ens_profile.runtime.build().mean().unwrap() * 2.0; // mean cores ≈ 2
         let ens = expected_core_seconds_per_user_day(&ens_profile);
         assert!(ens > 10.0 * per_instance, "width multiplies demand");
         assert!(batch > 0.0);
@@ -270,10 +269,7 @@ mod tests {
         );
         let out = cfg.build().run(1);
         assert!(!out.db.jobs.is_empty());
-        assert!(out
-            .truth
-            .values()
-            .all(|&m| m == Modality::Interactive));
+        assert!(out.truth.values().all(|&m| m == Modality::Interactive));
     }
 
     #[test]

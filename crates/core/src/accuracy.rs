@@ -147,10 +147,7 @@ impl Accuracy {
     }
 
     /// Convenience: score inferred labels against truth.
-    pub fn score(
-        truth: &HashMap<JobId, Modality>,
-        inferred: &HashMap<JobId, Modality>,
-    ) -> Self {
+    pub fn score(truth: &HashMap<JobId, Modality>, inferred: &HashMap<JobId, Modality>) -> Self {
         Accuracy::from_matrix(ConfusionMatrix::from_maps(truth, inferred))
     }
 
@@ -207,9 +204,12 @@ mod tests {
 
     #[test]
     fn missing_inferred_jobs_are_skipped() {
-        let truth: HashMap<_, _> = [(JobId(0), Modality::BatchComputing), (JobId(1), Modality::Ensemble)]
-            .into_iter()
-            .collect();
+        let truth: HashMap<_, _> = [
+            (JobId(0), Modality::BatchComputing),
+            (JobId(1), Modality::Ensemble),
+        ]
+        .into_iter()
+        .collect();
         let inferred: HashMap<_, _> = [(JobId(0), Modality::BatchComputing)].into_iter().collect();
         let m = ConfusionMatrix::from_maps(&truth, &inferred);
         assert_eq!(m.total(), 1);

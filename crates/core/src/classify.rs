@@ -176,10 +176,7 @@ fn shape_rules(
         }
     }
     // Interactive: short + small + the account holds login sessions.
-    if summary.sessions > 0
-        && j.wall() <= t.interactive_wall
-        && j.cores <= t.interactive_cores
-    {
+    if summary.sessions > 0 && j.wall() <= t.interactive_wall && j.cores <= t.interactive_cores {
         return Modality::Interactive;
     }
     Modality::BatchComputing

@@ -50,12 +50,15 @@ pub mod sim;
 pub mod survey;
 
 pub use accuracy::{Accuracy, ConfusionMatrix};
-pub use classify::{ClassifierMode, classify_all};
-pub use report::{FieldShares, GatewayReach, ModalityShares, UsageReport};
-pub use runner::{replicate, Replication};
-pub use scenario::{Scenario, ScenarioConfig, SimOutput};
+pub use classify::{classify_all, ClassifierMode};
+pub use report::{FieldShares, GatewayReach, MetricsReport, ModalityShares, UsageReport};
+pub use runner::{aggregate_profiles, replicate, replicate_with, Replication};
+pub use scenario::{RunOptions, Scenario, ScenarioConfig, SimOutput};
 pub use sim::GridSim;
+
+// Observability types surfaced from the DES substrate.
 pub use survey::{run_survey, SurveyDesign, SurveyResult};
+pub use tg_des::metrics::{EngineProfile, MetricsSnapshot};
 
 // The taxonomy lives with the workload generator (ground truth labels);
 // re-export it as part of this crate's public face.

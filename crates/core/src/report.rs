@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use tg_accounting::{AccountingDb, ChargePolicy};
+use tg_des::metrics::MetricsSnapshot;
 use tg_des::stats::TimeBuckets;
 use tg_des::SimDuration;
 use tg_workload::{JobId, Modality};
@@ -220,7 +221,11 @@ impl FieldShares {
 impl fmt::Display for FieldShares {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let total = self.total_nus().max(1e-12);
-        writeln!(f, "{:<12} {:>10} {:>14} {:>7}", "field", "jobs", "NUs", "NU%")?;
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>14} {:>7}",
+            "field", "jobs", "NUs", "NU%"
+        )?;
         for (field, jobs, nus) in &self.rows {
             writeln!(
                 f,
@@ -317,6 +322,39 @@ impl fmt::Display for UsageReport {
     }
 }
 
+/// Human-readable rendering of a [`MetricsSnapshot`] — counters, gauge
+/// summaries, series sizes, and the engine profile if attached.
+#[derive(Debug, Clone)]
+pub struct MetricsReport<'a>(pub &'a MetricsSnapshot);
+
+impl fmt::Display for MetricsReport<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snap = self.0;
+        writeln!(f, "Run metrics at t={:.0}s", snap.at_secs)?;
+        if let Some(p) = &snap.engine {
+            writeln!(
+                f,
+                "  engine: {} events in {:.3}s ({:.0} events/s), peak queue {}",
+                p.events_delivered, p.wall_seconds, p.events_per_sec, p.peak_queue_len
+            )?;
+        }
+        for c in &snap.counters {
+            writeln!(f, "  {:<28} {:>14}", c.name, c.value)?;
+        }
+        for g in &snap.gauges {
+            writeln!(
+                f,
+                "  {:<28} avg {:>10.2}  peak {:>8.0}  now {:>8.0}",
+                g.name, g.average, g.peak, g.current
+            )?;
+        }
+        for s in &snap.series {
+            writeln!(f, "  {:<28} {:>10} samples", s.name, s.points.len())?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,9 +443,11 @@ mod tests {
     #[test]
     fn field_shares_group_by_project_directory() {
         let (db, _, charges) = setup();
-        let projects = vec![
-            tg_workload::Project::new(tg_workload::ProjectId(0), 1e6, "astro"),
-        ];
+        let projects = vec![tg_workload::Project::new(
+            tg_workload::ProjectId(0),
+            1e6,
+            "astro",
+        )];
         let fs = FieldShares::compute(&db, &projects, &charges);
         assert_eq!(fs.rows.len(), 1);
         assert_eq!(fs.rows[0].0, "astro");
@@ -435,12 +475,35 @@ mod tests {
         }
         let reach = GatewayReach::compute(&db);
         assert_eq!(reach.rows.len(), 2);
-        assert_eq!(reach.rows[0], (GatewayId(0), 2, 3), "two people, three jobs");
+        assert_eq!(
+            reach.rows[0],
+            (GatewayId(0), 2, 3),
+            "two people, three jobs"
+        );
         assert_eq!(reach.rows[1], (GatewayId(1), 1, 1));
         assert_eq!(reach.total_end_users(), 3);
         let text = reach.to_string();
         assert!(text.contains("end users"));
         assert!(text.contains("gw0"));
+    }
+
+    #[test]
+    fn metrics_report_renders_all_sections() {
+        use tg_des::metrics::{EngineProfile, MetricsRegistry};
+        let mut m = MetricsRegistry::enabled();
+        let c = m.counter("jobs.enqueued");
+        m.add(c, 9);
+        let g = m.gauge("busy_cores.alpha", SimTime::ZERO, 0.0);
+        m.gauge_set(g, SimTime::from_secs(10), 4.0);
+        let s = m.series("queue_len.alpha");
+        m.push(s, SimTime::from_secs(5), 2.0);
+        let mut snap = m.snapshot(SimTime::from_secs(20)).unwrap();
+        snap.engine = Some(EngineProfile::new(100, 0.01, 7));
+        let text = MetricsReport(&snap).to_string();
+        assert!(text.contains("jobs.enqueued"));
+        assert!(text.contains("busy_cores.alpha"));
+        assert!(text.contains("1 samples"));
+        assert!(text.contains("peak queue 7"));
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! fan results back through a crossbeam channel; outputs are re-ordered by
 //! replication index before returning.
 
-use crate::scenario::{Scenario, SimOutput};
+use crate::scenario::{RunOptions, Scenario, SimOutput};
 use crossbeam::channel;
 use std::thread;
+use tg_des::metrics::EngineProfile;
 
 /// One replication's result.
 #[derive(Debug)]
@@ -25,7 +26,25 @@ pub struct Replication {
 /// Run `count` replications of `scenario` at seeds `base_seed..base_seed+count`,
 /// using up to `threads` worker threads (clamped to `count`; 0 means one
 /// thread per replication up to the machine's parallelism).
-pub fn replicate(scenario: &Scenario, base_seed: u64, count: usize, threads: usize) -> Vec<Replication> {
+pub fn replicate(
+    scenario: &Scenario,
+    base_seed: u64,
+    count: usize,
+    threads: usize,
+) -> Vec<Replication> {
+    replicate_with(scenario, base_seed, count, threads, &RunOptions::default())
+}
+
+/// [`replicate`] with observability options. Metrics are collected on every
+/// replication; the JSONL trace (if requested) is written by replication 0
+/// only — one representative trace rather than `count` interleaved files.
+pub fn replicate_with(
+    scenario: &Scenario,
+    base_seed: u64,
+    count: usize,
+    threads: usize,
+    opts: &RunOptions,
+) -> Vec<Replication> {
     assert!(count > 0, "need at least one replication");
     let workers = if threads == 0 {
         thread::available_parallelism()
@@ -49,7 +68,15 @@ pub fn replicate(scenario: &Scenario, base_seed: u64, count: usize, threads: usi
             scope.spawn(move || {
                 while let Ok(index) = task_rx.recv() {
                     let seed = base_seed + index as u64;
-                    let output = scenario.run(seed);
+                    let rep_opts = RunOptions {
+                        metrics: opts.metrics,
+                        trace_path: if index == 0 {
+                            opts.trace_path.clone()
+                        } else {
+                            None
+                        },
+                    };
+                    let output = scenario.run_with(seed, &rep_opts);
                     result_tx
                         .send(Replication {
                             index,
@@ -72,6 +99,25 @@ pub fn replicate(scenario: &Scenario, base_seed: u64, count: usize, threads: usi
 pub fn summarize(replications: &[Replication], metric: impl Fn(&SimOutput) -> f64) -> (f64, f64) {
     let values: Vec<f64> = replications.iter().map(|r| metric(&r.output)).collect();
     tg_des::stats::ci_student_t(&values)
+}
+
+/// Aggregate the wall-clock engine profiles of a replication batch: total
+/// events and wall time, overall delivery rate, and the worst peak queue.
+pub fn aggregate_profiles(replications: &[Replication]) -> EngineProfile {
+    let events: u64 = replications
+        .iter()
+        .map(|r| r.output.profile.events_delivered)
+        .sum();
+    let wall: f64 = replications
+        .iter()
+        .map(|r| r.output.profile.wall_seconds)
+        .sum();
+    let peak = replications
+        .iter()
+        .map(|r| r.output.profile.peak_queue_len)
+        .max()
+        .unwrap_or(0);
+    EngineProfile::new(events, wall, peak as usize)
 }
 
 #[cfg(test)]
@@ -109,6 +155,32 @@ mod tests {
         assert_eq!(seeds, vec![7, 8, 9]);
         let idx: Vec<usize> = reps.iter().map(|r| r.index).collect();
         assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn replicate_with_metrics_collects_everywhere() {
+        let s = tiny();
+        let reps = replicate_with(&s, 5, 2, 2, &RunOptions::with_metrics());
+        assert_eq!(reps.len(), 2);
+        for r in &reps {
+            let snap = r.output.metrics.as_ref().expect("metrics on");
+            assert_eq!(
+                snap.counter_sum("completed.site."),
+                r.output.db.jobs.len() as u64
+            );
+        }
+        // Identical to an unobserved batch.
+        let plain = replicate(&s, 5, 2, 2);
+        for (a, b) in reps.iter().zip(&plain) {
+            assert_eq!(a.output.db.jobs, b.output.db.jobs);
+            assert!(b.output.metrics.is_none());
+        }
+        let agg = aggregate_profiles(&reps);
+        assert_eq!(
+            agg.events_delivered,
+            reps.iter().map(|r| r.output.events_delivered).sum::<u64>()
+        );
+        assert!(agg.peak_queue_len > 0);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 use crate::sim::{Event, GridSim};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use tg_accounting::{AccountingDb, ChargePolicy};
+use tg_des::metrics::{EngineProfile, MetricsSnapshot};
+use tg_des::trace::Tracer;
 use tg_des::{Engine, RngFactory, SimTime};
 use tg_model::reconf::RcNodeStats;
 use tg_model::{ConfigLibrary, Federation, SiteConfig, SiteId};
@@ -83,6 +86,27 @@ impl ScenarioConfig {
     }
 }
 
+/// Observability options for one run. Everything here is an *observer*:
+/// enabling any of it cannot change simulation results (the determinism
+/// tests hold with or without them).
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Collect a [`MetricsSnapshot`] (counters, gauges, series).
+    pub metrics: bool,
+    /// Stream a JSONL structured trace to this path.
+    pub trace_path: Option<PathBuf>,
+}
+
+impl RunOptions {
+    /// Options with metrics collection on.
+    pub fn with_metrics() -> Self {
+        RunOptions {
+            metrics: true,
+            ..Self::default()
+        }
+    }
+}
+
 /// A runnable scenario.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -97,6 +121,13 @@ impl Scenario {
 
     /// Run with `seed`, deterministically.
     pub fn run(&self, seed: u64) -> SimOutput {
+        self.run_with(seed, &RunOptions::default())
+    }
+
+    /// Run with `seed` and explicit observability options. The simulation
+    /// results are identical to [`Scenario::run`] for any options; only the
+    /// `metrics`/`profile` side channels differ.
+    pub fn run_with(&self, seed: u64, opts: &RunOptions) -> SimOutput {
         let cfg = &self.config;
         let factory = RngFactory::new(seed);
         let library = cfg
@@ -132,8 +163,7 @@ impl Scenario {
             .sites()
             .map(|s| cfg.scheduler.build(s.cluster.total_cores()))
             .collect();
-        let charge_policy =
-            ChargePolicy::new(cfg.sites.iter().map(|s| s.charge_factor).collect());
+        let charge_policy = ChargePolicy::new(cfg.sites.iter().map(|s| s.charge_factor).collect());
         let mut sim = GridSim::new(
             federation,
             schedulers,
@@ -146,8 +176,27 @@ impl Scenario {
         if let Some(interval) = cfg.sample_interval {
             sim = sim.with_sampling(interval);
         }
+        if opts.metrics {
+            sim = sim.with_metrics();
+        }
+        if let Some(path) = &opts.trace_path {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+            let mut tracer = Tracer::enabled(4096);
+            tracer.set_sink(Box::new(std::io::BufWriter::new(file)));
+            sim = sim.with_tracer(tracer);
+        }
         let mut engine: Engine<Event> = Engine::with_capacity(1024);
+        // Wall-clock profiling wraps the event loop; it lives OUTSIDE the
+        // deterministic outputs (never compared across runs).
+        let wall_start = std::time::Instant::now();
         let finished = sim.run(&mut engine);
+        let wall = wall_start.elapsed().as_secs_f64();
+        let profile = EngineProfile::new(engine.delivered(), wall, engine.peak_queue_len());
+        let metrics = finished.metrics.map(|mut m| {
+            m.engine = Some(profile.clone());
+            m
+        });
 
         let site_stats: Vec<SiteStats> = finished
             .federation
@@ -174,6 +223,8 @@ impl Scenario {
             samples: finished.samples,
             population: workload.population,
             events_delivered: engine.delivered(),
+            metrics,
+            profile,
         }
     }
 }
@@ -221,6 +272,12 @@ pub struct SimOutput {
     pub population: tg_workload::user::Population,
     /// Events the engine delivered (cost/scale indicator).
     pub events_delivered: u64,
+    /// Run-level metrics snapshot (`None` unless [`RunOptions::metrics`]),
+    /// engine profile attached.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Wall-clock engine profile for this run. Always measured; never part
+    /// of the deterministic output (varies run to run).
+    pub profile: EngineProfile,
 }
 
 impl SimOutput {
@@ -350,6 +407,42 @@ mod tests {
         // Disabled sampling stays empty.
         let out2 = small().build().run(11);
         assert!(out2.samples.is_empty());
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_the_simulation() {
+        let mut cfg = small();
+        cfg.sample_interval = Some(tg_des::SimDuration::from_hours(6));
+        let plain = cfg.clone().build().run(5);
+        let observed = cfg.build().run_with(5, &RunOptions::with_metrics());
+        assert_eq!(
+            plain.db.jobs, observed.db.jobs,
+            "metrics are pure observers"
+        );
+        assert_eq!(plain.end, observed.end);
+        assert_eq!(plain.events_delivered, observed.events_delivered);
+        assert!(plain.metrics.is_none());
+        let snap = observed.metrics.expect("metrics requested");
+        assert_eq!(
+            snap.counter_sum("completed.site."),
+            observed.db.jobs.len() as u64,
+            "per-site completions conserve the job count"
+        );
+        assert_eq!(
+            snap.counter_sum("completed.modality."),
+            observed.db.jobs.len() as u64
+        );
+        let profile = snap.engine.expect("profile attached");
+        assert_eq!(profile.events_delivered, observed.events_delivered);
+        assert!(profile.peak_queue_len > 0);
+        assert!(profile.wall_seconds >= 0.0);
+    }
+
+    #[test]
+    fn profile_is_always_measured() {
+        let out = small().build().run(2);
+        assert_eq!(out.profile.events_delivered, out.events_delivered);
+        assert!(out.profile.peak_queue_len > 0);
     }
 
     #[test]

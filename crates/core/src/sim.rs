@@ -33,9 +33,11 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use tg_accounting::{
     AccountingDb, GatewayAttribute, JobRecord, RcPlacementRecord, SessionRecord, TransferRecord,
 };
-use tg_des::{Ctx, Engine, RngFactory, SimTime, Simulation, StopCondition, StreamId};
+use tg_des::metrics::{CounterId, GaugeId, MetricsRegistry, MetricsSnapshot, SeriesId};
+use tg_des::trace::Tracer;
 #[cfg(test)]
 use tg_des::SimDuration;
+use tg_des::{Ctx, Engine, RngFactory, SimTime, Simulation, StopCondition, StreamId};
 use tg_model::reconf::HostPlan;
 use tg_model::{Federation, SiteId};
 use tg_sched::{BatchScheduler, MetaPolicy, RcDecision, RcPolicy, SiteView};
@@ -104,6 +106,78 @@ pub struct SampleRow {
     pub queue_len: Vec<usize>,
 }
 
+/// Pre-registered instrument handles for [`GridSim`]'s metrics registry.
+/// Registration happens unconditionally in [`GridSim::new`] (it is cheap and
+/// keeps the layout independent of configuration); the registry only records
+/// once [`GridSim::with_metrics`] enables it.
+struct Instruments {
+    submits: CounterId,
+    enqueues: CounterId,
+    staging_bytes: CounterId,
+    staging_transfers: CounterId,
+    rc_deferrals: CounterId,
+    /// `completed.site.<name>`, site order.
+    site_completions: Vec<CounterId>,
+    /// `completed.modality.<name>`, [`Modality::ALL`] order.
+    modality_completions: Vec<CounterId>,
+    /// `sched.backfills.<name>` / `sched.drains.<name>`, harvested from the
+    /// schedulers at end of run.
+    site_backfills: Vec<CounterId>,
+    site_drains: Vec<CounterId>,
+    /// Time-weighted busy-core and queue-length gauges per site.
+    busy_cores: Vec<GaugeId>,
+    queue_len: Vec<GaugeId>,
+    /// Sampled busy-fraction and queue-length series per site (fed by the
+    /// periodic sampler when [`GridSim::with_sampling`] is on).
+    busy_fraction_series: Vec<SeriesId>,
+    queue_len_series: Vec<SeriesId>,
+}
+
+impl Instruments {
+    fn register(m: &mut MetricsRegistry, federation: &Federation) -> Self {
+        let site_names: Vec<String> = federation.sites().map(|s| s.name().to_string()).collect();
+        Instruments {
+            submits: m.counter("jobs.submitted"),
+            enqueues: m.counter("jobs.enqueued"),
+            staging_bytes: m.counter("staging.bytes"),
+            staging_transfers: m.counter("staging.transfers"),
+            rc_deferrals: m.counter("rc.deferrals"),
+            site_completions: site_names
+                .iter()
+                .map(|n| m.counter(format!("completed.site.{n}")))
+                .collect(),
+            modality_completions: Modality::ALL
+                .iter()
+                .map(|md| m.counter(format!("completed.modality.{}", md.name())))
+                .collect(),
+            site_backfills: site_names
+                .iter()
+                .map(|n| m.counter(format!("sched.backfills.{n}")))
+                .collect(),
+            site_drains: site_names
+                .iter()
+                .map(|n| m.counter(format!("sched.drains.{n}")))
+                .collect(),
+            busy_cores: site_names
+                .iter()
+                .map(|n| m.gauge(format!("busy_cores.{n}"), SimTime::ZERO, 0.0))
+                .collect(),
+            queue_len: site_names
+                .iter()
+                .map(|n| m.gauge(format!("queue_len.{n}"), SimTime::ZERO, 0.0))
+                .collect(),
+            busy_fraction_series: site_names
+                .iter()
+                .map(|n| m.series(format!("busy_fraction.{n}")))
+                .collect(),
+            queue_len_series: site_names
+                .iter()
+                .map(|n| m.series(format!("queue_len.{n}")))
+                .collect(),
+        }
+    }
+}
+
 /// The assembled simulation.
 pub struct GridSim {
     /// The resource model (mutated as jobs run).
@@ -133,6 +207,12 @@ pub struct GridSim {
     jobs_total: usize,
     sample_interval: Option<tg_des::SimDuration>,
     samples: Vec<SampleRow>,
+    /// Run-level metrics (disabled by default; see [`GridSim::with_metrics`]).
+    metrics: MetricsRegistry,
+    ins: Instruments,
+    /// Structured event trace (disabled by default; see
+    /// [`GridSim::with_tracer`]).
+    tracer: Tracer,
 }
 
 impl GridSim {
@@ -150,11 +230,7 @@ impl GridSim {
         jobs: Vec<Job>,
         rng: RngFactory,
     ) -> Self {
-        assert_eq!(
-            schedulers.len(),
-            federation.len(),
-            "one scheduler per site"
-        );
+        assert_eq!(schedulers.len(), federation.len(), "one scheduler per site");
         assert!(data_home.index() < federation.len(), "data home must exist");
         let truth: HashMap<JobId, Modality> =
             jobs.iter().map(|j| (j.id, j.true_modality)).collect();
@@ -163,6 +239,8 @@ impl GridSim {
             .site_ids()
             .map(|s| (s, VecDeque::new()))
             .collect();
+        let mut metrics = MetricsRegistry::disabled();
+        let ins = Instruments::register(&mut metrics, &federation);
         GridSim {
             federation,
             schedulers,
@@ -181,7 +259,26 @@ impl GridSim {
             jobs_total,
             sample_interval: None,
             samples: Vec::new(),
+            metrics,
+            ins,
+            tracer: Tracer::new(4096),
         }
+    }
+
+    /// Enable run-level metrics collection. Metrics are pure observers —
+    /// they never draw randomness or schedule events — so enabling them
+    /// cannot change any simulation result.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics.set_enabled(true);
+        self
+    }
+
+    /// Attach a (typically enabled, possibly sink-bearing) tracer. The
+    /// tracer observes the same event stream the records come from; like
+    /// metrics it never perturbs the simulation.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Enable periodic metric sampling at `interval`. Sampling stops on its
@@ -193,12 +290,18 @@ impl GridSim {
     }
 
     fn take_sample(&mut self, ctx: &mut Ctx<Event>) {
-        let busy_fraction = self
+        let busy_fraction: Vec<f64> = self
             .federation
             .sites()
             .map(|s| s.cluster.busy_cores() as f64 / s.cluster.total_cores() as f64)
             .collect();
-        let queue_len = self.schedulers.iter().map(|s| s.queue_len()).collect();
+        let queue_len: Vec<usize> = self.schedulers.iter().map(|s| s.queue_len()).collect();
+        for (i, (&bf, &ql)) in busy_fraction.iter().zip(&queue_len).enumerate() {
+            self.metrics
+                .push(self.ins.busy_fraction_series[i], ctx.now(), bf);
+            self.metrics
+                .push(self.ins.queue_len_series[i], ctx.now(), ql as f64);
+        }
         self.samples.push(SampleRow {
             at: ctx.now(),
             busy_fraction,
@@ -229,17 +332,29 @@ impl GridSim {
         self.prime(engine);
         engine.run_until(&mut self, StopCondition::Exhausted);
         assert_eq!(
-            self.jobs_done, self.jobs_total,
+            self.jobs_done,
+            self.jobs_total,
             "simulation drained with {} of {} jobs unfinished",
             self.jobs_total - self.jobs_done,
             self.jobs_total
         );
+        // Harvest scheduler-side observability counters, then freeze.
+        for i in 0..self.schedulers.len() {
+            let b = self.schedulers[i].backfills();
+            let d = self.schedulers[i].drains();
+            self.metrics.add(self.ins.site_backfills[i], b);
+            self.metrics.add(self.ins.site_drains[i], d);
+        }
+        let metrics = self.metrics.snapshot(engine.now());
+        self.tracer.close_sink();
         FinishedSim {
             federation: self.federation,
             db: self.db,
             truth: self.truth,
             end: engine.now(),
             samples: self.samples,
+            metrics,
+            tracer: self.tracer,
         }
     }
 
@@ -275,6 +390,17 @@ impl GridSim {
                 .federation
                 .network
                 .transfer_time(self.data_home, site, job.input_mb);
+            self.metrics
+                .add(self.ins.staging_bytes, (job.input_mb * 1e6) as u64);
+            self.metrics.inc(self.ins.staging_transfers);
+            self.tracer.emit_event(ctx.now(), "xfer", || {
+                vec![
+                    ("job", job.id.index().into()),
+                    ("dir", "in".into()),
+                    ("dst", site.index().into()),
+                    ("mb", job.input_mb.into()),
+                ]
+            });
             self.db.add_transfer(TransferRecord {
                 user: self.account_of(&job),
                 project: job.project,
@@ -323,9 +449,17 @@ impl GridSim {
                 v
             })
             .collect();
-        let mut rng = self.rng.stream(StreamId::new("meta", job.id.index() as u64));
+        let mut rng = self
+            .rng
+            .stream(StreamId::new("meta", job.id.index() as u64));
         self.meta_policy
-            .select(job, &views, self.data_home, &self.federation.network, &mut rng)
+            .select(
+                job,
+                &views,
+                self.data_home,
+                &self.federation.network,
+                &mut rng,
+            )
             .expect("at least one site fits any generated job")
     }
 
@@ -347,6 +481,14 @@ impl GridSim {
     // ------------------------------------------------------------------
 
     fn enqueue(&mut self, ctx: &mut Ctx<Event>, site: SiteId, job: Job) {
+        self.metrics.inc(self.ins.enqueues);
+        self.tracer.emit_event(ctx.now(), "queue", || {
+            vec![
+                ("job", job.id.index().into()),
+                ("site", site.index().into()),
+                ("cores", job.cores.into()),
+            ]
+        });
         self.schedulers[site.index()].submit(ctx.now(), job);
         self.dispatch(ctx, site);
     }
@@ -357,6 +499,13 @@ impl GridSim {
         let started = self.schedulers[site.index()].make_decisions(ctx.now(), cluster, speed);
         for s in started {
             let actual = s.job.runtime_on(speed, false);
+            self.tracer.emit_event(ctx.now(), "sched", || {
+                vec![
+                    ("job", s.job.id.index().into()),
+                    ("site", site.index().into()),
+                    ("cores", s.job.cores.into()),
+                ]
+            });
             ctx.schedule_after(
                 actual,
                 Event::Complete {
@@ -374,6 +523,20 @@ impl GridSim {
                 ctx.schedule_at(at, Event::SchedWakeup { site });
             }
         }
+        self.observe_site(ctx.now(), site);
+    }
+
+    /// Refresh a site's time-weighted gauges after its state changed.
+    fn observe_site(&mut self, now: SimTime, site: SiteId) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let busy = self.federation.site(site).cluster.busy_cores();
+        let queued = self.schedulers[site.index()].queue_len();
+        self.metrics
+            .gauge_set(self.ins.busy_cores[site.index()], now, busy as f64);
+        self.metrics
+            .gauge_set(self.ins.queue_len[site.index()], now, queued as f64);
     }
 
     fn complete_batch(&mut self, ctx: &mut Ctx<Event>, site: SiteId, job: Job, started: SimTime) {
@@ -382,6 +545,19 @@ impl GridSim {
             .cluster
             .release(ctx.now(), job.cores);
         self.schedulers[site.index()].on_complete(ctx.now(), job.id);
+        self.tracer.emit_event(ctx.now(), "done", || {
+            vec![
+                ("job", job.id.index().into()),
+                ("site", site.index().into()),
+                (
+                    "wait_s",
+                    started
+                        .saturating_since(job.submit_time)
+                        .as_secs_f64()
+                        .into(),
+                ),
+            ]
+        });
         self.emit_records(ctx, site, &job, started, false, None);
         self.finish_job(ctx, &job);
         self.dispatch(ctx, site);
@@ -415,12 +591,12 @@ impl GridSim {
                 let library = self.federation.library.clone();
                 let rc_cfg = job.rc.expect("rc job").config;
                 let speed = self.federation.site(site).core_speed();
-                let region = self
-                    .federation
-                    .site_mut(site)
-                    .rc
-                    .node_mut(node)
-                    .commit(plan, rc_cfg, &library, ctx.now());
+                let region = self.federation.site_mut(site).rc.node_mut(node).commit(
+                    plan,
+                    rc_cfg,
+                    &library,
+                    ctx.now(),
+                );
                 let exec_start = ctx.now() + setup.total();
                 let hw_runtime = job.runtime_on(speed, true);
                 let end = exec_start + hw_runtime;
@@ -454,6 +630,10 @@ impl GridSim {
                 self.enqueue(ctx, site, job);
             }
             RcDecision::Defer => {
+                self.metrics.inc(self.ins.rc_deferrals);
+                self.tracer.emit_event(ctx.now(), "rc", || {
+                    vec![("job", job.id.index().into()), ("deferred", true.into())]
+                });
                 self.rc_backlog
                     .get_mut(&site)
                     .expect("site backlog exists")
@@ -478,6 +658,13 @@ impl GridSim {
             .rc
             .node_mut(node)
             .finish(region, ctx.now());
+        self.tracer.emit_event(ctx.now(), "rc", || {
+            vec![
+                ("job", job.id.index().into()),
+                ("site", site.index().into()),
+                ("reused", placement.reused.into()),
+            ]
+        });
         self.emit_records(ctx, site, &job, started, true, Some(placement));
         self.finish_job(ctx, &job);
         // Fabric freed: retry deferred tasks (FIFO, stop at first re-defer).
@@ -521,6 +708,9 @@ impl GridSim {
         placement: Option<RcPlacementRecord>,
     ) {
         let account = self.account_of(job);
+        self.metrics.inc(self.ins.site_completions[site.index()]);
+        self.metrics
+            .inc(self.ins.modality_completions[job.true_modality.index()]);
         self.db.add_job(JobRecord {
             job: job.id,
             user: account,
@@ -563,6 +753,17 @@ impl GridSim {
                 .federation
                 .network
                 .transfer_time(site, self.data_home, job.output_mb);
+            self.metrics
+                .add(self.ins.staging_bytes, (job.output_mb * 1e6) as u64);
+            self.metrics.inc(self.ins.staging_transfers);
+            self.tracer.emit_event(ctx.now(), "xfer", || {
+                vec![
+                    ("job", job.id.index().into()),
+                    ("dir", "out".into()),
+                    ("src", site.index().into()),
+                    ("mb", job.output_mb.into()),
+                ]
+            });
             self.db.add_transfer(TransferRecord {
                 user: account,
                 project: job.project,
@@ -597,6 +798,14 @@ impl GridSim {
 
     fn submit_from_trace(&mut self, ctx: &mut Ctx<Event>, index: usize) {
         let job = self.jobs[index].take().expect("submit delivered once");
+        self.metrics.inc(self.ins.submits);
+        self.tracer.emit_event(ctx.now(), "submit", || {
+            vec![
+                ("job", job.id.index().into()),
+                ("cores", job.cores.into()),
+                ("deps", job.deps.len().into()),
+            ]
+        });
         let first_unmet = job
             .deps
             .iter()
@@ -618,9 +827,7 @@ impl Simulation for GridSim {
         match event {
             Event::Submit(index) => self.submit_from_trace(ctx, index),
             Event::Enqueue { site, job } => self.enqueue(ctx, site, *job),
-            Event::Complete { site, job, started } => {
-                self.complete_batch(ctx, site, *job, started)
-            }
+            Event::Complete { site, job, started } => self.complete_batch(ctx, site, *job, started),
             Event::RcComplete {
                 site,
                 node,
@@ -650,13 +857,19 @@ pub struct FinishedSim {
     pub end: SimTime,
     /// Periodic metric snapshots (empty unless sampling was enabled).
     pub samples: Vec<SampleRow>,
+    /// Run-level metrics snapshot (`None` unless [`GridSim::with_metrics`]
+    /// was on). The engine profile slot is filled by the harness, which is
+    /// where wall-clock time is measured.
+    pub metrics: Option<MetricsSnapshot>,
+    /// The tracer, ring buffer intact (sink already flushed and closed).
+    pub tracer: Tracer,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tg_model::{ConfigLibrary, Federation, SiteConfig};
     use tg_model::config::ProcessorConfig;
+    use tg_model::{ConfigLibrary, Federation, SiteConfig};
     use tg_sched::SchedulerKind;
     use tg_workload::{ProjectId, RcRequirement, SubmitInterface, WorkflowId};
 
@@ -759,7 +972,11 @@ mod tests {
         let c = job(2, 2, 25, 0).in_workflow(wf, vec![JobId(0), JobId(1)]);
         let out = run_jobs(vec![a, b, c]);
         let rec = |id: usize| out.db.jobs.iter().find(|r| r.job == JobId(id)).unwrap();
-        assert_eq!(rec(1).submit, SimTime::from_secs(100), "released at parent end");
+        assert_eq!(
+            rec(1).submit,
+            SimTime::from_secs(100),
+            "released at parent end"
+        );
         assert!(rec(1).start >= rec(0).end);
         assert!(rec(2).start >= rec(1).end);
         assert_eq!(out.end, SimTime::from_secs(175));
@@ -779,7 +996,9 @@ mod tests {
 
     #[test]
     fn interactive_jobs_leave_session_records() {
-        let j = job(0, 1, 300, 10).labeled(Modality::Interactive).with_site(SiteId(0));
+        let j = job(0, 1, 300, 10)
+            .labeled(Modality::Interactive)
+            .with_site(SiteId(0));
         let out = run_jobs(vec![j]);
         assert_eq!(out.db.sessions.len(), 1);
         let s = &out.db.sessions[0];
@@ -823,7 +1042,12 @@ mod tests {
         };
         let out = run_jobs(vec![mk(0, 0), mk(1, 2000)]);
         assert_eq!(out.db.rc_placements.len(), 2);
-        let second = out.db.rc_placements.iter().find(|p| p.job == JobId(1)).unwrap();
+        let second = out
+            .db
+            .rc_placements
+            .iter()
+            .find(|p| p.job == JobId(1))
+            .unwrap();
         assert!(second.reused, "same config, idle region → reuse");
         assert_eq!(second.transfer, SimDuration::ZERO);
         let stats = out.federation.site(SiteId(1)).rc.total_stats();
@@ -879,7 +1103,9 @@ mod tests {
 
     #[test]
     fn determinism_same_seed_same_records() {
-        let jobs: Vec<Job> = (0..20).map(|i| job(i, 1 + i % 8, 100 + i as u64, i as u64)).collect();
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| job(i, 1 + i % 8, 100 + i as u64, i as u64))
+            .collect();
         let a = run_jobs(jobs.clone());
         let b = run_jobs(jobs);
         assert_eq!(a.db.jobs.len(), b.db.jobs.len());
@@ -908,6 +1134,83 @@ mod tests {
     }
 
     #[test]
+    fn metrics_conserve_job_counts() {
+        let fed = tiny_federation();
+        let scheds = schedulers(&fed, SchedulerKind::Easy);
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| job(i, 1 + i % 4, 200 + i as u64 * 10, i as u64 * 30))
+            .collect();
+        let sim = GridSim::new(
+            fed,
+            scheds,
+            MetaPolicy::ShortestEta,
+            RcPolicy::AWARE,
+            SiteId(0),
+            jobs,
+            RngFactory::new(7),
+        )
+        .with_metrics()
+        .with_sampling(SimDuration::from_secs(60));
+        let mut engine = Engine::new();
+        let out = sim.run(&mut engine);
+        let snap = out.metrics.expect("metrics enabled");
+        // Conservation: every recorded job shows up exactly once in the
+        // per-site family and once in the per-modality family.
+        assert_eq!(
+            snap.counter_sum("completed.site."),
+            out.db.jobs.len() as u64
+        );
+        assert_eq!(
+            snap.counter_sum("completed.modality."),
+            out.db.jobs.len() as u64
+        );
+        assert_eq!(snap.counter("jobs.submitted"), Some(12));
+        assert_eq!(snap.counter("jobs.enqueued"), Some(12));
+        // Gauges: time-weighted busy-core averages are within capacity.
+        for site in out.federation.sites() {
+            let g = snap
+                .gauge(&format!("busy_cores.{}", site.name()))
+                .expect("registered");
+            let cap = site.cluster.total_cores() as f64;
+            assert!(g.average >= 0.0 && g.average <= cap, "avg {}", g.average);
+            assert!(g.peak <= cap);
+            assert_eq!(g.current, 0.0, "machine drained");
+            let s = snap
+                .series(&format!("busy_fraction.{}", site.name()))
+                .expect("registered");
+            assert!(!s.points.is_empty(), "sampler fed the series");
+            assert!(s.points.iter().all(|&(_, v)| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn metrics_disabled_by_default_and_inert() {
+        let out = run_jobs(vec![job(0, 4, 100, 0).with_site(SiteId(0))]);
+        assert!(out.metrics.is_none());
+        assert!(out.tracer.is_empty(), "tracer off by default");
+    }
+
+    #[test]
+    fn tracer_sees_the_job_lifecycle() {
+        let fed = tiny_federation();
+        let scheds = schedulers(&fed, SchedulerKind::Easy);
+        let sim = GridSim::new(
+            fed,
+            scheds,
+            MetaPolicy::ShortestEta,
+            RcPolicy::AWARE,
+            SiteId(0),
+            vec![job(0, 4, 100, 0).with_site(SiteId(0))],
+            RngFactory::new(1),
+        )
+        .with_tracer(tg_des::Tracer::enabled(64));
+        let mut engine = Engine::new();
+        let out = sim.run(&mut engine);
+        let cats: Vec<&str> = out.tracer.entries().map(|e| e.category).collect();
+        assert_eq!(cats, vec!["submit", "queue", "sched", "done"]);
+    }
+
+    #[test]
     fn weekly_drain_scheduler_wakeups_fire() {
         // A hero job on site 0 (16 cores) under WeeklyDrain + a normal job.
         let fed = tiny_federation();
@@ -932,6 +1235,9 @@ mod tests {
         // Hero waits for the weekly boundary.
         assert_eq!(hero_rec.start, SimTime::from_days(7));
         let small_rec = out.db.jobs.iter().find(|r| r.job == JobId(1)).unwrap();
-        assert!(small_rec.start < SimTime::from_days(7), "small job runs pre-drain");
+        assert!(
+            small_rec.start < SimTime::from_days(7),
+            "small job runs pre-drain"
+        );
     }
 }

@@ -82,7 +82,9 @@ impl SurveyDesign {
             "sample fraction in (0,1]"
         );
         assert!(
-            self.response_rates.iter().all(|&r| (0.0..=1.0).contains(&r)),
+            self.response_rates
+                .iter()
+                .all(|&r| (0.0..=1.0).contains(&r)),
             "response rates in [0,1]"
         );
         assert!((0.0..=1.0).contains(&self.confusion), "confusion in [0,1]");
@@ -115,11 +117,7 @@ impl SurveyResult {
         } else {
             &self.naive_share
         };
-        truth
-            .iter()
-            .zip(est)
-            .map(|(t, e)| (t - e).abs())
-            .sum()
+        truth.iter().zip(est).map(|(t, e)| (t - e).abs()).sum()
     }
 }
 

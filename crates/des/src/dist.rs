@@ -62,7 +62,10 @@ pub struct Uniform {
 impl Uniform {
     /// Uniform over `[lo, hi)`. Panics if `lo > hi` or bounds are non-finite.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad uniform bounds");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad uniform bounds"
+        );
         Uniform { lo, hi }
     }
 }
@@ -87,7 +90,10 @@ pub struct Exponential {
 impl Exponential {
     /// Exponential with rate `lambda`. Panics unless `lambda > 0` and finite.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive"
+        );
         Exponential { lambda }
     }
 
@@ -120,7 +126,10 @@ pub struct Normal {
 impl Normal {
     /// Normal with mean `mu` and standard deviation `sigma ≥ 0`.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "bad normal params");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "bad normal params"
+        );
         Normal { mu, sigma }
     }
 
@@ -152,7 +161,10 @@ pub struct LogNormal {
 impl LogNormal {
     /// Log-normal from log-scale parameters.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "bad lognormal params");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "bad lognormal params"
+        );
         LogNormal { mu, sigma }
     }
 
@@ -164,7 +176,10 @@ impl LogNormal {
         assert!(cv.is_finite() && cv >= 0.0, "cv must be non-negative");
         let sigma2 = (1.0 + cv * cv).ln();
         let mu = mean.ln() - 0.5 * sigma2;
-        LogNormal { mu, sigma: sigma2.sqrt() }
+        LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+        }
     }
 }
 
@@ -190,7 +205,10 @@ pub struct Weibull {
 impl Weibull {
     /// Weibull with shape `k > 0` and scale `lambda > 0`.
     pub fn new(k: f64, lambda: f64) -> Self {
-        assert!(k.is_finite() && k > 0.0 && lambda.is_finite() && lambda > 0.0, "bad weibull params");
+        assert!(
+            k.is_finite() && k > 0.0 && lambda.is_finite() && lambda > 0.0,
+            "bad weibull params"
+        );
         Weibull { k, lambda }
     }
 }
@@ -217,7 +235,10 @@ pub struct Pareto {
 impl Pareto {
     /// Pareto with scale `xm > 0` and tail index `alpha > 0`.
     pub fn new(xm: f64, alpha: f64) -> Self {
-        assert!(xm.is_finite() && xm > 0.0 && alpha.is_finite() && alpha > 0.0, "bad pareto params");
+        assert!(
+            xm.is_finite() && xm > 0.0 && alpha.is_finite() && alpha > 0.0,
+            "bad pareto params"
+        );
         Pareto { xm, alpha }
     }
 }
@@ -243,7 +264,10 @@ pub struct Gamma {
 impl Gamma {
     /// Gamma with shape `k > 0` and scale `theta > 0`.
     pub fn new(k: f64, theta: f64) -> Self {
-        assert!(k.is_finite() && k > 0.0 && theta.is_finite() && theta > 0.0, "bad gamma params");
+        assert!(
+            k.is_finite() && k > 0.0 && theta.is_finite() && theta > 0.0,
+            "bad gamma params"
+        );
         Gamma { k, theta }
     }
 }
@@ -404,7 +428,11 @@ impl Zipf {
     /// Probability mass of rank `k`.
     pub fn pmf(&self, k: u64) -> f64 {
         assert!((1..=self.n).contains(&k));
-        let prev = if k == 1 { 0.0 } else { self.cdf[(k - 2) as usize] };
+        let prev = if k == 1 {
+            0.0
+        } else {
+            self.cdf[(k - 2) as usize]
+        };
         self.cdf[(k - 1) as usize] - prev
     }
 }
@@ -414,11 +442,7 @@ impl Dist for Zipf {
         self.sample_rank(rng) as f64
     }
     fn mean(&self) -> Option<f64> {
-        Some(
-            (1..=self.n)
-                .map(|k| k as f64 * self.pmf(k))
-                .sum(),
-        )
+        Some((1..=self.n).map(|k| k as f64 * self.pmf(k)).sum())
     }
 }
 
@@ -471,7 +495,11 @@ impl Empirical {
         for i in small {
             prob[i] = 1.0;
         }
-        Empirical { prob, alias, weights: w }
+        Empirical {
+            prob,
+            alias,
+            weights: w,
+        }
     }
 
     /// Draw a category index.
@@ -593,7 +621,9 @@ impl DistKind {
             DistKind::Weibull { k, lambda } => Box::new(Weibull::new(k, lambda)),
             DistKind::Pareto { xm, alpha } => Box::new(Pareto::new(xm, alpha)),
             DistKind::Gamma { k, theta } => Box::new(Gamma::new(k, theta)),
-            DistKind::Hyperexp { mean, scv } => Box::new(Hyperexponential::from_mean_scv(mean, scv)),
+            DistKind::Hyperexp { mean, scv } => {
+                Box::new(Hyperexponential::from_mean_scv(mean, scv))
+            }
         }
     }
 
@@ -609,7 +639,9 @@ impl DistKind {
             DistKind::Weibull { k, lambda } => Weibull::new(k, lambda).sample(rng),
             DistKind::Pareto { xm, alpha } => Pareto::new(xm, alpha).sample(rng),
             DistKind::Gamma { k, theta } => Gamma::new(k, theta).sample(rng),
-            DistKind::Hyperexp { mean, scv } => Hyperexponential::from_mean_scv(mean, scv).sample(rng),
+            DistKind::Hyperexp { mean, scv } => {
+                Hyperexponential::from_mean_scv(mean, scv).sample(rng)
+            }
         }
     }
 }
@@ -654,7 +686,10 @@ mod tests {
         let d = Weibull::new(1.5, 10.0);
         let (mean, _) = empirical_mean_var(&d, 3, 200_000);
         let expect = d.mean().unwrap();
-        assert!((mean - expect).abs() / expect < 0.02, "mean {mean} vs {expect}");
+        assert!(
+            (mean - expect).abs() / expect < 0.02,
+            "mean {mean} vs {expect}"
+        );
     }
 
     #[test]
@@ -787,9 +822,15 @@ mod tests {
             DistKind::Constant { value: 3.0 },
             DistKind::Uniform { lo: 0.0, hi: 2.0 },
             DistKind::Exponential { mean: 4.0 },
-            DistKind::LogNormal { mean: 10.0, cv: 1.0 },
+            DistKind::LogNormal {
+                mean: 10.0,
+                cv: 1.0,
+            },
             DistKind::Gamma { k: 2.0, theta: 3.0 },
-            DistKind::Hyperexp { mean: 5.0, scv: 2.0 },
+            DistKind::Hyperexp {
+                mean: 5.0,
+                scv: 2.0,
+            },
         ];
         for kind in kinds {
             let boxed = kind.build();

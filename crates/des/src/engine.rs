@@ -13,7 +13,11 @@
 //!
 //! Cancellation is tombstone-based: [`Ctx::cancel`] marks an [`EventKey`] and
 //! the pop loop discards marked entries, costing O(log n) amortized rather
-//! than requiring a decrease-key heap.
+//! than requiring a decrease-key heap. A companion set of *live* sequence
+//! numbers keeps cancellation honest: cancelling a key that was already
+//! delivered (or already cancelled) returns `false` and leaves no stale
+//! tombstone behind, and [`Engine::pending`] / [`Ctx::pending`] report the
+//! exact live-event count.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
@@ -93,6 +97,8 @@ pub struct Ctx<'a, E> {
     now: SimTime,
     queue: &'a mut BinaryHeap<Scheduled<E>>,
     cancelled: &'a mut HashSet<u64>,
+    live: &'a mut HashSet<u64>,
+    peak_queue_len: &'a mut usize,
     next_seq: &'a mut u64,
     delivered: u64,
     stop_requested: &'a mut bool,
@@ -111,13 +117,13 @@ impl<'a, E> Ctx<'a, E> {
         self.delivered
     }
 
-    /// Number of events still pending (upper bound: cancelled-but-unpopped
-    /// entries count). Lets periodic self-rescheduling activities (metric
-    /// samplers, heartbeats) stop once they are the only thing left, so the
-    /// run can drain.
+    /// Exact number of live (scheduled, not yet delivered, not cancelled)
+    /// events. Lets periodic self-rescheduling activities (metric samplers,
+    /// heartbeats) stop once they are the only thing left, so the run can
+    /// drain.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.live.len()
     }
 
     /// Schedule `event` at the absolute instant `at`.
@@ -125,11 +131,17 @@ impl<'a, E> Ctx<'a, E> {
     /// Scheduling into the past is a model bug; it panics in debug builds and
     /// clamps to `now` in release builds.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {
-        debug_assert!(at >= self.now, "scheduled into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduled into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = *self.next_seq;
         *self.next_seq += 1;
+        self.live.insert(seq);
         self.queue.push(Scheduled { at, seq, event });
+        *self.peak_queue_len = (*self.peak_queue_len).max(self.queue.len());
         EventKey(seq)
     }
 
@@ -149,10 +161,12 @@ impl<'a, E> Ctx<'a, E> {
     /// Cancel a pending event. Returns `true` if the key was still pending
     /// (i.e. not yet delivered and not already cancelled).
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if key.0 >= *self.next_seq {
-            return false;
+        if self.live.remove(&key.0) {
+            self.cancelled.insert(key.0);
+            true
+        } else {
+            false
         }
-        self.cancelled.insert(key.0)
     }
 
     /// Ask the engine to stop after this handler returns, regardless of the
@@ -166,6 +180,14 @@ impl<'a, E> Ctx<'a, E> {
 pub struct Engine<E> {
     queue: BinaryHeap<Scheduled<E>>,
     cancelled: HashSet<u64>,
+    /// Sequence numbers of events that are scheduled but neither delivered
+    /// nor cancelled. Keeping this alongside the tombstone set makes
+    /// `cancel` exact (a delivered key can no longer be "cancelled") and
+    /// `pending` O(1) without subtraction that could underflow.
+    live: HashSet<u64>,
+    /// High-water mark of the heap length over the engine's lifetime
+    /// (including tombstoned entries); feeds engine profiling.
+    peak_queue_len: usize,
     now: SimTime,
     next_seq: u64,
     delivered: u64,
@@ -183,6 +205,8 @@ impl<E> Engine<E> {
         Engine {
             queue: BinaryHeap::new(),
             cancelled: HashSet::new(),
+            live: HashSet::new(),
+            peak_queue_len: 0,
             now: SimTime::ZERO,
             next_seq: 0,
             delivered: 0,
@@ -209,9 +233,17 @@ impl<E> Engine<E> {
         self.delivered
     }
 
-    /// Number of pending (non-cancelled) events.
+    /// Exact number of pending (scheduled, undelivered, non-cancelled) events.
     pub fn pending(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.live.len()
+    }
+
+    /// High-water mark of the event-queue length over the engine's lifetime
+    /// (cancelled-but-unpopped entries included). A cheap proxy for the
+    /// engine's peak heap footprint, reported by run profiling.
+    #[inline]
+    pub fn peak_queue_len(&self) -> usize {
+        self.peak_queue_len
     }
 
     /// True if no live events remain.
@@ -230,7 +262,9 @@ impl<E> Engine<E> {
         assert!(at >= self.now, "scheduled into the past");
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.live.insert(seq);
         self.queue.push(Scheduled { at, seq, event });
+        self.peak_queue_len = self.peak_queue_len.max(self.queue.len());
         EventKey(seq)
     }
 
@@ -239,12 +273,15 @@ impl<E> Engine<E> {
         self.schedule_at(self.now + after, event)
     }
 
-    /// Cancel a pending event from outside a handler.
+    /// Cancel a pending event from outside a handler. Returns `false` for
+    /// keys that were already delivered or already cancelled.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if key.0 >= self.next_seq {
-            return false;
+        if self.live.remove(&key.0) {
+            self.cancelled.insert(key.0);
+            true
+        } else {
+            false
         }
-        self.cancelled.insert(key.0)
     }
 
     fn skip_cancelled(&mut self) {
@@ -261,10 +298,11 @@ impl<E> Engine<E> {
     /// was empty.
     pub fn step<S: Simulation<Event = E>>(&mut self, sim: &mut S) -> bool {
         self.skip_cancelled();
-        let Some(Scheduled { at, seq: _, event }) = self.queue.pop() else {
+        let Some(Scheduled { at, seq, event }) = self.queue.pop() else {
             return false;
         };
         debug_assert!(at >= self.now, "event queue yielded a past event");
+        self.live.remove(&seq);
         self.now = at;
         self.delivered += 1;
         let mut stop = false;
@@ -272,6 +310,8 @@ impl<E> Engine<E> {
             now: at,
             queue: &mut self.queue,
             cancelled: &mut self.cancelled,
+            live: &mut self.live,
+            peak_queue_len: &mut self.peak_queue_len,
             next_seq: &mut self.next_seq,
             delivered: self.delivered,
             stop_requested: &mut stop,
@@ -317,7 +357,8 @@ impl<E> Engine<E> {
                     }
                 }
             }
-            let Scheduled { at, seq: _, event } = self.queue.pop().expect("peeked");
+            let Scheduled { at, seq, event } = self.queue.pop().expect("peeked");
+            self.live.remove(&seq);
             self.now = at;
             self.delivered += 1;
             let mut stop_req = false;
@@ -325,6 +366,8 @@ impl<E> Engine<E> {
                 now: at,
                 queue: &mut self.queue,
                 cancelled: &mut self.cancelled,
+                live: &mut self.live,
+                peak_queue_len: &mut self.peak_queue_len,
                 next_seq: &mut self.next_seq,
                 delivered: self.delivered,
                 stop_requested: &mut stop_req,
@@ -451,6 +494,100 @@ mod tests {
     fn cancel_unknown_key_is_false() {
         let mut eng: Engine<Ev> = Engine::new();
         assert!(!eng.cancel(EventKey(99)));
+    }
+
+    #[test]
+    fn cancel_after_delivery_is_false() {
+        let mut eng = Engine::new();
+        let key = eng.schedule_at(SimTime::from_secs(1), Ev::Tag("fired"));
+        let mut sim = Recorder::default();
+        eng.run(&mut sim);
+        assert_eq!(sim.log.len(), 1);
+        assert!(
+            !eng.cancel(key),
+            "cancelling an already-delivered key must report false"
+        );
+        // The failed cancel must not poison the tombstone set: a fresh event
+        // still schedules, counts, and delivers normally.
+        eng.schedule_at(SimTime::from_secs(2), Ev::Tag("later"));
+        assert_eq!(eng.pending(), 1);
+        eng.run(&mut sim);
+        assert_eq!(sim.log.len(), 2);
+    }
+
+    #[test]
+    fn pending_stays_exact_under_mixed_cancel_and_delivery() {
+        let mut eng = Engine::new();
+        let keys: Vec<_> = (0..6)
+            .map(|i| eng.schedule_at(SimTime::from_secs(i + 1), Ev::Tag("ev")))
+            .collect();
+        assert_eq!(eng.pending(), 6);
+        // Cancel two, deliver one, then try to cancel the delivered one and
+        // re-cancel a cancelled one; the count must never drift or underflow.
+        assert!(eng.cancel(keys[1]));
+        assert!(eng.cancel(keys[4]));
+        assert_eq!(eng.pending(), 4);
+        let mut sim = Recorder::default();
+        assert!(eng.step(&mut sim)); // delivers keys[0]
+        assert_eq!(eng.pending(), 3);
+        assert!(!eng.cancel(keys[0]), "delivered key");
+        assert!(!eng.cancel(keys[1]), "already-cancelled key");
+        assert_eq!(eng.pending(), 3, "failed cancels must not change pending");
+        eng.run(&mut sim);
+        assert_eq!(eng.pending(), 0);
+        assert!(eng.is_empty());
+        assert_eq!(sim.log.len(), 4);
+    }
+
+    #[test]
+    fn ctx_cancel_after_delivery_is_false() {
+        // A handler that tries to cancel the event *currently being handled*
+        // (already delivered) and a previously-fired one.
+        struct S {
+            first_key: Option<EventKey>,
+            results: Vec<bool>,
+        }
+        impl Simulation for S {
+            type Event = Ev;
+            fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+                if let Ev::Tag("second") = ev {
+                    let stale = self.first_key.take().expect("set by test");
+                    self.results.push(ctx.cancel(stale));
+                    let live = ctx.schedule_after(SimDuration::from_secs(1), Ev::Tag("third"));
+                    self.results.push(ctx.cancel(live));
+                    self.results.push(ctx.cancel(live));
+                    self.results.push(ctx.pending() == 0);
+                }
+            }
+        }
+        let mut eng = Engine::new();
+        let first = eng.schedule_at(SimTime::from_secs(1), Ev::Tag("first"));
+        eng.schedule_at(SimTime::from_secs(2), Ev::Tag("second"));
+        let mut sim = S {
+            first_key: Some(first),
+            results: vec![],
+        };
+        eng.run(&mut sim);
+        assert_eq!(
+            sim.results,
+            vec![false, true, false, true],
+            "stale cancel false; live cancel true; double-cancel false; pending exact"
+        );
+    }
+
+    #[test]
+    fn peak_queue_len_tracks_high_water_mark() {
+        let mut eng = Engine::new();
+        assert_eq!(eng.peak_queue_len(), 0);
+        for i in 0..5 {
+            eng.schedule_at(SimTime::from_secs(i + 1), Ev::Tag("ev"));
+        }
+        assert_eq!(eng.peak_queue_len(), 5);
+        let mut sim = Recorder::default();
+        eng.run(&mut sim);
+        // Draining does not lower the recorded peak.
+        assert_eq!(eng.peak_queue_len(), 5);
+        assert_eq!(eng.pending(), 0);
     }
 
     #[test]

@@ -19,7 +19,13 @@
 //! * [`stats`] — online statistics: Welford mean/variance, time-weighted
 //!   averages (utilization), histograms, P² quantile estimation, and
 //!   Student-t confidence intervals across replications.
-//! * [`trace`] — a lightweight, optionally-enabled event trace ring buffer.
+//! * [`trace`] — a lightweight, optionally-enabled structured event trace
+//!   ring buffer with an optional JSONL sink.
+//! * [`metrics`] — a run-level metrics registry (counters, time-weighted
+//!   gauges, time series) and serializable snapshots, plus wall-clock engine
+//!   profiling ([`metrics::EngineProfile`]). Observers only: when disabled
+//!   every operation is a single branch, and nothing here ever perturbs
+//!   simulation state or RNG draws.
 //!
 //! ## Determinism contract
 //!
@@ -61,6 +67,7 @@
 
 pub mod dist;
 pub mod engine;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -70,13 +77,17 @@ pub mod trace;
 pub mod prelude {
     pub use crate::dist::{Dist, DistKind};
     pub use crate::engine::{Ctx, Engine, EventKey, Simulation, StopCondition};
+    pub use crate::metrics::{EngineProfile, MetricsRegistry, MetricsSnapshot};
     pub use crate::rng::{RngFactory, SimRng, StreamId};
     pub use crate::stats::{Histogram, OnlineStats, P2Quantile, TimeWeighted};
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{TraceValue, Tracer};
 }
 
 pub use dist::{Dist, DistKind};
 pub use engine::{Ctx, Engine, EventKey, Simulation, StopCondition};
+pub use metrics::{CounterId, EngineProfile, GaugeId, MetricsRegistry, MetricsSnapshot, SeriesId};
 pub use rng::{RngFactory, SimRng, StreamId};
 pub use stats::{Histogram, OnlineStats, P2Quantile, TimeWeighted};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEntry, TraceValue, Tracer};

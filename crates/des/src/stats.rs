@@ -338,11 +338,7 @@ impl Histogram {
             return out;
         }
         let mut acc = 0u64;
-        let last_nonempty = self
-            .counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0);
+        let last_nonempty = self.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
         for (i, &c) in self.counts.iter().enumerate().take(last_nonempty + 1) {
             acc += c;
             out.push((self.bin_hi(i), acc as f64 / self.total as f64));
@@ -483,9 +479,37 @@ impl P2Quantile {
 /// Two-sided Student-t critical values at 95% confidence, by degrees of
 /// freedom (1-based index; `[0]` unused). Beyond 30 d.o.f. we use 1.96.
 const T_TABLE_95: [f64; 31] = [
-    f64::NAN, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-    2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060,
-    2.056, 2.052, 2.048, 2.045, 2.042,
+    f64::NAN,
+    12.706,
+    4.303,
+    3.182,
+    2.776,
+    2.571,
+    2.447,
+    2.365,
+    2.306,
+    2.262,
+    2.228,
+    2.201,
+    2.179,
+    2.160,
+    2.145,
+    2.131,
+    2.120,
+    2.110,
+    2.101,
+    2.093,
+    2.086,
+    2.080,
+    2.074,
+    2.069,
+    2.064,
+    2.060,
+    2.056,
+    2.052,
+    2.048,
+    2.045,
+    2.042,
 ];
 
 /// Mean and 95% confidence half-width across replication means.
@@ -517,7 +541,10 @@ pub fn exact_quantile(sorted: &[f64], q: f64) -> Option<f64> {
     if sorted.is_empty() {
         return None;
     }
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     let q = q.clamp(0.0, 1.0);
     let idx = ((q * sorted.len() as f64).ceil() as usize).saturating_sub(1);
     Some(sorted[idx.min(sorted.len() - 1)])
@@ -569,7 +596,11 @@ impl Utilization {
     /// Mark `amount` additional units busy at `now`.
     pub fn acquire(&mut self, now: SimTime, amount: f64) {
         let v = self.busy.current() + amount;
-        debug_assert!(v <= self.capacity + 1e-9, "over capacity: {v} > {}", self.capacity);
+        debug_assert!(
+            v <= self.capacity + 1e-9,
+            "over capacity: {v} > {}",
+            self.capacity
+        );
         self.busy.set(now, v);
     }
 
@@ -613,7 +644,10 @@ impl TimeBuckets {
     /// Buckets of the given width starting at time zero.
     pub fn new(width: SimDuration) -> Self {
         assert!(!width.is_zero(), "bucket width must be positive");
-        TimeBuckets { width, sums: Vec::new() }
+        TimeBuckets {
+            width,
+            sums: Vec::new(),
+        }
     }
 
     /// Add `value` to the bucket containing `at`.
@@ -667,7 +701,9 @@ mod tests {
 
     #[test]
     fn online_stats_merge_equals_sequential() {
-        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 1.37).sin() * 10.0 + 5.0).collect();
+        let data: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 1.37).sin() * 10.0 + 5.0)
+            .collect();
         let mut whole = OnlineStats::new();
         for &x in &data {
             whole.record(x);
@@ -708,7 +744,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         tw.set(SimTime::from_secs(10), 4.0); // 0 for 10 s
         tw.set(SimTime::from_secs(20), 2.0); // 4 for 10 s
-        // then 2 for 10 s → integral = 0 + 40 + 20 = 60 over 30 s
+                                             // then 2 for 10 s → integral = 0 + 40 + 20 = 60 over 30 s
         assert!((tw.average(SimTime::from_secs(30)) - 2.0).abs() < 1e-12);
         assert!((tw.integral(SimTime::from_secs(30)) - 60.0).abs() < 1e-9);
         assert_eq!(tw.peak(), 4.0);
@@ -727,7 +763,11 @@ mod tests {
 
     #[test]
     fn histogram_linear_binning_and_quantiles() {
-        let mut h = Histogram::new(Binning::Linear { lo: 0.0, hi: 100.0, count: 10 });
+        let mut h = Histogram::new(Binning::Linear {
+            lo: 0.0,
+            hi: 100.0,
+            count: 10,
+        });
         for i in 0..100 {
             h.record(i as f64 + 0.5);
         }
@@ -741,7 +781,11 @@ mod tests {
 
     #[test]
     fn histogram_outliers_clamp() {
-        let mut h = Histogram::new(Binning::Linear { lo: 0.0, hi: 10.0, count: 5 });
+        let mut h = Histogram::new(Binning::Linear {
+            lo: 0.0,
+            hi: 10.0,
+            count: 5,
+        });
         h.record(-100.0);
         h.record(1e9);
         assert_eq!(h.counts()[0], 1);
@@ -750,7 +794,11 @@ mod tests {
 
     #[test]
     fn histogram_log_binning() {
-        let h = Histogram::new(Binning::Log { lo: 1.0, base: 2.0, count: 8 });
+        let h = Histogram::new(Binning::Log {
+            lo: 1.0,
+            base: 2.0,
+            count: 8,
+        });
         assert_eq!(h.bin_lo(0), 1.0);
         assert_eq!(h.bin_lo(3), 8.0);
         let mut h = h;
@@ -781,7 +829,11 @@ mod tests {
 
     #[test]
     fn histogram_merge() {
-        let layout = Binning::Linear { lo: 0.0, hi: 10.0, count: 5 };
+        let layout = Binning::Linear {
+            lo: 0.0,
+            hi: 10.0,
+            count: 5,
+        };
         let mut a = Histogram::new(layout);
         let mut b = Histogram::new(layout);
         a.record(1.0);

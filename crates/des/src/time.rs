@@ -27,15 +27,11 @@ pub const SECS_PER_WEEK: u64 = 7 * SECS_PER_DAY;
 
 /// An instant of virtual time, measured in microseconds since the simulation
 /// epoch (time zero).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, measured in microseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -435,7 +431,10 @@ mod tests {
         assert_eq!(SimTime::from_hours(2), SimTime::from_secs(7200));
         assert_eq!(SimTime::from_days(1), SimTime::from_hours(24));
         assert_eq!(SimDuration::from_weeks(1), SimDuration::from_days(7));
-        assert_eq!(SimDuration::from_mins(90), SimDuration::from_hours(1) + SimDuration::from_mins(30));
+        assert_eq!(
+            SimDuration::from_mins(90),
+            SimDuration::from_hours(1) + SimDuration::from_mins(30)
+        );
     }
 
     #[test]
@@ -455,7 +454,10 @@ mod tests {
         assert_eq!(t + d, SimTime::from_secs(14));
         assert_eq!(t - d, SimTime::from_secs(6));
         assert_eq!((t + d) - t, d);
-        assert_eq!(t.saturating_since(SimTime::from_secs(3)), SimDuration::from_secs(7));
+        assert_eq!(
+            t.saturating_since(SimTime::from_secs(3)),
+            SimDuration::from_secs(7)
+        );
         assert_eq!(SimTime::from_secs(3).saturating_since(t), SimDuration::ZERO);
         assert_eq!(SimTime::from_secs(3).checked_since(t), None);
     }
@@ -477,7 +479,10 @@ mod tests {
     fn saturation_at_extremes() {
         assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
         assert_eq!(SimTime::ZERO - SimDuration::from_secs(1), SimTime::ZERO);
-        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
         assert_eq!(SimDuration::MAX * 2, SimDuration::MAX);
     }
 
@@ -487,7 +492,10 @@ mod tests {
         assert_eq!(noon_day3.second_of_day(), 12 * 3600);
         assert_eq!(noon_day3.day_of_week(), 3);
         assert_eq!(SimTime::from_days(7).day_of_week(), 0);
-        assert_eq!(SimTime::from_days(9).bucket_index(SimDuration::from_days(7)), 1);
+        assert_eq!(
+            SimTime::from_days(9).bucket_index(SimDuration::from_days(7)),
+            1
+        );
     }
 
     #[test]
@@ -512,8 +520,14 @@ mod tests {
         assert_eq!(format!("{}", SimDuration::from_millis(250)), "250ms");
         assert_eq!(format!("{}", SimDuration::from_secs(42)), "42s");
         assert_eq!(format!("{}", SimDuration::from_secs(125)), "2m05s");
-        assert_eq!(format!("{}", SimDuration::from_hours(3) + SimDuration::from_mins(7)), "3h07m");
-        assert_eq!(format!("{}", SimDuration::from_days(3) + SimDuration::from_hours(4)), "3d04h");
+        assert_eq!(
+            format!("{}", SimDuration::from_hours(3) + SimDuration::from_mins(7)),
+            "3h07m"
+        );
+        assert_eq!(
+            format!("{}", SimDuration::from_days(3) + SimDuration::from_hours(4)),
+            "3d04h"
+        );
         assert_eq!(format!("{}", SimTime::from_secs(60)), "t+1m00s");
     }
 

@@ -1,12 +1,119 @@
-//! Lightweight event tracing.
+//! Lightweight structured event tracing.
 //!
-//! A bounded ring buffer of `(time, category, message)` entries that can be
-//! toggled at runtime. When disabled, [`Tracer::emit`] is a branch and
-//! nothing more — safe to leave on hot paths.
+//! A bounded ring buffer of structured entries — `(time, category, message,
+//! key=value fields)` — that can be toggled at runtime, plus an optional
+//! JSONL sink that streams every recorded entry to a writer (one JSON
+//! object per line) as it is emitted. When disabled, [`Tracer::emit`] and
+//! [`Tracer::emit_event`] are a branch and nothing more — safe to leave on
+//! hot paths; the field/message closures never run.
 
 use crate::time::SimTime;
 use std::collections::VecDeque;
 use std::fmt;
+use std::io::Write;
+
+/// A typed field value attached to a trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl From<u64> for TraceValue {
+    fn from(v: u64) -> Self {
+        TraceValue::U64(v)
+    }
+}
+impl From<usize> for TraceValue {
+    fn from(v: usize) -> Self {
+        TraceValue::U64(v as u64)
+    }
+}
+impl From<u32> for TraceValue {
+    fn from(v: u32) -> Self {
+        TraceValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for TraceValue {
+    fn from(v: i64) -> Self {
+        TraceValue::I64(v)
+    }
+}
+impl From<f64> for TraceValue {
+    fn from(v: f64) -> Self {
+        TraceValue::F64(v)
+    }
+}
+impl From<bool> for TraceValue {
+    fn from(v: bool) -> Self {
+        TraceValue::Bool(v)
+    }
+}
+impl From<&str> for TraceValue {
+    fn from(v: &str) -> Self {
+        TraceValue::Str(v.to_string())
+    }
+}
+impl From<String> for TraceValue {
+    fn from(v: String) -> Self {
+        TraceValue::Str(v)
+    }
+}
+
+impl fmt::Display for TraceValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceValue::U64(v) => write!(f, "{v}"),
+            TraceValue::I64(v) => write!(f, "{v}"),
+            TraceValue::F64(v) => write!(f, "{v}"),
+            TraceValue::Bool(v) => write!(f, "{v}"),
+            TraceValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl TraceValue {
+    /// Write the value as a JSON scalar.
+    fn write_json(&self, out: &mut String) {
+        match self {
+            TraceValue::U64(v) => out.push_str(&v.to_string()),
+            TraceValue::I64(v) => out.push_str(&v.to_string()),
+            TraceValue::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            TraceValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            TraceValue::Str(v) => write_json_string(out, v),
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
 
 /// One trace entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,23 +122,75 @@ pub struct TraceEntry {
     pub at: SimTime,
     /// Short static category, e.g. `"sched"`, `"xfer"`.
     pub category: &'static str,
-    /// Human-readable detail.
+    /// Human-readable detail (may be empty for purely structured entries).
     pub message: String,
+    /// Structured `key=value` payload (empty for plain-message entries).
+    pub fields: Vec<(&'static str, TraceValue)>,
+}
+
+impl TraceEntry {
+    /// Render the entry as one JSON object (no trailing newline):
+    /// `{"t":<secs>,"cat":"...","msg":"...","fields":{...}}`. `msg` is
+    /// omitted when empty, `fields` when there are none.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"t\":");
+        let secs = self.at.as_secs_f64();
+        out.push_str(&format!("{secs:?}"));
+        out.push_str(",\"cat\":");
+        write_json_string(&mut out, self.category);
+        if !self.message.is_empty() {
+            out.push_str(",\"msg\":");
+            write_json_string(&mut out, &self.message);
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(&mut out, k);
+                out.push(':');
+                v.write_json(&mut out);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
 }
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}: {}", self.at, self.category, self.message)
+        write!(f, "[{}] {}: {}", self.at, self.category, self.message)?;
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
     }
 }
 
-/// A bounded trace ring buffer.
-#[derive(Debug)]
+/// A bounded trace ring buffer with an optional JSONL sink.
 pub struct Tracer {
     enabled: bool,
     capacity: usize,
     entries: VecDeque<TraceEntry>,
     dropped: u64,
+    sink: Option<Box<dyn Write + Send>>,
+    sink_errors: u64,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled)
+            .field("capacity", &self.capacity)
+            .field("entries", &self.entries)
+            .field("dropped", &self.dropped)
+            .field("sink", &self.sink.as_ref().map(|_| "<writer>"))
+            .field("sink_errors", &self.sink_errors)
+            .finish()
+    }
 }
 
 impl Tracer {
@@ -42,6 +201,8 @@ impl Tracer {
             capacity: capacity.max(1),
             entries: VecDeque::new(),
             dropped: 0,
+            sink: None,
+            sink_errors: 0,
         }
     }
 
@@ -62,21 +223,74 @@ impl Tracer {
         self.enabled
     }
 
-    /// Record an entry if enabled. The message closure is only evaluated when
-    /// tracing is on, so formatting cost is zero when off.
+    /// Stream every recorded entry to `sink` as JSON lines, in addition to
+    /// retaining it in the ring. Write failures are counted
+    /// ([`Tracer::sink_errors`]) but do not panic or stop the simulation.
+    pub fn set_sink(&mut self, sink: Box<dyn Write + Send>) {
+        self.sink = Some(sink);
+    }
+
+    /// Flush and drop the sink, returning whether flushing succeeded.
+    pub fn close_sink(&mut self) -> bool {
+        match self.sink.take() {
+            Some(mut s) => s.flush().is_ok(),
+            None => true,
+        }
+    }
+
+    /// JSONL writes that failed so far.
+    pub fn sink_errors(&self) -> u64 {
+        self.sink_errors
+    }
+
+    /// Record a plain-message entry if enabled. The message closure is only
+    /// evaluated when tracing is on, so formatting cost is zero when off.
     pub fn emit(&mut self, at: SimTime, category: &'static str, message: impl FnOnce() -> String) {
         if !self.enabled {
             return;
+        }
+        let entry = TraceEntry {
+            at,
+            category,
+            message: message(),
+            fields: Vec::new(),
+        };
+        self.record(entry);
+    }
+
+    /// Record a structured entry if enabled. The field closure is only
+    /// evaluated when tracing is on.
+    pub fn emit_event(
+        &mut self,
+        at: SimTime,
+        category: &'static str,
+        fields: impl FnOnce() -> Vec<(&'static str, TraceValue)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let entry = TraceEntry {
+            at,
+            category,
+            message: String::new(),
+            fields: fields(),
+        };
+        self.record(entry);
+    }
+
+    fn record(&mut self, entry: TraceEntry) {
+        if let Some(sink) = self.sink.as_mut() {
+            let mut line = entry.to_json_line();
+            line.push('\n');
+            if sink.write_all(line.as_bytes()).is_err() {
+                self.sink_errors += 1;
+            }
         }
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.dropped += 1;
         }
-        self.entries.push_back(TraceEntry {
-            at,
-            category,
-            message: message(),
-        });
+        self.entries.push_back(entry);
     }
 
     /// Entries currently retained, oldest first.
@@ -99,7 +313,7 @@ impl Tracer {
         self.entries.is_empty()
     }
 
-    /// Drop all retained entries (keeps the enabled flag).
+    /// Drop all retained entries (keeps the enabled flag and sink).
     pub fn clear(&mut self) {
         self.entries.clear();
     }
@@ -108,6 +322,7 @@ impl Tracer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn disabled_tracer_records_nothing_and_skips_formatting() {
@@ -118,6 +333,12 @@ mod tests {
             "boom".into()
         });
         assert!(!evaluated, "message closure must not run when disabled");
+        let mut built = false;
+        t.emit_event(SimTime::ZERO, "x", || {
+            built = true;
+            vec![]
+        });
+        assert!(!built, "field closure must not run when disabled");
         assert!(t.is_empty());
     }
 
@@ -129,6 +350,80 @@ mod tests {
         let e = t.entries().next().unwrap();
         assert_eq!(e.category, "sched");
         assert_eq!(format!("{e}"), "[t+1s] sched: job 1 started");
+    }
+
+    #[test]
+    fn structured_entries_render_fields() {
+        let mut t = Tracer::enabled(10);
+        t.emit_event(SimTime::from_secs(2), "xfer", || {
+            vec![
+                ("mb", 500.0.into()),
+                ("src", "alpha".into()),
+                ("ok", true.into()),
+            ]
+        });
+        let e = t.entries().next().unwrap();
+        assert_eq!(e.fields.len(), 3);
+        let text = format!("{e}");
+        assert!(text.contains("mb=500"));
+        assert!(text.contains("src=alpha"));
+        assert!(text.contains("ok=true"));
+    }
+
+    #[test]
+    fn json_line_shape_and_escaping() {
+        let e = TraceEntry {
+            at: SimTime::from_secs(90),
+            category: "sched",
+            message: "say \"hi\"\n".into(),
+            fields: vec![("job", 7u64.into()), ("site", "a\\b".into())],
+        };
+        let line = e.to_json_line();
+        assert!(line.starts_with("{\"t\":90.0,\"cat\":\"sched\""));
+        assert!(line.contains("\"msg\":\"say \\\"hi\\\"\\n\""));
+        assert!(line.contains("\"fields\":{\"job\":7,\"site\":\"a\\\\b\"}"));
+        // Pure-structured entries omit msg.
+        let e2 = TraceEntry {
+            at: SimTime::ZERO,
+            category: "c",
+            message: String::new(),
+            fields: vec![],
+        };
+        assert_eq!(e2.to_json_line(), "{\"t\":0.0,\"cat\":\"c\"}");
+    }
+
+    /// A shared Vec<u8> writer for inspecting sink output in tests.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_receives_one_json_line_per_entry() {
+        let buf = SharedBuf::default();
+        let mut t = Tracer::enabled(2);
+        t.set_sink(Box::new(buf.clone()));
+        for i in 0..4u64 {
+            t.emit_event(SimTime::from_secs(i), "c", || vec![("i", i.into())]);
+        }
+        assert!(t.close_sink());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // The ring kept only 2, but the sink saw all 4.
+        assert_eq!(lines.len(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(lines[3].contains("\"i\":3"));
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+        assert_eq!(t.sink_errors(), 0);
     }
 
     #[test]

@@ -112,8 +112,7 @@ proptest! {
 fn arb_distkind() -> impl Strategy<Value = DistKind> {
     prop_oneof![
         (0.1f64..1e6).prop_map(|v| DistKind::Constant { value: v }),
-        (0.1f64..100.0, 1.0f64..100.0)
-            .prop_map(|(lo, w)| DistKind::Uniform { lo, hi: lo + w }),
+        (0.1f64..100.0, 1.0f64..100.0).prop_map(|(lo, w)| DistKind::Uniform { lo, hi: lo + w }),
         (0.1f64..1e5).prop_map(|mean| DistKind::Exponential { mean }),
         (1.0f64..1e5, 0.1f64..3.0).prop_map(|(mean, cv)| DistKind::LogNormal { mean, cv }),
         (0.2f64..5.0, 0.1f64..1e4).prop_map(|(k, lambda)| DistKind::Weibull { k, lambda }),

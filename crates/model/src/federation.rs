@@ -186,9 +186,7 @@ mod tests {
         let mut f = demo();
         assert_eq!(f.average_utilization(SimTime::from_secs(100)), 0.0);
         let cores = f.site(SiteId(0)).cluster.total_cores();
-        f.site_mut(SiteId(0))
-            .cluster
-            .acquire(SimTime::ZERO, cores);
+        f.site_mut(SiteId(0)).cluster.acquire(SimTime::ZERO, cores);
         let u = f.average_utilization(SimTime::from_secs(100));
         assert!(u > 0.0 && u < 1.0);
     }

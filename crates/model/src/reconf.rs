@@ -143,11 +143,7 @@ impl RcNode {
 
     /// Area occupied by configured regions (busy or idle).
     pub fn configured_area_now(&self) -> u32 {
-        self.regions
-            .iter()
-            .flatten()
-            .map(|r| r.area)
-            .sum()
+        self.regions.iter().flatten().map(|r| r.area).sum()
     }
 
     /// Area occupied by regions currently executing tasks.
@@ -569,7 +565,10 @@ mod tests {
         let mut n = RcNode::new(NodeId(0), SimTime::ZERO, 2, 2);
         for (t, &c) in ids.iter().enumerate() {
             let r = n.commit(n.plan(c, &lib), c, &lib, SimTime::from_secs(t as u64));
-            n.finish(r, SimTime::from_secs(t as u64) + SimDuration::from_millis(1));
+            n.finish(
+                r,
+                SimTime::from_secs(t as u64) + SimDuration::from_millis(1),
+            );
         }
         // Capacity 2: k0 should have been evicted by k2.
         assert!(!n.has_bitstream(ids[0]));
@@ -607,7 +606,7 @@ mod tests {
         let r1 = n.commit(n.plan(k1, &lib), k1, &lib, SimTime::ZERO);
         n.finish(r0, SimTime::from_secs(10)); // k0 idle since t=10
         n.finish(r1, SimTime::from_secs(20)); // k1 idle since t=20
-        // big needs 5, free = 2 → must evict k0 (older) only (2+3=5).
+                                              // big needs 5, free = 2 → must evict k0 (older) only (2+3=5).
         let plan = n.plan(big, &lib);
         match &plan {
             HostPlan::Configure { evict, .. } => {

@@ -29,10 +29,7 @@ enum Op {
 
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
-        prop_oneof![
-            (0usize..4).prop_map(Op::Host),
-            Just(Op::FinishOldest),
-        ],
+        prop_oneof![(0usize..4).prop_map(Op::Host), Just(Op::FinishOldest),],
         1..120,
     )
 }

@@ -139,9 +139,8 @@ mod tests {
     #[test]
     fn empty_sites_coallocate_immediately() {
         let profiles = vec![profile(64, &[]), profile(32, &[])];
-        let plan =
-            plan_coallocation(&profiles, &req(&[(0, 16), (1, 16)], 600), SimTime::ZERO)
-                .expect("feasible");
+        let plan = plan_coallocation(&profiles, &req(&[(0, 16), (1, 16)], 600), SimTime::ZERO)
+            .expect("feasible");
         assert_eq!(plan.start, SimTime::ZERO);
         assert_eq!(plan.coordination_slack(), SimDuration::ZERO);
     }
@@ -150,9 +149,8 @@ mod tests {
     fn common_start_waits_for_the_slowest_site() {
         // Site 0 free now; site 1 fully busy until t=1000.
         let profiles = vec![profile(64, &[]), profile(32, &[(1000, 32)])];
-        let plan =
-            plan_coallocation(&profiles, &req(&[(0, 16), (1, 16)], 600), SimTime::ZERO)
-                .expect("feasible");
+        let plan = plan_coallocation(&profiles, &req(&[(0, 16), (1, 16)], 600), SimTime::ZERO)
+            .expect("feasible");
         assert_eq!(plan.start, SimTime::from_secs(1000));
         assert_eq!(plan.max_single_site_start, SimTime::from_secs(1000));
         assert_eq!(plan.coordination_slack(), SimDuration::ZERO);
@@ -168,9 +166,8 @@ mod tests {
         p0.reserve(SimTime::from_secs(500), SimDuration::from_secs(1500), 32);
         let p1 = profile(32, &[(600, 32)]);
         let profiles = vec![p0, p1];
-        let plan =
-            plan_coallocation(&profiles, &req(&[(0, 16), (1, 16)], 600), SimTime::ZERO)
-                .expect("feasible");
+        let plan = plan_coallocation(&profiles, &req(&[(0, 16), (1, 16)], 600), SimTime::ZERO)
+            .expect("feasible");
         // Site 0's earliest for 600 s is t=2000 (hole too short); common
         // start is 2000. Slack vs the slowest individual (2000) is zero here;
         // craft a case with real slack below.
@@ -208,12 +205,10 @@ mod tests {
     fn reserve_composes_sequential_requests() {
         let mut profiles = vec![profile(16, &[]), profile(16, &[])];
         let r = req(&[(0, 16), (1, 16)], 1000);
-        let first =
-            plan_and_reserve(&mut profiles, &r, SimTime::ZERO).expect("first fits");
+        let first = plan_and_reserve(&mut profiles, &r, SimTime::ZERO).expect("first fits");
         assert_eq!(first.start, SimTime::ZERO);
         // The second identical request must queue behind the first.
-        let second =
-            plan_and_reserve(&mut profiles, &r, SimTime::ZERO).expect("second fits later");
+        let second = plan_and_reserve(&mut profiles, &r, SimTime::ZERO).expect("second fits later");
         assert_eq!(second.start, SimTime::from_secs(1000));
         // And a third behind the second.
         let third = plan_and_reserve(&mut profiles, &r, SimTime::ZERO).expect("third");
@@ -225,21 +220,13 @@ mod tests {
         // Site 0 half-busy until 800: 8 of 16 free.
         let mut profiles = vec![profile(16, &[(800, 8)]), profile(16, &[])];
         // 8 cores at site 0 fit alongside the running half.
-        let plan = plan_and_reserve(
-            &mut profiles,
-            &req(&[(0, 8), (1, 8)], 600),
-            SimTime::ZERO,
-        )
-        .expect("fits in the free half");
+        let plan = plan_and_reserve(&mut profiles, &req(&[(0, 8), (1, 8)], 600), SimTime::ZERO)
+            .expect("fits in the free half");
         assert_eq!(plan.start, SimTime::ZERO);
         // A 16-core follow-up at site 0 must wait for both the running work
         // (t=800) and the co-allocated reservation ([0,600)).
-        let plan2 = plan_and_reserve(
-            &mut profiles,
-            &req(&[(0, 16)], 100),
-            SimTime::ZERO,
-        )
-        .expect("fits after");
+        let plan2 = plan_and_reserve(&mut profiles, &req(&[(0, 16)], 100), SimTime::ZERO)
+            .expect("fits after");
         assert_eq!(plan2.start, SimTime::from_secs(800));
     }
 

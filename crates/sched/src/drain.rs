@@ -43,6 +43,11 @@ pub struct WeeklyDrain {
     /// drain wall. Disabling this models a naive "stop everything" drain —
     /// the A2 ablation's baseline.
     predrain_fill: bool,
+    /// Backfill starts during normal-phase EASY passes (observability).
+    backfilled: u64,
+    /// Completed drain phases — counted when the hero queue empties and the
+    /// drain disarms (observability).
+    drains_done: u64,
 }
 
 impl WeeklyDrain {
@@ -50,7 +55,11 @@ impl WeeklyDrain {
     /// normal-phase algorithm at the type level (only EASY is supported);
     /// `period` is the drain cadence; `machine_cores` sizes the hero
     /// threshold at [`DEFAULT_HERO_FRACTION`].
-    pub fn new(_inner: crate::easy::EasyBackfill, period: SimDuration, machine_cores: usize) -> Self {
+    pub fn new(
+        _inner: crate::easy::EasyBackfill,
+        period: SimDuration,
+        machine_cores: usize,
+    ) -> Self {
         assert!(!period.is_zero(), "drain period must be positive");
         assert!(machine_cores > 0, "machine must have cores");
         WeeklyDrain {
@@ -62,6 +71,8 @@ impl WeeklyDrain {
             hero_threshold: ((machine_cores as f64) * DEFAULT_HERO_FRACTION).ceil() as usize,
             active_drain: None,
             predrain_fill: true,
+            backfilled: 0,
+            drains_done: 0,
         }
     }
 
@@ -135,6 +146,7 @@ impl BatchScheduler for WeeklyDrain {
                         cluster,
                         core_speed,
                         &mut started,
+                        &mut self.backfilled,
                     );
                     return started;
                 }
@@ -187,6 +199,7 @@ impl BatchScheduler for WeeklyDrain {
                         // Hero phase over (or will be once running heroes
                         // finish); disarm and resume normal scheduling.
                         self.active_drain = None;
+                        self.drains_done += 1;
                         continue;
                     }
                     let _ = any;
@@ -205,6 +218,14 @@ impl BatchScheduler for WeeklyDrain {
             Some(d) if d > now => Some(d),
             _ => None,
         }
+    }
+
+    fn backfills(&self) -> u64 {
+        self.backfilled
+    }
+
+    fn drains(&self) -> u64 {
+        self.drains_done
     }
 }
 
@@ -262,7 +283,7 @@ mod tests {
         let mut s = sched(10);
         let mut c = Cluster::new(SimTime::ZERO, 10);
         s.submit(SimTime::ZERO, job(0, 10, 3600)); // hero → drain at day 7
-        // A job estimated to end before day 7 starts; one crossing it waits.
+                                                   // A job estimated to end before day 7 starts; one crossing it waits.
         let short = job(1, 4, 3600);
         let long = job(2, 4, 8 * 86_400);
         let t = SimTime::from_days(1);
@@ -294,6 +315,7 @@ mod tests {
         assert_eq!(started.len(), 1);
         assert_eq!(started[0].job.id, JobId(1));
         assert_eq!(s.active_drain(), None, "disarmed once hero queue empties");
+        assert_eq!(s.drains(), 1, "one drain phase completed");
     }
 
     #[test]
@@ -322,6 +344,16 @@ mod tests {
         let started = s.make_decisions(SimTime::from_secs(10), &mut c, 1.0);
         assert!(started.is_empty(), "naive drain idles the machine");
         assert_eq!(s.queue_len(), 2);
+    }
+
+    #[test]
+    fn drain_counter_stays_zero_without_heroes() {
+        let mut s = sched(10);
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.submit(SimTime::ZERO, job(0, 4, 100));
+        s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        assert_eq!(s.drains(), 0);
+        assert_eq!(s.backfills(), 0);
     }
 
     #[test]

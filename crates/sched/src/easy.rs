@@ -21,6 +21,7 @@ use tg_workload::{Job, JobId};
 pub struct EasyBackfill {
     queue: VecDeque<Job>,
     running: Vec<RunningJob>,
+    backfilled: u64,
 }
 
 impl EasyBackfill {
@@ -51,7 +52,8 @@ pub(crate) fn start_job(
 
 /// One EASY decision pass over `queue`: FCFS starts, head reservation, then
 /// reservation-respecting backfill. Shared with the weekly-drain policy's
-/// normal phase.
+/// normal phase. Every Phase-3 start (a job overtaking the blocked head)
+/// bumps `backfills`.
 pub(crate) fn easy_pass(
     queue: &mut VecDeque<Job>,
     running: &mut Vec<RunningJob>,
@@ -59,6 +61,7 @@ pub(crate) fn easy_pass(
     cluster: &mut Cluster,
     core_speed: f64,
     started: &mut Vec<Started>,
+    backfills: &mut u64,
 ) {
     // Phase 1: start queue heads FCFS-style while they fit.
     while let Some(head) = queue.front() {
@@ -104,6 +107,7 @@ pub(crate) fn easy_pass(
                 }
                 let job = queue.remove(i).expect("index valid");
                 start_job(now, cluster, core_speed, job, running, started);
+                *backfills += 1;
                 continue; // same index now holds the next job
             }
         }
@@ -140,12 +144,17 @@ impl BatchScheduler for EasyBackfill {
             cluster,
             core_speed,
             &mut started,
+            &mut self.backfilled,
         );
         started
     }
 
     fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    fn backfills(&self) -> u64 {
+        self.backfilled
     }
 }
 
@@ -189,8 +198,8 @@ mod tests {
         s.submit(SimTime::ZERO, job(0, 6, 1000));
         s.make_decisions(SimTime::ZERO, &mut c, 1.0);
         s.submit(SimTime::ZERO, job(1, 8, 100)); // reservation at t=1000 needs 8 cores
-        // Runs past the shadow and would eat cores the reservation needs
-        // (free at shadow = 10, extra = 2 < 4):
+                                                 // Runs past the shadow and would eat cores the reservation needs
+                                                 // (free at shadow = 10, extra = 2 < 4):
         s.submit(SimTime::ZERO, job(2, 4, 5000));
         let started = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
         assert!(started.is_empty(), "long wide job must not backfill");
@@ -260,5 +269,19 @@ mod tests {
         let mut s = EasyBackfill::new();
         let mut c = Cluster::new(SimTime::ZERO, 4);
         assert!(s.make_decisions(SimTime::ZERO, &mut c, 1.0).is_empty());
+    }
+
+    #[test]
+    fn backfill_counter_counts_only_overtakes() {
+        let mut s = EasyBackfill::new();
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.submit(SimTime::ZERO, job(0, 6, 1000)); // FCFS start — not a backfill
+        s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        assert_eq!(s.backfills(), 0);
+        s.submit(SimTime::ZERO, job(1, 8, 100)); // blocked head
+        s.submit(SimTime::ZERO, job(2, 4, 500)); // overtakes → backfill
+        s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        assert_eq!(s.backfills(), 1);
+        assert_eq!(s.drains(), 0, "EASY has no drain mechanism");
     }
 }

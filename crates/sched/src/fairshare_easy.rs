@@ -25,6 +25,7 @@ pub struct FairshareEasy {
     /// `(id, cores, start)` for usage charging at completion.
     charge_info: Vec<(JobId, usize, SimTime, tg_workload::ProjectId)>,
     shares: FairShare,
+    backfilled: u64,
 }
 
 impl FairshareEasy {
@@ -35,6 +36,7 @@ impl FairshareEasy {
             running: Vec::new(),
             charge_info: Vec::new(),
             shares: FairShare::new(half_life),
+            backfilled: 0,
         }
     }
 
@@ -91,6 +93,7 @@ impl BatchScheduler for FairshareEasy {
             cluster,
             core_speed,
             &mut started,
+            &mut self.backfilled,
         );
         for s in &started {
             self.charge_info
@@ -101,6 +104,10 @@ impl BatchScheduler for FairshareEasy {
 
     fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    fn backfills(&self) -> u64 {
+        self.backfilled
     }
 }
 
@@ -146,8 +153,8 @@ mod tests {
         let t1 = SimTime::from_secs(50_000);
         c.release(t1, 10);
         s.on_complete(t1, JobId(0)); // charges 500k core-seconds to project 0
-        // Now project 0 submits first, project 1 second; both need the
-        // whole machine. Fair share puts project 1 ahead.
+                                     // Now project 0 submits first, project 1 second; both need the
+                                     // whole machine. Fair share puts project 1 ahead.
         s.submit(t1, job(1, 0, 10, 100, 50_000));
         s.submit(t1, job(2, 1, 10, 100, 50_000));
         let started = s.make_decisions(t1, &mut c, 1.0);

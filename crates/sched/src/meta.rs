@@ -121,8 +121,7 @@ impl MetaPolicy {
                 .iter()
                 .min_by(|a, b| {
                     let cost = |v: &SiteView| {
-                        v.eta(job.cores)
-                            + network.transfer_time(data_home, v.site, job.input_mb)
+                        v.eta(job.cores) + network.transfer_time(data_home, v.site, job.input_mb)
                     };
                     cost(a).cmp(&cost(b)).then(a.site.cmp(&b.site))
                 })
@@ -135,7 +134,7 @@ impl MetaPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tg_des::{SimTime, SimRng};
+    use tg_des::{SimRng, SimTime};
     use tg_model::network::Uplink;
     use tg_workload::{JobId, ProjectId, UserId};
 
@@ -246,7 +245,13 @@ mod tests {
     fn infeasible_everywhere_is_none() {
         let mut rng = SimRng::seeded(4);
         assert_eq!(
-            MetaPolicy::ShortestEta.select(&job(10_000, 0.0), &views(), SiteId(0), &net(), &mut rng),
+            MetaPolicy::ShortestEta.select(
+                &job(10_000, 0.0),
+                &views(),
+                SiteId(0),
+                &net(),
+                &mut rng
+            ),
             None
         );
     }

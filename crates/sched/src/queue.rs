@@ -45,8 +45,12 @@ pub trait BatchScheduler: Send {
     /// Start whatever should start now. Implementations must acquire cores
     /// from `cluster` for each returned job. `core_speed` converts the job's
     /// reference estimate into machine time.
-    fn make_decisions(&mut self, now: SimTime, cluster: &mut Cluster, core_speed: f64)
-        -> Vec<Started>;
+    fn make_decisions(
+        &mut self,
+        now: SimTime,
+        cluster: &mut Cluster,
+        core_speed: f64,
+    ) -> Vec<Started>;
 
     /// Queue length (jobs waiting).
     fn queue_len(&self) -> usize;
@@ -55,6 +59,18 @@ pub trait BatchScheduler: Send {
     /// call (used by time-triggered policies like weekly drain).
     fn next_wakeup(&self, _now: SimTime) -> Option<SimTime> {
         None
+    }
+
+    /// Jobs started out of FIFO order by backfilling so far (observability
+    /// counter; policies without a backfill phase report 0).
+    fn backfills(&self) -> u64 {
+        0
+    }
+
+    /// Completed drain phases so far (observability counter; policies
+    /// without a drain mechanism report 0).
+    fn drains(&self) -> u64 {
+        0
     }
 }
 

@@ -466,7 +466,9 @@ mod tests {
             ..policy
         };
         match ff.decide(&job, &p2, &libr, no_fetch, SimTime::ZERO, 1.0) {
-            RcDecision::PlaceHw { node, .. } => assert_eq!(node, NodeId(0), "first fit is index order"),
+            RcDecision::PlaceHw { node, .. } => {
+                assert_eq!(node, NodeId(0), "first fit is index order")
+            }
             other => panic!("{other:?}"),
         }
         let _ = b;

@@ -84,12 +84,7 @@ impl ReservingConservative {
 
     /// The availability profile with every *foreign* granted window carved
     /// out (a job's own window is not an obstacle to itself).
-    fn profile_excluding(
-        &self,
-        now: SimTime,
-        cluster: &Cluster,
-        own: Option<JobId>,
-    ) -> Profile {
+    fn profile_excluding(&self, now: SimTime, cluster: &Cluster, own: Option<JobId>) -> Profile {
         let mut p = Profile::from_running(now, cluster.free_cores(), &self.running);
         for r in &self.reservations {
             if Some(r.job) == own {
@@ -236,7 +231,7 @@ mod tests {
         let mut s = ReservingConservative::new();
         let mut c = Cluster::new(SimTime::ZERO, 10);
         s.grant(grant(99, 1000, 600, 10)); // full machine at t=1000
-        // Background stream trying to eat the machine.
+                                           // Background stream trying to eat the machine.
         for i in 0..6 {
             s.submit(SimTime::ZERO, job(i, 4, 3_000));
         }
@@ -269,7 +264,10 @@ mod tests {
         let started = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
         let ids: Vec<JobId> = started.iter().map(|st| st.job.id).collect();
         assert!(ids.contains(&JobId(0)), "pre-window job fits");
-        assert!(ids.contains(&JobId(1)), "narrow job coexists with the window");
+        assert!(
+            ids.contains(&JobId(1)),
+            "narrow job coexists with the window"
+        );
         assert!(!ids.contains(&JobId(2)), "colliding job waits");
     }
 

@@ -47,25 +47,27 @@ fn drive(
     let mut now = SimTime::ZERO;
     let mut submitted = 0usize;
 
-    let check_and_start =
-        |sched: &mut Box<dyn BatchScheduler>,
-         cluster: &mut Cluster,
-         running: &mut Vec<(SimTime, JobId, usize)>,
-         starts: &mut Vec<(JobId, SimTime)>,
-         now: SimTime|
-         -> Result<(), TestCaseError> {
-            let free_before = cluster.free_cores();
-            let started = sched.make_decisions(now, cluster, 1.0);
-            let used: usize = started.iter().map(|s| s.job.cores).sum();
-            prop_assert!(used <= free_before, "over-allocation: {used} > {free_before}");
-            for s in started {
-                prop_assert!(s.estimated_end >= now);
-                let actual_end = now + s.job.runtime;
-                running.push((actual_end, s.job.id, s.job.cores));
-                starts.push((s.job.id, now));
-            }
-            Ok(())
-        };
+    let check_and_start = |sched: &mut Box<dyn BatchScheduler>,
+                           cluster: &mut Cluster,
+                           running: &mut Vec<(SimTime, JobId, usize)>,
+                           starts: &mut Vec<(JobId, SimTime)>,
+                           now: SimTime|
+     -> Result<(), TestCaseError> {
+        let free_before = cluster.free_cores();
+        let started = sched.make_decisions(now, cluster, 1.0);
+        let used: usize = started.iter().map(|s| s.job.cores).sum();
+        prop_assert!(
+            used <= free_before,
+            "over-allocation: {used} > {free_before}"
+        );
+        for s in started {
+            prop_assert!(s.estimated_end >= now);
+            let actual_end = now + s.job.runtime;
+            running.push((actual_end, s.job.id, s.job.cores));
+            starts.push((s.job.id, now));
+        }
+        Ok(())
+    };
 
     for spec in specs {
         now += SimDuration::from_secs(spec.gap_s);
@@ -74,7 +76,9 @@ fn drive(
         // new running entries.
         loop {
             running.sort_by_key(|&(end, ..)| end);
-            let Some(&(end, id, cores)) = running.first() else { break };
+            let Some(&(end, id, cores)) = running.first() else {
+                break;
+            };
             if end > now {
                 break;
             }
@@ -92,9 +96,9 @@ fn drive(
             cores,
             SimDuration::from_secs(spec.runtime_s),
         )
-        .with_estimate(
-            SimDuration::from_secs(spec.runtime_s * spec.estimate_factor_x10 / 10),
-        );
+        .with_estimate(SimDuration::from_secs(
+            spec.runtime_s * spec.estimate_factor_x10 / 10,
+        ));
         submit_times.push(now);
         submitted += 1;
         sched.submit(now, job);
@@ -113,7 +117,10 @@ fn drive(
             (Some(a), None) => a,
             (None, Some(b)) => b,
             (None, None) => {
-                prop_assert!(false, "queued jobs but nothing will ever wake the scheduler");
+                prop_assert!(
+                    false,
+                    "queued jobs but nothing will ever wake the scheduler"
+                );
                 unreachable!()
             }
         };

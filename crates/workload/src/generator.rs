@@ -177,25 +177,33 @@ impl WorkloadGenerator {
                         let wf = WorkflowId(next_wf);
                         next_wf += 1;
                         self.emit_workflow(
-                            profile, user, at, wf, home, &mut next_job, &mut jobs, &mut rng,
+                            profile,
+                            user,
+                            at,
+                            wf,
+                            home,
+                            &mut next_job,
+                            &mut jobs,
+                            &mut rng,
                         );
                     }
                     Modality::Ensemble => {
                         let ens = EnsembleId(next_ens);
                         next_ens += 1;
                         self.emit_ensemble(
-                            profile, user, at, ens, home, &mut next_job, &mut jobs, &mut rng,
-                        );
-                    }
-                    _ => {
-                        let mut job = self.base_job(
                             profile,
                             user,
                             at,
-                            JobId(next_job),
+                            ens,
                             home,
+                            &mut next_job,
+                            &mut jobs,
                             &mut rng,
                         );
+                    }
+                    _ => {
+                        let mut job =
+                            self.base_job(profile, user, at, JobId(next_job), home, &mut rng);
                         next_job += 1;
                         match user.modality {
                             Modality::ScienceGateway => {
@@ -208,14 +216,12 @@ impl WorkloadGenerator {
                                 job = job.labeled(Modality::DataMovement);
                             }
                             Modality::RcAccelerated => {
-                                let rc_profile =
-                                    profile.rc.as_ref().expect("RC profile present");
+                                let rc_profile = profile.rc.as_ref().expect("RC profile present");
                                 let zipf = rc_zipf.as_ref().expect("RC library configured");
                                 let rank = zipf.sample_rank(&mut rng);
                                 let speedup = rc_profile.speedup.sample(&mut rng).max(1.0);
-                                let deadline = rng
-                                    .chance(rc_profile.deadline_fraction)
-                                    .then(|| {
+                                let deadline =
+                                    rng.chance(rc_profile.deadline_fraction).then(|| {
                                         let slack =
                                             rc_profile.deadline_slack.sample(&mut rng).max(1.0);
                                         // Deadline scaled from the HW runtime.
@@ -268,9 +274,7 @@ impl WorkloadGenerator {
             let mean = weights.iter().sum::<f64>() / count.max(1) as f64;
             for (i, w) in weights.into_iter().enumerate() {
                 let project = ProjectId(uid % projects.len());
-                users.push(
-                    User::new(UserId(uid), project, m).with_activity((w / mean).max(1e-3)),
-                );
+                users.push(User::new(UserId(uid), project, m).with_activity((w / mean).max(1e-3)));
                 uid += 1;
                 let _ = i;
             }
@@ -321,7 +325,11 @@ impl WorkloadGenerator {
         let skeleton = shape.generate(rng);
         let base = *next_job;
         for t in 0..skeleton.tasks {
-            let deps: Vec<JobId> = skeleton.deps_of(t).into_iter().map(|d| JobId(base + d)).collect();
+            let deps: Vec<JobId> = skeleton
+                .deps_of(t)
+                .into_iter()
+                .map(|d| JobId(base + d))
+                .collect();
             let job = self
                 .base_job(profile, user, at, JobId(base + t), home, rng)
                 .in_workflow(wf, deps);
@@ -351,8 +359,7 @@ impl WorkloadGenerator {
         // ensemble recognizable — with per-member runtime jitter.
         let template = self.base_job(profile, user, at, JobId(*next_job), home, rng);
         for i in 0..width {
-            let runtime =
-                SimDuration::from_secs_f64(profile.runtime.sample(rng).max(1.0));
+            let runtime = SimDuration::from_secs_f64(profile.runtime.sample(rng).max(1.0));
             let mut member = template.clone();
             member.id = JobId(*next_job + i);
             member.runtime = runtime;
@@ -533,16 +540,21 @@ mod tests {
     #[test]
     fn batch_dominates_core_seconds_gateway_dominates_users() {
         let w = generate(8);
-        let batch_cs: f64 = w.jobs_of(Modality::BatchComputing).map(Job::core_seconds).sum();
-        let gw_cs: f64 = w.jobs_of(Modality::ScienceGateway).map(Job::core_seconds).sum();
+        let batch_cs: f64 = w
+            .jobs_of(Modality::BatchComputing)
+            .map(Job::core_seconds)
+            .sum();
+        let gw_cs: f64 = w
+            .jobs_of(Modality::ScienceGateway)
+            .map(Job::core_seconds)
+            .sum();
         assert!(
             batch_cs > gw_cs,
             "batch ({batch_cs:.0}) should out-consume gateway ({gw_cs:.0})"
         );
         let counts = w.population.modality_counts();
         assert!(
-            counts[Modality::ScienceGateway.index()]
-                > counts[Modality::BatchComputing.index()]
+            counts[Modality::ScienceGateway.index()] > counts[Modality::BatchComputing.index()]
         );
     }
 

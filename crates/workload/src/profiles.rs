@@ -98,8 +98,14 @@ impl ModalityProfile {
                 cv: 1.5,
             },
             estimate_factor: DistKind::Uniform { lo: 1.0, hi: 3.0 },
-            input_mb: DistKind::LogNormal { mean: 100.0, cv: 2.0 },
-            output_mb: DistKind::LogNormal { mean: 200.0, cv: 2.0 },
+            input_mb: DistKind::LogNormal {
+                mean: 100.0,
+                cv: 2.0,
+            },
+            output_mb: DistKind::LogNormal {
+                mean: 200.0,
+                cv: 2.0,
+            },
             site_pinned_prob: 0.5,
             ensemble_width: None,
             dag_shapes: Vec::new(),
@@ -138,7 +144,10 @@ impl ModalityProfile {
                     weekend_factor: 0.3,
                 },
                 cores_weights: vec![(1, 40.0), (2, 25.0), (4, 20.0), (8, 15.0)],
-                runtime: DistKind::LogNormal { mean: 600.0, cv: 1.0 },
+                runtime: DistKind::LogNormal {
+                    mean: 600.0,
+                    cv: 1.0,
+                },
                 estimate_factor: DistKind::Uniform { lo: 2.0, hi: 6.0 },
                 site_pinned_prob: 0.95, // interactive users live on one machine
                 ..base
@@ -151,7 +160,10 @@ impl ModalityProfile {
                     weekend_factor: 0.5,
                 },
                 cores_weights: vec![(1, 30.0), (2, 20.0), (4, 20.0), (8, 18.0), (16, 12.0)],
-                runtime: DistKind::LogNormal { mean: 1800.0, cv: 1.2 },
+                runtime: DistKind::LogNormal {
+                    mean: 1800.0,
+                    cv: 1.2,
+                },
                 site_pinned_prob: 0.2, // the gateway brokers placement
                 ..base
             },
@@ -163,7 +175,10 @@ impl ModalityProfile {
                     mean_burst_s: 1800.0,
                 },
                 cores_weights: vec![(1, 25.0), (4, 25.0), (16, 25.0), (64, 25.0)],
-                runtime: DistKind::LogNormal { mean: 3600.0, cv: 1.0 },
+                runtime: DistKind::LogNormal {
+                    mean: 3600.0,
+                    cv: 1.0,
+                },
                 site_pinned_prob: 0.1, // the engine metaschedules
                 dag_shapes: vec![
                     (DagShape::Chain { n: 6 }, 3.0),
@@ -189,8 +204,14 @@ impl ModalityProfile {
                 per_user_per_day: 0.15,
                 arrival: ArrivalKind::Poisson,
                 cores_weights: vec![(1, 40.0), (2, 30.0), (4, 30.0)],
-                runtime: DistKind::LogNormal { mean: 3600.0, cv: 0.6 },
-                ensemble_width: Some(DistKind::LogNormal { mean: 60.0, cv: 1.0 }),
+                runtime: DistKind::LogNormal {
+                    mean: 3600.0,
+                    cv: 0.6,
+                },
+                ensemble_width: Some(DistKind::LogNormal {
+                    mean: 60.0,
+                    cv: 1.0,
+                }),
                 site_pinned_prob: 0.3,
                 ..base
             },
@@ -202,7 +223,10 @@ impl ModalityProfile {
                     weekend_factor: 0.8,
                 },
                 cores_weights: vec![(1, 1.0)],
-                runtime: DistKind::LogNormal { mean: 300.0, cv: 0.8 },
+                runtime: DistKind::LogNormal {
+                    mean: 300.0,
+                    cv: 0.8,
+                },
                 input_mb: DistKind::Pareto {
                     xm: 1_000.0,
                     alpha: 1.3,
@@ -218,7 +242,10 @@ impl ModalityProfile {
                 per_user_per_day: 12.0,
                 arrival: ArrivalKind::Poisson, // machine-driven
                 cores_weights: vec![(1, 1.0)],
-                runtime: DistKind::LogNormal { mean: 1200.0, cv: 1.0 },
+                runtime: DistKind::LogNormal {
+                    mean: 1200.0,
+                    cv: 1.0,
+                },
                 site_pinned_prob: 1.0, // RC tasks go where the fabric is
                 rc: Some(RcTaskProfile {
                     config_zipf_s: 1.1,

@@ -97,10 +97,12 @@ mod tests {
     fn population_queries() {
         let mut p = Population::default();
         p.projects.push(Project::new(ProjectId(0), 1e6, "astro"));
-        p.users.push(User::new(UserId(0), ProjectId(0), Modality::BatchComputing));
+        p.users
+            .push(User::new(UserId(0), ProjectId(0), Modality::BatchComputing));
         p.users
             .push(User::new(UserId(1), ProjectId(0), Modality::ScienceGateway).with_activity(3.0));
-        p.users.push(User::new(UserId(2), ProjectId(0), Modality::BatchComputing));
+        p.users
+            .push(User::new(UserId(2), ProjectId(0), Modality::BatchComputing));
         assert_eq!(p.users_of(Modality::BatchComputing).count(), 2);
         assert_eq!(p.users_of(Modality::Workflow).count(), 0);
         let counts = p.modality_counts();

@@ -15,7 +15,7 @@ use tg_des::StreamId;
 fn main() {
     let mut cfg = ScenarioConfig::baseline(400, 21);
     cfg.sample_interval = Some(SimDuration::from_hours(6));
-    let out = cfg.build().run(77);
+    let out = cfg.build().run_with(77, &RunOptions::with_metrics());
 
     println!("=== usage by modality (ground truth labels) ===");
     let report = UsageReport::compute(&out.db, &out.truth, &out.charge_policy);
@@ -72,6 +72,10 @@ fn main() {
             acc.macro_f1
         );
     }
+
+    println!("\n=== run metrics ===");
+    let snap = out.metrics.as_ref().expect("metrics requested");
+    println!("{}", MetricsReport(snap));
 
     // Survey cross-check against the same population.
     let truth = true_user_shares(&out.population.users);

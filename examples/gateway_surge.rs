@@ -27,8 +27,7 @@ fn main() {
         // Accounts visible to classic accounting:
         let visible = shares.accounts[Modality::ScienceGateway.index()];
         // People visible through the gateway attributes:
-        let end_users: HashSet<u64> =
-            out.db.gateway_attrs.iter().map(|a| a.end_user).collect();
+        let end_users: HashSet<u64> = out.db.gateway_attrs.iter().map(|a| a.end_user).collect();
         println!(
             "{stage:>5}  {gw_users:>8}  {visible:>13}  {:>18}  {:>7}  {:>5.1}%",
             end_users.len(),

@@ -48,9 +48,7 @@ fn main() {
         match decision {
             RcDecision::PlaceHw { node, plan, setup } => {
                 let reused = matches!(plan, tg_model::reconf::HostPlan::Reuse(_));
-                let region = fabric
-                    .node_mut(node)
-                    .commit(plan, config, &library, now);
+                let region = fabric.node_mut(node).commit(plan, config, &library, now);
                 let exec = now + setup.total();
                 let end = exec + job.runtime_on(1.0, true);
                 println!(
@@ -79,7 +77,11 @@ fn main() {
     let stats = fabric.total_stats();
     println!(
         "\nfabric: {} tasks, {} reuses, {} reconfigurations, {} bitstream fetches, {} hits",
-        stats.completed, stats.reuses, stats.reconfigs, stats.bitstream_fetches, stats.bitstream_hits
+        stats.completed,
+        stats.reuses,
+        stats.reconfigs,
+        stats.bitstream_fetches,
+        stats.bitstream_hits
     );
     println!(
         "wasted-area integral: {:.0} area-seconds over {} of simulated time",

@@ -4,11 +4,17 @@
 //! tgsim emit-baseline [USERS DAYS] > scenario.json   # write a starter config
 //! tgsim run scenario.json [--seed N] [--reps K] [--sample-hours H]
 //!       [--classify] [--out results.json]
+//!       [--metrics-out metrics.json] [--trace-out trace.jsonl]
 //! ```
 //!
 //! `run` prints the usage report (ground-truth labels) and, with
 //! `--classify`, the classifier accuracy in both instrumentation modes;
-//! `--out` writes a JSON summary.
+//! `--out` writes a JSON summary. `--metrics-out` writes the first
+//! replication's run-level metrics snapshot (per-site busy/queue gauges and
+//! sampled series, per-modality completion counters, engine profile) as
+//! JSON; it implies sampling at 6-hour cadence unless `--sample-hours`
+//! overrides it. `--trace-out` streams a structured JSONL event trace from
+//! the first replication.
 
 use std::process::ExitCode;
 use teragrid_repro::prelude::*;
@@ -17,7 +23,8 @@ use tg_des::stats::ci_student_t;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tgsim emit-baseline [USERS DAYS]\n  tgsim run <scenario.json> \
-         [--seed N] [--reps K] [--sample-hours H] [--classify] [--out FILE]"
+         [--seed N] [--reps K] [--sample-hours H] [--classify] [--out FILE] \
+         [--metrics-out FILE] [--trace-out FILE]"
     );
     ExitCode::from(2)
 }
@@ -58,11 +65,13 @@ fn run(rest: &[String]) -> ExitCode {
     let mut reps = 1usize;
     let mut classify = false;
     let mut out_path: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut sample_hours: Option<u64> = None;
     let mut i = 1;
     while i < rest.len() {
         match rest[i].as_str() {
-            "--seed" | "--reps" | "--out" | "--sample-hours" => {
+            "--seed" | "--reps" | "--out" | "--sample-hours" | "--metrics-out" | "--trace-out" => {
                 let flag = rest[i].clone();
                 i += 1;
                 let Some(value) = rest.get(i) else {
@@ -91,6 +100,8 @@ fn run(rest: &[String]) -> ExitCode {
                             return usage();
                         }
                     },
+                    "--metrics-out" => metrics_out = Some(value.clone()),
+                    "--trace-out" => trace_out = Some(value.clone()),
                     _ => out_path = Some(value.clone()),
                 }
             }
@@ -101,6 +112,20 @@ fn run(rest: &[String]) -> ExitCode {
             }
         }
         i += 1;
+    }
+
+    // Fail fast on unwritable output paths instead of discovering them only
+    // after the replications have run (the trace sink would otherwise panic
+    // mid-setup). Append mode probes writability without truncating.
+    for p in [&out_path, &metrics_out, &trace_out].into_iter().flatten() {
+        if let Err(e) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(p)
+        {
+            eprintln!("tgsim: cannot write {p}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
 
     let text = match std::fs::read_to_string(path) {
@@ -119,13 +144,21 @@ fn run(rest: &[String]) -> ExitCode {
     };
     if let Some(h) = sample_hours {
         cfg.sample_interval = Some(SimDuration::from_hours(h));
+    } else if metrics_out.is_some() && cfg.sample_interval.is_none() {
+        // Metrics without a sampler would leave the time series empty;
+        // default to a 6-hour cadence.
+        cfg.sample_interval = Some(SimDuration::from_hours(6));
     }
     let scenario = cfg.build();
     eprintln!(
         "running `{}` × {reps} replication(s) from seed {seed} ...",
         scenario.config().name
     );
-    let replications = replicate(&scenario, seed, reps, 0);
+    let opts = RunOptions {
+        metrics: metrics_out.is_some(),
+        trace_path: trace_out.as_ref().map(std::path::PathBuf::from),
+    };
+    let replications = replicate_with(&scenario, seed, reps, 0, &opts);
     let first = &replications[0].output;
 
     let report = UsageReport::compute(&first.db, &first.truth, &first.charge_policy);
@@ -143,6 +176,32 @@ fn run(rest: &[String]) -> ExitCode {
         first.db.jobs.len(),
         first.events_delivered
     );
+    let agg = aggregate_profiles(&replications);
+    println!(
+        "engine: {} events in {:.3}s wall ({:.0} events/s), peak queue {}",
+        agg.events_delivered, agg.wall_seconds, agg.events_per_sec, agg.peak_queue_len
+    );
+
+    if let Some(out) = &metrics_out {
+        let snap = first.metrics.as_ref().expect("metrics were requested");
+        println!("{}", MetricsReport(snap));
+        match serde_json::to_string_pretty(snap) {
+            Ok(json) => match std::fs::write(out, json) {
+                Ok(()) => eprintln!("wrote {out}"),
+                Err(e) => {
+                    eprintln!("tgsim: cannot write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("tgsim: cannot serialize metrics: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(out) = &trace_out {
+        eprintln!("wrote {out}");
+    }
 
     let mut accuracy_summary = Vec::new();
     if classify {
@@ -174,7 +233,10 @@ fn run(rest: &[String]) -> ExitCode {
                 .collect::<Vec<_>>(),
             "samples": first.samples,
         });
-        match std::fs::write(&out, serde_json::to_string_pretty(&summary).expect("serializable")) {
+        match std::fs::write(
+            &out,
+            serde_json::to_string_pretty(&summary).expect("serializable"),
+        ) {
             Ok(()) => eprintln!("wrote {out}"),
             Err(e) => {
                 eprintln!("tgsim: cannot write {out}: {e}");

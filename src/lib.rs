@@ -17,17 +17,19 @@
 /// One-stop imports for driving the simulator end to end.
 pub mod prelude {
     pub use tg_accounting::{AccountingDb, ChargePolicy, JobRecord};
-    pub use tg_core::report::{FieldShares, ModalityShares, ModalityTrend, UsageReport};
+    pub use tg_core::report::{
+        FieldShares, MetricsReport, ModalityShares, ModalityTrend, UsageReport,
+    };
     pub use tg_core::{
-        classify_all, replicate, Accuracy, ClassifierMode, Modality, Scenario, ScenarioConfig,
-        SimOutput,
+        aggregate_profiles, classify_all, replicate, replicate_with, Accuracy, ClassifierMode,
+        EngineProfile, MetricsSnapshot, Modality, RunOptions, Scenario, ScenarioConfig, SimOutput,
     };
     pub use tg_des::{RngFactory, SimDuration, SimTime};
     pub use tg_model::{ConfigLibrary, Federation, SiteConfig, SiteId};
     pub use tg_sched::{MetaPolicy, RcPolicy, SchedulerKind};
     pub use tg_workload::{
-        GeneratorConfig, Job, JobId, Modality as WorkloadModality, ModalityProfile,
-        PopulationMix, WorkloadGenerator,
+        GeneratorConfig, Job, JobId, Modality as WorkloadModality, ModalityProfile, PopulationMix,
+        WorkloadGenerator,
     };
 }
 

@@ -89,10 +89,7 @@ fn bad_invocations_fail_cleanly() {
         .expect("runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
-    let out = tgsim()
-        .args(["run", "Cargo.toml"])
-        .output()
-        .expect("runs");
+    let out = tgsim().args(["run", "Cargo.toml"]).output().expect("runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("invalid scenario"));
 }
@@ -100,7 +97,10 @@ fn bad_invocations_fail_cleanly() {
 #[test]
 fn checked_in_config_still_parses() {
     // Guard against config-format drift: the committed example must load.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/configs/baseline-300u-14d.json");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/configs/baseline-300u-14d.json"
+    );
     let text = std::fs::read_to_string(path).expect("config exists");
     let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
     assert_eq!(v["sites"].as_array().expect("sites").len(), 3);

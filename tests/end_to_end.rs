@@ -16,8 +16,7 @@ fn small_baseline() -> ScenarioConfig {
 #[test]
 fn every_generated_job_completes_exactly_once() {
     let cfg = small_baseline();
-    let workload =
-        WorkloadGenerator::new(cfg.workload.clone()).generate(&RngFactory::new(77));
+    let workload = WorkloadGenerator::new(cfg.workload.clone()).generate(&RngFactory::new(77));
     let generated: HashSet<JobId> = workload.jobs.iter().map(|j| j.id).collect();
     let out = cfg.build().run(77);
     let mut seen = HashSet::new();
@@ -72,8 +71,7 @@ fn gateway_attributes_pair_with_community_accounts() {
 #[test]
 fn rc_placements_pair_with_hw_records() {
     let out = small_baseline().build().run(80);
-    let placement_jobs: HashSet<JobId> =
-        out.db.rc_placements.iter().map(|p| p.job).collect();
+    let placement_jobs: HashSet<JobId> = out.db.rc_placements.iter().map(|p| p.job).collect();
     assert!(!placement_jobs.is_empty(), "baseline exercises the fabric");
     for r in &out.db.jobs {
         assert_eq!(
@@ -93,12 +91,13 @@ fn workflow_tasks_never_start_before_their_parents_end() {
     let out = small_baseline().build().run(81);
     // Reconstruct dependencies from the generated workload (same seed).
     let cfg = small_baseline();
-    let workload =
-        WorkloadGenerator::new(cfg.workload.clone()).generate(&RngFactory::new(81));
+    let workload = WorkloadGenerator::new(cfg.workload.clone()).generate(&RngFactory::new(81));
     let rec_of = |id: JobId| out.db.jobs.iter().find(|r| r.job == id);
     let mut checked = 0;
     for job in workload.jobs_of(Modality::Workflow) {
-        let Some(child) = rec_of(job.id) else { continue };
+        let Some(child) = rec_of(job.id) else {
+            continue;
+        };
         for &dep in &job.deps {
             let parent = rec_of(dep).expect("parents complete");
             assert!(
@@ -112,7 +111,10 @@ fn workflow_tasks_never_start_before_their_parents_end() {
             checked += 1;
         }
     }
-    assert!(checked > 100, "expected many dependency edges, got {checked}");
+    assert!(
+        checked > 100,
+        "expected many dependency edges, got {checked}"
+    );
 }
 
 #[test]
@@ -133,7 +135,8 @@ fn replications_differ_across_seeds_but_not_within() {
     let again = scenario.run(900);
     assert_eq!(reps[0].output.db.jobs, again.db.jobs);
     assert!(
-        !(reps[0].output.db.jobs.len() == reps[1].output.db.jobs.len() && reps[0].output.end == reps[1].output.end),
+        !(reps[0].output.db.jobs.len() == reps[1].output.db.jobs.len()
+            && reps[0].output.end == reps[1].output.end),
         "different seeds should differ somewhere"
     );
 }

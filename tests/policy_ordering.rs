@@ -46,7 +46,9 @@ fn mean_wait_small_jobs(out: &SimOutput) -> f64 {
 fn backfilling_beats_fcfs_for_small_jobs() {
     let fcfs = single_site(SchedulerKind::Fcfs, "order").build().run(5);
     let easy = single_site(SchedulerKind::Easy, "order").build().run(5);
-    let cons = single_site(SchedulerKind::Conservative, "order").build().run(5);
+    let cons = single_site(SchedulerKind::Conservative, "order")
+        .build()
+        .run(5);
     let w_fcfs = mean_wait_small_jobs(&fcfs);
     let w_easy = mean_wait_small_jobs(&easy);
     let w_cons = mean_wait_small_jobs(&cons);
@@ -124,8 +126,12 @@ fn metascheduler_eta_beats_random_under_imbalance() {
         }
         cfg.build().run(seed)
     };
-    let eta: f64 = (0..3).map(|s| build(MetaPolicy::ShortestEta, s).mean_wait_secs()).sum();
-    let rnd: f64 = (0..3).map(|s| build(MetaPolicy::Random, s).mean_wait_secs()).sum();
+    let eta: f64 = (0..3)
+        .map(|s| build(MetaPolicy::ShortestEta, s).mean_wait_secs())
+        .sum();
+    let rnd: f64 = (0..3)
+        .map(|s| build(MetaPolicy::Random, s).mean_wait_secs())
+        .sum();
     assert!(
         eta <= rnd,
         "ETA mean wait {eta} should not exceed random {rnd}"

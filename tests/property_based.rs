@@ -17,51 +17,49 @@ fn arb_scenario() -> impl Strategy<Value = (ScenarioConfig, u64)> {
         0usize..3,    // scheduler index
         any::<u64>(), // seed
     )
-        .prop_map(
-            |(batch, inter, gw, wf, rc, days, sched, seed)| {
-                let site_a = SiteConfig {
-                    batch_nodes: 32,
-                    ..SiteConfig::medium("a")
-                };
-                let site_b = SiteConfig {
-                    batch_nodes: 24,
-                    rc_nodes: if rc > 0 { 4 } else { 0 },
-                    rc_area_per_node: 8,
-                    ..SiteConfig::medium("b")
-                };
-                let mut mix = PopulationMix::baseline(0);
-                mix.users_per_modality = [0; Modality::ALL.len()];
-                mix.users_per_modality[Modality::BatchComputing.index()] = batch;
-                mix.users_per_modality[Modality::Interactive.index()] = inter;
-                mix.users_per_modality[Modality::ScienceGateway.index()] = gw;
-                mix.users_per_modality[Modality::Workflow.index()] = wf;
-                mix.users_per_modality[Modality::RcAccelerated.index()] = rc;
-                let scheduler = [
-                    SchedulerKind::Fcfs,
-                    SchedulerKind::Easy,
-                    SchedulerKind::Conservative,
-                ][sched];
-                let cfg = ScenarioConfig {
-                    name: "prop".into(),
-                    sites: vec![site_a, site_b],
-                    data_home: 0,
-                    scheduler,
-                    meta: MetaPolicy::LeastLoaded,
-                    rc_policy: RcPolicy::AWARE,
-                    workload: GeneratorConfig {
-                        horizon: SimDuration::from_days(days),
-                        mix,
-                        profiles: ModalityProfile::all_defaults(),
-                        sites: 2,
-                        rc_sites: if rc > 0 { vec![SiteId(1)] } else { vec![] },
-                        rc_config_count: if rc > 0 { 6 } else { 0 },
-                    },
-                    library: None,
-                    sample_interval: None,
-                };
-                (cfg, seed)
-            },
-        )
+        .prop_map(|(batch, inter, gw, wf, rc, days, sched, seed)| {
+            let site_a = SiteConfig {
+                batch_nodes: 32,
+                ..SiteConfig::medium("a")
+            };
+            let site_b = SiteConfig {
+                batch_nodes: 24,
+                rc_nodes: if rc > 0 { 4 } else { 0 },
+                rc_area_per_node: 8,
+                ..SiteConfig::medium("b")
+            };
+            let mut mix = PopulationMix::baseline(0);
+            mix.users_per_modality = [0; Modality::ALL.len()];
+            mix.users_per_modality[Modality::BatchComputing.index()] = batch;
+            mix.users_per_modality[Modality::Interactive.index()] = inter;
+            mix.users_per_modality[Modality::ScienceGateway.index()] = gw;
+            mix.users_per_modality[Modality::Workflow.index()] = wf;
+            mix.users_per_modality[Modality::RcAccelerated.index()] = rc;
+            let scheduler = [
+                SchedulerKind::Fcfs,
+                SchedulerKind::Easy,
+                SchedulerKind::Conservative,
+            ][sched];
+            let cfg = ScenarioConfig {
+                name: "prop".into(),
+                sites: vec![site_a, site_b],
+                data_home: 0,
+                scheduler,
+                meta: MetaPolicy::LeastLoaded,
+                rc_policy: RcPolicy::AWARE,
+                workload: GeneratorConfig {
+                    horizon: SimDuration::from_days(days),
+                    mix,
+                    profiles: ModalityProfile::all_defaults(),
+                    sites: 2,
+                    rc_sites: if rc > 0 { vec![SiteId(1)] } else { vec![] },
+                    rc_config_count: if rc > 0 { 6 } else { 0 },
+                },
+                library: None,
+                sample_interval: None,
+            };
+            (cfg, seed)
+        })
 }
 
 proptest! {

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A timing-only harness exposing the API surface the workspace's benches
+//! use. Each benchmark is run for a fixed number of timed batches and the
+//! per-iteration mean / min / max are printed to stdout — no statistics
+//! engine, no HTML reports. Good enough to (a) keep `cargo bench` compiling
+//! and runnable offline and (b) give coarse relative numbers.
+
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a computed value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A bare parameterized id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    batches: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { batches: 30 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let batches = self.batches;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            batches,
+            throughput: None,
+        }
+    }
+
+    /// Run the registered group functions (used by `criterion_main!`).
+    pub fn final_summary(&mut self) {}
+
+    /// Parse CLI arguments (accepted and ignored; for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    batches: u32,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Reduce/extend the number of timed batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.batches = (n as u32).max(5);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Benchmark a closure that receives an input by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            batch_times: Vec::with_capacity(self.batches as usize),
+            iters_per_batch: 0,
+        };
+        // Calibration pass: size batches to roughly 5 ms.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            bencher.iters_per_batch = iters;
+            f(&mut bencher);
+            let elapsed = start.elapsed();
+            bencher.batch_times.clear();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        for _ in 0..self.batches {
+            f(&mut bencher);
+        }
+        let per_iter: Vec<f64> = bencher
+            .batch_times
+            .iter()
+            .map(|d| d.as_secs_f64() / bencher.iters_per_batch as f64)
+            .collect();
+        let n = per_iter.len().max(1) as f64;
+        let mean = per_iter.iter().sum::<f64>() / n;
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(e)) if mean > 0.0 => {
+                format!("  {:.3} Melem/s", e as f64 / mean / 1e6)
+            }
+            Some(Throughput::Bytes(b)) if mean > 0.0 => {
+                format!("  {:.3} MiB/s", b as f64 / mean / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: mean {} (min {}, max {}){rate}",
+            self.name,
+            fmt_time(mean),
+            fmt_time(min),
+            fmt_time(max),
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Times closures inside one benchmark.
+pub struct Bencher {
+    batch_times: Vec<Duration>,
+    iters_per_batch: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called `iters_per_batch` times per batch.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_batch {
+            black_box(routine());
+        }
+        self.batch_times.push(start.elapsed());
+    }
+
+    /// Time `routine` on a fresh `setup()` product, excluding setup time.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters_per_batch {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.batch_times.push(total);
+    }
+}
+
+/// Register benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_something() {
+        let mut c = Criterion { batches: 5 };
+        let mut group = c.benchmark_group("unit");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &n| {
+            b.iter_with_setup(|| n, |x| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

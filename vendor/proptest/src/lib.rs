@@ -1,0 +1,714 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`boxed`, range / tuple /
+//! [`collection::vec`] / [`strategy::Just`] / [`arbitrary::any`] strategies,
+//! `prop_oneof!`, and the `proptest!` / `prop_assert*` macros. Cases are
+//! generated from a deterministic per-test seed; there is **no shrinking** —
+//! a failing case panics with the ordinary assertion message.
+
+#![deny(unsafe_code)]
+
+/// Test-run configuration and the deterministic case generator.
+pub mod test_runner {
+    /// Configuration accepted by `proptest! { #![proptest_config(...)] ... }`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; rejections are not implemented.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+                max_global_rejects: 0,
+            }
+        }
+    }
+
+    /// A failed (or rejected) test case, produced by the `prop_assert*`
+    /// macros and propagated with `?` through helper functions.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The input was rejected (accepted for compatibility).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given explanation.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection with the given explanation.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    /// Deterministic generator (SplitMix64) seeded from the test name, so
+    /// every run of a given test explores the same cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test's name (FNV-1a), honoring `PROPTEST_SEED` when
+        /// set so a failing exploration can be varied from the environment.
+        pub fn from_name(name: &str) -> Self {
+            let base = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0xcbf2_9ce4_8422_2325u64);
+            let mut h = base;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The combinator behind [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from a non-empty set of options.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u = rng.next_f64() as $ty;
+                    self.start + u * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident . $idx:tt),+),)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: an exact size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary_value(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+}
+
+/// Pattern-derived string strategies (the `"regex" as Strategy` form).
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A generator for strings loosely matching a regex-like pattern.
+    ///
+    /// Supports the constructs the workspace's tests use: literal
+    /// characters, the `\PC` (printable) / `\d` / `\w` / `\s` classes,
+    /// `[a-z0-9]`-style sets, and the `{m,n}` / `{n}` / `*` / `+` / `?`
+    /// repetition operators applied to the preceding atom.
+    #[derive(Debug, Clone)]
+    pub struct PatternStrategy {
+        atoms: Vec<(Atom, Rep)>,
+    }
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        Printable,
+        Digit,
+        Word,
+        Space,
+        Set(Vec<(char, char)>),
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Rep {
+        lo: u32,
+        hi: u32, // inclusive
+    }
+
+    const PRINTABLE_EXTRA: &[char] = &['é', 'µ', '→', '中', '🚀'];
+
+    impl PatternStrategy {
+        /// Parse a pattern; panics on constructs outside the subset.
+        pub fn new(pattern: &str) -> Self {
+            let mut chars = pattern.chars().peekable();
+            let mut atoms = Vec::new();
+            while let Some(c) = chars.next() {
+                let atom = match c {
+                    '\\' => match chars.next() {
+                        Some('P') => {
+                            assert_eq!(
+                                chars.next(),
+                                Some('C'),
+                                "proptest stub: only \\PC is supported after \\P"
+                            );
+                            Atom::Printable
+                        }
+                        Some('d') => Atom::Digit,
+                        Some('w') => Atom::Word,
+                        Some('s') => Atom::Space,
+                        Some(esc) => Atom::Literal(esc),
+                        None => panic!("proptest stub: dangling backslash in pattern"),
+                    },
+                    '[' => {
+                        let mut ranges = Vec::new();
+                        loop {
+                            match chars.next() {
+                                Some(']') => break,
+                                Some(lo) => {
+                                    if chars.peek() == Some(&'-') {
+                                        chars.next();
+                                        let hi = chars
+                                            .next()
+                                            .expect("proptest stub: unterminated char range");
+                                        ranges.push((lo, hi));
+                                    } else {
+                                        ranges.push((lo, lo));
+                                    }
+                                }
+                                None => panic!("proptest stub: unterminated char set"),
+                            }
+                        }
+                        Atom::Set(ranges)
+                    }
+                    '.' => Atom::Printable,
+                    c => Atom::Literal(c),
+                };
+                let rep = match chars.peek() {
+                    Some('{') => {
+                        chars.next();
+                        let mut spec = String::new();
+                        for c in chars.by_ref() {
+                            if c == '}' {
+                                break;
+                            }
+                            spec.push(c);
+                        }
+                        let (lo, hi) = match spec.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.trim().parse().expect("repetition lower bound"),
+                                hi.trim().parse().expect("repetition upper bound"),
+                            ),
+                            None => {
+                                let n = spec.trim().parse().expect("repetition count");
+                                (n, n)
+                            }
+                        };
+                        Rep { lo, hi }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        Rep { lo: 0, hi: 8 }
+                    }
+                    Some('+') => {
+                        chars.next();
+                        Rep { lo: 1, hi: 8 }
+                    }
+                    Some('?') => {
+                        chars.next();
+                        Rep { lo: 0, hi: 1 }
+                    }
+                    _ => Rep { lo: 1, hi: 1 },
+                };
+                atoms.push((atom, rep));
+            }
+            PatternStrategy { atoms }
+        }
+
+        fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+            match atom {
+                Atom::Literal(c) => *c,
+                Atom::Digit => char::from(b'0' + rng.below(10) as u8),
+                Atom::Space => [' ', '\t'][rng.below(2) as usize],
+                Atom::Word => {
+                    let pool = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+                    char::from(pool[rng.below(pool.len() as u64) as usize])
+                }
+                Atom::Printable => {
+                    // Mostly ASCII printable, occasionally multi-byte.
+                    if rng.below(16) == 0 {
+                        PRINTABLE_EXTRA[rng.below(PRINTABLE_EXTRA.len() as u64) as usize]
+                    } else {
+                        char::from(0x20 + rng.below(0x5f) as u8)
+                    }
+                }
+                Atom::Set(ranges) => {
+                    let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                    char::from_u32(lo as u32 + rng.below((hi as u32 - lo as u32 + 1) as u64) as u32)
+                        .unwrap_or(lo)
+                }
+            }
+        }
+    }
+
+    impl Strategy for PatternStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (atom, rep) in &self.atoms {
+                let count = rep.lo + rng.below((rep.hi - rep.lo + 1) as u64) as u32;
+                for _ in 0..count {
+                    out.push(Self::gen_char(atom, rng));
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            PatternStrategy::new(self).generate(rng)
+        }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a `proptest!` body (or any function returning
+/// `Result<_, TestCaseError>`): on failure, returns a
+/// [`test_runner::TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!(
+            $cond,
+            ::std::concat!("assertion failed: ", ::std::stringify!($cond))
+        )
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)*);
+    }};
+}
+
+/// Uniform choice among heterogeneous strategies yielding one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests. Each parameter is drawn from its strategy for
+/// `config.cases` deterministic cases; a failing case panics immediately.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_name(::std::stringify!($name));
+                for __case in 0..__config.cases {
+                    let ($($pat,)+) = (
+                        $($crate::strategy::Strategy::generate(&($strategy), &mut __rng),)+
+                    );
+                    let __result = (|| -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__err) = __result {
+                        ::std::panic!(
+                            "proptest: case {} of {} failed: {}",
+                            __case + 1,
+                            __config.cases,
+                            __err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let x = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&x));
+            let y = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&y));
+            let z = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_spec() {
+        let mut rng = crate::test_runner::TestRng::from_name("vecsize");
+        for _ in 0..200 {
+            let exact = prop::collection::vec(0u64..10, 4).generate(&mut rng);
+            assert_eq!(exact.len(), 4);
+            let ranged = prop::collection::vec(0u64..10, 1..6).generate(&mut rng);
+            assert!((1..6).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_arm() {
+        let mut rng = crate::test_runner::TestRng::from_name("oneof");
+        let s = prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|x| x)];
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[5] && seen[6]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The macro itself: patterns, tuples, and trailing commas.
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u64..10, 0u64..10), c in any::<bool>(),) {
+            prop_assert!(a < 10 && b < 10);
+            let _ = c;
+        }
+    }
+}

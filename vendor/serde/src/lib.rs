@@ -1,0 +1,735 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! tree-based serialization framework exposing the *subset* of serde's API
+//! the workspace uses: the [`Serialize`] / [`Deserialize`] traits (driven by
+//! the companion `serde_derive` stub) and impls for the primitive, tuple,
+//! array, and container types that appear in derived structs.
+//!
+//! Instead of serde's streaming `Serializer`/`Deserializer` visitors, both
+//! traits go through an owned JSON-like tree, [`Content`]. `serde_json`
+//! re-exports [`Content`] as its `Value` and supplies the text format on
+//! top. This is dramatically simpler than real serde and is only suitable
+//! because the workspace never implements the traits manually.
+
+#![deny(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like owned value tree: the interchange format between
+/// [`Serialize`], [`Deserialize`], and data formats such as `serde_json`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Content {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys (insertion order preserved).
+    Map(Vec<(String, Content)>),
+}
+
+static NULL: Content = Content::Null;
+
+impl Content {
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(n) => Some(n),
+            Content::I64(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(n) => Some(n),
+            Content::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(x) => Some(x),
+            Content::U64(n) => Some(n as f64),
+            Content::I64(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a sequence, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as key/value entries, if it is a map.
+    pub fn as_object(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Map lookup by key; `None` on missing key or non-map.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_object()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Sequence lookup by index; `None` when out of range or non-sequence.
+    pub fn get_index(&self, index: usize) -> Option<&Content> {
+        self.as_array().and_then(|v| v.get(index))
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, index: usize) -> &Content {
+        self.get_index(index).unwrap_or(&NULL)
+    }
+}
+
+impl fmt::Display for Content {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::content::to_json_compact(self))
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Content {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+macro_rules! content_eq_int {
+    ($($ty:ty),*) => {$(
+        impl PartialEq<$ty> for Content {
+            fn eq(&self, other: &$ty) -> bool {
+                match *self {
+                    Content::U64(n) => <$ty>::try_from(n).map_or(false, |n| n == *other),
+                    Content::I64(n) => <$ty>::try_from(n).map_or(false, |n| n == *other),
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+
+content_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<f64> for Content {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Content {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Error produced by serialization or deserialization.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Construct an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Error for a map field that is required but absent.
+    pub fn missing_field(field: &str) -> Self {
+        Error::custom(format!("missing field `{field}`"))
+    }
+
+    /// Error for a value of the wrong shape.
+    pub fn invalid_type(expected: &str, got: &Content) -> Self {
+        let kind = match got {
+            Content::Null => "null",
+            Content::Bool(_) => "boolean",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        };
+        Error::custom(format!("invalid type: expected {expected}, found {kind}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can be converted into a [`Content`] tree.
+pub trait Serialize {
+    /// Convert `self` into the interchange tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct a value from the interchange tree.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+
+    /// The value to use when a map field is absent entirely
+    /// (`None` means "absence is an error"; `Option<T>` overrides this).
+    fn if_missing() -> Option<Self> {
+        None
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_bool()
+            .ok_or_else(|| Error::invalid_type("boolean", content))
+    }
+}
+
+macro_rules! serde_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let n = content
+                    .as_u64()
+                    .ok_or_else(|| Error::invalid_type("unsigned integer", content))?;
+                <$ty>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                let n = *self as i64;
+                if n >= 0 {
+                    Content::U64(n as u64)
+                } else {
+                    Content::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let n = content
+                    .as_i64()
+                    .ok_or_else(|| Error::invalid_type("integer", content))?;
+                <$ty>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+serde_uint!(u8, u16, u32, u64, usize);
+serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! serde_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                content
+                    .as_f64()
+                    .map(|x| x as $ty)
+                    .ok_or_else(|| Error::invalid_type("number", content))
+            }
+        }
+    )*};
+}
+
+serde_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::invalid_type("string", content))
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let s = content
+            .as_str()
+            .ok_or_else(|| Error::invalid_type("string", content))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single character")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn if_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_array()
+            .ok_or_else(|| Error::invalid_type("array", content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_content(content)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Vec::from_content(content).map(Into::into)
+    }
+}
+
+/// Map keys must render as JSON strings.
+pub trait MapKey: Sized {
+    /// Render the key.
+    fn to_key(&self) -> String;
+    /// Parse the key back.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! int_map_key {
+    ($($ty:ty),*) => {$(
+        impl MapKey for $ty {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| Error::custom("invalid integer map key"))
+            }
+        }
+    )*};
+}
+
+int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! serde_map {
+    ($name:ident, $($bound:tt)*) => {
+        impl<K: MapKey + $($bound)*, V: Serialize> Serialize for $name<K, V> {
+            fn to_content(&self) -> Content {
+                Content::Map(
+                    self.iter()
+                        .map(|(k, v)| (k.to_key(), v.to_content()))
+                        .collect(),
+                )
+            }
+        }
+        impl<K: MapKey + $($bound)*, V: Deserialize> Deserialize for $name<K, V> {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                content
+                    .as_object()
+                    .ok_or_else(|| Error::invalid_type("object", content))?
+                    .iter()
+                    .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+                    .collect()
+            }
+        }
+    };
+}
+
+serde_map!(BTreeMap, Ord);
+serde_map!(HashMap, std::hash::Hash + Eq);
+
+macro_rules! serde_tuple {
+    ($(($($name:ident . $idx:tt),+),)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let seq = content
+                    .as_array()
+                    .ok_or_else(|| Error::invalid_type("array", content))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {expected}, got {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+serde_tuple! {
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+}
+
+/// Helpers called from `serde_derive`-generated code. Not a public API.
+pub mod __private {
+    pub use super::{Content, Deserialize, Error, Serialize};
+
+    /// Serialize any value (lets generated code avoid naming field types).
+    pub fn ser<T: Serialize + ?Sized>(value: &T) -> Content {
+        value.to_content()
+    }
+
+    /// Deserialize with the target type inferred from context.
+    pub fn de<T: Deserialize>(content: &Content) -> Result<T, Error> {
+        T::from_content(content)
+    }
+
+    /// Look up `name` in a map's entries.
+    pub fn get<'a>(entries: &'a [(String, Content)], name: &str) -> Option<&'a Content> {
+        entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Deserialize a required map field (honoring `Deserialize::if_missing`).
+    pub fn de_field<T: Deserialize>(entries: &[(String, Content)], name: &str) -> Result<T, Error> {
+        match get(entries, name) {
+            Some(v) => T::from_content(v),
+            None => T::if_missing().ok_or_else(|| Error::missing_field(name)),
+        }
+    }
+
+    /// Deserialize a `#[serde(default)]` map field.
+    pub fn de_field_default<T: Deserialize + Default>(
+        entries: &[(String, Content)],
+        name: &str,
+    ) -> Result<T, Error> {
+        match get(entries, name) {
+            Some(v) => T::from_content(v),
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Entries of a map value, or a type error mentioning `what`.
+    pub fn as_map<'a>(content: &'a Content, what: &str) -> Result<&'a [(String, Content)], Error> {
+        content
+            .as_object()
+            .map(Vec::as_slice)
+            .ok_or_else(|| Error::custom(format!("expected object for {what}")))
+    }
+}
+
+/// Compact JSON rendering used by `Display` (the full writer lives in the
+/// `serde_json` stub; this keeps `Content: Display` self-contained).
+pub mod content {
+    use super::Content;
+    use std::fmt::Write;
+
+    /// Escape and quote a JSON string.
+    pub fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Render a number the way JSON requires (non-finite floats as null).
+    pub fn write_f64(out: &mut String, x: f64) {
+        if x.is_finite() {
+            let _ = write!(out, "{x:?}");
+        } else {
+            out.push_str("null");
+        }
+    }
+
+    /// One-line JSON rendering.
+    pub fn to_json_compact(value: &Content) -> String {
+        let mut out = String::new();
+        write_compact(&mut out, value);
+        out
+    }
+
+    fn write_compact(out: &mut String, value: &Content) {
+        match value {
+            Content::Null => out.push_str("null"),
+            Content::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Content::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Content::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Content::F64(x) => write_f64(out, *x),
+            Content::Str(s) => write_escaped(out, s),
+            Content::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_compact(out, item);
+                }
+                out.push(']');
+            }
+            Content::Map(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    write_compact(out, v);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip_and_if_missing() {
+        assert_eq!(Option::<u64>::if_missing(), Some(None));
+        let c = Some(3u64).to_content();
+        assert_eq!(Option::<u64>::from_content(&c).unwrap(), Some(3));
+        assert_eq!(Option::<u64>::from_content(&Content::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn arrays_check_length() {
+        let c = vec![1u64, 2, 3].to_content();
+        assert_eq!(<[u64; 3]>::from_content(&c).unwrap(), [1, 2, 3]);
+        assert!(<[u64; 4]>::from_content(&c).is_err());
+    }
+
+    #[test]
+    fn indexing_missing_keys_yields_null() {
+        let c = Content::Map(vec![("a".into(), Content::U64(1))]);
+        assert_eq!(c["a"], 1);
+        assert!(c["b"].is_null());
+        assert!(c["a"]["nested"].is_null());
+    }
+
+    #[test]
+    fn negative_integers_roundtrip() {
+        let c = (-5i64).to_content();
+        assert_eq!(i64::from_content(&c).unwrap(), -5);
+        assert!(u64::from_content(&c).is_err());
+    }
+
+    #[test]
+    fn display_renders_compact_json() {
+        let c = Content::Map(vec![
+            ("k".into(), Content::Str("v\"x".into())),
+            ("n".into(), Content::F64(1.5)),
+        ]);
+        assert_eq!(c.to_string(), r#"{"k":"v\"x","n":1.5}"#);
+    }
+}

@@ -1,0 +1,663 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! declaration shapes this workspace actually uses, without `syn`/`quote`
+//! (unavailable offline): a hand-rolled token walk over the item, then
+//! source-text code generation parsed back into a `TokenStream`.
+//!
+//! Supported shapes:
+//! - named-field structs (with `#[serde(default)]` / `#[serde(rename)]` on
+//!   fields and `#[serde(rename_all = "...")]` on the container),
+//! - tuple structs (single-field newtypes serialize transparently),
+//! - unit structs,
+//! - enums with unit / named-field / tuple variants, externally tagged by
+//!   default or internally tagged via `#[serde(tag = "...")]`.
+//!
+//! Generics are not supported (the workspace derives none); the macro
+//! panics with a clear message if it meets them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    rename_all: Option<String>,
+    tag: Option<String>,
+}
+
+#[derive(Default)]
+struct FieldAttrs {
+    default: bool,
+    rename: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-walk parser
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if self.at_ident(word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive stub: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consume leading attributes, folding any `#[serde(...)]` contents
+    /// through `apply`.
+    fn eat_attrs(&mut self, mut apply: impl FnMut(TokenStream)) {
+        while self.at_punct('#') {
+            self.pos += 1;
+            match self.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let mut inner = Cursor::new(g.stream());
+                    if inner.eat_ident("serde") {
+                        if let Some(TokenTree::Group(args)) = inner.bump() {
+                            apply(args.stream());
+                        }
+                    }
+                }
+                other => panic!("serde derive stub: malformed attribute: {other:?}"),
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip tokens until a comma at angle-bracket depth zero (or the end).
+    /// Used to discard field types and enum discriminants.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_serde_args(stream: TokenStream, mut on_flag: impl FnMut(&str, Option<String>)) {
+    let mut cur = Cursor::new(stream);
+    while cur.peek().is_some() {
+        let key = cur.expect_ident();
+        let value = if cur.eat_punct('=') {
+            match cur.bump() {
+                Some(TokenTree::Literal(l)) => Some(unquote(&l.to_string())),
+                other => {
+                    panic!("serde derive stub: expected literal after `{key} =`, got {other:?}")
+                }
+            }
+        } else {
+            None
+        };
+        on_flag(&key, value);
+        cur.eat_punct(',');
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let mut attrs = ContainerAttrs::default();
+    cur.eat_attrs(|args| {
+        parse_serde_args(args, |key, value| match key {
+            "rename_all" => attrs.rename_all = value,
+            "tag" => attrs.tag = value,
+            // Accepted and ignored: no effect on this stub's behavior.
+            "deny_unknown_fields" | "transparent" => {}
+            other => panic!("serde derive stub: unsupported container attr `{other}`"),
+        });
+    });
+    cur.eat_visibility();
+
+    let shape_kw = cur.expect_ident();
+    let name = cur.expect_ident();
+    if cur.at_punct('<') {
+        panic!("serde derive stub: generic type `{name}` is not supported");
+    }
+
+    let shape = match shape_kw.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(&mut cur)),
+        "enum" => {
+            let body = match cur.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive stub: expected enum body, got {other:?}"),
+            };
+            Shape::Enum(parse_variants(body))
+        }
+        other => panic!("serde derive stub: expected struct or enum, got `{other}`"),
+    };
+    Item { name, attrs, shape }
+}
+
+fn parse_struct_fields(cur: &mut Cursor) -> Fields {
+    match cur.bump() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde derive stub: expected struct body, got {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let mut attrs = FieldAttrs::default();
+        cur.eat_attrs(|args| {
+            parse_serde_args(args, |key, value| match key {
+                "default" => attrs.default = true,
+                "rename" => attrs.rename = value,
+                other => panic!("serde derive stub: unsupported field attr `{other}`"),
+            });
+        });
+        cur.eat_visibility();
+        let name = cur.expect_ident();
+        if !cur.eat_punct(':') {
+            panic!("serde derive stub: expected `:` after field `{name}`");
+        }
+        cur.skip_until_comma();
+        cur.eat_punct(',');
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0usize;
+    while cur.peek().is_some() {
+        // Each field: attrs, visibility, then a type we skip.
+        cur.eat_attrs(|_| {});
+        cur.eat_visibility();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_until_comma();
+        cur.eat_punct(',');
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        cur.eat_attrs(|_| {});
+        let name = cur.expect_ident();
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                cur.pos += 1;
+                Fields::Named(parse_named_fields(body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body = g.stream();
+                cur.pos += 1;
+                Fields::Tuple(count_tuple_fields(body))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant, if any.
+        if cur.eat_punct('=') {
+            cur.skip_until_comma();
+        }
+        cur.eat_punct(',');
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Name mangling
+// ---------------------------------------------------------------------------
+
+fn apply_rename_all(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        None => name.to_string(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if i > 0 && c.is_uppercase() {
+                    out.push('_');
+                }
+                out.push(c.to_ascii_lowercase());
+            }
+            out
+        }
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some("kebab-case") => apply_rename_all(name, Some("snake_case")).replace('_', "-"),
+        Some("SCREAMING_SNAKE_CASE") => apply_rename_all(name, Some("snake_case")).to_uppercase(),
+        Some(other) => panic!("serde derive stub: unsupported rename_all rule `{other}`"),
+    }
+}
+
+fn field_key(field: &Field, container: &ContainerAttrs) -> String {
+    field
+        .attrs
+        .rename
+        .clone()
+        .unwrap_or_else(|| apply_rename_all(&field.name, container.rename_all.as_deref()))
+}
+
+fn variant_key(variant: &Variant, container: &ContainerAttrs) -> String {
+    apply_rename_all(&variant.name, container.rename_all.as_deref())
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (source text, then parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn str_lit(s: &str) -> String {
+    format!("{s:?}")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => ser_struct_body(name, fields, &item.attrs),
+        Shape::Enum(variants) => ser_enum_body(name, variants, &item.attrs),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn ser_struct_body(_name: &str, fields: &Fields, attrs: &ContainerAttrs) -> String {
+    match fields {
+        Fields::Unit => "::serde::Content::Null".to_string(),
+        Fields::Tuple(1) => "::serde::__private::ser(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::ser(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({key}), ::serde::__private::ser(&self.{field}))",
+                        key = str_lit(&field_key(f, attrs)),
+                        field = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+fn ser_enum_body(name: &str, variants: &[Variant], attrs: &ContainerAttrs) -> String {
+    let mut arms = Vec::new();
+    for v in variants {
+        let key = str_lit(&variant_key(v, attrs));
+        let arm = match (&v.fields, &attrs.tag) {
+            (Fields::Unit, None) => {
+                format!("{name}::{v} => ::serde::Content::Str(::std::string::String::from({key}))", v = v.name)
+            }
+            (Fields::Unit, Some(tag)) => format!(
+                "{name}::{v} => ::serde::Content::Map(::std::vec![(::std::string::String::from({tag}), \
+                 ::serde::Content::Str(::std::string::String::from({key})))])",
+                v = v.name,
+                tag = str_lit(tag)
+            ),
+            (Fields::Named(fields), tag) => {
+                let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut entries = Vec::new();
+                if let Some(tag) = tag {
+                    entries.push(format!(
+                        "(::std::string::String::from({tag}), ::serde::Content::Str(::std::string::String::from({key})))",
+                        tag = str_lit(tag)
+                    ));
+                }
+                for f in fields {
+                    entries.push(format!(
+                        "(::std::string::String::from({fkey}), ::serde::__private::ser({f}))",
+                        fkey = str_lit(&field_key(f, &ContainerAttrs::default())),
+                        f = f.name
+                    ));
+                }
+                let map = format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "));
+                let value = if tag.is_some() {
+                    map
+                } else {
+                    format!(
+                        "::serde::Content::Map(::std::vec![(::std::string::String::from({key}), {map})])"
+                    )
+                };
+                format!(
+                    "{name}::{v} {{ {binders} }} => {value}",
+                    v = v.name,
+                    binders = binders.join(", ")
+                )
+            }
+            (Fields::Tuple(n), None) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("v{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::__private::ser(v0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::__private::ser({b})"))
+                        .collect();
+                    format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{v}({binders}) => ::serde::Content::Map(::std::vec![(::std::string::String::from({key}), {inner})])",
+                    v = v.name,
+                    binders = binders.join(", ")
+                )
+            }
+            (Fields::Tuple(_), Some(_)) => panic!(
+                "serde derive stub: internally tagged tuple variant `{}` unsupported",
+                v.name
+            ),
+        };
+        arms.push(arm);
+    }
+    format!("match self {{\n{}\n}}", arms.join(",\n"))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => de_struct_body(name, fields, &item.attrs),
+        Shape::Enum(variants) => de_enum_body(name, variants, &item.attrs),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) \
+              -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn de_named_fields(path: &str, fields: &[Field], attrs: &ContainerAttrs) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let getter = if f.attrs.default {
+                "de_field_default"
+            } else {
+                "de_field"
+            };
+            format!(
+                "{field}: ::serde::__private::{getter}(entries, {key})?",
+                field = f.name,
+                key = str_lit(&field_key(f, attrs))
+            )
+        })
+        .collect();
+    format!(
+        "::std::result::Result::Ok({path} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+fn de_struct_body(name: &str, fields: &Fields, attrs: &ContainerAttrs) -> String {
+    match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::__private::de(content)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::de(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = content.as_array().ok_or_else(|| \
+                 ::serde::Error::invalid_type(\"array\", content))?;\n\
+                 if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple length\")); }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Fields::Named(fields) => format!(
+            "let entries = ::serde::__private::as_map(content, {what})?;\n{ok}",
+            what = str_lit(&format!("struct {name}")),
+            ok = de_named_fields(name, fields, attrs)
+        ),
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant], attrs: &ContainerAttrs) -> String {
+    if let Some(tag) = &attrs.tag {
+        // Internally tagged: one map holding the tag plus the fields.
+        let mut arms = Vec::new();
+        for v in variants {
+            let key = str_lit(&variant_key(v, attrs));
+            let arm = match &v.fields {
+                Fields::Unit => format!(
+                    "{key} => ::std::result::Result::Ok({name}::{v})",
+                    v = v.name
+                ),
+                Fields::Named(fields) => format!(
+                    "{key} => {{ {} }}",
+                    de_named_fields(
+                        &format!("{name}::{v}", v = v.name),
+                        fields,
+                        &ContainerAttrs::default()
+                    )
+                ),
+                Fields::Tuple(_) => panic!(
+                    "serde derive stub: internally tagged tuple variant `{}` unsupported",
+                    v.name
+                ),
+            };
+            arms.push(arm);
+        }
+        format!(
+            "let entries = ::serde::__private::as_map(content, {what})?;\n\
+             let tag: ::std::string::String = ::serde::__private::de_field(entries, {tag})?;\n\
+             match tag.as_str() {{\n{arms},\n\
+             other => ::std::result::Result::Err(::serde::Error::custom(\
+             ::std::format!(\"unknown variant `{{other}}`\")))\n}}",
+            what = str_lit(&format!("enum {name}")),
+            tag = str_lit(tag),
+            arms = arms.join(",\n")
+        )
+    } else {
+        // Externally tagged: a bare string for unit variants, a single-entry
+        // map for data-carrying ones.
+        let mut unit_arms = Vec::new();
+        let mut map_arms = Vec::new();
+        for v in variants {
+            let key = str_lit(&variant_key(v, attrs));
+            match &v.fields {
+                Fields::Unit => unit_arms.push(format!(
+                    "{key} => ::std::result::Result::Ok({name}::{v})",
+                    v = v.name
+                )),
+                Fields::Named(fields) => map_arms.push(format!(
+                    "{key} => {{\nlet entries = ::serde::__private::as_map(value, {what})?;\n{ok}\n}}",
+                    what = str_lit(&format!("variant {}", v.name)),
+                    ok = de_named_fields(
+                        &format!("{name}::{v}", v = v.name),
+                        fields,
+                        &ContainerAttrs::default()
+                    )
+                )),
+                Fields::Tuple(1) => map_arms.push(format!(
+                    "{key} => ::std::result::Result::Ok({name}::{v}(::serde::__private::de(value)?))",
+                    v = v.name
+                )),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::__private::de(&seq[{i}])?"))
+                        .collect();
+                    map_arms.push(format!(
+                        "{key} => {{\nlet seq = value.as_array().ok_or_else(|| \
+                         ::serde::Error::invalid_type(\"array\", value))?;\n\
+                         if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::Error::custom(\"wrong tuple length\")); }}\n\
+                         ::std::result::Result::Ok({name}::{v}({items}))\n}}",
+                        v = v.name,
+                        items = items.join(", ")
+                    ));
+                }
+            }
+        }
+        let unit_match = if unit_arms.is_empty() {
+            String::from(
+                "::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unexpected string variant `{s}`\")))",
+            )
+        } else {
+            format!(
+                "match s.as_str() {{\n{arms},\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{other}}`\")))\n}}",
+                arms = unit_arms.join(",\n")
+            )
+        };
+        let map_match = if map_arms.is_empty() {
+            String::from(
+                "{ let _ = value; ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unexpected map variant `{key}`\"))) }",
+            )
+        } else {
+            format!(
+                "match key.as_str() {{\n{arms},\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{other}}`\")))\n}}",
+                arms = map_arms.join(",\n")
+            )
+        };
+        format!(
+            "match content {{\n\
+             ::serde::Content::Str(s) => {unit_match},\n\
+             ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+             let (key, value) = &entries[0];\n{map_match}\n}},\n\
+             other => ::std::result::Result::Err(::serde::Error::invalid_type({what}, other))\n\
+             }}",
+            what = str_lit(&format!("enum {name}"))
+        )
+    }
+}
