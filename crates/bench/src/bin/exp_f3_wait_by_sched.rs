@@ -6,8 +6,11 @@
 //! narrow, not the wide).
 
 use serde::Serialize;
-use tg_bench::{calibrated_users, save_json, single_site_config, Table};
-use tg_core::{replicate, Modality};
+use tg_bench::{
+    calibrated_users, save_json, single_site_config, trace_scratch_path, wait_crosscheck, Table,
+    WaitCrossCheck,
+};
+use tg_core::{replicate_with, Modality, RunOptions};
 use tg_des::stats::exact_quantile;
 use tg_sched::SchedulerKind;
 
@@ -25,6 +28,9 @@ struct SchedResult {
     mean_wait_s: Vec<f64>, // per size class
     p95_wait_s: Vec<f64>,
     mean_bounded_slowdown: f64,
+    /// Span-analyzer reconstruction of replication 0's mean wait from its
+    /// JSONL trace, vs the accounting database.
+    trace_crosscheck: WaitCrossCheck,
 }
 
 #[derive(Serialize)]
@@ -65,7 +71,22 @@ fn main() {
             ],
             kind,
         );
-        let reps = replicate(&cfg.build(), 5000, 3, 0);
+        let trace_path = trace_scratch_path(&format!("exp_f3_{}", kind.name()));
+        let opts = RunOptions {
+            metrics: false,
+            trace_path: Some(trace_path.clone()),
+        };
+        let reps = replicate_with(&cfg.build(), 5000, 3, 0, &opts);
+        let xcheck = wait_crosscheck(&trace_path, &reps[0].output);
+        let _ = std::fs::remove_file(&trace_path);
+        assert!(
+            xcheck.agrees_within(0.01),
+            "{}: analyzer mean wait {:.3}s disagrees with accounting {:.3}s (rel {:.4})",
+            kind.name(),
+            xcheck.analyzer_mean_wait_s,
+            xcheck.db_mean_wait_s,
+            xcheck.rel_err
+        );
         // Pool waits across replications per size class.
         let mut waits: Vec<Vec<f64>> = vec![Vec::new(); SIZE_CLASSES.len()];
         let mut slowdowns = Vec::new();
@@ -101,6 +122,7 @@ fn main() {
             mean_wait_s: mean_wait,
             p95_wait_s: p95_wait,
             mean_bounded_slowdown: mean(&slowdowns),
+            trace_crosscheck: xcheck,
         });
     }
 
@@ -143,6 +165,16 @@ fn main() {
         ]);
     }
     println!("{p95}");
+
+    for r in &results {
+        println!(
+            "trace cross-check [{}]: analyzer {:.1}s vs accounting {:.1}s (rel err {:.5})",
+            r.scheduler,
+            r.trace_crosscheck.analyzer_mean_wait_s,
+            r.trace_crosscheck.db_mean_wait_s,
+            r.trace_crosscheck.rel_err
+        );
+    }
 
     println!(
         "small-job speedup: FCFS {:.0}s → EASY {:.0}s ({:.1}×)",

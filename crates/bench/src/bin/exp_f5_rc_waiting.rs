@@ -13,8 +13,11 @@
 //! grows slack.
 
 use serde::Serialize;
-use tg_bench::{rc_only_config, rc_tasks_per_day_for_load, save_json, synthetic_library, Table};
-use tg_core::replicate;
+use tg_bench::{
+    rc_only_config, rc_tasks_per_day_for_load, save_json, synthetic_library, trace_scratch_path,
+    wait_crosscheck, Table, WaitCrossCheck,
+};
+use tg_core::{replicate_with, RunOptions};
 use tg_des::SimDuration;
 use tg_sched::RcPolicy;
 
@@ -27,6 +30,9 @@ struct F5Point {
     mean_turnaround_s: f64,
     reuse_fraction: f64,
     hw_fraction: f64,
+    /// Span-analyzer reconstruction of replication 0's mean wait from its
+    /// JSONL trace, vs the accounting database.
+    trace_crosscheck: WaitCrossCheck,
 }
 
 fn main() {
@@ -39,7 +45,22 @@ fn main() {
             cfg.rc_policy = policy;
             cfg.library = Some(synthetic_library(12, SimDuration::from_secs(15), 1.0));
             cfg.name = format!("f5-{nodes}n-{}", policy.name());
-            let reps = replicate(&cfg.build(), 8000, 3, 0);
+            let trace_path = trace_scratch_path(&format!("exp_f5_{nodes}n_{}", policy.name()));
+            let opts = RunOptions {
+                metrics: false,
+                trace_path: Some(trace_path.clone()),
+            };
+            let reps = replicate_with(&cfg.build(), 8000, 3, 0, &opts);
+            let xcheck = wait_crosscheck(&trace_path, &reps[0].output);
+            let _ = std::fs::remove_file(&trace_path);
+            assert!(
+                xcheck.agrees_within(0.01),
+                "{nodes}n/{}: analyzer mean wait {:.3}s disagrees with accounting {:.3}s (rel {:.4})",
+                policy.name(),
+                xcheck.analyzer_mean_wait_s,
+                xcheck.db_mean_wait_s,
+                xcheck.rel_err
+            );
             let mut waits = Vec::new();
             let mut turns = Vec::new();
             let mut reuse_frac = Vec::new();
@@ -70,6 +91,7 @@ fn main() {
                 mean_turnaround_s: mean(&turns),
                 reuse_fraction: mean(&reuse_frac),
                 hw_fraction: mean(&hw_frac),
+                trace_crosscheck: xcheck,
             });
         }
     }
@@ -98,6 +120,16 @@ fn main() {
         ]);
     }
     println!("{table}");
+
+    let worst = points
+        .iter()
+        .map(|p| p.trace_crosscheck.rel_err)
+        .fold(0.0f64, f64::max);
+    println!(
+        "trace cross-check: analyzer mean wait agrees with accounting at all {} points \
+         (worst rel err {worst:.5})",
+        points.len()
+    );
 
     let aware: Vec<&F5Point> = points.iter().filter(|p| p.policy == "rc-aware").collect();
     let blind: Vec<&F5Point> = points.iter().filter(|p| p.policy == "rc-blind").collect();

@@ -1,0 +1,115 @@
+//! PERF — Engine throughput on the baseline scenario.
+//!
+//! Seeds the performance trajectory: every optimization PR reruns this and
+//! compares against the previous `results/BENCH_throughput.json`. The
+//! workload is the stock baseline (300 users, 14 days); replications run
+//! strictly sequentially on one thread so wall-clock numbers are not
+//! contended, and the simulation outputs stay bit-identical regardless.
+//!
+//! Reported: events/s and jobs/s per replication and pooled, plus the peak
+//! event-queue length (memory/scale proxy). Wall-clock varies run to run —
+//! only the deterministic columns (events, jobs, peak queue) are comparable
+//! exactly; rates are indicative.
+
+use serde::Serialize;
+use tg_bench::{save_json, Table};
+use tg_core::{aggregate_profiles, replicate, ScenarioConfig};
+
+#[derive(Serialize)]
+struct RepRow {
+    seed: u64,
+    events: u64,
+    jobs: usize,
+    wall_seconds: f64,
+    events_per_sec: f64,
+    jobs_per_sec: f64,
+    peak_queue_len: u64,
+}
+
+#[derive(Serialize)]
+struct ThroughputOutput {
+    scenario: String,
+    users: usize,
+    days: u64,
+    replications: usize,
+    total_events: u64,
+    total_jobs: usize,
+    total_wall_seconds: f64,
+    events_per_sec: f64,
+    jobs_per_sec: f64,
+    peak_queue_len: u64,
+    per_rep: Vec<RepRow>,
+}
+
+fn main() {
+    let users = 300;
+    let days = 14;
+    let reps_n = 3;
+    let cfg = ScenarioConfig::baseline(users, days);
+    let scenario = cfg.build();
+    let reps = replicate(&scenario, 9000, reps_n, 1);
+
+    let per_rep: Vec<RepRow> = reps
+        .iter()
+        .map(|r| {
+            let p = &r.output.profile;
+            let jobs = r.output.db.jobs.len();
+            RepRow {
+                seed: r.seed,
+                events: p.events_delivered,
+                jobs,
+                wall_seconds: p.wall_seconds,
+                events_per_sec: p.events_per_sec,
+                jobs_per_sec: jobs as f64 / p.wall_seconds.max(1e-9),
+                peak_queue_len: p.peak_queue_len,
+            }
+        })
+        .collect();
+    let agg = aggregate_profiles(&reps);
+    let total_jobs: usize = per_rep.iter().map(|r| r.jobs).sum();
+
+    let mut table = Table::new(
+        format!("PERF: engine throughput, baseline {users} users × {days} days"),
+        &[
+            "seed", "events", "jobs", "wall s", "events/s", "jobs/s", "peak q",
+        ],
+    );
+    for r in &per_rep {
+        table.row(vec![
+            r.seed.to_string(),
+            r.events.to_string(),
+            r.jobs.to_string(),
+            format!("{:.3}", r.wall_seconds),
+            format!("{:.0}", r.events_per_sec),
+            format!("{:.0}", r.jobs_per_sec),
+            r.peak_queue_len.to_string(),
+        ]);
+    }
+    table.row(vec![
+        "all".to_string(),
+        agg.events_delivered.to_string(),
+        total_jobs.to_string(),
+        format!("{:.3}", agg.wall_seconds),
+        format!("{:.0}", agg.events_per_sec),
+        format!("{:.0}", total_jobs as f64 / agg.wall_seconds.max(1e-9)),
+        agg.peak_queue_len.to_string(),
+    ]);
+    println!("{table}");
+
+    save_json(
+        "BENCH_throughput",
+        &ThroughputOutput {
+            scenario: scenario.config().name.clone(),
+            users,
+            days,
+            replications: reps_n,
+            total_events: agg.events_delivered,
+            total_jobs,
+            total_wall_seconds: agg.wall_seconds,
+            events_per_sec: agg.events_per_sec,
+            jobs_per_sec: total_jobs as f64 / agg.wall_seconds.max(1e-9),
+            peak_queue_len: agg.peak_queue_len,
+            per_rep,
+        },
+    );
+}

@@ -14,9 +14,11 @@
 
 pub mod emit;
 pub mod setup;
+pub mod xcheck;
 
 pub use emit::{save_json, Table};
 pub use setup::{
     calibrated_users, expected_core_seconds_per_user_day, rc_only_config, rc_slots,
     rc_tasks_per_day_for_load, single_site_config, synthetic_library,
 };
+pub use xcheck::{trace_scratch_path, wait_crosscheck, WaitCrossCheck};

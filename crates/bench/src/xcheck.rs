@@ -1,0 +1,70 @@
+//! Trace-analyzer cross-checks.
+//!
+//! An experiment that also wrote a JSONL trace can verify that the offline
+//! span analyzer ([`tg_des::TraceAnalyzer`]) reconstructs its headline
+//! aggregate — mean queue wait — from the trace alone. The two paths share
+//! no code (experiments read the accounting DB, the analyzer replays span
+//! records), so agreement is a real end-to-end check of the span schema.
+
+use serde::Serialize;
+use std::io::BufRead;
+use std::path::Path;
+use tg_core::SimOutput;
+use tg_des::TraceAnalyzer;
+
+/// Outcome of comparing analyzer-derived mean wait against the accounting
+/// database of the replication that wrote the trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct WaitCrossCheck {
+    /// Mean wait (s) the analyzer reconstructed from spans alone.
+    pub analyzer_mean_wait_s: f64,
+    /// Mean wait (s) from the run's accounting records.
+    pub db_mean_wait_s: f64,
+    /// Relative disagreement, `|analyzer − db| / max(db, 1e-9)`.
+    pub rel_err: f64,
+    /// Completed jobs the analyzer saw.
+    pub analyzer_jobs: u64,
+    /// Jobs in the accounting database.
+    pub db_jobs: u64,
+}
+
+impl WaitCrossCheck {
+    /// True when the analyzer agrees with accounting within `tol`
+    /// (relative) and saw every job.
+    pub fn agrees_within(&self, tol: f64) -> bool {
+        self.rel_err <= tol && self.analyzer_jobs == self.db_jobs
+    }
+}
+
+/// Analyze the trace at `path` and compare its reconstructed mean wait
+/// against `rep0` (the replication that wrote the trace).
+///
+/// Panics if the trace file cannot be read — a bench that asked for a trace
+/// and lost it should fail loudly, not skip the check.
+pub fn wait_crosscheck(path: &Path, rep0: &SimOutput) -> WaitCrossCheck {
+    let file = std::fs::File::open(path)
+        .unwrap_or_else(|e| panic!("cannot open trace {}: {e}", path.display()));
+    let mut analyzer = TraceAnalyzer::new();
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line.unwrap_or_else(|e| panic!("read error in {}: {e}", path.display()));
+        analyzer.add_line(&line);
+    }
+    let analysis = analyzer.finish();
+    let db_mean = rep0.mean_wait_secs();
+    let rel_err = (analysis.mean_wait_s - db_mean).abs() / db_mean.max(1e-9);
+    WaitCrossCheck {
+        analyzer_mean_wait_s: analysis.mean_wait_s,
+        db_mean_wait_s: db_mean,
+        rel_err,
+        analyzer_jobs: analysis.jobs,
+        db_jobs: rep0.db.jobs.len() as u64,
+    }
+}
+
+/// A scratch path for a trace file, under the results dir so it lands
+/// somewhere writable and inspectable (`results/<name>.trace.jsonl`).
+pub fn trace_scratch_path(name: &str) -> std::path::PathBuf {
+    let dir = crate::emit::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(format!("{name}.trace.jsonl"))
+}

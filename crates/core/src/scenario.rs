@@ -225,6 +225,10 @@ impl Scenario {
             events_delivered: engine.delivered(),
             metrics,
             profile,
+            trace_health: opts
+                .trace_path
+                .as_ref()
+                .map(|_| finished.tracer.health(finished.trace_flush_ok)),
         }
     }
 }
@@ -278,6 +282,10 @@ pub struct SimOutput {
     /// Wall-clock engine profile for this run. Always measured; never part
     /// of the deterministic output (varies run to run).
     pub profile: EngineProfile,
+    /// Trace sink health (`Some` only when [`RunOptions::trace_path`] was
+    /// set). Lets callers surface dropped entries or write failures instead
+    /// of silently shipping a truncated trace.
+    pub trace_health: Option<tg_des::TraceHealth>,
 }
 
 impl SimOutput {

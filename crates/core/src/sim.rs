@@ -34,7 +34,8 @@ use tg_accounting::{
     AccountingDb, GatewayAttribute, JobRecord, RcPlacementRecord, SessionRecord, TransferRecord,
 };
 use tg_des::metrics::{CounterId, GaugeId, MetricsRegistry, MetricsSnapshot, SeriesId};
-use tg_des::trace::Tracer;
+use tg_des::span::{SpanKind, WaitCause, SPAN_CATEGORY, SPAN_SCHEMA_VERSION};
+use tg_des::trace::{TraceValue, Tracer};
 #[cfg(test)]
 use tg_des::SimDuration;
 use tg_des::{Ctx, Engine, RngFactory, SimTime, Simulation, StopCondition, StreamId};
@@ -93,6 +94,17 @@ pub enum Event {
     },
     /// Periodic metric sample (enabled via [`GridSim::with_sampling`]).
     Sample,
+}
+
+/// Where a job currently is in its lifecycle, for span emission. Tracked
+/// only while the tracer is enabled; spans are pure observers and never
+/// influence simulation behavior.
+#[derive(Debug, Clone, Copy)]
+struct SpanTrack {
+    /// When the current lifecycle phase began.
+    phase_start: SimTime,
+    /// Whether the job sat in an RC backlog (fabric full) this phase.
+    deferred: bool,
 }
 
 /// One periodic metric snapshot.
@@ -213,6 +225,9 @@ pub struct GridSim {
     /// Structured event trace (disabled by default; see
     /// [`GridSim::with_tracer`]).
     tracer: Tracer,
+    /// Per-job lifecycle phase state for span emission (populated only while
+    /// the tracer is enabled).
+    span_track: HashMap<JobId, SpanTrack>,
 }
 
 impl GridSim {
@@ -262,7 +277,42 @@ impl GridSim {
             metrics,
             ins,
             tracer: Tracer::new(4096),
+            span_track: HashMap::new(),
         }
+    }
+
+    /// Emit one lifecycle span (`cat == "span"`) covering `[t0, t1]` for
+    /// `job`. See `tg_des::span` for the schema; `t1` may lie in the future
+    /// relative to `now` (stage-out), which is why both bounds are explicit
+    /// fields rather than derived from the entry timestamp.
+    #[allow(clippy::too_many_arguments)] // a span's fields arrive together
+    fn emit_span(
+        &mut self,
+        now: SimTime,
+        job: &Job,
+        kind: SpanKind,
+        t0: SimTime,
+        t1: SimTime,
+        site: Option<SiteId>,
+        cause: Option<WaitCause>,
+    ) {
+        self.tracer.emit_event(now, SPAN_CATEGORY, || {
+            let mut fields: Vec<(&'static str, TraceValue)> = vec![
+                ("v", SPAN_SCHEMA_VERSION.into()),
+                ("job", job.id.index().into()),
+                ("kind", kind.name().into()),
+                ("t0", t0.as_secs_f64().into()),
+                ("t1", t1.as_secs_f64().into()),
+                ("modality", job.true_modality.name().into()),
+            ];
+            if let Some(s) = site {
+                fields.push(("site", s.index().into()));
+            }
+            if let Some(c) = cause {
+                fields.push(("cause", c.name().into()));
+            }
+            fields
+        });
     }
 
     /// Enable run-level metrics collection. Metrics are pure observers —
@@ -346,7 +396,7 @@ impl GridSim {
             self.metrics.add(self.ins.site_drains[i], d);
         }
         let metrics = self.metrics.snapshot(engine.now());
-        self.tracer.close_sink();
+        let trace_flush_ok = self.tracer.close_sink();
         FinishedSim {
             federation: self.federation,
             db: self.db,
@@ -355,6 +405,7 @@ impl GridSim {
             samples: self.samples,
             metrics,
             tracer: self.tracer,
+            trace_flush_ok,
         }
     }
 
@@ -375,6 +426,28 @@ impl GridSim {
     fn route(&mut self, ctx: &mut Ctx<Event>, mut job: Job) {
         // Workflow release semantics: the queue sees the task now.
         job.submit_time = job.submit_time.max(ctx.now());
+        // Span: time between original submission and routing was spent held
+        // on workflow dependencies.
+        if let Some(track) = self.span_track.get(&job.id).copied() {
+            if ctx.now() > track.phase_start {
+                self.emit_span(
+                    ctx.now(),
+                    &job,
+                    SpanKind::Held,
+                    track.phase_start,
+                    ctx.now(),
+                    None,
+                    None,
+                );
+            }
+            self.span_track.insert(
+                job.id,
+                SpanTrack {
+                    phase_start: ctx.now(),
+                    deferred: false,
+                },
+            );
+        }
         if job.rc.is_some() {
             let site = self.rc_site_for(&job);
             self.route_rc(ctx, site, job);
@@ -482,6 +555,27 @@ impl GridSim {
 
     fn enqueue(&mut self, ctx: &mut Ctx<Event>, site: SiteId, job: Job) {
         self.metrics.inc(self.ins.enqueues);
+        // Span: any gap since routing was input staging over the WAN.
+        if let Some(track) = self.span_track.get(&job.id).copied() {
+            if ctx.now() > track.phase_start {
+                self.emit_span(
+                    ctx.now(),
+                    &job,
+                    SpanKind::StageIn,
+                    track.phase_start,
+                    ctx.now(),
+                    Some(site),
+                    None,
+                );
+                self.span_track.insert(
+                    job.id,
+                    SpanTrack {
+                        phase_start: ctx.now(),
+                        ..track
+                    },
+                );
+            }
+        }
         self.tracer.emit_event(ctx.now(), "queue", || {
             vec![
                 ("job", job.id.index().into()),
@@ -499,6 +593,32 @@ impl GridSim {
         let started = self.schedulers[site.index()].make_decisions(ctx.now(), cluster, speed);
         for s in started {
             let actual = s.job.runtime_on(speed, false);
+            // Span: queued phase closes at start. The scheduler attributes the
+            // wait from the job's routed submit time; jobs whose queued phase
+            // began this instant (e.g. after staging) started immediately.
+            if let Some(track) = self.span_track.get(&s.job.id).copied() {
+                let cause = if track.phase_start >= ctx.now() {
+                    WaitCause::Immediate
+                } else {
+                    s.cause
+                };
+                self.emit_span(
+                    ctx.now(),
+                    &s.job,
+                    SpanKind::Queued,
+                    track.phase_start,
+                    ctx.now(),
+                    Some(site),
+                    Some(cause),
+                );
+                self.span_track.insert(
+                    s.job.id,
+                    SpanTrack {
+                        phase_start: ctx.now(),
+                        ..track
+                    },
+                );
+            }
             self.tracer.emit_event(ctx.now(), "sched", || {
                 vec![
                     ("job", s.job.id.index().into()),
@@ -545,6 +665,17 @@ impl GridSim {
             .cluster
             .release(ctx.now(), job.cores);
         self.schedulers[site.index()].on_complete(ctx.now(), job.id);
+        if self.span_track.contains_key(&job.id) {
+            self.emit_span(
+                ctx.now(),
+                &job,
+                SpanKind::Run,
+                started,
+                ctx.now(),
+                Some(site),
+                None,
+            );
+        }
         self.tracer.emit_event(ctx.now(), "done", || {
             vec![
                 ("job", job.id.index().into()),
@@ -598,6 +729,40 @@ impl GridSim {
                     ctx.now(),
                 );
                 let exec_start = ctx.now() + setup.total();
+                // Spans: queued-for-fabric (zero-length unless the job sat in
+                // the deferral backlog), then bitstream transfer + reconfig.
+                if let Some(track) = self.span_track.get(&job.id).copied() {
+                    let cause = if track.deferred {
+                        WaitCause::FabricBusy
+                    } else {
+                        WaitCause::Immediate
+                    };
+                    self.emit_span(
+                        ctx.now(),
+                        &job,
+                        SpanKind::Queued,
+                        track.phase_start,
+                        ctx.now(),
+                        Some(site),
+                        Some(cause),
+                    );
+                    self.emit_span(
+                        ctx.now(),
+                        &job,
+                        SpanKind::Reconfig,
+                        ctx.now(),
+                        exec_start,
+                        Some(site),
+                        Some(WaitCause::ReconfigLatency),
+                    );
+                    self.span_track.insert(
+                        job.id,
+                        SpanTrack {
+                            phase_start: exec_start,
+                            ..track
+                        },
+                    );
+                }
                 let hw_runtime = job.runtime_on(speed, true);
                 let end = exec_start + hw_runtime;
                 let deadline_met = job
@@ -627,6 +792,28 @@ impl GridSim {
                 );
             }
             RcDecision::RunSw => {
+                // A deferred job falling back to software spent its backlog
+                // time waiting on the fabric, not staging input.
+                if let Some(track) = self.span_track.get(&job.id).copied() {
+                    if ctx.now() > track.phase_start {
+                        self.emit_span(
+                            ctx.now(),
+                            &job,
+                            SpanKind::Queued,
+                            track.phase_start,
+                            ctx.now(),
+                            Some(site),
+                            Some(WaitCause::FabricBusy),
+                        );
+                        self.span_track.insert(
+                            job.id,
+                            SpanTrack {
+                                phase_start: ctx.now(),
+                                ..track
+                            },
+                        );
+                    }
+                }
                 self.enqueue(ctx, site, job);
             }
             RcDecision::Defer => {
@@ -634,6 +821,9 @@ impl GridSim {
                 self.tracer.emit_event(ctx.now(), "rc", || {
                     vec![("job", job.id.index().into()), ("deferred", true.into())]
                 });
+                if let Some(track) = self.span_track.get_mut(&job.id) {
+                    track.deferred = true;
+                }
                 self.rc_backlog
                     .get_mut(&site)
                     .expect("site backlog exists")
@@ -658,6 +848,17 @@ impl GridSim {
             .rc
             .node_mut(node)
             .finish(region, ctx.now());
+        if self.span_track.contains_key(&job.id) {
+            self.emit_span(
+                ctx.now(),
+                &job,
+                SpanKind::Run,
+                started,
+                ctx.now(),
+                Some(site),
+                None,
+            );
+        }
         self.tracer.emit_event(ctx.now(), "rc", || {
             vec![
                 ("job", job.id.index().into()),
@@ -756,6 +957,17 @@ impl GridSim {
             self.metrics
                 .add(self.ins.staging_bytes, (job.output_mb * 1e6) as u64);
             self.metrics.inc(self.ins.staging_transfers);
+            if self.span_track.contains_key(&job.id) {
+                self.emit_span(
+                    ctx.now(),
+                    job,
+                    SpanKind::StageOut,
+                    ctx.now(),
+                    ctx.now() + dur,
+                    Some(site),
+                    None,
+                );
+            }
             self.tracer.emit_event(ctx.now(), "xfer", || {
                 vec![
                     ("job", job.id.index().into()),
@@ -777,6 +989,7 @@ impl GridSim {
     }
 
     fn finish_job(&mut self, ctx: &mut Ctx<Event>, job: &Job) {
+        self.span_track.remove(&job.id);
         self.completed.insert(job.id);
         self.jobs_done += 1;
         if let Some(waiters) = self.dep_waiters.remove(&job.id) {
@@ -806,6 +1019,15 @@ impl GridSim {
                 ("deps", job.deps.len().into()),
             ]
         });
+        if self.tracer.is_enabled() {
+            self.span_track.insert(
+                job.id,
+                SpanTrack {
+                    phase_start: job.submit_time,
+                    deferred: false,
+                },
+            );
+        }
         let first_unmet = job
             .deps
             .iter()
@@ -863,6 +1085,10 @@ pub struct FinishedSim {
     pub metrics: Option<MetricsSnapshot>,
     /// The tracer, ring buffer intact (sink already flushed and closed).
     pub tracer: Tracer,
+    /// Whether the trace sink's final flush succeeded (`true` when no sink
+    /// was attached). Combined with [`Tracer::sink_errors`] this tells a
+    /// caller whether an archived trace file is complete.
+    pub trace_flush_ok: bool,
 }
 
 #[cfg(test)]
@@ -1207,7 +1433,10 @@ mod tests {
         let mut engine = Engine::new();
         let out = sim.run(&mut engine);
         let cats: Vec<&str> = out.tracer.entries().map(|e| e.category).collect();
-        assert_eq!(cats, vec!["submit", "queue", "sched", "done"]);
+        assert_eq!(
+            cats,
+            vec!["submit", "queue", "span", "sched", "span", "done"]
+        );
     }
 
     #[test]

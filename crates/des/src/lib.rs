@@ -21,6 +21,12 @@
 //!   Student-t confidence intervals across replications.
 //! * [`trace`] — a lightweight, optionally-enabled structured event trace
 //!   ring buffer with an optional JSONL sink.
+//! * [`span`] — per-job lifecycle span schema (held / stage-in / queued /
+//!   reconfig / run / stage-out) with wait-cause attribution, emitted
+//!   through the tracer as `cat == "span"` entries.
+//! * [`analyze`] — offline reconstruction of spans from an archived JSONL
+//!   trace into per-kind / per-cause / per-site / per-modality latency
+//!   breakdowns (mean, p50/p95/p99).
 //! * [`metrics`] — a run-level metrics registry (counters, time-weighted
 //!   gauges, time series) and serializable snapshots, plus wall-clock engine
 //!   profiling ([`metrics::EngineProfile`]). Observers only: when disabled
@@ -65,10 +71,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod analyze;
 pub mod dist;
 pub mod engine;
 pub mod metrics;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -79,15 +87,18 @@ pub mod prelude {
     pub use crate::engine::{Ctx, Engine, EventKey, Simulation, StopCondition};
     pub use crate::metrics::{EngineProfile, MetricsRegistry, MetricsSnapshot};
     pub use crate::rng::{RngFactory, SimRng, StreamId};
+    pub use crate::span::{Span, SpanKind, WaitCause};
     pub use crate::stats::{Histogram, OnlineStats, P2Quantile, TimeWeighted};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{TraceValue, Tracer};
 }
 
+pub use analyze::{GroupStats, TraceAnalysis, TraceAnalyzer};
 pub use dist::{Dist, DistKind};
 pub use engine::{Ctx, Engine, EventKey, Simulation, StopCondition};
 pub use metrics::{CounterId, EngineProfile, GaugeId, MetricsRegistry, MetricsSnapshot, SeriesId};
 pub use rng::{RngFactory, SimRng, StreamId};
+pub use span::{Span, SpanKind, WaitCause, SPAN_SCHEMA_VERSION};
 pub use stats::{Histogram, OnlineStats, P2Quantile, TimeWeighted};
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceEntry, TraceValue, Tracer};
+pub use trace::{TraceEntry, TraceHealth, TraceValue, Tracer};

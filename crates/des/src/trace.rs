@@ -170,6 +170,30 @@ impl fmt::Display for TraceEntry {
     }
 }
 
+/// End-of-run health of a tracer: whether the sink saw everything it
+/// should have and made it to stable storage. Produced by
+/// [`Tracer::health`] after [`Tracer::close_sink`]; callers that archive
+/// traces should surface a non-clean health to the user instead of
+/// silently shipping a lossy file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct TraceHealth {
+    /// Entries evicted from the in-memory ring (the sink, if any, still saw
+    /// them — this only matters for ring consumers).
+    pub dropped: u64,
+    /// JSONL sink writes that failed; the trace file is missing lines.
+    pub sink_errors: u64,
+    /// Whether the final sink flush succeeded (false means the tail of the
+    /// file may be missing even with zero write errors).
+    pub flush_ok: bool,
+}
+
+impl TraceHealth {
+    /// True when the sink saw every entry and flushed cleanly.
+    pub fn sink_clean(&self) -> bool {
+        self.sink_errors == 0 && self.flush_ok
+    }
+}
+
 /// A bounded trace ring buffer with an optional JSONL sink.
 pub struct Tracer {
     enabled: bool,
@@ -241,6 +265,17 @@ impl Tracer {
     /// JSONL writes that failed so far.
     pub fn sink_errors(&self) -> u64 {
         self.sink_errors
+    }
+
+    /// Summarize drop/error/flush state as a [`TraceHealth`]. `flush_ok` is
+    /// the value returned by [`Tracer::close_sink`] (pass `true` when no
+    /// sink was ever attached).
+    pub fn health(&self, flush_ok: bool) -> TraceHealth {
+        TraceHealth {
+            dropped: self.dropped,
+            sink_errors: self.sink_errors,
+            flush_ok,
+        }
     }
 
     /// Record a plain-message entry if enabled. The message closure is only
@@ -449,6 +484,34 @@ mod tests {
         t.set_enabled(false);
         t.emit(SimTime::ZERO, "c", || "two".into());
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn health_reports_drops_errors_and_flush() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk gone"))
+            }
+        }
+
+        let mut t = Tracer::enabled(1);
+        t.set_sink(Box::new(FailingWriter));
+        t.emit(SimTime::ZERO, "c", || "a".into());
+        t.emit(SimTime::ZERO, "c", || "b".into());
+        let flush_ok = t.close_sink();
+        assert!(!flush_ok);
+        let h = t.health(flush_ok);
+        assert_eq!(h.dropped, 1);
+        assert_eq!(h.sink_errors, 2);
+        assert!(!h.flush_ok);
+        assert!(!h.sink_clean());
+
+        let clean = Tracer::enabled(8);
+        assert!(clean.health(true).sink_clean());
     }
 
     #[test]

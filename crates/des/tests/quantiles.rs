@@ -1,0 +1,180 @@
+//! Accuracy of the streaming quantile estimators against exact
+//! sorted-sample quantiles on uniform, exponential, and bimodal inputs.
+//!
+//! Both estimators trade exactness for O(1) memory:
+//! * `P2Quantile` keeps five markers and interpolates parabolically;
+//! * the log-binned `Histogram` interpolates inside a power-of-two bin.
+//!
+//! Neither is exact, so every assertion is tolerance-bounded. The
+//! tolerances are loose enough to be stable across platforms but tight
+//! enough to catch sign errors, off-by-one marker updates, or a broken bin
+//! interpolation.
+
+use tg_des::stats::{exact_quantile, Histogram, P2Quantile};
+
+/// Deterministic 64-bit LCG (MMIX constants); no external RNG needed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn uniform(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    let mut rng = Lcg(seed);
+    (0..n).map(|_| lo + (hi - lo) * rng.next_f64()).collect()
+}
+
+fn exponential(n: usize, mean: f64, seed: u64) -> Vec<f64> {
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|_| -mean * (1.0 - rng.next_f64()).ln())
+        .collect()
+}
+
+/// Two well-separated uniform lobes: short jobs around ~1 minute, long
+/// jobs around ~10 hours — the shape batch wait times actually have.
+fn bimodal(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Lcg(seed);
+    (0..n)
+        .map(|_| {
+            if rng.next_f64() < 0.7 {
+                30.0 + 60.0 * rng.next_f64()
+            } else {
+                30_000.0 + 12_000.0 * rng.next_f64()
+            }
+        })
+        .collect()
+}
+
+/// Relative error with a small absolute floor so near-zero quantiles don't
+/// blow the ratio up.
+fn rel_err(got: f64, want: f64) -> f64 {
+    (got - want).abs() / want.abs().max(1.0)
+}
+
+fn check_p2(samples: &[f64], q: f64, tol: f64, label: &str) {
+    let mut est = P2Quantile::new(q);
+    for &x in samples {
+        est.record(x);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let exact = exact_quantile(&sorted, q).unwrap();
+    let got = est.estimate().unwrap();
+    assert!(
+        rel_err(got, exact) < tol,
+        "{label} q={q}: P2 {got} vs exact {exact} (tol {tol})"
+    );
+}
+
+fn check_hist(samples: &[f64], q: f64, tol: f64, label: &str) {
+    let mut hist = Histogram::for_durations();
+    for &x in samples {
+        hist.record(x);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let exact = exact_quantile(&sorted, q).unwrap();
+    let got = hist.quantile(q).unwrap();
+    assert!(
+        rel_err(got, exact) < tol,
+        "{label} q={q}: hist {got} vs exact {exact} (tol {tol})"
+    );
+}
+
+#[test]
+fn p2_tracks_exact_quantiles_on_uniform_input() {
+    let samples = uniform(4000, 0.0, 3600.0, 0xA11CE);
+    // Uniform is P²'s best case: the parabolic marker model is exact in
+    // expectation.
+    for q in [0.5, 0.95, 0.99] {
+        check_p2(&samples, q, 0.05, "uniform");
+    }
+}
+
+#[test]
+fn p2_tracks_exact_quantiles_on_exponential_input() {
+    let samples = exponential(4000, 1800.0, 0xB0B);
+    for q in [0.5, 0.95] {
+        check_p2(&samples, q, 0.10, "exponential");
+    }
+    // The extreme tail of a heavy-ish distribution is the hardest point for
+    // five markers; allow more slack there.
+    check_p2(&samples, 0.99, 0.15, "exponential");
+}
+
+#[test]
+fn p2_locates_the_right_lobe_of_a_bimodal_input() {
+    let samples = bimodal(4000, 0xD1CE);
+    // With 70% short jobs the median must land in the short lobe and the
+    // tail quantiles in the long lobe — lobe placement is the real test;
+    // within-lobe precision is secondary.
+    let mut est50 = P2Quantile::new(0.5);
+    let mut est95 = P2Quantile::new(0.95);
+    for &x in &samples {
+        est50.record(x);
+        est95.record(x);
+    }
+    let p50 = est50.estimate().unwrap();
+    let p95 = est95.estimate().unwrap();
+    assert!(
+        (30.0..=90.0).contains(&p50),
+        "bimodal p50 {p50} should be in the short lobe"
+    );
+    assert!(
+        (30_000.0..=42_000.0).contains(&p95),
+        "bimodal p95 {p95} should be in the long lobe"
+    );
+    check_p2(&samples, 0.99, 0.15, "bimodal");
+}
+
+#[test]
+fn log_histogram_quantiles_are_bin_accurate_on_uniform_input() {
+    let samples = uniform(4000, 1.0, 3600.0, 0xFEED);
+    // A base-2 log bin spans a factor of 2, and the estimator interpolates
+    // linearly inside it; 15% relative error is well inside one bin.
+    for q in [0.5, 0.95, 0.99] {
+        check_hist(&samples, q, 0.15, "uniform");
+    }
+}
+
+#[test]
+fn log_histogram_quantiles_are_bin_accurate_on_exponential_input() {
+    let samples = exponential(4000, 900.0, 0xC0FFEE);
+    for q in [0.5, 0.95, 0.99] {
+        check_hist(&samples, q, 0.20, "exponential");
+    }
+}
+
+#[test]
+fn log_histogram_separates_bimodal_lobes() {
+    let samples = bimodal(4000, 0x5EED);
+    let mut hist = Histogram::for_durations();
+    for &x in &samples {
+        hist.record(x);
+    }
+    let p50 = hist.quantile(0.5).unwrap();
+    let p95 = hist.quantile(0.95).unwrap();
+    assert!(
+        (16.0..=128.0).contains(&p50),
+        "bimodal p50 {p50} should fall in the short lobe's bins"
+    );
+    assert!(
+        (16_384.0..=65_536.0).contains(&p95),
+        "bimodal p95 {p95} should fall in the long lobe's bins"
+    );
+    // Mean stays exact regardless of binning.
+    let exact_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    assert!((hist.mean() - exact_mean).abs() < 1e-9);
+}

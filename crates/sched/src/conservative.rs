@@ -8,8 +8,9 @@
 //! start. Rebuilding per round is O(queue × segments) — simple, and cheap at
 //! the queue lengths grid sites see.
 
-use crate::queue::{estimated_runtime, BatchScheduler, RunningJob, Started};
+use crate::queue::{attribute, estimated_runtime, BatchScheduler, RunningJob, Started};
 use std::collections::VecDeque;
+use tg_des::span::WaitCause;
 use tg_des::{SimDuration, SimTime};
 use tg_model::Cluster;
 use tg_workload::{Job, JobId};
@@ -182,12 +183,19 @@ impl BatchScheduler for ConservativeBackfill {
                 assert!(cluster.acquire(now, job.cores), "profile said free");
                 profile.reserve(now, dur, job.cores);
                 let estimated_end = now + dur;
+                // Under conservative backfill every delay traces back to the
+                // reservations of earlier-arrived jobs.
+                let cause = attribute(now, &job, WaitCause::AheadInQueue);
                 self.running.push(RunningJob {
                     id: job.id,
                     cores: job.cores,
                     estimated_end,
                 });
-                started.push(Started { job, estimated_end });
+                started.push(Started {
+                    job,
+                    estimated_end,
+                    cause,
+                });
             } else {
                 if slot != SimTime::MAX {
                     profile.reserve(slot, dur, job.cores);

@@ -21,6 +21,7 @@
 use crate::easy::{easy_pass, start_job};
 use crate::queue::{estimated_runtime, BatchScheduler, RunningJob, Started};
 use std::collections::VecDeque;
+use tg_des::span::WaitCause;
 use tg_des::{SimDuration, SimTime};
 use tg_model::Cluster;
 use tg_workload::{Job, JobId};
@@ -48,6 +49,9 @@ pub struct WeeklyDrain {
     /// Completed drain phases — counted when the hero queue empties and the
     /// drain disarms (observability).
     drains_done: u64,
+    /// When the most recent drain disarmed — jobs that waited across it get
+    /// their wait attributed to the drain window (observability).
+    last_disarm: Option<SimTime>,
 }
 
 impl WeeklyDrain {
@@ -73,6 +77,7 @@ impl WeeklyDrain {
             predrain_fill: true,
             backfilled: 0,
             drains_done: 0,
+            last_disarm: None,
         }
     }
 
@@ -139,6 +144,7 @@ impl BatchScheduler for WeeklyDrain {
         loop {
             match self.active_drain {
                 None => {
+                    let before = started.len();
                     easy_pass(
                         &mut self.normal,
                         &mut self.running,
@@ -148,6 +154,16 @@ impl BatchScheduler for WeeklyDrain {
                         &mut started,
                         &mut self.backfilled,
                     );
+                    // Normal jobs held back across the drain wall waited for
+                    // the drain, not for queue position: re-attribute starts
+                    // of jobs submitted before the last disarm.
+                    if let Some(disarm) = self.last_disarm {
+                        for s in &mut started[before..] {
+                            if s.cause != WaitCause::Immediate && s.job.submit_time < disarm {
+                                s.cause = WaitCause::DrainWindow;
+                            }
+                        }
+                    }
                     return started;
                 }
                 Some(drain) if now < drain => {
@@ -162,11 +178,14 @@ impl BatchScheduler for WeeklyDrain {
                         let est_end = now + estimated_runtime(job, core_speed);
                         if cluster.can_fit(job.cores) && est_end <= drain {
                             let job = self.normal.remove(i).expect("index valid");
+                            // Any wait this job saw happened under the armed
+                            // drain's estimate-bounded fill regime.
                             start_job(
                                 now,
                                 cluster,
                                 core_speed,
                                 job,
+                                WaitCause::DrainWindow,
                                 &mut self.running,
                                 &mut started,
                             );
@@ -185,11 +204,13 @@ impl BatchScheduler for WeeklyDrain {
                             break;
                         }
                         let job = self.heroes.pop_front().expect("peeked");
+                        // Heroes wait for the drain boundary by design.
                         start_job(
                             now,
                             cluster,
                             core_speed,
                             job,
+                            WaitCause::DrainWindow,
                             &mut self.running,
                             &mut started,
                         );
@@ -200,6 +221,7 @@ impl BatchScheduler for WeeklyDrain {
                         // finish); disarm and resume normal scheduling.
                         self.active_drain = None;
                         self.drains_done += 1;
+                        self.last_disarm = Some(now);
                         continue;
                     }
                     let _ = any;
@@ -306,6 +328,11 @@ mod tests {
         let started = s.make_decisions(d, &mut c, 1.0);
         assert_eq!(started.len(), 1, "one full-machine hero at a time");
         assert_eq!(started[0].job.id, JobId(0));
+        assert_eq!(
+            started[0].cause,
+            WaitCause::DrainWindow,
+            "heroes wait for the drain boundary"
+        );
         assert_eq!(s.hero_queue_len(), 1);
         // First hero completes; second starts immediately.
         let t2 = d + SimDuration::from_secs(3600);
@@ -333,6 +360,32 @@ mod tests {
         s.submit(t2, job(1, 4, 30 * 86_400));
         let started = s.make_decisions(t2, &mut c, 1.0);
         assert_eq!(started.len(), 1);
+    }
+
+    #[test]
+    fn post_drain_starts_of_jobs_that_waited_across_it_blame_the_drain() {
+        let mut s = sched(10);
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.submit(SimTime::ZERO, job(0, 10, 3600)); // hero → drain at day 7
+                                                   // Submitted before the drain, crosses the wall → waits through it.
+        s.submit(SimTime::from_secs(10), job(1, 4, 8 * 86_400));
+        assert!(s
+            .make_decisions(SimTime::from_secs(10), &mut c, 1.0)
+            .is_empty());
+        let d = SimTime::from_days(7);
+        let st = s.make_decisions(d, &mut c, 1.0);
+        assert_eq!(st.len(), 1, "hero runs at the wall");
+        let t2 = d + SimDuration::from_secs(3600);
+        c.release(t2, 10);
+        s.on_complete(t2, JobId(0));
+        let st = s.make_decisions(t2, &mut c, 1.0);
+        assert_eq!(st.len(), 1);
+        assert_eq!(st[0].job.id, JobId(1));
+        assert_eq!(
+            st[0].cause,
+            WaitCause::DrainWindow,
+            "the wait spanned the drain, so the drain gets the blame"
+        );
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! EASY is what most TeraGrid-era sites actually ran, and is the scheduler
 //! the F3 wait-time experiment centers on.
 
-use crate::queue::{earliest_fit, estimated_runtime, BatchScheduler, RunningJob, Started};
+use crate::queue::{
+    attribute, earliest_fit, estimated_runtime, BatchScheduler, RunningJob, Started,
+};
 use std::collections::VecDeque;
+use tg_des::span::WaitCause;
 use tg_des::SimTime;
 use tg_model::Cluster;
 use tg_workload::{Job, JobId};
@@ -31,23 +34,31 @@ impl EasyBackfill {
     }
 }
 
-/// Start `job` on `cluster`, recording it in `running` and `out`.
+/// Start `job` on `cluster`, recording it in `running` and `out`. `delayed`
+/// is the wait cause attributed when the job did not start at submission
+/// ([`attribute`] downgrades it to `Immediate` otherwise).
 pub(crate) fn start_job(
     now: SimTime,
     cluster: &mut Cluster,
     core_speed: f64,
     job: Job,
+    delayed: WaitCause,
     running: &mut Vec<RunningJob>,
     out: &mut Vec<Started>,
 ) {
     assert!(cluster.acquire(now, job.cores), "caller checked fit");
     let estimated_end = now + estimated_runtime(&job, core_speed);
+    let cause = attribute(now, &job, delayed);
     running.push(RunningJob {
         id: job.id,
         cores: job.cores,
         estimated_end,
     });
-    out.push(Started { job, estimated_end });
+    out.push(Started {
+        job,
+        estimated_end,
+        cause,
+    });
 }
 
 /// One EASY decision pass over `queue`: FCFS starts, head reservation, then
@@ -69,7 +80,16 @@ pub(crate) fn easy_pass(
             break;
         }
         let job = queue.pop_front().expect("peeked");
-        start_job(now, cluster, core_speed, job, running, started);
+        // A head that had to wait was blocked behind earlier work.
+        start_job(
+            now,
+            cluster,
+            core_speed,
+            job,
+            WaitCause::AheadInQueue,
+            running,
+            started,
+        );
     }
     let Some(head) = queue.front() else {
         return;
@@ -106,7 +126,16 @@ pub(crate) fn easy_pass(
                     extra -= job.cores;
                 }
                 let job = queue.remove(i).expect("index valid");
-                start_job(now, cluster, core_speed, job, running, started);
+                // An overtaking job waited only until a hole opened up.
+                start_job(
+                    now,
+                    cluster,
+                    core_speed,
+                    job,
+                    WaitCause::BackfillHole,
+                    running,
+                    started,
+                );
                 *backfills += 1;
                 continue; // same index now holds the next job
             }
@@ -248,6 +277,11 @@ mod tests {
         let started = s.make_decisions(t, &mut c, 1.0);
         assert_eq!(started.len(), 1);
         assert_eq!(started[0].job.id, JobId(1));
+        assert_eq!(
+            started[0].cause,
+            tg_des::span::WaitCause::AheadInQueue,
+            "delayed head start is attributed to queue order"
+        );
     }
 
     #[test]
@@ -262,6 +296,24 @@ mod tests {
         let started = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
         assert_eq!(started.len(), 1);
         assert_eq!(started[0].job.id, JobId(2), "earlier candidate wins");
+    }
+
+    #[test]
+    fn wait_causes_distinguish_immediate_from_backfill() {
+        use tg_des::span::WaitCause;
+        let mut s = EasyBackfill::new();
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.submit(SimTime::ZERO, job(0, 6, 1000));
+        let st = s.make_decisions(SimTime::ZERO, &mut c, 1.0);
+        assert_eq!(st[0].cause, WaitCause::Immediate, "started at submission");
+        s.submit(SimTime::ZERO, job(1, 8, 100)); // blocked head
+        s.submit(SimTime::ZERO, job(2, 4, 500));
+        // Decision round later than submission: the overtake is a backfill
+        // and the wait is attributed to the hole that finally opened.
+        let st = s.make_decisions(SimTime::from_secs(5), &mut c, 1.0);
+        assert_eq!(st.len(), 1);
+        assert_eq!(st[0].job.id, JobId(2));
+        assert_eq!(st[0].cause, WaitCause::BackfillHole);
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! overtake. Simple, fair, and the utilization floor every backfill variant
 //! is measured against.
 
-use crate::queue::{estimated_runtime, BatchScheduler, RunningJob, Started};
+use crate::queue::{attribute, estimated_runtime, BatchScheduler, RunningJob, Started};
 use std::collections::VecDeque;
+use tg_des::span::WaitCause;
 use tg_des::SimTime;
 use tg_model::Cluster;
 use tg_workload::{Job, JobId};
@@ -53,12 +54,18 @@ impl BatchScheduler for Fcfs {
             let job = self.queue.pop_front().expect("peeked");
             assert!(cluster.acquire(now, job.cores), "can_fit said yes");
             let estimated_end = now + estimated_runtime(&job, core_speed);
+            // Under strict FCFS a delayed start is always queue-order.
+            let cause = attribute(now, &job, WaitCause::AheadInQueue);
             self.running.push(RunningJob {
                 id: job.id,
                 cores: job.cores,
                 estimated_end,
             });
-            started.push(Started { job, estimated_end });
+            started.push(Started {
+                job,
+                estimated_end,
+                cause,
+            });
         }
         started
     }

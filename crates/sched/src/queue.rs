@@ -1,6 +1,7 @@
 //! The scheduler interface and shared queue machinery.
 
 use serde::{Deserialize, Serialize};
+use tg_des::span::WaitCause;
 use tg_des::{SimDuration, SimTime};
 use tg_model::Cluster;
 use tg_workload::{Job, JobId};
@@ -13,6 +14,9 @@ pub struct Started {
     /// What the scheduler believes the end time is (estimate-based); the
     /// driver computes the *actual* completion from the true runtime.
     pub estimated_end: SimTime,
+    /// The dominant reason the job waited until now (observability only —
+    /// never consulted by scheduling logic).
+    pub cause: WaitCause,
 }
 
 /// A running job as the scheduler tracks it (estimates, not truth).
@@ -141,6 +145,22 @@ impl SchedulerKind {
             SchedulerKind::NaiveDrain => "naive-drain",
             SchedulerKind::FairshareEasy => "fairshare-easy",
         }
+    }
+}
+
+/// Wait attribution for a job starting at `now`: a job that starts at its
+/// submission instant never waited ([`WaitCause::Immediate`]); otherwise the
+/// caller's `delayed` cause — the policy-specific reason the start was
+/// pushed past submission — stands.
+///
+/// Schedulers see the job's *routed* submit time, which is also when their
+/// first decision round over the job runs, so `submit_time >= now` exactly
+/// captures "started at the first opportunity".
+pub(crate) fn attribute(now: SimTime, job: &Job, delayed: WaitCause) -> WaitCause {
+    if job.submit_time >= now {
+        WaitCause::Immediate
+    } else {
+        delayed
     }
 }
 

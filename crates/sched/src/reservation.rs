@@ -17,8 +17,9 @@
 //! * an expired window (job never arrived) releases its cores.
 
 use crate::conservative::Profile;
-use crate::queue::{estimated_runtime, BatchScheduler, RunningJob, Started};
+use crate::queue::{attribute, estimated_runtime, BatchScheduler, RunningJob, Started};
 use std::collections::VecDeque;
+use tg_des::span::WaitCause;
 use tg_des::{SimDuration, SimTime};
 use tg_model::Cluster;
 use tg_workload::{Job, JobId};
@@ -144,12 +145,18 @@ impl BatchScheduler for ReservingConservative {
                     job.cores
                 );
                 let estimated_end = now + estimated_runtime(&job, core_speed);
+                // A reserved job that waited was waiting for its own window.
+                let cause = attribute(now, &job, WaitCause::ReservationBlock);
                 self.running.push(RunningJob {
                     id: job.id,
                     cores: job.cores,
                     estimated_end,
                 });
-                started.push(Started { job, estimated_end });
+                started.push(Started {
+                    job,
+                    estimated_end,
+                    cause,
+                });
                 continue;
             }
             i += 1;
@@ -159,6 +166,13 @@ impl BatchScheduler for ReservingConservative {
         // grant-laden profile. Jobs holding a future grant simply wait for
         // it (their placement is the grant).
         let mut profile = self.profile_excluding(now, cluster, None);
+        // With grants on the books, background delays trace to the carved-out
+        // windows; without any, this is plain conservative backfill.
+        let delayed = if self.reservations.is_empty() {
+            WaitCause::AheadInQueue
+        } else {
+            WaitCause::ReservationBlock
+        };
         let mut remaining = VecDeque::with_capacity(self.queue.len());
         for job in self.queue.drain(..) {
             if self.reservations.iter().any(|r| r.job == job.id) {
@@ -171,12 +185,17 @@ impl BatchScheduler for ReservingConservative {
                 assert!(cluster.acquire(now, job.cores), "profile said free");
                 profile.reserve(now, dur, job.cores);
                 let estimated_end = now + dur;
+                let cause = attribute(now, &job, delayed);
                 self.running.push(RunningJob {
                     id: job.id,
                     cores: job.cores,
                     estimated_end,
                 });
-                started.push(Started { job, estimated_end });
+                started.push(Started {
+                    job,
+                    estimated_end,
+                    cause,
+                });
             } else {
                 if slot != SimTime::MAX {
                     profile.reserve(slot, dur, job.cores);

@@ -5,6 +5,7 @@
 //! tgsim run scenario.json [--seed N] [--reps K] [--sample-hours H]
 //!       [--classify] [--out results.json]
 //!       [--metrics-out metrics.json] [--trace-out trace.jsonl]
+//! tgsim analyze trace.jsonl [--json]
 //! ```
 //!
 //! `run` prints the usage report (ground-truth labels) and, with
@@ -14,17 +15,20 @@
 //! sampled series, per-modality completion counters, engine profile) as
 //! JSON; it implies sampling at 6-hour cadence unless `--sample-hours`
 //! overrides it. `--trace-out` streams a structured JSONL event trace from
-//! the first replication.
+//! the first replication. `analyze` reconstructs per-job lifecycle spans
+//! from such a trace offline and prints wait-time breakdowns by span kind,
+//! wait cause, site, and modality (p50/p95/p99).
 
 use std::process::ExitCode;
 use teragrid_repro::prelude::*;
 use tg_des::stats::ci_student_t;
+use tg_des::{TraceAnalyzer, TraceHealth};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tgsim emit-baseline [USERS DAYS]\n  tgsim run <scenario.json> \
          [--seed N] [--reps K] [--sample-hours H] [--classify] [--out FILE] \
-         [--metrics-out FILE] [--trace-out FILE]"
+         [--metrics-out FILE] [--trace-out FILE]\n  tgsim analyze <trace.jsonl> [--json]"
     );
     ExitCode::from(2)
 }
@@ -34,6 +38,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("emit-baseline") => emit_baseline(&args[1..]),
         Some("run") => run(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
         _ => usage(),
     }
 }
@@ -199,8 +204,27 @@ fn run(rest: &[String]) -> ExitCode {
             }
         }
     }
+    let trace_health: Option<TraceHealth> = first.trace_health;
     if let Some(out) = &trace_out {
-        eprintln!("wrote {out}");
+        let health = trace_health.expect("trace was requested");
+        if health.dropped > 0 {
+            eprintln!(
+                "tgsim: note: ring buffer evicted {} entries ({out} still has all of them)",
+                health.dropped
+            );
+        }
+        if health.sink_errors > 0 {
+            eprintln!(
+                "tgsim: warning: {} trace writes failed; {out} is missing lines",
+                health.sink_errors
+            );
+        }
+        if !health.flush_ok {
+            eprintln!("tgsim: warning: final flush of {out} failed; its tail may be truncated");
+        }
+        if health.sink_clean() {
+            eprintln!("wrote {out}");
+        }
     }
 
     let mut accuracy_summary = Vec::new();
@@ -219,6 +243,17 @@ fn run(rest: &[String]) -> ExitCode {
     }
 
     if let Some(out) = out_path {
+        // `trace` notes sink health so a summary shipped with a truncated
+        // trace file is self-describing (null when --trace-out was not set).
+        let trace_json = match trace_health {
+            Some(h) => serde_json::json!({
+                "dropped": h.dropped,
+                "sink_errors": h.sink_errors,
+                "flush_ok": h.flush_ok,
+                "complete": h.sink_clean(),
+            }),
+            None => serde_json::Value::Null,
+        };
         let summary = serde_json::json!({
             "scenario": first.scenario,
             "seed": seed,
@@ -232,6 +267,7 @@ fn run(rest: &[String]) -> ExitCode {
                 .map(|(m, a, f)| serde_json::json!({"mode": m, "accuracy": a, "macro_f1": f}))
                 .collect::<Vec<_>>(),
             "samples": first.samples,
+            "trace": trace_json,
         });
         match std::fs::write(
             &out,
@@ -244,5 +280,109 @@ fn run(rest: &[String]) -> ExitCode {
             }
         }
     }
+    // An incomplete trace is a failed run: downstream `tgsim analyze` would
+    // silently compute statistics over a truncated event stream.
+    if matches!(trace_health, Some(h) if !h.sink_clean()) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn analyze(rest: &[String]) -> ExitCode {
+    let Some(path) = rest.first() else {
+        return usage();
+    };
+    let mut as_json = false;
+    for flag in &rest[1..] {
+        match flag.as_str() {
+            "--json" => as_json = true,
+            other => {
+                eprintln!("tgsim: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("tgsim: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut analyzer = TraceAnalyzer::new();
+    use std::io::BufRead;
+    for line in std::io::BufReader::new(file).lines() {
+        match line {
+            Ok(l) => analyzer.add_line(&l),
+            Err(e) => {
+                eprintln!("tgsim: read error in {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let analysis = analyzer.finish();
+    if analysis.span_lines == 0 {
+        eprintln!(
+            "tgsim: {path} contains no span entries ({} lines, {} skipped); \
+             was it written by `tgsim run --trace-out`?",
+            analysis.lines, analysis.skipped
+        );
+        return ExitCode::FAILURE;
+    }
+    if as_json {
+        match serde_json::to_string_pretty(&analysis) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("tgsim: cannot serialize analysis: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{}: {} lines, {} spans, {} skipped; {} completed jobs, mean wait {:.1}s",
+        path,
+        analysis.lines,
+        analysis.span_lines,
+        analysis.skipped,
+        analysis.jobs,
+        analysis.mean_wait_s
+    );
+    let table = |title: &str, rows: &[(String, tg_des::GroupStats)]| {
+        if rows.is_empty() {
+            return;
+        }
+        println!("\n{title}");
+        println!(
+            "  {:<24} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "group", "count", "mean_s", "p50_s", "p95_s", "p99_s"
+        );
+        for (name, g) in rows {
+            println!(
+                "  {:<24} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+                name, g.count, g.mean, g.p50, g.p95, g.p99
+            );
+        }
+    };
+    let rows = |m: &std::collections::BTreeMap<String, tg_des::GroupStats>| {
+        m.iter().map(|(k, v)| (k.clone(), *v)).collect::<Vec<_>>()
+    };
+    table("span durations by kind", &rows(&analysis.by_kind));
+    table(
+        "queued time by wait cause",
+        &rows(&analysis.queued_by_cause),
+    );
+    table(
+        "queued time by site",
+        &analysis
+            .queued_by_site
+            .iter()
+            .map(|(k, v)| (format!("site{k}"), *v))
+            .collect::<Vec<_>>(),
+    );
+    table(
+        "total wait by modality (completed jobs)",
+        &rows(&analysis.wait_by_modality),
+    );
     ExitCode::SUCCESS
 }
