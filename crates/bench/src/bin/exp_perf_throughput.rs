@@ -13,7 +13,9 @@
 
 use serde::Serialize;
 use tg_bench::{save_json, Table};
-use tg_core::{aggregate_profiles, replicate, ScenarioConfig};
+use tg_core::{
+    aggregate_profiles, replicate, FaultSpec, NodeCrashSpec, OutageWindow, ScenarioConfig,
+};
 
 #[derive(Serialize)]
 struct RepRow {
@@ -39,6 +41,52 @@ struct ThroughputOutput {
     jobs_per_sec: f64,
     peak_queue_len: u64,
     per_rep: Vec<RepRow>,
+    /// Same scenario rerun with a ~5%-downtime fault schedule attached:
+    /// the fault layer's steady-state cost (per-job registry bookkeeping,
+    /// fault events, kills and requeues) on top of the healthy baseline.
+    faulted: FaultedSection,
+}
+
+#[derive(Serialize)]
+struct FaultedSection {
+    /// Fraction of site-hours lost to the scheduled outages.
+    downtime_fraction: f64,
+    total_events: u64,
+    total_jobs: usize,
+    total_wall_seconds: f64,
+    events_per_sec: f64,
+    jobs_killed: u64,
+    jobs_requeued: u64,
+    per_rep: Vec<RepRow>,
+}
+
+/// Roughly 5% of total site-hours down across the 3-site, 14-day baseline:
+/// 14d × 24h × 3 sites = 1008 site-hours; two outages totalling ~50h plus a
+/// crash trickle land close to that.
+fn faulted_spec() -> FaultSpec {
+    FaultSpec {
+        node_crashes: Some(NodeCrashSpec {
+            mtbf_hours: 120.0,
+            repair_hours: 4.0,
+            cores_per_crash: 64,
+            horizon_days: 14.0,
+        }),
+        site_outages: vec![
+            OutageWindow {
+                site: 1,
+                start_hours: 72.0,
+                duration_hours: 30.0,
+                notice_hours: 2.0,
+            },
+            OutageWindow {
+                site: 0,
+                start_hours: 240.0,
+                duration_hours: 20.0,
+                notice_hours: 0.0,
+            },
+        ],
+        ..FaultSpec::default()
+    }
 }
 
 fn main() {
@@ -96,6 +144,63 @@ fn main() {
     ]);
     println!("{table}");
 
+    // Faulted datapoint: identical workload, ~5% downtime fault schedule.
+    let mut faulted_cfg = ScenarioConfig::baseline(users, days);
+    faulted_cfg.faults = Some(faulted_spec());
+    let faulted_scenario = faulted_cfg.build();
+    let faulted_reps = replicate(&faulted_scenario, 9000, reps_n, 1);
+    let faulted_per_rep: Vec<RepRow> = faulted_reps
+        .iter()
+        .map(|r| {
+            let p = &r.output.profile;
+            let jobs = r.output.db.jobs.len();
+            RepRow {
+                seed: r.seed,
+                events: p.events_delivered,
+                jobs,
+                wall_seconds: p.wall_seconds,
+                events_per_sec: p.events_per_sec,
+                jobs_per_sec: jobs as f64 / p.wall_seconds.max(1e-9),
+                peak_queue_len: p.peak_queue_len,
+            }
+        })
+        .collect();
+    let fagg = aggregate_profiles(&faulted_reps);
+    let ftotal_jobs: usize = faulted_per_rep.iter().map(|r| r.jobs).sum();
+    let (mut killed, mut requeued) = (0u64, 0u64);
+    for r in &faulted_reps {
+        let fr = r.output.fault_report.as_ref().expect("faulted run");
+        killed += fr.jobs_killed;
+        requeued += fr.jobs_requeued;
+    }
+    let downtime_h = 30.0 + 20.0; // the two scheduled outages
+    let site_hours = (days * 24) as f64 * 3.0;
+    let mut ftable = Table::new(
+        format!(
+            "PERF (faulted): same workload, ~{:.0}% downtime",
+            100.0 * downtime_h / site_hours
+        ),
+        &[
+            "seed", "events", "jobs", "wall s", "events/s", "jobs/s", "peak q",
+        ],
+    );
+    for r in &faulted_per_rep {
+        ftable.row(vec![
+            r.seed.to_string(),
+            r.events.to_string(),
+            r.jobs.to_string(),
+            format!("{:.3}", r.wall_seconds),
+            format!("{:.0}", r.events_per_sec),
+            format!("{:.0}", r.jobs_per_sec),
+            r.peak_queue_len.to_string(),
+        ]);
+    }
+    println!("{ftable}");
+    println!(
+        "faulted: {} killed, {} requeued across {} reps; events/s {:.0} vs healthy {:.0}",
+        killed, requeued, reps_n, fagg.events_per_sec, agg.events_per_sec
+    );
+
     save_json(
         "BENCH_throughput",
         &ThroughputOutput {
@@ -110,6 +215,16 @@ fn main() {
             jobs_per_sec: total_jobs as f64 / agg.wall_seconds.max(1e-9),
             peak_queue_len: agg.peak_queue_len,
             per_rep,
+            faulted: FaultedSection {
+                downtime_fraction: downtime_h / site_hours,
+                total_events: fagg.events_delivered,
+                total_jobs: ftotal_jobs,
+                total_wall_seconds: fagg.wall_seconds,
+                events_per_sec: fagg.events_per_sec,
+                jobs_killed: killed,
+                jobs_requeued: requeued,
+                per_rep: faulted_per_rep,
+            },
         },
     );
 }

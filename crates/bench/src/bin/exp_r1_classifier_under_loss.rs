@@ -1,0 +1,204 @@
+//! R1 — Classifier robustness under lossy accounting ingest.
+//!
+//! The measurement program infers usage modalities from the records the
+//! federation's accounting pipeline delivers. This experiment corrupts that
+//! pipeline — each record independently dropped with probability `loss` —
+//! while ground truth (what users actually ran) stays intact, then sweeps
+//! `loss` and reads off (a) T2-style classifier accuracy and (b) T1-style
+//! usage shares computed from the surviving records.
+//!
+//! The ingest channel draws a fate for *every* record regardless of the
+//! loss rate, so the same records die in the same order as `loss` grows:
+//! each sweep point's database is a superset of the next, and *coverage*
+//! accuracy (correct inferences over all of ground truth) is monotonically
+//! non-increasing by construction. The binary asserts that. Per-covered-job
+//! accuracy and the share tables show the subtler story: the classifier
+//! stays sharp on the records it still sees, while the measured share table
+//! drifts from the healthy baseline as losses mount.
+
+use serde::Serialize;
+use std::collections::HashMap;
+use tg_bench::{save_json, Table};
+use tg_core::{
+    classify_all, Accuracy, ClassifierMode, ConfusionMatrix, FaultSpec, IngestFaults, Modality,
+    ScenarioConfig, SimOutput,
+};
+
+const LOSS_RATES: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];
+const SEED: u64 = 1000;
+
+#[derive(Serialize)]
+struct ModeResult {
+    mode: String,
+    /// Correct inferences / jobs the classifier could see.
+    accuracy_on_covered: f64,
+    /// Correct inferences / all ground-truth jobs (missing records count
+    /// as misses) — the headline robustness number.
+    coverage_accuracy: f64,
+}
+
+#[derive(Serialize)]
+struct SweepPoint {
+    loss: f64,
+    records_lost: u64,
+    records_kept: usize,
+    truth_jobs: usize,
+    modes: Vec<ModeResult>,
+    /// Measured job share per modality (inferred with attributes, over the
+    /// surviving records).
+    job_share: Vec<f64>,
+    /// Measured NU (charge) share per modality from the surviving records.
+    nu_share: Vec<f64>,
+    /// L1 distance of the measured job-share vector from the loss-free one.
+    job_share_l1_drift: f64,
+}
+
+#[derive(Serialize)]
+struct R1Output {
+    scenario: String,
+    seed: u64,
+    loss_rates: Vec<f64>,
+    points: Vec<SweepPoint>,
+}
+
+fn run_at(loss: f64) -> SimOutput {
+    let mut cfg = ScenarioConfig::baseline(300, 14);
+    if loss > 0.0 {
+        cfg.faults = Some(FaultSpec {
+            ingest: Some(IngestFaults {
+                loss,
+                duplication: 0.0,
+            }),
+            ..FaultSpec::default()
+        });
+    }
+    cfg.build().run(SEED)
+}
+
+/// Measured shares from the records alone: classify every job record, then
+/// tally job counts and charged NUs per inferred modality.
+fn measured_shares(out: &SimOutput) -> (Vec<f64>, Vec<f64>) {
+    let inferred = classify_all(&out.db, ClassifierMode::WithAttributes);
+    let mut jobs = vec![0u64; Modality::ALL.len()];
+    let mut nus = vec![0f64; Modality::ALL.len()];
+    for rec in &out.db.jobs {
+        let m = inferred
+            .get(&rec.job)
+            .copied()
+            .unwrap_or(Modality::BatchComputing);
+        jobs[m.index()] += 1;
+        nus[m.index()] += out.charge_policy.nu(rec);
+    }
+    let jt: f64 = jobs.iter().sum::<u64>() as f64;
+    let nt: f64 = nus.iter().sum::<f64>();
+    (
+        jobs.iter().map(|&j| j as f64 / jt.max(1.0)).collect(),
+        nus.iter().map(|&n| n / nt.max(1e-9)).collect(),
+    )
+}
+
+fn main() {
+    let mut points = Vec::new();
+    let mut healthy_job_share: Vec<f64> = Vec::new();
+    let mut scenario_name = String::new();
+
+    for &loss in &LOSS_RATES {
+        let out = run_at(loss);
+        scenario_name = out.scenario.clone();
+        let truth_jobs = out.truth.len();
+        let seen: HashMap<_, _> = out.db.jobs.iter().map(|j| (j.job, j)).collect();
+
+        let modes = [ClassifierMode::WithAttributes, ClassifierMode::RecordsOnly]
+            .iter()
+            .map(|&mode| {
+                let inferred = classify_all(&out.db, mode);
+                let matrix = ConfusionMatrix::from_maps(&out.truth, &inferred);
+                let covered = Accuracy::from_matrix(matrix.clone());
+                ModeResult {
+                    mode: mode.name().to_string(),
+                    accuracy_on_covered: covered.accuracy,
+                    coverage_accuracy: matrix.correct() as f64 / truth_jobs.max(1) as f64,
+                }
+            })
+            .collect::<Vec<_>>();
+
+        let (job_share, nu_share) = measured_shares(&out);
+        if healthy_job_share.is_empty() {
+            healthy_job_share = job_share.clone();
+        }
+        let drift: f64 = job_share
+            .iter()
+            .zip(&healthy_job_share)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+
+        points.push(SweepPoint {
+            loss,
+            records_lost: out
+                .fault_report
+                .as_ref()
+                .map(|r| r.records_lost)
+                .unwrap_or(0),
+            records_kept: seen.len(),
+            truth_jobs,
+            modes,
+            job_share,
+            nu_share,
+            job_share_l1_drift: drift,
+        });
+    }
+
+    let mut table = Table::new(
+        "R1: classifier accuracy and share drift vs accounting-ingest loss",
+        &[
+            "loss",
+            "lost",
+            "kept",
+            "cov-acc(attr)",
+            "acc(attr)",
+            "cov-acc(rec)",
+            "share-L1",
+        ],
+    );
+    for p in &points {
+        table.row(vec![
+            format!("{:.0}%", 100.0 * p.loss),
+            p.records_lost.to_string(),
+            p.records_kept.to_string(),
+            format!("{:.4}", p.modes[0].coverage_accuracy),
+            format!("{:.4}", p.modes[0].accuracy_on_covered),
+            format!("{:.4}", p.modes[1].coverage_accuracy),
+            format!("{:.4}", p.job_share_l1_drift),
+        ]);
+    }
+    println!("{table}");
+
+    // Monotone coupling must hold: coverage accuracy never improves as the
+    // loss rate grows, in either classifier mode.
+    for mode_idx in 0..2 {
+        for w in points.windows(2) {
+            let (a, b) = (
+                w[0].modes[mode_idx].coverage_accuracy,
+                w[1].modes[mode_idx].coverage_accuracy,
+            );
+            assert!(
+                b <= a + 1e-9,
+                "coverage accuracy must degrade monotonically: {a:.4} -> {b:.4} \
+                 at loss {:.2} ({})",
+                w[1].loss,
+                points[0].modes[mode_idx].mode,
+            );
+        }
+    }
+    println!("monotone degradation check: OK (both modes, {LOSS_RATES:?})");
+
+    save_json(
+        "exp_r1_classifier_under_loss",
+        &R1Output {
+            scenario: scenario_name,
+            seed: SEED,
+            loss_rates: LOSS_RATES.to_vec(),
+            points,
+        },
+    );
+}

@@ -105,6 +105,7 @@ pub fn single_site_config(
         workload,
         library: None,
         sample_interval: None,
+        faults: None,
     }
 }
 
@@ -165,6 +166,7 @@ pub fn rc_only_config(
         workload,
         library: None,
         sample_interval: None,
+        faults: None,
     }
 }
 

@@ -60,6 +60,12 @@ pub use sim::GridSim;
 pub use survey::{run_survey, SurveyDesign, SurveyResult};
 pub use tg_des::metrics::{EngineProfile, MetricsSnapshot};
 
+// Fault injection rides the scenario config; re-export the spec/report
+// types so experiment binaries need only tg-core.
+pub use tg_fault::{
+    DegradeWindow, FaultReport, FaultSpec, IngestFaults, NodeCrashSpec, OutagePolicy, OutageWindow,
+};
+
 // The taxonomy lives with the workload generator (ground truth labels);
 // re-export it as part of this crate's public face.
 pub use tg_workload::Modality;

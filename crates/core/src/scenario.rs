@@ -12,6 +12,7 @@ use tg_accounting::{AccountingDb, ChargePolicy};
 use tg_des::metrics::{EngineProfile, MetricsSnapshot};
 use tg_des::trace::Tracer;
 use tg_des::{Engine, RngFactory, SimTime};
+use tg_fault::{FaultReport, FaultSpec};
 use tg_model::reconf::RcNodeStats;
 use tg_model::{ConfigLibrary, Federation, SiteConfig, SiteId};
 use tg_sched::{BatchScheduler, MetaPolicy, RcPolicy, SchedulerKind};
@@ -43,6 +44,11 @@ pub struct ScenarioConfig {
     /// [`crate::sim::SampleRow`]).
     #[serde(default)]
     pub sample_interval: Option<tg_des::SimDuration>,
+    /// Fault-injection spec (`None` — or a trivial spec — runs fault-free,
+    /// byte-identical to a config without the field). The compiled schedule
+    /// is a pure function of `(spec, seed)`; see [`tg_fault::FaultSpec`].
+    #[serde(default)]
+    pub faults: Option<FaultSpec>,
 }
 
 impl ScenarioConfig {
@@ -71,6 +77,7 @@ impl ScenarioConfig {
             workload,
             library: None,
             sample_interval: None,
+            faults: None,
         }
     }
 
@@ -176,6 +183,11 @@ impl Scenario {
         if let Some(interval) = cfg.sample_interval {
             sim = sim.with_sampling(interval);
         }
+        if let Some(spec) = &cfg.faults {
+            if !spec.is_trivial() {
+                sim = sim.with_faults(spec);
+            }
+        }
         if opts.metrics {
             sim = sim.with_metrics();
         }
@@ -229,6 +241,7 @@ impl Scenario {
                 .trace_path
                 .as_ref()
                 .map(|_| finished.tracer.health(finished.trace_flush_ok)),
+            fault_report: finished.fault_report,
         }
     }
 }
@@ -286,6 +299,9 @@ pub struct SimOutput {
     /// set). Lets callers surface dropped entries or write failures instead
     /// of silently shipping a truncated trace.
     pub trace_health: Option<tg_des::TraceHealth>,
+    /// What fault injection did to the run (`None` when the config carried
+    /// no — or only a trivial — fault spec).
+    pub fault_report: Option<FaultReport>,
 }
 
 impl SimOutput {
@@ -451,6 +467,35 @@ mod tests {
         let out = small().build().run(2);
         assert_eq!(out.profile.events_delivered, out.events_delivered);
         assert!(out.profile.peak_queue_len > 0);
+    }
+
+    #[test]
+    fn faulted_scenario_runs_reports_and_roundtrips() {
+        let mut cfg = small();
+        cfg.faults = Some(FaultSpec {
+            site_outages: vec![tg_fault::OutageWindow {
+                site: 1,
+                start_hours: 48.0,
+                duration_hours: 12.0,
+                notice_hours: 2.0,
+            }],
+            ..FaultSpec::default()
+        });
+        // The spec rides the config through JSON untouched.
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults, cfg.faults);
+        let out = cfg.clone().build().run(42);
+        let report = out.fault_report.expect("fault layer attached");
+        assert_eq!(report.site_outages, 1);
+        assert!(report.total_downtime_s() >= 12.0 * 3600.0 - 1.0);
+        // A trivial spec leaves the run untouched and unreported.
+        cfg.faults = Some(FaultSpec::default());
+        let trivial = cfg.build().run(42);
+        assert!(trivial.fault_report.is_none());
+        let plain = small().build().run(42);
+        assert_eq!(plain.db.jobs, trivial.db.jobs);
+        assert_eq!(plain.end, trivial.end);
     }
 
     #[test]

@@ -36,12 +36,16 @@ use tg_accounting::{
 use tg_des::metrics::{CounterId, GaugeId, MetricsRegistry, MetricsSnapshot, SeriesId};
 use tg_des::span::{SpanKind, WaitCause, SPAN_CATEGORY, SPAN_SCHEMA_VERSION};
 use tg_des::trace::{TraceValue, Tracer};
-#[cfg(test)]
-use tg_des::SimDuration;
-use tg_des::{Ctx, Engine, RngFactory, SimTime, Simulation, StopCondition, StreamId};
+use tg_des::{
+    Ctx, Engine, EventKey, RngFactory, SimDuration, SimRng, SimTime, Simulation, StopCondition,
+    StreamId,
+};
+use tg_fault::{FaultEventKind, FaultReport, FaultSchedule, FaultSpec, OutagePolicy};
 use tg_model::reconf::HostPlan;
 use tg_model::{Federation, SiteId};
-use tg_sched::{BatchScheduler, MetaPolicy, RcDecision, RcPolicy, SiteView};
+use tg_sched::{
+    BatchScheduler, MetaPolicy, RcDecision, RcPolicy, RetryBook, RetryPolicy, SiteView,
+};
 use tg_workload::{Job, JobId, Modality, UserId};
 
 /// Base offset for synthetic gateway community accounts in job records.
@@ -94,6 +98,14 @@ pub enum Event {
     },
     /// Periodic metric sample (enabled via [`GridSim::with_sampling`]).
     Sample,
+    /// A compiled fault-schedule event fires (index into the schedule
+    /// attached by [`GridSim::with_faults`]).
+    Fault(usize),
+    /// A fault-killed job returns from its retry backoff and resubmits.
+    Requeue {
+        /// The job being resubmitted.
+        job: Box<Job>,
+    },
 }
 
 /// Where a job currently is in its lifecycle, for span emission. Tracked
@@ -190,6 +202,57 @@ impl Instruments {
     }
 }
 
+/// A batch job currently executing, remembered so fault injection can kill
+/// it: cancel its completion event (the engine drops the payload on
+/// cancellation, hence the clone) and requeue or abandon it.
+struct RunningRec {
+    site: SiteId,
+    cores: usize,
+    key: EventKey,
+    started: SimTime,
+    job: Job,
+}
+
+/// The lossy accounting-ingest channel. Both uniforms are drawn for *every*
+/// record regardless of the configured probabilities, so the per-record fate
+/// sequence is identical across loss rates (monotone coupling — the R1
+/// experiment's accuracy curve degrades monotonically instead of jittering
+/// with resampled randomness).
+struct IngestChannel {
+    loss: f64,
+    dup: f64,
+    rng: SimRng,
+}
+
+/// What the lossy ingest does with one record.
+enum IngestFate {
+    Keep,
+    Drop,
+    Duplicate,
+}
+
+/// Everything fault injection needs at run time, attached by
+/// [`GridSim::with_faults`]. `None` (the default) means the fault path is
+/// completely inert: no events, no RNG draws, no job clones.
+struct FaultLayer {
+    schedule: FaultSchedule,
+    outage_policy: OutagePolicy,
+    retry: RetryPolicy,
+    book: RetryBook,
+    ingest: Option<IngestChannel>,
+    /// Running batch jobs by id (RC fabric tasks are not fault targets).
+    running: HashMap<JobId, RunningRec>,
+    /// Cores per site currently out of service from node crashes.
+    crashed_cores: Vec<usize>,
+    /// Free cores per site parked for the duration of a whole-site outage.
+    outage_offline: Vec<usize>,
+    /// Outage start per site (`Some` while the site is dark).
+    down_since: Vec<Option<SimTime>>,
+    /// Degradation-window start per site (`Some` while the uplink is slow).
+    degraded_since: Vec<Option<SimTime>>,
+    report: FaultReport,
+}
+
 /// The assembled simulation.
 pub struct GridSim {
     /// The resource model (mutated as jobs run).
@@ -228,6 +291,8 @@ pub struct GridSim {
     /// Per-job lifecycle phase state for span emission (populated only while
     /// the tracer is enabled).
     span_track: HashMap<JobId, SpanTrack>,
+    /// Fault injection (disabled by default; see [`GridSim::with_faults`]).
+    faults: Option<FaultLayer>,
 }
 
 impl GridSim {
@@ -278,6 +343,7 @@ impl GridSim {
             ins,
             tracer: Tracer::new(4096),
             span_track: HashMap::new(),
+            faults: None,
         }
     }
 
@@ -339,6 +405,40 @@ impl GridSim {
         self
     }
 
+    /// Attach fault injection. The spec compiles against this simulation's
+    /// federation and master seed using dedicated `fault.*` RNG streams, so
+    /// the schedule is deterministic per `(spec, seed)` and attaching a
+    /// trivial spec — or none at all — leaves every other draw, event, and
+    /// record byte-identical to a fault-free run.
+    pub fn with_faults(mut self, spec: &FaultSpec) -> Self {
+        let site_cores: Vec<usize> = self
+            .federation
+            .sites()
+            .map(|s| s.cluster.total_cores())
+            .collect();
+        let schedule = spec.compile(&site_cores, &self.rng);
+        let sites = site_cores.len();
+        let ingest = spec.ingest.map(|i| IngestChannel {
+            loss: i.loss,
+            dup: i.duplication,
+            rng: self.rng.stream(StreamId::new("fault.ingest", 0)),
+        });
+        self.faults = Some(FaultLayer {
+            schedule,
+            outage_policy: spec.outage_policy,
+            retry: spec.retry_policy(),
+            book: RetryBook::new(),
+            ingest,
+            running: HashMap::new(),
+            crashed_cores: vec![0; sites],
+            outage_offline: vec![0; sites],
+            down_since: vec![None; sites],
+            degraded_since: vec![None; sites],
+            report: FaultReport::new(sites),
+        });
+        self
+    }
+
     fn take_sample(&mut self, ctx: &mut Ctx<Event>) {
         let busy_fraction: Vec<f64> = self
             .federation
@@ -374,6 +474,11 @@ impl GridSim {
         if let Some(interval) = self.sample_interval {
             engine.schedule_at(SimTime::ZERO + interval, Event::Sample);
         }
+        if let Some(f) = &self.faults {
+            for (i, ev) in f.schedule.events.iter().enumerate() {
+                engine.schedule_at(ev.at, Event::Fault(i));
+            }
+        }
     }
 
     /// Run to completion (all jobs done) with a hard event-horizon guard.
@@ -397,6 +502,10 @@ impl GridSim {
         }
         let metrics = self.metrics.snapshot(engine.now());
         let trace_flush_ok = self.tracer.close_sink();
+        let fault_report = self.faults.take().map(|f| {
+            debug_assert!(f.running.is_empty(), "registry drained with the jobs");
+            f.report
+        });
         FinishedSim {
             federation: self.federation,
             db: self.db,
@@ -406,6 +515,7 @@ impl GridSim {
             metrics,
             tracer: self.tracer,
             trace_flush_ok,
+            fault_report,
         }
     }
 
@@ -474,7 +584,7 @@ impl GridSim {
                     ("mb", job.input_mb.into()),
                 ]
             });
-            self.db.add_transfer(TransferRecord {
+            let rec = TransferRecord {
                 user: self.account_of(&job),
                 project: job.project,
                 src: self.data_home,
@@ -482,7 +592,8 @@ impl GridSim {
                 mb: job.input_mb,
                 start: ctx.now(),
                 end: ctx.now() + dur,
-            });
+            };
+            self.ingest(rec, |db, r| db.add_transfer(r));
             ctx.schedule_after(
                 dur,
                 Event::Enqueue {
@@ -522,6 +633,26 @@ impl GridSim {
                 v
             })
             .collect();
+        // Under an active whole-site outage the metascheduler routes around
+        // the dark site(s) — unless no surviving site could fit this job
+        // (or everything is dark), in which case it routes to its normal
+        // choice and waits out the outage there. The filter only engages
+        // while a site is actually down, so fault-free runs build the
+        // identical view vector.
+        let views = match &self.faults {
+            Some(f)
+                if f.down_since.iter().any(Option::is_some)
+                    && views.iter().any(|v| {
+                        f.down_since[v.site.index()].is_none() && job.cores <= v.total_cores
+                    }) =>
+            {
+                views
+                    .into_iter()
+                    .filter(|v| f.down_since[v.site.index()].is_none())
+                    .collect()
+            }
+            _ => views,
+        };
         let mut rng = self
             .rng
             .stream(StreamId::new("meta", job.id.index() as u64));
@@ -588,6 +719,11 @@ impl GridSim {
     }
 
     fn dispatch(&mut self, ctx: &mut Ctx<Event>, site: SiteId) {
+        // A site in a whole-site outage is frozen: its queue keeps accepting
+        // work but nothing starts until recovery (which dispatches again).
+        if self.site_is_down(site) {
+            return;
+        }
         let speed = self.federation.site(site).core_speed();
         let cluster = &mut self.federation.site_mut(site).cluster;
         let started = self.schedulers[site.index()].make_decisions(ctx.now(), cluster, speed);
@@ -626,14 +762,37 @@ impl GridSim {
                     ("cores", s.job.cores.into()),
                 ]
             });
-            ctx.schedule_after(
-                actual,
-                Event::Complete {
-                    site,
-                    job: Box::new(s.job),
-                    started: ctx.now(),
-                },
-            );
+            if let Some(f) = self.faults.as_mut() {
+                // Remember the attempt so a crash/outage can cancel it and
+                // requeue the job (the engine drops cancelled payloads).
+                let key = ctx.schedule_after(
+                    actual,
+                    Event::Complete {
+                        site,
+                        job: Box::new(s.job.clone()),
+                        started: ctx.now(),
+                    },
+                );
+                f.running.insert(
+                    s.job.id,
+                    RunningRec {
+                        site,
+                        cores: s.job.cores,
+                        key,
+                        started: ctx.now(),
+                        job: s.job,
+                    },
+                );
+            } else {
+                ctx.schedule_after(
+                    actual,
+                    Event::Complete {
+                        site,
+                        job: Box::new(s.job),
+                        started: ctx.now(),
+                    },
+                );
+            }
         }
         // Arm a wakeup if the policy wants one (weekly drain).
         if let Some(at) = self.schedulers[site.index()].next_wakeup(ctx.now()) {
@@ -660,6 +819,10 @@ impl GridSim {
     }
 
     fn complete_batch(&mut self, ctx: &mut Ctx<Event>, site: SiteId, job: Job, started: SimTime) {
+        if let Some(f) = self.faults.as_mut() {
+            f.running.remove(&job.id);
+            f.book.forget(job.id);
+        }
         self.federation
             .site_mut(site)
             .cluster
@@ -887,8 +1050,349 @@ impl GridSim {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Is `site` inside a whole-site outage window right now?
+    fn site_is_down(&self, site: SiteId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.down_since[site.index()].is_some())
+    }
+
+    fn handle_fault(&mut self, ctx: &mut Ctx<Event>, index: usize) {
+        let ev = self
+            .faults
+            .as_ref()
+            .expect("fault event without a fault layer")
+            .schedule
+            .events[index];
+        match ev.kind {
+            FaultEventKind::NodeCrash { site, cores } => self.fault_node_crash(ctx, site, cores),
+            FaultEventKind::NodeRepair { site, cores } => self.fault_node_repair(ctx, site, cores),
+            FaultEventKind::OutageNotice { site, outage_at } => {
+                // Graceful drain: the scheduler stops starting work that
+                // would outlive the deadline; short jobs keep flowing until
+                // the lights go out.
+                self.schedulers[site.index()].drain_notice(Some(outage_at));
+                self.dispatch(ctx, site);
+            }
+            FaultEventKind::SiteOutage { site } => self.fault_site_outage(ctx, site),
+            FaultEventKind::SiteRecovery { site } => self.fault_site_recovery(ctx, site),
+            FaultEventKind::LinkDegrade {
+                site,
+                bandwidth_factor,
+                latency_factor,
+            } => {
+                let f = self.faults.as_mut().expect("fault layer");
+                if f.degraded_since[site.index()].is_none() {
+                    f.degraded_since[site.index()] = Some(ctx.now());
+                }
+                self.federation
+                    .network
+                    .set_degradation(site, bandwidth_factor, latency_factor);
+            }
+            FaultEventKind::LinkRestore { site } => {
+                let f = self.faults.as_mut().expect("fault layer");
+                if let Some(since) = f.degraded_since[site.index()].take() {
+                    f.report.degraded_by_site[site.index()] +=
+                        ctx.now().saturating_since(since).as_secs_f64();
+                }
+                self.federation.network.clear_degradation(site);
+            }
+        }
+    }
+
+    /// `cores` cores fail at `site`: enough running jobs are killed (newest
+    /// start first) to vacate them, then the cores leave service until the
+    /// paired repair. Crashes during a whole-site outage are absorbed by it.
+    fn fault_node_crash(&mut self, ctx: &mut Ctx<Event>, site: SiteId, cores: usize) {
+        if self.site_is_down(site) {
+            return;
+        }
+        let cluster = &self.federation.site(site).cluster;
+        let in_service = cluster.total_cores() - cluster.offline_cores();
+        let target = cores.min(in_service);
+        if target == 0 {
+            return;
+        }
+        self.faults
+            .as_mut()
+            .expect("fault layer")
+            .report
+            .node_crashes += 1;
+        while self.federation.site(site).cluster.free_cores() < target {
+            let Some(victim) = self.pick_victim(site) else {
+                break;
+            };
+            self.kill_running(ctx, victim, WaitCause::NodeFailure, false);
+        }
+        let take = target.min(self.federation.site(site).cluster.free_cores());
+        if take > 0 {
+            self.federation
+                .site_mut(site)
+                .cluster
+                .take_offline(ctx.now(), take);
+            self.faults.as_mut().expect("fault layer").crashed_cores[site.index()] += take;
+        }
+        // Kills freed cores beyond the crashed ones; let the queue use them.
+        self.dispatch(ctx, site);
+    }
+
+    fn fault_node_repair(&mut self, ctx: &mut Ctx<Event>, site: SiteId, cores: usize) {
+        let f = self.faults.as_mut().expect("fault layer");
+        let fixed = cores.min(f.crashed_cores[site.index()]);
+        if fixed == 0 {
+            return;
+        }
+        f.crashed_cores[site.index()] -= fixed;
+        if f.down_since[site.index()].is_some() {
+            // The site is dark anyway: repaired cores wait out the outage
+            // in the parked pool and return with it at recovery.
+            f.outage_offline[site.index()] += fixed;
+            return;
+        }
+        self.federation
+            .site_mut(site)
+            .cluster
+            .bring_online(ctx.now(), fixed);
+        self.dispatch(ctx, site);
+    }
+
+    /// The whole site goes dark: running work is killed (or checkpointed per
+    /// [`OutagePolicy`]), the queue freezes, and every core leaves service
+    /// until the paired recovery.
+    fn fault_site_outage(&mut self, ctx: &mut Ctx<Event>, site: SiteId) {
+        if self.site_is_down(site) {
+            return; // overlapping windows merge into the first
+        }
+        let checkpoint = {
+            let f = self.faults.as_mut().expect("fault layer");
+            f.report.site_outages += 1;
+            f.down_since[site.index()] = Some(ctx.now());
+            f.outage_policy == OutagePolicy::Checkpoint
+        };
+        self.federation.site_mut(site).set_available(false);
+        let cause = WaitCause::SiteOutage;
+        while let Some(victim) = self.pick_victim(site) {
+            self.kill_running(ctx, victim, cause, checkpoint);
+        }
+        // Park everything free (all in-service cores, now that the running
+        // work is gone) until recovery; crashed cores stay in their pool.
+        let free = self.federation.site(site).cluster.free_cores();
+        if free > 0 {
+            self.federation
+                .site_mut(site)
+                .cluster
+                .take_offline(ctx.now(), free);
+            self.faults.as_mut().expect("fault layer").outage_offline[site.index()] += free;
+        }
+    }
+
+    fn fault_site_recovery(&mut self, ctx: &mut Ctx<Event>, site: SiteId) {
+        let parked = {
+            let f = self.faults.as_mut().expect("fault layer");
+            let Some(since) = f.down_since[site.index()].take() else {
+                return; // recovery of a merged/duplicate window
+            };
+            f.report.downtime_by_site[site.index()] +=
+                ctx.now().saturating_since(since).as_secs_f64();
+            std::mem::take(&mut f.outage_offline[site.index()])
+        };
+        self.federation.site_mut(site).set_available(true);
+        if parked > 0 {
+            self.federation
+                .site_mut(site)
+                .cluster
+                .bring_online(ctx.now(), parked);
+        }
+        self.schedulers[site.index()].drain_notice(None);
+        self.dispatch(ctx, site);
+    }
+
+    /// The running job at `site` that started last (ties: highest id) — the
+    /// deterministic kill order for crashes and outages. Preferring the
+    /// newest attempt loses the least completed work.
+    fn pick_victim(&self, site: SiteId) -> Option<JobId> {
+        self.faults
+            .as_ref()
+            .expect("fault layer")
+            .running
+            .values()
+            .filter(|r| r.site == site)
+            .max_by_key(|r| (r.started, r.job.id.index()))
+            .map(|r| r.job.id)
+    }
+
+    /// Kill one running job: cancel its completion event, free its cores
+    /// (without counting a completion), emit a `fault` span for the lost
+    /// execution, and requeue it after backoff — or checkpoint-restart it,
+    /// or abandon it once the retry budget is exhausted.
+    fn kill_running(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        id: JobId,
+        cause: WaitCause,
+        checkpoint: bool,
+    ) {
+        let rec = self
+            .faults
+            .as_mut()
+            .expect("fault layer")
+            .running
+            .remove(&id)
+            .expect("victim is in the running registry");
+        assert!(
+            ctx.cancel(rec.key),
+            "completion already delivered for a registered running job"
+        );
+        self.federation
+            .site_mut(rec.site)
+            .cluster
+            .preempt(ctx.now(), rec.cores);
+        self.schedulers[rec.site.index()].on_complete(ctx.now(), id);
+        self.faults
+            .as_mut()
+            .expect("fault layer")
+            .report
+            .jobs_killed += 1;
+        if let Some(track) = self.span_track.get(&id).copied() {
+            self.emit_span(
+                ctx.now(),
+                &rec.job,
+                SpanKind::Fault,
+                track.phase_start,
+                ctx.now(),
+                Some(rec.site),
+                Some(cause),
+            );
+            self.span_track.insert(
+                id,
+                SpanTrack {
+                    phase_start: ctx.now(),
+                    ..track
+                },
+            );
+        }
+        self.tracer.emit_event(ctx.now(), "fault", || {
+            vec![
+                ("job", id.index().into()),
+                ("site", rec.site.index().into()),
+                ("cause", cause.name().into()),
+            ]
+        });
+        let mut job = rec.job;
+        if checkpoint {
+            // Checkpoint at the kill instant: only the remaining work reruns
+            // and the retry budget is not charged.
+            let speed = self.federation.site(rec.site).core_speed();
+            let done_ref = ctx.now().saturating_since(rec.started).as_secs_f64() * speed;
+            let remaining = (job.runtime.as_secs_f64() - done_ref).max(1.0);
+            job.runtime = SimDuration::from_secs_f64(remaining);
+            job.estimate = job.estimate.max(job.runtime);
+            let f = self.faults.as_mut().expect("fault layer");
+            f.report.checkpoint_restarts += 1;
+            f.report.jobs_requeued += 1;
+            let backoff = f.retry.backoff(1);
+            ctx.schedule_after(backoff, Event::Requeue { job: Box::new(job) });
+            return;
+        }
+        let f = self.faults.as_mut().expect("fault layer");
+        let attempts = f.book.record(id);
+        if f.retry.exhausted(attempts) {
+            f.report.jobs_abandoned += 1;
+            f.book.forget(id);
+            self.tracer.emit_event(ctx.now(), "abandon", || {
+                vec![
+                    ("job", id.index().into()),
+                    ("attempts", (attempts as usize).into()),
+                ]
+            });
+            // The job never completes and leaves no accounting record, but
+            // it still counts toward the drain and releases its dependents.
+            self.finish_job(ctx, &job);
+        } else {
+            f.report.jobs_requeued += 1;
+            let backoff = f.retry.backoff(attempts);
+            ctx.schedule_after(backoff, Event::Requeue { job: Box::new(job) });
+        }
+    }
+
+    /// A killed job returns from backoff: emit the `requeue` span covering
+    /// the backoff wait, then route it as a fresh submission (`route` bumps
+    /// `submit_time`, so accounting sees the final attempt's resubmission).
+    fn requeue(&mut self, ctx: &mut Ctx<Event>, job: Job) {
+        if let Some(track) = self.span_track.get(&job.id).copied() {
+            if ctx.now() > track.phase_start {
+                self.emit_span(
+                    ctx.now(),
+                    &job,
+                    SpanKind::Requeue,
+                    track.phase_start,
+                    ctx.now(),
+                    None,
+                    None,
+                );
+            }
+            self.span_track.insert(
+                job.id,
+                SpanTrack {
+                    phase_start: ctx.now(),
+                    deferred: false,
+                },
+            );
+        }
+        self.tracer.emit_event(ctx.now(), "requeue", || {
+            vec![("job", job.id.index().into())]
+        });
+        self.route(ctx, job);
+    }
+
+    // ------------------------------------------------------------------
     // Records & dependency release
     // ------------------------------------------------------------------
+
+    /// Lossy-ingest fate for the next accounting record. Draws both
+    /// uniforms on every call whenever the channel exists (see
+    /// [`IngestChannel`] for why), and none otherwise.
+    fn ingest_fate(&mut self) -> IngestFate {
+        let Some(ch) = self.faults.as_mut().and_then(|f| f.ingest.as_mut()) else {
+            return IngestFate::Keep;
+        };
+        let u_loss = ch.rng.uniform();
+        let u_dup = ch.rng.uniform();
+        if u_loss < ch.loss {
+            IngestFate::Drop
+        } else if u_dup < ch.dup {
+            IngestFate::Duplicate
+        } else {
+            IngestFate::Keep
+        }
+    }
+
+    /// Route one accounting record through the (possibly lossy) ingest.
+    /// Ground truth is never touched — this models measurement loss.
+    fn ingest<R: Clone>(&mut self, rec: R, add: fn(&mut AccountingDb, R)) {
+        match self.ingest_fate() {
+            IngestFate::Keep => add(&mut self.db, rec),
+            IngestFate::Drop => {
+                self.faults
+                    .as_mut()
+                    .expect("lossy fate implies a channel")
+                    .report
+                    .records_lost += 1;
+            }
+            IngestFate::Duplicate => {
+                add(&mut self.db, rec.clone());
+                add(&mut self.db, rec);
+                self.faults
+                    .as_mut()
+                    .expect("lossy fate implies a channel")
+                    .report
+                    .records_duplicated += 1;
+            }
+        }
+    }
 
     /// The account a job is recorded under: the gateway community account
     /// for gateway traffic, the personal account otherwise.
@@ -912,7 +1416,7 @@ impl GridSim {
         self.metrics.inc(self.ins.site_completions[site.index()]);
         self.metrics
             .inc(self.ins.modality_completions[job.true_modality.index()]);
-        self.db.add_job(JobRecord {
+        let rec = JobRecord {
             job: job.id,
             user: account,
             project: job.project,
@@ -925,28 +1429,31 @@ impl GridSim {
             used_hw,
             input_mb: job.input_mb,
             output_mb: job.output_mb,
-        });
+        };
+        self.ingest(rec, |db, r| db.add_job(r));
         if let Some(gw) = job.gateway {
             // The gateway declares which of its community end users this job
             // served; the tag is the gateway's own id space (we use the
             // generating person's id, which accounting treats as opaque).
-            self.db.add_gateway_attr(GatewayAttribute {
+            let rec = GatewayAttribute {
                 gateway: gw,
                 job: job.id,
                 end_user: job.user.index() as u64,
-            });
+            };
+            self.ingest(rec, |db, r| db.add_gateway_attr(r));
         }
         if let Some(p) = placement {
-            self.db.add_rc_placement(p);
+            self.ingest(p, |db, r| db.add_rc_placement(r));
         }
         // Interactive work implies a login session wrapping the job.
         if job.true_modality == Modality::Interactive {
-            self.db.add_session(SessionRecord {
+            let rec = SessionRecord {
                 user: account,
                 site,
                 login: job.submit_time,
                 logout: ctx.now(),
-            });
+            };
+            self.ingest(rec, |db, r| db.add_session(r));
         }
         // Output staging to the archive for big outputs.
         if job.output_mb >= STAGING_THRESHOLD_MB && site != self.data_home {
@@ -976,7 +1483,7 @@ impl GridSim {
                     ("mb", job.output_mb.into()),
                 ]
             });
-            self.db.add_transfer(TransferRecord {
+            let rec = TransferRecord {
                 user: account,
                 project: job.project,
                 src: site,
@@ -984,7 +1491,8 @@ impl GridSim {
                 mb: job.output_mb,
                 start: ctx.now(),
                 end: ctx.now() + dur,
-            });
+            };
+            self.ingest(rec, |db, r| db.add_transfer(r));
         }
     }
 
@@ -1063,6 +1571,8 @@ impl Simulation for GridSim {
                 self.dispatch(ctx, site);
             }
             Event::Sample => self.take_sample(ctx),
+            Event::Fault(index) => self.handle_fault(ctx, index),
+            Event::Requeue { job } => self.requeue(ctx, *job),
         }
     }
 }
@@ -1089,6 +1599,8 @@ pub struct FinishedSim {
     /// was attached). Combined with [`Tracer::sink_errors`] this tells a
     /// caller whether an archived trace file is complete.
     pub trace_flush_ok: bool,
+    /// What fault injection did (`None` unless [`GridSim::with_faults`]).
+    pub fault_report: Option<FaultReport>,
 }
 
 #[cfg(test)]
@@ -1436,6 +1948,224 @@ mod tests {
         assert_eq!(
             cats,
             vec!["submit", "queue", "span", "sched", "span", "done"]
+        );
+    }
+
+    fn run_jobs_faulted(jobs: Vec<Job>, spec: &FaultSpec) -> FinishedSim {
+        let fed = tiny_federation();
+        let scheds = schedulers(&fed, SchedulerKind::Easy);
+        let sim = GridSim::new(
+            fed,
+            scheds,
+            MetaPolicy::ShortestEta,
+            RcPolicy::AWARE,
+            SiteId(0),
+            jobs,
+            RngFactory::new(1),
+        )
+        .with_faults(spec);
+        let mut engine = Engine::new();
+        sim.run(&mut engine)
+    }
+
+    /// An outage window over `[start_s, start_s + len_s]` seconds on site 0.
+    fn outage_at(start_s: f64, len_s: f64) -> tg_fault::OutageWindow {
+        tg_fault::OutageWindow {
+            site: 0,
+            start_hours: start_s / 3600.0,
+            duration_hours: len_s / 3600.0,
+            notice_hours: 0.0,
+        }
+    }
+
+    #[test]
+    fn trivial_fault_spec_is_inert() {
+        let jobs: Vec<Job> = (0..10).map(|i| job(i, 2, 100, i as u64 * 10)).collect();
+        let plain = run_jobs(jobs.clone());
+        let faulted = run_jobs_faulted(jobs, &FaultSpec::default());
+        assert_eq!(plain.db.jobs, faulted.db.jobs);
+        assert_eq!(plain.end, faulted.end);
+        let report = faulted.fault_report.expect("layer attached");
+        assert_eq!(report, FaultReport::new(2), "nothing fired");
+        assert!(plain.fault_report.is_none());
+    }
+
+    #[test]
+    fn site_outage_kills_requeues_and_recovers() {
+        let spec = FaultSpec {
+            site_outages: vec![outage_at(50.0, 100.0)],
+            ..FaultSpec::default()
+        };
+        let out = run_jobs_faulted(vec![job(0, 4, 100, 0).with_site(SiteId(0))], &spec);
+        let report = out.fault_report.expect("faults attached");
+        assert_eq!(report.site_outages, 1);
+        assert_eq!(report.jobs_killed, 1);
+        assert_eq!(report.jobs_requeued, 1);
+        assert_eq!(report.jobs_abandoned, 0);
+        assert!((report.downtime_by_site[0] - 100.0).abs() < 1e-6);
+        let r = &out.db.jobs[0];
+        assert_eq!(
+            r.submit,
+            SimTime::from_secs(110),
+            "resubmitted after the 60 s default backoff"
+        );
+        assert_eq!(r.start, SimTime::from_secs(150), "held until recovery");
+        assert_eq!(r.end, SimTime::from_secs(250), "rerun from scratch");
+        let c = &out.federation.site(SiteId(0)).cluster;
+        assert_eq!(c.offline_cores(), 0, "machine fully back in service");
+        assert_eq!(c.busy_cores(), 0);
+    }
+
+    #[test]
+    fn checkpoint_policy_reruns_only_the_remainder() {
+        let spec = FaultSpec {
+            site_outages: vec![outage_at(50.0, 100.0)],
+            outage_policy: tg_fault::OutagePolicy::Checkpoint,
+            ..FaultSpec::default()
+        };
+        let out = run_jobs_faulted(vec![job(0, 4, 100, 0).with_site(SiteId(0))], &spec);
+        let report = out.fault_report.expect("faults attached");
+        assert_eq!(report.checkpoint_restarts, 1);
+        assert_eq!(report.jobs_killed, 1);
+        let r = &out.db.jobs[0];
+        assert_eq!(r.start, SimTime::from_secs(150));
+        assert_eq!(r.end, SimTime::from_secs(200), "only 50 s remained");
+    }
+
+    #[test]
+    fn exhausted_retries_abandon_the_job() {
+        let spec = FaultSpec {
+            site_outages: vec![outage_at(50.0, 100.0)],
+            retry: Some(RetryPolicy {
+                max_retries: 0,
+                backoff_base_s: 60.0,
+                backoff_factor: 2.0,
+                backoff_cap_s: 3600.0,
+            }),
+            ..FaultSpec::default()
+        };
+        let out = run_jobs_faulted(vec![job(0, 4, 100, 0).with_site(SiteId(0))], &spec);
+        let report = out.fault_report.expect("faults attached");
+        assert_eq!(report.jobs_abandoned, 1);
+        assert_eq!(report.jobs_requeued, 0);
+        assert!(out.db.jobs.is_empty(), "abandoned work leaves no record");
+    }
+
+    #[test]
+    fn abandoned_parent_still_releases_dependents() {
+        let wf = WorkflowId(0);
+        let parent = job(0, 4, 100, 0)
+            .with_site(SiteId(0))
+            .in_workflow(wf, vec![]);
+        let child = job(1, 2, 50, 0).in_workflow(wf, vec![JobId(0)]);
+        let spec = FaultSpec {
+            site_outages: vec![outage_at(50.0, 100.0)],
+            retry: Some(RetryPolicy {
+                max_retries: 0,
+                backoff_base_s: 60.0,
+                backoff_factor: 2.0,
+                backoff_cap_s: 3600.0,
+            }),
+            ..FaultSpec::default()
+        };
+        let out = run_jobs_faulted(vec![parent, child], &spec);
+        assert_eq!(out.db.jobs.len(), 1, "child ran despite abandoned parent");
+        assert_eq!(out.db.jobs[0].job, JobId(1));
+    }
+
+    #[test]
+    fn node_crashes_repair_and_the_machine_drains() {
+        let spec = FaultSpec {
+            node_crashes: Some(tg_fault::NodeCrashSpec {
+                mtbf_hours: 1.0,
+                repair_hours: 0.5,
+                cores_per_crash: 8,
+                horizon_days: 1.0,
+            }),
+            ..FaultSpec::default()
+        };
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| job(i, 4, 1800, i as u64 * 600).with_site(SiteId(0)))
+            .collect();
+        let out = run_jobs_faulted(jobs, &spec);
+        let report = out.fault_report.expect("faults attached");
+        assert!(report.node_crashes > 0, "a day at 1 h MTBF crashes");
+        assert_eq!(
+            out.db.jobs.len() as u64 + report.jobs_abandoned,
+            40,
+            "every job completes or is abandoned"
+        );
+        let c = &out.federation.site(SiteId(0)).cluster;
+        assert_eq!(c.offline_cores(), 0, "all repairs fired");
+        assert_eq!(c.busy_cores(), 0);
+    }
+
+    #[test]
+    fn total_ingest_loss_empties_the_db_but_not_truth() {
+        let spec = FaultSpec {
+            ingest: Some(tg_fault::IngestFaults {
+                loss: 1.0,
+                duplication: 0.0,
+            }),
+            ..FaultSpec::default()
+        };
+        let jobs: Vec<Job> = (0..5).map(|i| job(i, 2, 100, i as u64)).collect();
+        let out = run_jobs_faulted(jobs, &spec);
+        assert!(out.db.jobs.is_empty(), "every record dropped in flight");
+        assert_eq!(out.truth.len(), 5, "ground truth untouched");
+        let report = out.fault_report.expect("faults attached");
+        assert_eq!(report.records_lost, 5);
+        assert_eq!(report.jobs_killed, 0, "ingest loss never touches execution");
+    }
+
+    #[test]
+    fn fault_and_requeue_spans_are_emitted() {
+        let spec = FaultSpec {
+            site_outages: vec![outage_at(50.0, 100.0)],
+            ..FaultSpec::default()
+        };
+        let fed = tiny_federation();
+        let scheds = schedulers(&fed, SchedulerKind::Easy);
+        let sim = GridSim::new(
+            fed,
+            scheds,
+            MetaPolicy::ShortestEta,
+            RcPolicy::AWARE,
+            SiteId(0),
+            vec![job(0, 4, 100, 0).with_site(SiteId(0))],
+            RngFactory::new(1),
+        )
+        .with_faults(&spec)
+        .with_tracer(tg_des::Tracer::enabled(256));
+        let mut engine = Engine::new();
+        let out = sim.run(&mut engine);
+        let cats: Vec<&str> = out.tracer.entries().map(|e| e.category).collect();
+        assert!(cats.contains(&"fault"), "kill traced: {cats:?}");
+        assert!(cats.contains(&"requeue"), "requeue traced: {cats:?}");
+        let field = |e: &tg_des::trace::TraceEntry, name: &str| {
+            e.fields
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| v.to_string())
+        };
+        let span_kinds: Vec<String> = out
+            .tracer
+            .entries()
+            .filter(|e| e.category == SPAN_CATEGORY)
+            .filter_map(|e| field(e, "kind"))
+            .collect();
+        assert!(span_kinds.iter().any(|k| k == "fault"), "{span_kinds:?}");
+        assert!(span_kinds.iter().any(|k| k == "requeue"), "{span_kinds:?}");
+        let fault = out
+            .tracer
+            .entries()
+            .find(|e| e.category == SPAN_CATEGORY && field(e, "kind").as_deref() == Some("fault"))
+            .expect("fault span present");
+        assert_eq!(field(fault, "cause").as_deref(), Some("site-outage"));
+        assert_eq!(
+            field(fault, "t1").as_deref(),
+            Some("50"),
+            "killed at the outage instant"
         );
     }
 

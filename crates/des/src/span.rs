@@ -16,7 +16,7 @@
 //! {"t":<emit secs>,"cat":"span","fields":{
 //!     "v":1,              span schema version
 //!     "job":<id>,         job id
-//!     "kind":"queued",    one of held|stage_in|queued|reconfig|run|stage_out
+//!     "kind":"queued",    held|stage_in|queued|reconfig|run|stage_out|fault|requeue
 //!     "t0":<secs>,        span start (virtual seconds)
 //!     "t1":<secs>,        span end
 //!     "modality":"batch", ground-truth modality label (observability only)
@@ -33,7 +33,10 @@
 //! `t0` they are contiguous (each starts where the previous ended), the
 //! first starts at the job's submit instant, and the `run` span ends at the
 //! job's recorded end. `stage_out` begins exactly at the run end and extends
-//! past it (the archive write outlives the job).
+//! past it (the archive write outlives the job). Under fault injection a
+//! killed attempt contributes a `fault` span (the lost execution) followed
+//! by a `requeue` span (retry backoff); the accounting record then covers
+//! only the final, successful attempt.
 //!
 //! Everything here is observer-only: emitting spans never draws randomness
 //! or schedules events, so traced and untraced runs are bit-identical.
@@ -62,17 +65,25 @@ pub enum SpanKind {
     Run,
     /// Output data staging to the archive after completion.
     StageOut,
+    /// Executing, but killed by a fault (node crash / site outage) before
+    /// finishing; `t0..t1` is the lost execution interval. The `cause`
+    /// field carries the fault kind.
+    Fault,
+    /// Backoff between a fault kill and the job's resubmission.
+    Requeue,
 }
 
 impl SpanKind {
-    /// All kinds, in lifecycle order.
-    pub const ALL: [SpanKind; 6] = [
+    /// All kinds, in lifecycle order (fault kinds last — they interleave).
+    pub const ALL: [SpanKind; 8] = [
         SpanKind::Held,
         SpanKind::StageIn,
         SpanKind::Queued,
         SpanKind::Reconfig,
         SpanKind::Run,
         SpanKind::StageOut,
+        SpanKind::Fault,
+        SpanKind::Requeue,
     ];
 
     /// Stable wire name.
@@ -84,6 +95,8 @@ impl SpanKind {
             SpanKind::Reconfig => "reconfig",
             SpanKind::Run => "run",
             SpanKind::StageOut => "stage_out",
+            SpanKind::Fault => "fault",
+            SpanKind::Requeue => "requeue",
         }
     }
 
@@ -130,11 +143,15 @@ pub enum WaitCause {
     ReconfigLatency,
     /// The reconfigurable fabric had no free region; the task was deferred.
     FabricBusy,
+    /// Killed by a fault-injected node crash (attributes `fault` spans).
+    NodeFailure,
+    /// Killed or frozen by a fault-injected whole-site outage.
+    SiteOutage,
 }
 
 impl WaitCause {
     /// All causes.
-    pub const ALL: [WaitCause; 7] = [
+    pub const ALL: [WaitCause; 9] = [
         WaitCause::Immediate,
         WaitCause::AheadInQueue,
         WaitCause::BackfillHole,
@@ -142,6 +159,8 @@ impl WaitCause {
         WaitCause::ReservationBlock,
         WaitCause::ReconfigLatency,
         WaitCause::FabricBusy,
+        WaitCause::NodeFailure,
+        WaitCause::SiteOutage,
     ];
 
     /// Stable wire name.
@@ -154,6 +173,8 @@ impl WaitCause {
             WaitCause::ReservationBlock => "reservation-block",
             WaitCause::ReconfigLatency => "reconfig-latency",
             WaitCause::FabricBusy => "fabric-busy",
+            WaitCause::NodeFailure => "node-failure",
+            WaitCause::SiteOutage => "site-outage",
         }
     }
 
@@ -226,6 +247,10 @@ mod tests {
         assert!(!SpanKind::Held.is_wait());
         assert!(!SpanKind::Run.is_wait());
         assert!(!SpanKind::StageOut.is_wait());
+        // Fault kinds belong to aborted attempts, not the final record's
+        // submit→start wait, so the wait-sum invariant excludes them.
+        assert!(!SpanKind::Fault.is_wait());
+        assert!(!SpanKind::Requeue.is_wait());
     }
 
     #[test]

@@ -13,6 +13,10 @@ use tg_des::SimTime;
 pub struct Cluster {
     total_cores: usize,
     free_cores: usize,
+    /// Cores withdrawn by faults (node crash, site outage); neither free nor
+    /// busy, and idle in the utilization integral (capacity is unchanged —
+    /// downtime *is* lost utilization).
+    offline_cores: usize,
     util: Utilization,
     jobs_started: u64,
     jobs_finished: u64,
@@ -25,6 +29,7 @@ impl Cluster {
         Cluster {
             total_cores,
             free_cores: total_cores,
+            offline_cores: 0,
             util: Utilization::new(start, total_cores as f64),
             jobs_started: 0,
             jobs_finished: 0,
@@ -41,9 +46,14 @@ impl Cluster {
         self.free_cores
     }
 
+    /// Cores currently withdrawn by faults.
+    pub fn offline_cores(&self) -> usize {
+        self.offline_cores
+    }
+
     /// Currently busy cores.
     pub fn busy_cores(&self) -> usize {
-        self.total_cores - self.free_cores
+        self.total_cores - self.free_cores - self.offline_cores
     }
 
     /// Can a job needing `cores` start right now?
@@ -77,12 +87,44 @@ impl Cluster {
     /// Release `cores` at `now`.
     pub fn release(&mut self, now: SimTime, cores: usize) {
         assert!(
-            self.free_cores + cores <= self.total_cores,
+            self.free_cores + self.offline_cores + cores <= self.total_cores,
             "released more cores than were acquired"
         );
         self.free_cores += cores;
         self.util.release(now, cores as f64);
         self.jobs_finished += 1;
+    }
+
+    /// Reclaim `cores` from a killed job at `now` without counting a
+    /// completion — the fault path's counterpart of [`Cluster::release`].
+    pub fn preempt(&mut self, now: SimTime, cores: usize) {
+        assert!(
+            self.free_cores + self.offline_cores + cores <= self.total_cores,
+            "preempted more cores than were acquired"
+        );
+        self.free_cores += cores;
+        self.util.release(now, cores as f64);
+    }
+
+    /// Withdraw `cores` free cores from service (node crash / site outage).
+    /// Callers must kill or drain enough work first to free them.
+    pub fn take_offline(&mut self, _now: SimTime, cores: usize) {
+        assert!(
+            cores <= self.free_cores,
+            "cannot take busy cores offline — preempt their jobs first"
+        );
+        self.free_cores -= cores;
+        self.offline_cores += cores;
+    }
+
+    /// Return `cores` previously-offline cores to the free pool.
+    pub fn bring_online(&mut self, _now: SimTime, cores: usize) {
+        assert!(
+            cores <= self.offline_cores,
+            "bringing online more cores than are offline"
+        );
+        self.offline_cores -= cores;
+        self.free_cores += cores;
     }
 
     /// Average utilization (fraction of cores busy) over `[start, now]`.
@@ -166,5 +208,48 @@ mod tests {
     fn over_release_panics() {
         let mut c = Cluster::new(SimTime::ZERO, 10);
         c.release(SimTime::ZERO, 1);
+    }
+
+    #[test]
+    fn offline_cores_are_neither_free_nor_busy() {
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        c.acquire(SimTime::ZERO, 4);
+        c.take_offline(SimTime::ZERO, 3);
+        assert_eq!(c.free_cores(), 3);
+        assert_eq!(c.offline_cores(), 3);
+        assert_eq!(c.busy_cores(), 4);
+        assert!(c.can_fit(3));
+        assert!(!c.can_fit(4));
+        c.bring_online(SimTime::from_secs(60), 3);
+        assert_eq!(c.free_cores(), 6);
+        assert_eq!(c.offline_cores(), 0);
+    }
+
+    #[test]
+    fn preempt_reclaims_without_counting_a_completion() {
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        c.acquire(SimTime::ZERO, 6);
+        c.preempt(SimTime::from_secs(5), 6);
+        assert_eq!(c.free_cores(), 10);
+        assert_eq!(c.jobs_started(), 1);
+        assert_eq!(c.jobs_finished(), 0);
+        // The 6 cores were busy for 5 s before the kill.
+        assert!((c.core_seconds(SimTime::from_secs(5)) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offline_cores_count_as_idle_in_utilization() {
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        c.take_offline(SimTime::ZERO, 10);
+        c.bring_online(SimTime::from_secs(30), 10);
+        assert!((c.utilization(SimTime::from_secs(30)) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy cores offline")]
+    fn take_offline_requires_free_cores() {
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        c.acquire(SimTime::ZERO, 8);
+        c.take_offline(SimTime::ZERO, 3);
     }
 }

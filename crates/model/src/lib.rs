@@ -64,7 +64,7 @@ pub use cluster::Cluster;
 pub use config::{ConfigLibrary, ProcessorConfig, SiteConfig};
 pub use federation::{Federation, FederationBuilder};
 pub use ids::{ConfigId, NodeId, SiteId};
-pub use network::Network;
+pub use network::{LinkDegradation, Network};
 pub use reconf::{RcNode, RcPartition, ReconfCost};
 pub use site::Site;
 pub use storage::Storage;

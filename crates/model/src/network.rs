@@ -38,12 +38,39 @@ impl Uplink {
     }
 }
 
+/// A transient degradation of one site's uplink (WAN fault window).
+///
+/// Multipliers are relative to the configured uplink: bandwidth is divided by
+/// `bandwidth_factor`, latency multiplied by `latency_factor`. `1.0/1.0`
+/// means healthy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkDegradation {
+    /// Factor ≥ 1 dividing the uplink's usable bandwidth.
+    pub bandwidth_factor: f64,
+    /// Factor ≥ 1 multiplying the uplink's one-way latency.
+    pub latency_factor: f64,
+}
+
+impl Default for LinkDegradation {
+    fn default() -> Self {
+        LinkDegradation {
+            bandwidth_factor: 1.0,
+            latency_factor: 1.0,
+        }
+    }
+}
+
 /// The federation's WAN.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Network {
     uplinks: Vec<Uplink>,
     /// Site hosting the configuration-bitstream repository.
     repository: Option<SiteId>,
+    /// Active per-site fault degradations, indexed by site. Empty (the
+    /// common case) means every link is healthy and transfer math is
+    /// bit-identical to a fault-free build.
+    #[serde(default)]
+    degradations: Vec<LinkDegradation>,
 }
 
 impl Network {
@@ -90,6 +117,38 @@ impl Network {
         self.uplinks[site.index()].congestion = factor;
     }
 
+    /// Open a fault-degradation window on `site`'s uplink: bandwidth divided
+    /// by `bandwidth_factor`, latency multiplied by `latency_factor` (both
+    /// ≥ 1) until [`Network::clear_degradation`].
+    pub fn set_degradation(&mut self, site: SiteId, bandwidth_factor: f64, latency_factor: f64) {
+        assert!(site.index() < self.uplinks.len(), "unknown site");
+        assert!(bandwidth_factor >= 1.0, "bandwidth factor must be >= 1");
+        assert!(latency_factor >= 1.0, "latency factor must be >= 1");
+        if self.degradations.len() < self.uplinks.len() {
+            self.degradations
+                .resize(self.uplinks.len(), LinkDegradation::default());
+        }
+        self.degradations[site.index()] = LinkDegradation {
+            bandwidth_factor,
+            latency_factor,
+        };
+    }
+
+    /// Restore `site`'s uplink to its configured parameters.
+    pub fn clear_degradation(&mut self, site: SiteId) {
+        if let Some(d) = self.degradations.get_mut(site.index()) {
+            *d = LinkDegradation::default();
+        }
+    }
+
+    /// The active degradation on `site`'s uplink (healthy if none set).
+    pub fn degradation(&self, site: SiteId) -> LinkDegradation {
+        self.degradations
+            .get(site.index())
+            .copied()
+            .unwrap_or_default()
+    }
+
     /// Time to move `mb` megabytes from `src` to `dst`.
     ///
     /// Same-site transfers are free (local staging is priced by
@@ -101,8 +160,22 @@ impl Network {
         }
         let a = self.uplink(src);
         let b = self.uplink(dst);
-        let bw = (a.bandwidth_mbps / a.congestion).min(b.bandwidth_mbps / b.congestion);
-        let latency = a.latency + b.latency;
+        let mut bw_a = a.bandwidth_mbps / a.congestion;
+        let mut bw_b = b.bandwidth_mbps / b.congestion;
+        let mut latency = a.latency + b.latency;
+        // Degradation windows stay out of the healthy path entirely so that
+        // fault-free runs remain bit-identical to pre-fault builds.
+        if !self.degradations.is_empty() {
+            let da = self.degradation(src);
+            let db = self.degradation(dst);
+            bw_a /= da.bandwidth_factor;
+            bw_b /= db.bandwidth_factor;
+            let lf = da.latency_factor.max(db.latency_factor);
+            if lf != 1.0 {
+                latency = latency.mul_f64(lf);
+            }
+        }
+        let bw = bw_a.min(bw_b);
         latency + SimDuration::from_secs_f64(mb / bw)
     }
 
@@ -182,5 +255,44 @@ mod tests {
     fn repository_must_exist() {
         let mut n = net3();
         n.set_repository(SiteId(9));
+    }
+
+    #[test]
+    fn degradation_scales_bandwidth_and_latency_until_cleared() {
+        let mut n = net3();
+        let healthy = n.transfer_time(SiteId(0), SiteId(2), 1000.0);
+        n.set_degradation(SiteId(2), 4.0, 3.0);
+        let degraded = n.transfer_time(SiteId(0), SiteId(2), 1000.0);
+        // latency 15 ms → 45 ms; bandwidth term ×4.
+        let bw_before = healthy.as_secs_f64() - 0.015;
+        let bw_after = degraded.as_secs_f64() - 0.045;
+        assert!((bw_after / bw_before - 4.0).abs() < 1e-6, "{degraded}");
+        // An untouched pair is unaffected.
+        assert_eq!(
+            n.transfer_time(SiteId(0), SiteId(1), 100.0),
+            net3().transfer_time(SiteId(0), SiteId(1), 100.0)
+        );
+        n.clear_degradation(SiteId(2));
+        assert_eq!(n.transfer_time(SiteId(0), SiteId(2), 1000.0), healthy);
+        assert_eq!(n.degradation(SiteId(2)), LinkDegradation::default());
+    }
+
+    #[test]
+    fn degradation_composes_with_congestion() {
+        let mut n = net3();
+        n.set_congestion(SiteId(2), 2.0);
+        let congested = n.transfer_time(SiteId(0), SiteId(2), 1000.0);
+        n.set_degradation(SiteId(2), 2.0, 1.0);
+        let both = n.transfer_time(SiteId(0), SiteId(2), 1000.0);
+        let bw_c = congested.as_secs_f64() - 0.015;
+        let bw_both = both.as_secs_f64() - 0.015;
+        assert!((bw_both / bw_c - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth factor")]
+    fn degradation_rejects_sub_unit_factors() {
+        let mut n = net3();
+        n.set_degradation(SiteId(0), 0.5, 1.0);
     }
 }

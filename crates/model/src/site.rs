@@ -18,6 +18,9 @@ pub struct Site {
     pub rc: RcPartition,
     /// Scratch + archive storage.
     pub storage: Storage,
+    /// False while the whole site is down (fault-injected outage): the batch
+    /// queue is frozen and the metascheduler routes around it.
+    available: bool,
 }
 
 impl Site {
@@ -37,7 +40,18 @@ impl Site {
             cluster,
             rc,
             storage,
+            available: true,
         }
+    }
+
+    /// Is the site up (accepting dispatches)?
+    pub fn is_available(&self) -> bool {
+        self.available
+    }
+
+    /// Mark the site up or down (fault-injected outage / recovery).
+    pub fn set_available(&mut self, available: bool) {
+        self.available = available;
     }
 
     /// This site's id.
@@ -94,5 +108,15 @@ mod tests {
         let s = Site::from_config(SiteId(0), SiteConfig::medium("m"), SimTime::ZERO);
         assert!(!s.has_rc());
         assert_eq!(s.rc.len(), 0);
+    }
+
+    #[test]
+    fn availability_toggles() {
+        let mut s = Site::from_config(SiteId(0), SiteConfig::medium("m"), SimTime::ZERO);
+        assert!(s.is_available());
+        s.set_available(false);
+        assert!(!s.is_available());
+        s.set_available(true);
+        assert!(s.is_available());
     }
 }

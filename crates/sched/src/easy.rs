@@ -25,12 +25,48 @@ pub struct EasyBackfill {
     queue: VecDeque<Job>,
     running: Vec<RunningJob>,
     backfilled: u64,
+    /// Armed outage notice: don't start work estimated to outlive this.
+    outage: Option<SimTime>,
 }
 
 impl EasyBackfill {
     /// An empty EASY scheduler.
     pub fn new() -> Self {
         EasyBackfill::default()
+    }
+}
+
+/// Decision pass under an armed outage notice: start queued jobs in order
+/// whenever they fit *and* are estimated to finish before `horizon`. No
+/// head reservation — the head may be exactly the job that cannot finish in
+/// time, and reserving cores for it would idle the machine for work the
+/// outage will kill anyway.
+pub(crate) fn drain_pass(
+    queue: &mut VecDeque<Job>,
+    running: &mut Vec<RunningJob>,
+    now: SimTime,
+    cluster: &mut Cluster,
+    core_speed: f64,
+    horizon: SimTime,
+    started: &mut Vec<Started>,
+) {
+    let mut i = 0;
+    while i < queue.len() {
+        let job = &queue[i];
+        if cluster.can_fit(job.cores) && now + estimated_runtime(job, core_speed) <= horizon {
+            let job = queue.remove(i).expect("index valid");
+            start_job(
+                now,
+                cluster,
+                core_speed,
+                job,
+                WaitCause::DrainWindow,
+                running,
+                started,
+            );
+            continue; // same index now holds the next job
+        }
+        i += 1;
     }
 }
 
@@ -166,15 +202,27 @@ impl BatchScheduler for EasyBackfill {
         core_speed: f64,
     ) -> Vec<Started> {
         let mut started = Vec::new();
-        easy_pass(
-            &mut self.queue,
-            &mut self.running,
-            now,
-            cluster,
-            core_speed,
-            &mut started,
-            &mut self.backfilled,
-        );
+        if let Some(horizon) = self.outage {
+            drain_pass(
+                &mut self.queue,
+                &mut self.running,
+                now,
+                cluster,
+                core_speed,
+                horizon,
+                &mut started,
+            );
+        } else {
+            easy_pass(
+                &mut self.queue,
+                &mut self.running,
+                now,
+                cluster,
+                core_speed,
+                &mut started,
+                &mut self.backfilled,
+            );
+        }
         started
     }
 
@@ -184,6 +232,10 @@ impl BatchScheduler for EasyBackfill {
 
     fn backfills(&self) -> u64 {
         self.backfilled
+    }
+
+    fn drain_notice(&mut self, at: Option<SimTime>) {
+        self.outage = at;
     }
 }
 
@@ -314,6 +366,26 @@ mod tests {
         assert_eq!(st.len(), 1);
         assert_eq!(st[0].job.id, JobId(2));
         assert_eq!(st[0].cause, WaitCause::BackfillHole);
+    }
+
+    #[test]
+    fn drain_notice_blocks_jobs_that_would_outlive_the_outage() {
+        use tg_des::span::WaitCause;
+        let mut s = EasyBackfill::new();
+        let mut c = Cluster::new(SimTime::ZERO, 10);
+        s.drain_notice(Some(SimTime::from_secs(300)));
+        s.submit(SimTime::ZERO, job(0, 4, 1000)); // would outlive the outage
+        s.submit(SimTime::ZERO, job(1, 4, 100)); // finishes in time
+        let started = s.make_decisions(SimTime::from_secs(5), &mut c, 1.0);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job.id, JobId(1), "only the short job starts");
+        assert_eq!(started[0].cause, WaitCause::DrainWindow);
+        assert_eq!(s.queue_len(), 1);
+        // Lifting the notice restores normal EASY behavior.
+        s.drain_notice(None);
+        let started = s.make_decisions(SimTime::from_secs(10), &mut c, 1.0);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job.id, JobId(0));
     }
 
     #[test]

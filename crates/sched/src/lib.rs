@@ -60,6 +60,7 @@ pub mod meta;
 pub mod queue;
 pub mod reconf;
 pub mod reservation;
+pub mod retry;
 
 pub use coalloc::{plan_and_reserve, plan_coallocation, CoallocPlan, CoallocRequest};
 pub use conservative::{ConservativeBackfill, Profile};
@@ -71,3 +72,4 @@ pub use meta::{MetaPolicy, SiteView};
 pub use queue::{BatchScheduler, SchedulerKind, Started};
 pub use reconf::{RcDecision, RcPolicy};
 pub use reservation::{Reservation, ReservingConservative};
+pub use retry::{RetryBook, RetryPolicy};

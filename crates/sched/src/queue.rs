@@ -65,6 +65,13 @@ pub trait BatchScheduler: Send {
         None
     }
 
+    /// Advance notice of a site outage at `Some(at)`: until the notice is
+    /// lifted (`None`, on recovery) the scheduler should avoid starting work
+    /// it estimates would still be running at `at` — a graceful drain.
+    /// Default: ignore the notice (the fault layer will kill running work at
+    /// the outage instant regardless).
+    fn drain_notice(&mut self, _at: Option<SimTime>) {}
+
     /// Jobs started out of FIFO order by backfilling so far (observability
     /// counter; policies without a backfill phase report 0).
     fn backfills(&self) -> u64 {

@@ -1,0 +1,151 @@
+//! Site outage walk-through: take a single big machine down for half a day
+//! mid-week and read everything the fault layer reports back — the
+//! `FaultReport`, the wait-time damage, and how the requeue and checkpoint
+//! outage policies differ.
+//!
+//! A one-site scenario is used deliberately: on a multi-site federation the
+//! `shortest_eta` metascheduler is sensitive to any capacity perturbation
+//! (one crashed core reshuffles hundreds of routing decisions), which
+//! drowns the direct fault effects this example wants to show.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example site_outage
+//! ```
+
+use teragrid_repro::prelude::*;
+use tg_model::SiteConfig;
+
+/// A week on one 1024-core machine: batch plus interactive load, a 12-hour
+/// outage starting day 3 (announced two hours ahead), a trickle of node
+/// crashes, and mild accounting-ingest loss.
+fn scenario(policy: OutagePolicy) -> ScenarioConfig {
+    let site = SiteConfig {
+        batch_nodes: 128, // × 8 = 1024 cores
+        ..SiteConfig::medium("lonestar-jr")
+    };
+    let mut mix = PopulationMix::baseline(0);
+    mix.users_per_modality = [0; Modality::ALL.len()];
+    mix.users_per_modality[Modality::BatchComputing.index()] = 20;
+    mix.users_per_modality[Modality::Interactive.index()] = 12;
+    let workload = GeneratorConfig {
+        horizon: SimDuration::from_days(7),
+        mix,
+        profiles: ModalityProfile::all_defaults(),
+        sites: 1,
+        rc_sites: vec![],
+        rc_config_count: 0,
+    };
+    ScenarioConfig {
+        name: format!("site-outage-{policy:?}"),
+        sites: vec![site],
+        data_home: 0,
+        scheduler: SchedulerKind::Easy,
+        meta: MetaPolicy::ShortestEta,
+        rc_policy: RcPolicy::AWARE,
+        workload,
+        library: None,
+        sample_interval: None,
+        faults: Some(FaultSpec {
+            node_crashes: Some(NodeCrashSpec {
+                mtbf_hours: 60.0,
+                repair_hours: 2.0,
+                cores_per_crash: 32,
+                horizon_days: 7.0,
+            }),
+            site_outages: vec![OutageWindow {
+                site: 0,
+                start_hours: 72.0,
+                duration_hours: 12.0,
+                notice_hours: 2.0,
+            }],
+            wan_degradations: vec![],
+            ingest: Some(IngestFaults {
+                loss: 0.01,
+                duplication: 0.002,
+            }),
+            retry: Some(RetryPolicy {
+                max_retries: 3,
+                backoff_base_s: 60.0,
+                backoff_factor: 2.0,
+                backoff_cap_s: 3600.0,
+            }),
+            outage_policy: policy,
+        }),
+    }
+}
+
+fn mean_wait_s(out: &SimOutput) -> f64 {
+    if out.db.jobs.is_empty() {
+        return 0.0;
+    }
+    out.db
+        .jobs
+        .iter()
+        .map(|j| j.wait().as_secs_f64())
+        .sum::<f64>()
+        / out.db.jobs.len() as f64
+}
+
+fn main() {
+    let seed = 7;
+
+    // A healthy run of the same machine is the yardstick.
+    let mut healthy_cfg = scenario(OutagePolicy::Requeue);
+    healthy_cfg.faults = None;
+    let healthy = healthy_cfg.build().run(seed);
+
+    let requeue = scenario(OutagePolicy::Requeue).build().run(seed);
+    let checkpoint = scenario(OutagePolicy::Checkpoint).build().run(seed);
+
+    println!("run          jobs-in-db   mean-wait   utilization");
+    for (name, out) in [
+        ("healthy", &healthy),
+        ("requeue", &requeue),
+        ("checkpoint", &checkpoint),
+    ] {
+        println!(
+            "{:<12} {:>10}  {:>8.0}s   {:>10.3}",
+            name,
+            out.db.jobs.len(),
+            mean_wait_s(out),
+            out.average_utilization(),
+        );
+    }
+
+    // Walk the report the requeue run produced.
+    let report: &FaultReport = requeue
+        .fault_report
+        .as_ref()
+        .expect("faulted run carries a report");
+    println!("\nFaultReport (requeue policy):");
+    println!("  node crashes          {}", report.node_crashes);
+    println!("  site outages          {}", report.site_outages);
+    for (site, down) in report.downtime_by_site.iter().enumerate() {
+        if *down > 0.0 {
+            println!("  site {site} downtime       {:.1} h", down / 3600.0);
+        }
+    }
+    for (site, degraded) in report.degraded_by_site.iter().enumerate() {
+        if *degraded > 0.0 {
+            println!("  site {site} WAN degraded   {:.1} h", degraded / 3600.0);
+        }
+    }
+    println!("  jobs killed           {}", report.jobs_killed);
+    println!("  jobs requeued         {}", report.jobs_requeued);
+    println!("  jobs abandoned        {}", report.jobs_abandoned);
+    println!("  checkpoint restarts   {}", report.checkpoint_restarts);
+    println!("  records lost          {}", report.records_lost);
+    println!("  records duplicated    {}", report.records_duplicated);
+
+    let ckpt = checkpoint.fault_report.as_ref().unwrap();
+    println!(
+        "\nUnder the checkpoint policy the same outage produced {} restarts\n\
+         (work resumes with only its remaining runtime); under requeue, the\n\
+         {} killed jobs reran from scratch after exponential backoff. Lost\n\
+         accounting records ({} here) thin the measured database but never\n\
+         touch the generator's ground truth — that asymmetry is what the R1\n\
+         classifier-robustness experiment sweeps.",
+        ckpt.checkpoint_restarts, report.jobs_killed, report.records_lost,
+    );
+}

@@ -36,6 +36,7 @@ fn scenario(kind: SchedulerKind) -> ScenarioConfig {
         workload,
         library: None,
         sample_interval: None,
+        faults: None,
     }
 }
 

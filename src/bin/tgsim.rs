@@ -3,7 +3,7 @@
 //! ```text
 //! tgsim emit-baseline [USERS DAYS] > scenario.json   # write a starter config
 //! tgsim run scenario.json [--seed N] [--reps K] [--sample-hours H]
-//!       [--classify] [--out results.json]
+//!       [--classify] [--out results.json] [--faults spec.json]
 //!       [--metrics-out metrics.json] [--trace-out trace.jsonl]
 //! tgsim analyze trace.jsonl [--json]
 //! ```
@@ -15,9 +15,13 @@
 //! sampled series, per-modality completion counters, engine profile) as
 //! JSON; it implies sampling at 6-hour cadence unless `--sample-hours`
 //! overrides it. `--trace-out` streams a structured JSONL event trace from
-//! the first replication. `analyze` reconstructs per-job lifecycle spans
-//! from such a trace offline and prints wait-time breakdowns by span kind,
-//! wait cause, site, and modality (p50/p95/p99).
+//! the first replication. `--faults` loads a [`FaultSpec`] JSON file and
+//! overrides the config's `faults` section (node crashes, site outages, WAN
+//! degradation, lossy accounting ingest); the run summary then includes the
+//! fault report. `analyze` reconstructs per-job lifecycle spans from such a
+//! trace offline and prints wait-time breakdowns by span kind, wait cause,
+//! site, and modality (p50/p95/p99) — including the `fault`/`requeue` spans
+//! a faulted run emits.
 
 use std::process::ExitCode;
 use teragrid_repro::prelude::*;
@@ -28,7 +32,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tgsim emit-baseline [USERS DAYS]\n  tgsim run <scenario.json> \
          [--seed N] [--reps K] [--sample-hours H] [--classify] [--out FILE] \
-         [--metrics-out FILE] [--trace-out FILE]\n  tgsim analyze <trace.jsonl> [--json]"
+         [--faults FILE] [--metrics-out FILE] [--trace-out FILE]\n  \
+         tgsim analyze <trace.jsonl> [--json]"
     );
     ExitCode::from(2)
 }
@@ -72,11 +77,13 @@ fn run(rest: &[String]) -> ExitCode {
     let mut out_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut faults_path: Option<String> = None;
     let mut sample_hours: Option<u64> = None;
     let mut i = 1;
     while i < rest.len() {
         match rest[i].as_str() {
-            "--seed" | "--reps" | "--out" | "--sample-hours" | "--metrics-out" | "--trace-out" => {
+            "--seed" | "--reps" | "--out" | "--sample-hours" | "--metrics-out" | "--trace-out"
+            | "--faults" => {
                 let flag = rest[i].clone();
                 i += 1;
                 let Some(value) = rest.get(i) else {
@@ -107,6 +114,7 @@ fn run(rest: &[String]) -> ExitCode {
                     },
                     "--metrics-out" => metrics_out = Some(value.clone()),
                     "--trace-out" => trace_out = Some(value.clone()),
+                    "--faults" => faults_path = Some(value.clone()),
                     _ => out_path = Some(value.clone()),
                 }
             }
@@ -147,6 +155,22 @@ fn run(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(fp) = &faults_path {
+        let text = match std::fs::read_to_string(fp) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tgsim: cannot read {fp}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match serde_json::from_str::<FaultSpec>(&text) {
+            Ok(spec) => cfg.faults = Some(spec),
+            Err(e) => {
+                eprintln!("tgsim: invalid fault spec {fp}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(h) = sample_hours {
         cfg.sample_interval = Some(SimDuration::from_hours(h));
     } else if metrics_out.is_some() && cfg.sample_interval.is_none() {
@@ -186,6 +210,23 @@ fn run(rest: &[String]) -> ExitCode {
         "engine: {} events in {:.3}s wall ({:.0} events/s), peak queue {}",
         agg.events_delivered, agg.wall_seconds, agg.events_per_sec, agg.peak_queue_len
     );
+
+    if let Some(fr) = &first.fault_report {
+        println!(
+            "faults: {} crashes, {} outages ({:.1} h downtime), \
+             {} killed / {} requeued / {} abandoned / {} checkpointed, \
+             ingest -{} / +{} records",
+            fr.node_crashes,
+            fr.site_outages,
+            fr.total_downtime_s() / 3600.0,
+            fr.jobs_killed,
+            fr.jobs_requeued,
+            fr.jobs_abandoned,
+            fr.checkpoint_restarts,
+            fr.records_lost,
+            fr.records_duplicated
+        );
+    }
 
     if let Some(out) = &metrics_out {
         let snap = first.metrics.as_ref().expect("metrics were requested");
@@ -268,6 +309,11 @@ fn run(rest: &[String]) -> ExitCode {
                 .collect::<Vec<_>>(),
             "samples": first.samples,
             "trace": trace_json,
+            "faults": first
+                .fault_report
+                .as_ref()
+                .map(serde_json::to_value)
+                .unwrap_or(serde_json::Value::Null),
         });
         match std::fs::write(
             &out,

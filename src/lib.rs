@@ -22,11 +22,13 @@ pub mod prelude {
     };
     pub use tg_core::{
         aggregate_profiles, classify_all, replicate, replicate_with, Accuracy, ClassifierMode,
-        EngineProfile, MetricsSnapshot, Modality, RunOptions, Scenario, ScenarioConfig, SimOutput,
+        DegradeWindow, EngineProfile, FaultReport, FaultSpec, IngestFaults, MetricsSnapshot,
+        Modality, NodeCrashSpec, OutagePolicy, OutageWindow, RunOptions, Scenario, ScenarioConfig,
+        SimOutput,
     };
     pub use tg_des::{RngFactory, SimDuration, SimTime};
     pub use tg_model::{ConfigLibrary, Federation, SiteConfig, SiteId};
-    pub use tg_sched::{MetaPolicy, RcPolicy, SchedulerKind};
+    pub use tg_sched::{MetaPolicy, RcPolicy, RetryPolicy, SchedulerKind};
     pub use tg_workload::{
         GeneratorConfig, Job, JobId, Modality as WorkloadModality, ModalityProfile, PopulationMix,
         WorkloadGenerator,

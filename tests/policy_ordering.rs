@@ -34,6 +34,7 @@ fn single_site(kind: SchedulerKind, seed_name: &str) -> ScenarioConfig {
         },
         library: None,
         sample_interval: None,
+        faults: None,
     }
 }
 

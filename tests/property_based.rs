@@ -57,6 +57,7 @@ fn arb_scenario() -> impl Strategy<Value = (ScenarioConfig, u64)> {
                 },
                 library: None,
                 sample_interval: None,
+                faults: None,
             };
             (cfg, seed)
         })
