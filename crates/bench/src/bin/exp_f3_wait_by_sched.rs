@@ -75,6 +75,7 @@ fn main() {
         let opts = RunOptions {
             metrics: false,
             trace_path: Some(trace_path.clone()),
+            ..RunOptions::default()
         };
         let reps = replicate_with(&cfg.build(), 5000, 3, 0, &opts);
         let xcheck = wait_crosscheck(&trace_path, &reps[0].output);

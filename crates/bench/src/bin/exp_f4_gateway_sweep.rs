@@ -10,7 +10,7 @@
 use serde::Serialize;
 use tg_bench::{save_json, Table};
 use tg_core::report::ModalityShares;
-use tg_core::{Modality, ScenarioConfig};
+use tg_core::{run_sweep, Modality, ScenarioConfig};
 
 #[derive(Serialize)]
 struct F4Point {
@@ -25,8 +25,10 @@ struct F4Point {
 
 fn main() {
     let total = 400usize;
-    let mut points = Vec::new();
-    for adoption_pct in [5, 10, 20, 40, 60, 80] {
+    // Sweep cells are independent runs; `run_sweep` fills the machine's
+    // cores while keeping each cell's seed stream untouched.
+    let grid = [5usize, 10, 20, 40, 60, 80];
+    let points: Vec<F4Point> = run_sweep(&grid, 0, |_, &adoption_pct| {
         let gw_users = total * adoption_pct / 100;
         let mut cfg = ScenarioConfig::baseline(total, 28);
         // Rebalance: gateway takes `adoption`, the remainder splits between
@@ -49,7 +51,7 @@ fn main() {
         cfg.name = format!("f4-{adoption_pct}pct");
         let out = cfg.build().run(6000 + adoption_pct as u64);
         let shares = ModalityShares::compute(&out.db, &out.truth, &out.charge_policy);
-        points.push(F4Point {
+        F4Point {
             adoption_pct,
             gateway_users: gw_users,
             total_users: total,
@@ -57,8 +59,8 @@ fn main() {
             nu_share: shares.nu_share(Modality::ScienceGateway),
             visible_accounts: shares.accounts[Modality::ScienceGateway.index()],
             gateway_mean_wait_s: shares.mean_wait_s[Modality::ScienceGateway.index()],
-        });
-    }
+        }
+    });
 
     let mut table = Table::new(
         "F4: gateway adoption sweep (400 users total, 28 days)",

@@ -14,7 +14,7 @@
 use serde::Serialize;
 use std::collections::HashMap;
 use tg_bench::{rc_only_config, rc_tasks_per_day_for_load, save_json, synthetic_library, Table};
-use tg_core::Modality;
+use tg_core::{run_sweep, Modality};
 use tg_des::{RngFactory, SimDuration};
 use tg_sched::RcPolicy;
 use tg_workload::{JobId, WorkloadGenerator};
@@ -33,9 +33,14 @@ fn main() {
     let days = 2;
     let tasks_per_day = rc_tasks_per_day_for_load(nodes, 8, 0.4);
     let seed = 11_000u64;
-    let mut points = Vec::new();
-    for reconfig_ms in [1u64, 100, 1_000, 10_000, 30_000, 100_000] {
-        for policy in [RcPolicy::AWARE, RcPolicy::BLIND] {
+    // The (reconfig, policy) grid cells are independent runs; sweep them
+    // in parallel — each cell's workload and seed are its own.
+    let grid: Vec<(u64, RcPolicy)> = [1u64, 100, 1_000, 10_000, 30_000, 100_000]
+        .into_iter()
+        .flat_map(|ms| [(ms, RcPolicy::AWARE), (ms, RcPolicy::BLIND)])
+        .collect();
+    let points: Vec<F7Point> = run_sweep(&grid, 0, |_, &(reconfig_ms, policy)| {
+        {
             let mut cfg = rc_only_config(nodes, 8, tasks_per_day, days, 12);
             cfg.rc_policy = policy;
             cfg.library = Some(synthetic_library(
@@ -82,15 +87,15 @@ fn main() {
                     met += 1;
                 }
             }
-            points.push(F7Point {
+            F7Point {
                 reconfig_ms,
                 policy: policy.name().to_string(),
                 success_rate: met as f64 / total.max(1) as f64,
                 hw_fraction: hw as f64 / total.max(1) as f64,
                 mean_turnaround_s: turn / total.max(1) as f64,
-            });
+            }
         }
-    }
+    });
 
     let mut table = Table::new(
         "F7: deadline success vs reconfiguration time",

@@ -1,21 +1,42 @@
-//! PERF — Engine throughput on the baseline scenario.
+//! PERF — Engine throughput, memory footprint, and the large-scale datapoint.
 //!
 //! Seeds the performance trajectory: every optimization PR reruns this and
-//! compares against the previous `results/BENCH_throughput.json`. The
-//! workload is the stock baseline (300 users, 14 days); replications run
-//! strictly sequentially on one thread so wall-clock numbers are not
-//! contended, and the simulation outputs stay bit-identical regardless.
+//! compares against the previous `results/BENCH_throughput.json`. Three
+//! sections:
 //!
-//! Reported: events/s and jobs/s per replication and pooled, plus the peak
-//! event-queue length (memory/scale proxy). Wall-clock varies run to run —
-//! only the deterministic columns (events, jobs, peak queue) are comparable
-//! exactly; rates are indicative.
+//! 1. **Healthy baseline** — the stock 300-user × 14-day scenario, three
+//!    sequential replications. The per-seed `events`/`jobs` columns are
+//!    deterministic and must stay byte-identical across optimization PRs.
+//! 2. **Faulted baseline** — the same workload with a ~5%-downtime fault
+//!    schedule: the fault layer's steady-state cost.
+//! 3. **Large scale** — `large-3000u-90d` (~5.3M events), one replication.
+//!    This is the hot-path benchmark: per-event costs that hide at 80k
+//!    events dominate here.
+//!
+//! Every section reports memory alongside wall-clock: the process peak RSS
+//! (`VmHWM`, monotone across sections — the large section dominates it) and
+//! exact allocation traffic from the installed counting allocator.
+//!
+//! Flags:
+//! * `--quick` — healthy section only, saved as `BENCH_throughput_quick`
+//!   (CI smoke; skips the faulted and large sections).
+//! * `--check <path>` — after measuring, compare against a previous
+//!   `BENCH_throughput*.json`: per-seed healthy `events`/`jobs` must match
+//!   exactly, and pooled healthy events/s must not regress below 85% of the
+//!   reference. Exits non-zero on either failure (the CI regression guard).
 
 use serde::Serialize;
 use tg_bench::{save_json, Table};
 use tg_core::{
-    aggregate_profiles, replicate, FaultSpec, NodeCrashSpec, OutageWindow, ScenarioConfig,
+    aggregate_profiles, replicate, FaultSpec, NodeCrashSpec, OutageWindow, Replication,
+    ScenarioConfig,
 };
+use tg_des::memory::{alloc_snapshot, peak_rss_bytes, AllocDelta, CountingAlloc};
+
+/// Count every allocation the bench makes; [`AllocDelta::since`] turns the
+/// counters into per-section traffic.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 #[derive(Serialize)]
 struct RepRow {
@@ -26,6 +47,44 @@ struct RepRow {
     events_per_sec: f64,
     jobs_per_sec: f64,
     peak_queue_len: u64,
+}
+
+/// Memory figures for one section. `peak_rss_bytes` is process-wide and
+/// monotone (a later section can only raise it); the allocation columns are
+/// exact deltas for the section.
+#[derive(Serialize)]
+struct MemorySection {
+    peak_rss_bytes: Option<u64>,
+    allocations: u64,
+    allocated_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct Section {
+    scenario: String,
+    replications: usize,
+    total_events: u64,
+    total_jobs: usize,
+    total_wall_seconds: f64,
+    events_per_sec: f64,
+    jobs_per_sec: f64,
+    peak_queue_len: u64,
+    memory: MemorySection,
+    per_rep: Vec<RepRow>,
+}
+
+#[derive(Serialize)]
+struct FaultedSection {
+    /// Fraction of site-hours lost to the scheduled outages.
+    downtime_fraction: f64,
+    jobs_killed: u64,
+    jobs_requeued: u64,
+    total_events: u64,
+    total_jobs: usize,
+    total_wall_seconds: f64,
+    events_per_sec: f64,
+    memory: MemorySection,
+    per_rep: Vec<RepRow>,
 }
 
 #[derive(Serialize)]
@@ -40,24 +99,11 @@ struct ThroughputOutput {
     events_per_sec: f64,
     jobs_per_sec: f64,
     peak_queue_len: u64,
+    memory: MemorySection,
     per_rep: Vec<RepRow>,
-    /// Same scenario rerun with a ~5%-downtime fault schedule attached:
-    /// the fault layer's steady-state cost (per-job registry bookkeeping,
-    /// fault events, kills and requeues) on top of the healthy baseline.
-    faulted: FaultedSection,
-}
-
-#[derive(Serialize)]
-struct FaultedSection {
-    /// Fraction of site-hours lost to the scheduled outages.
-    downtime_fraction: f64,
-    total_events: u64,
-    total_jobs: usize,
-    total_wall_seconds: f64,
-    events_per_sec: f64,
-    jobs_killed: u64,
-    jobs_requeued: u64,
-    per_rep: Vec<RepRow>,
+    faulted: Option<FaultedSection>,
+    /// The large-scale datapoint (absent in `--quick` runs).
+    large: Option<Section>,
 }
 
 /// Roughly 5% of total site-hours down across the 3-site, 14-day baseline:
@@ -89,16 +135,8 @@ fn faulted_spec() -> FaultSpec {
     }
 }
 
-fn main() {
-    let users = 300;
-    let days = 14;
-    let reps_n = 3;
-    let cfg = ScenarioConfig::baseline(users, days);
-    let scenario = cfg.build();
-    let reps = replicate(&scenario, 9000, reps_n, 1);
-
-    let per_rep: Vec<RepRow> = reps
-        .iter()
+fn rep_rows(reps: &[Replication]) -> Vec<RepRow> {
+    reps.iter()
         .map(|r| {
             let p = &r.output.profile;
             let jobs = r.output.db.jobs.len();
@@ -112,17 +150,46 @@ fn main() {
                 peak_queue_len: p.peak_queue_len,
             }
         })
-        .collect();
-    let agg = aggregate_profiles(&reps);
-    let total_jobs: usize = per_rep.iter().map(|r| r.jobs).sum();
+        .collect()
+}
 
+/// Run `reps_n` sequential replications of `cfg` and fold them into a
+/// section with per-section memory figures.
+fn measure(cfg: ScenarioConfig, base_seed: u64, reps_n: usize) -> (Section, Vec<Replication>) {
+    let before = alloc_snapshot();
+    let scenario = cfg.build();
+    let reps = replicate(&scenario, base_seed, reps_n, 1);
+    let alloc = AllocDelta::since(before).expect("counting allocator installed");
+    let agg = aggregate_profiles(&reps);
+    let per_rep = rep_rows(&reps);
+    let total_jobs: usize = per_rep.iter().map(|r| r.jobs).sum();
+    let section = Section {
+        scenario: scenario.config().name.clone(),
+        replications: reps_n,
+        total_events: agg.events_delivered,
+        total_jobs,
+        total_wall_seconds: agg.wall_seconds,
+        events_per_sec: agg.events_per_sec,
+        jobs_per_sec: total_jobs as f64 / agg.wall_seconds.max(1e-9),
+        peak_queue_len: agg.peak_queue_len,
+        memory: MemorySection {
+            peak_rss_bytes: peak_rss_bytes(),
+            allocations: alloc.allocations,
+            allocated_bytes: alloc.bytes,
+        },
+        per_rep,
+    };
+    (section, reps)
+}
+
+fn print_section(title: &str, s: &Section) {
     let mut table = Table::new(
-        format!("PERF: engine throughput, baseline {users} users × {days} days"),
+        title.to_string(),
         &[
             "seed", "events", "jobs", "wall s", "events/s", "jobs/s", "peak q",
         ],
     );
-    for r in &per_rep {
+    for r in &s.per_rep {
         table.row(vec![
             r.seed.to_string(),
             r.events.to_string(),
@@ -135,96 +202,181 @@ fn main() {
     }
     table.row(vec![
         "all".to_string(),
-        agg.events_delivered.to_string(),
-        total_jobs.to_string(),
-        format!("{:.3}", agg.wall_seconds),
-        format!("{:.0}", agg.events_per_sec),
-        format!("{:.0}", total_jobs as f64 / agg.wall_seconds.max(1e-9)),
-        agg.peak_queue_len.to_string(),
+        s.total_events.to_string(),
+        s.total_jobs.to_string(),
+        format!("{:.3}", s.total_wall_seconds),
+        format!("{:.0}", s.events_per_sec),
+        format!("{:.0}", s.jobs_per_sec),
+        s.peak_queue_len.to_string(),
     ]);
     println!("{table}");
-
-    // Faulted datapoint: identical workload, ~5% downtime fault schedule.
-    let mut faulted_cfg = ScenarioConfig::baseline(users, days);
-    faulted_cfg.faults = Some(faulted_spec());
-    let faulted_scenario = faulted_cfg.build();
-    let faulted_reps = replicate(&faulted_scenario, 9000, reps_n, 1);
-    let faulted_per_rep: Vec<RepRow> = faulted_reps
-        .iter()
-        .map(|r| {
-            let p = &r.output.profile;
-            let jobs = r.output.db.jobs.len();
-            RepRow {
-                seed: r.seed,
-                events: p.events_delivered,
-                jobs,
-                wall_seconds: p.wall_seconds,
-                events_per_sec: p.events_per_sec,
-                jobs_per_sec: jobs as f64 / p.wall_seconds.max(1e-9),
-                peak_queue_len: p.peak_queue_len,
-            }
-        })
-        .collect();
-    let fagg = aggregate_profiles(&faulted_reps);
-    let ftotal_jobs: usize = faulted_per_rep.iter().map(|r| r.jobs).sum();
-    let (mut killed, mut requeued) = (0u64, 0u64);
-    for r in &faulted_reps {
-        let fr = r.output.fault_report.as_ref().expect("faulted run");
-        killed += fr.jobs_killed;
-        requeued += fr.jobs_requeued;
-    }
-    let downtime_h = 30.0 + 20.0; // the two scheduled outages
-    let site_hours = (days * 24) as f64 * 3.0;
-    let mut ftable = Table::new(
-        format!(
-            "PERF (faulted): same workload, ~{:.0}% downtime",
-            100.0 * downtime_h / site_hours
-        ),
-        &[
-            "seed", "events", "jobs", "wall s", "events/s", "jobs/s", "peak q",
-        ],
-    );
-    for r in &faulted_per_rep {
-        ftable.row(vec![
-            r.seed.to_string(),
-            r.events.to_string(),
-            r.jobs.to_string(),
-            format!("{:.3}", r.wall_seconds),
-            format!("{:.0}", r.events_per_sec),
-            format!("{:.0}", r.jobs_per_sec),
-            r.peak_queue_len.to_string(),
-        ]);
-    }
-    println!("{ftable}");
     println!(
-        "faulted: {} killed, {} requeued across {} reps; events/s {:.0} vs healthy {:.0}",
-        killed, requeued, reps_n, fagg.events_per_sec, agg.events_per_sec
+        "memory: peak RSS {}, {} allocations / {:.1} MiB in section",
+        s.memory
+            .peak_rss_bytes
+            .map(|b| format!("{:.1} MiB", b as f64 / (1 << 20) as f64))
+            .unwrap_or_else(|| "n/a".to_string()),
+        s.memory.allocations,
+        s.memory.allocated_bytes as f64 / (1 << 20) as f64,
+    );
+}
+
+/// Compare a fresh healthy section against a reference JSON: exact per-seed
+/// event/job counts, and the ±15% pooled-rate guard. Returns the failures.
+fn check_against(reference: &serde_json::Value, healthy: &Section) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some(ref_reps) = reference.get("per_rep").and_then(|v| v.as_array()) else {
+        return vec!["reference JSON has no per_rep array".into()];
+    };
+    if ref_reps.len() != healthy.per_rep.len() {
+        failures.push(format!(
+            "replication count changed: reference {} vs current {}",
+            ref_reps.len(),
+            healthy.per_rep.len()
+        ));
+    }
+    for (r, cur) in ref_reps.iter().zip(&healthy.per_rep) {
+        let seed = r.get("seed").and_then(|v| v.as_u64()).unwrap_or(0);
+        let events = r.get("events").and_then(|v| v.as_u64()).unwrap_or(0);
+        let jobs = r.get("jobs").and_then(|v| v.as_u64()).unwrap_or(0);
+        if seed != cur.seed || events != cur.events || jobs != cur.jobs as u64 {
+            failures.push(format!(
+                "seed {} determinism drift: reference (events {events}, jobs {jobs}) \
+                 vs current (events {}, jobs {})",
+                cur.seed, cur.events, cur.jobs
+            ));
+        }
+    }
+    if let Some(ref_rate) = reference.get("events_per_sec").and_then(|v| v.as_f64()) {
+        let floor = ref_rate * 0.85;
+        if healthy.events_per_sec < floor {
+            failures.push(format!(
+                "throughput regression: {:.0} events/s < 85% of reference {:.0}",
+                healthy.events_per_sec, ref_rate
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check needs a path").clone());
+
+    let users = 300;
+    let days = 14;
+    let reps_n = 3;
+
+    let (healthy, _) = measure(ScenarioConfig::baseline(users, days), 9000, reps_n);
+    print_section(
+        &format!("PERF: engine throughput, baseline {users} users × {days} days"),
+        &healthy,
     );
 
-    save_json(
-        "BENCH_throughput",
-        &ThroughputOutput {
-            scenario: scenario.config().name.clone(),
-            users,
-            days,
-            replications: reps_n,
-            total_events: agg.events_delivered,
-            total_jobs,
-            total_wall_seconds: agg.wall_seconds,
-            events_per_sec: agg.events_per_sec,
-            jobs_per_sec: total_jobs as f64 / agg.wall_seconds.max(1e-9),
-            peak_queue_len: agg.peak_queue_len,
-            per_rep,
-            faulted: FaultedSection {
+    let (faulted, large) = if quick {
+        (None, None)
+    } else {
+        let mut faulted_cfg = ScenarioConfig::baseline(users, days);
+        faulted_cfg.faults = Some(faulted_spec());
+        let (fsec, freps) = measure(faulted_cfg, 9000, reps_n);
+        let (mut killed, mut requeued) = (0u64, 0u64);
+        for r in &freps {
+            let fr = r.output.fault_report.as_ref().expect("faulted run");
+            killed += fr.jobs_killed;
+            requeued += fr.jobs_requeued;
+        }
+        let downtime_h = 30.0 + 20.0; // the two scheduled outages
+        let site_hours = (days * 24) as f64 * 3.0;
+        print_section(
+            &format!(
+                "PERF (faulted): same workload, ~{:.0}% downtime",
+                100.0 * downtime_h / site_hours
+            ),
+            &fsec,
+        );
+        println!(
+            "faulted: {killed} killed, {requeued} requeued across {reps_n} reps; \
+             events/s {:.0} vs healthy {:.0}",
+            fsec.events_per_sec, healthy.events_per_sec
+        );
+
+        let (lsec, _) = measure(ScenarioConfig::large(3000, 90), 9000, 1);
+        print_section("PERF (large): 3000 users × 90 days", &lsec);
+        (
+            Some(FaultedSection {
                 downtime_fraction: downtime_h / site_hours,
-                total_events: fagg.events_delivered,
-                total_jobs: ftotal_jobs,
-                total_wall_seconds: fagg.wall_seconds,
-                events_per_sec: fagg.events_per_sec,
                 jobs_killed: killed,
                 jobs_requeued: requeued,
-                per_rep: faulted_per_rep,
-            },
+                total_events: fsec.total_events,
+                total_jobs: fsec.total_jobs,
+                total_wall_seconds: fsec.total_wall_seconds,
+                events_per_sec: fsec.events_per_sec,
+                memory: fsec.memory,
+                per_rep: fsec.per_rep,
+            }),
+            Some(lsec),
+        )
+    };
+
+    let out = ThroughputOutput {
+        scenario: healthy.scenario.clone(),
+        users,
+        days,
+        replications: reps_n,
+        total_events: healthy.total_events,
+        total_jobs: healthy.total_jobs,
+        total_wall_seconds: healthy.total_wall_seconds,
+        events_per_sec: healthy.events_per_sec,
+        jobs_per_sec: healthy.jobs_per_sec,
+        peak_queue_len: healthy.peak_queue_len,
+        memory: healthy.memory,
+        per_rep: healthy.per_rep,
+        faulted,
+        large,
+    };
+    save_json(
+        if quick {
+            "BENCH_throughput_quick"
+        } else {
+            "BENCH_throughput"
         },
+        &out,
     );
+
+    if let Some(path) = check_path {
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read reference {path}: {e}"));
+        let reference: serde_json::Value =
+            serde_json::from_str(&raw).unwrap_or_else(|e| panic!("bad reference JSON {path}: {e}"));
+        // Rebuild the healthy view from the serialized output (it moved).
+        let healthy_view = Section {
+            scenario: out.scenario.clone(),
+            replications: out.replications,
+            total_events: out.total_events,
+            total_jobs: out.total_jobs,
+            total_wall_seconds: out.total_wall_seconds,
+            events_per_sec: out.events_per_sec,
+            jobs_per_sec: out.jobs_per_sec,
+            peak_queue_len: out.peak_queue_len,
+            memory: MemorySection {
+                peak_rss_bytes: None,
+                allocations: 0,
+                allocated_bytes: 0,
+            },
+            per_rep: out.per_rep,
+        };
+        let failures = check_against(&reference, &healthy_view);
+        if failures.is_empty() {
+            println!("check: OK against {path}");
+        } else {
+            for f in &failures {
+                eprintln!("check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -52,7 +52,7 @@ pub mod survey;
 pub use accuracy::{Accuracy, ConfusionMatrix};
 pub use classify::{classify_all, ClassifierMode};
 pub use report::{FieldShares, GatewayReach, MetricsReport, ModalityShares, UsageReport};
-pub use runner::{aggregate_profiles, replicate, replicate_with, Replication};
+pub use runner::{aggregate_profiles, replicate, replicate_with, run_sweep, Replication};
 pub use scenario::{RunOptions, Scenario, ScenarioConfig, SimOutput};
 pub use sim::GridSim;
 

@@ -69,12 +69,12 @@ pub fn replicate_with(
                 while let Ok(index) = task_rx.recv() {
                     let seed = base_seed + index as u64;
                     let rep_opts = RunOptions {
-                        metrics: opts.metrics,
                         trace_path: if index == 0 {
                             opts.trace_path.clone()
                         } else {
                             None
                         },
+                        ..opts.clone()
                     };
                     let output = scenario.run_with(seed, &rep_opts);
                     result_tx
@@ -94,6 +94,63 @@ pub fn replicate_with(
     })
 }
 
+/// Run one closure per sweep point in parallel, returning results in point
+/// order whatever the thread count or completion order.
+///
+/// This is the sweep-level complement to [`replicate`]: experiment binaries
+/// iterate a config grid where each cell is itself a (sequential or
+/// parallel) replication batch. Running the *cells* in parallel keeps each
+/// cell's seed stream untouched — bit-identical to the serial loop — while
+/// filling all cores. `threads == 0` uses the machine's parallelism.
+///
+/// The closure gets `(index, &point)` so it can seed or label per-cell.
+pub fn run_sweep<P, R, F>(points: &[P], threads: usize, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(usize, &P) -> R + Sync,
+{
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let workers = if threads == 0 {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(points.len())
+    } else {
+        threads.min(points.len())
+    };
+    if workers <= 1 {
+        return points.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+    }
+    let (task_tx, task_rx) = channel::unbounded::<usize>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
+    for i in 0..points.len() {
+        task_tx.send(i).expect("channel open");
+    }
+    drop(task_tx);
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok(index) = task_rx.recv() {
+                    let out = f(index, &points[index]);
+                    if result_tx.send((index, out)).is_err() {
+                        return; // main thread gone; nothing left to report to
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        let mut results: Vec<(usize, R)> = result_rx.iter().collect();
+        results.sort_by_key(|&(i, _)| i);
+        results.into_iter().map(|(_, r)| r).collect()
+    })
+}
+
 /// Collect a per-replication scalar metric and summarize it as
 /// `(mean, 95% CI half-width)`.
 pub fn summarize(replications: &[Replication], metric: impl Fn(&SimOutput) -> f64) -> (f64, f64) {
@@ -102,7 +159,8 @@ pub fn summarize(replications: &[Replication], metric: impl Fn(&SimOutput) -> f6
 }
 
 /// Aggregate the wall-clock engine profiles of a replication batch: total
-/// events and wall time, overall delivery rate, and the worst peak queue.
+/// events and wall time, overall delivery rate, the worst peak queue, and
+/// (where measured) the worst peak RSS plus summed allocation traffic.
 pub fn aggregate_profiles(replications: &[Replication]) -> EngineProfile {
     let events: u64 = replications
         .iter()
@@ -117,7 +175,20 @@ pub fn aggregate_profiles(replications: &[Replication]) -> EngineProfile {
         .map(|r| r.output.profile.peak_queue_len)
         .max()
         .unwrap_or(0);
-    EngineProfile::new(events, wall, peak as usize)
+    let mut agg = EngineProfile::new(events, wall, peak as usize);
+    agg.peak_rss_bytes = replications
+        .iter()
+        .filter_map(|r| r.output.profile.peak_rss_bytes)
+        .max();
+    let sum_opt = |f: fn(&EngineProfile) -> Option<u64>| {
+        replications
+            .iter()
+            .filter_map(|r| f(&r.output.profile))
+            .fold(None, |acc: Option<u64>, v| Some(acc.unwrap_or(0) + v))
+    };
+    agg.allocations = sum_opt(|p| p.allocations);
+    agg.allocated_bytes = sum_opt(|p| p.allocated_bytes);
+    agg
 }
 
 #[cfg(test)]

@@ -81,6 +81,18 @@ impl ScenarioConfig {
         }
     }
 
+    /// The large-scale stress scenario: the baseline federation and mix
+    /// under a much bigger population over a longer window. This is the
+    /// performance-bench workload (`configs/large-3000u-90d.json`) — same
+    /// physics as [`ScenarioConfig::baseline`], an order of magnitude more
+    /// events.
+    pub fn large(users: usize, days: u64) -> Self {
+        ScenarioConfig {
+            name: format!("large-{users}u-{days}d"),
+            ..ScenarioConfig::baseline(users, days)
+        }
+    }
+
     /// Build the scenario.
     pub fn build(self) -> Scenario {
         assert_eq!(
@@ -95,13 +107,18 @@ impl ScenarioConfig {
 
 /// Observability options for one run. Everything here is an *observer*:
 /// enabling any of it cannot change simulation results (the determinism
-/// tests hold with or without them).
+/// tests hold with or without them — including `reference_schedulers`,
+/// whose whole point is producing bit-identical results slower).
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
     /// Collect a [`MetricsSnapshot`] (counters, gauges, series).
     pub metrics: bool,
     /// Stream a JSONL structured trace to this path.
     pub trace_path: Option<PathBuf>,
+    /// Build the frozen naive schedulers ([`SchedulerKind::build_reference`])
+    /// instead of the optimized ones. The differential suite runs whole
+    /// scenarios both ways and asserts identical outputs.
+    pub reference_schedulers: bool,
 }
 
 impl RunOptions {
@@ -168,7 +185,13 @@ impl Scenario {
         }
         let schedulers: Vec<Box<dyn BatchScheduler>> = federation
             .sites()
-            .map(|s| cfg.scheduler.build(s.cluster.total_cores()))
+            .map(|s| {
+                if opts.reference_schedulers {
+                    cfg.scheduler.build_reference(s.cluster.total_cores())
+                } else {
+                    cfg.scheduler.build(s.cluster.total_cores())
+                }
+            })
             .collect();
         let charge_policy = ChargePolicy::new(cfg.sites.iter().map(|s| s.charge_factor).collect());
         let mut sim = GridSim::new(

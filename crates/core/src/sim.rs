@@ -67,14 +67,12 @@ pub enum Event {
         /// The job.
         job: Box<Job>,
     },
-    /// A batch job completes.
+    /// A batch job completes. The job itself (plus its site and start time)
+    /// lives in the simulation's running registry — the event carries only
+    /// the id, so dispatching never clones the job.
     Complete {
-        /// Site it ran at.
-        site: SiteId,
         /// The finished job.
-        job: Box<Job>,
-        /// When it started (for the record).
-        started: SimTime,
+        id: JobId,
     },
     /// An RC (hardware) task completes on a fabric region.
     RcComplete {
@@ -202,9 +200,11 @@ impl Instruments {
     }
 }
 
-/// A batch job currently executing, remembered so fault injection can kill
-/// it: cancel its completion event (the engine drops the payload on
-/// cancellation, hence the clone) and requeue or abandon it.
+/// A batch job currently executing. The registry owns each dispatched job
+/// exactly once — completion moves it back out, and fault injection can kill
+/// it by cancelling its completion event (which carries only the id) and
+/// requeueing or abandoning the job taken from here. No clone on either
+/// path.
 struct RunningRec {
     site: SiteId,
     cores: usize,
@@ -240,8 +240,6 @@ struct FaultLayer {
     retry: RetryPolicy,
     book: RetryBook,
     ingest: Option<IngestChannel>,
-    /// Running batch jobs by id (RC fabric tasks are not fault targets).
-    running: HashMap<JobId, RunningRec>,
     /// Cores per site currently out of service from node crashes.
     crashed_cores: Vec<usize>,
     /// Free cores per site parked for the duration of a whole-site outage.
@@ -273,6 +271,10 @@ pub struct GridSim {
     completed: HashSet<JobId>,
     /// Deferred RC tasks per site (fabric was full).
     rc_backlog: HashMap<SiteId, VecDeque<Job>>,
+    /// Running batch jobs by id — the single owner of every dispatched job
+    /// until its completion event delivers (RC fabric tasks are tracked by
+    /// their own events). Also the fault layer's kill index.
+    running: HashMap<JobId, RunningRec>,
     /// Armed scheduler wakeups (dedupe).
     armed_wakeups: HashMap<SiteId, SimTime>,
     rng: RngFactory,
@@ -332,6 +334,7 @@ impl GridSim {
             dep_waiters: HashMap::new(),
             completed: HashSet::new(),
             rc_backlog,
+            running: HashMap::new(),
             armed_wakeups: HashMap::new(),
             rng,
             db: AccountingDb::new(),
@@ -429,7 +432,6 @@ impl GridSim {
             retry: spec.retry_policy(),
             book: RetryBook::new(),
             ingest,
-            running: HashMap::new(),
             crashed_cores: vec![0; sites],
             outage_offline: vec![0; sites],
             down_since: vec![None; sites],
@@ -465,12 +467,16 @@ impl GridSim {
         }
     }
 
-    /// Schedule the whole workload's submit events onto `engine`.
+    /// Schedule the whole workload's submit events onto `engine`. The
+    /// arrival stream goes in as one staged batch: delivery order is
+    /// bit-identical to per-job `schedule_at` calls, but the engine's heap
+    /// stays sized to the *dynamic* event population instead of holding the
+    /// entire workload up front.
     pub fn prime(&self, engine: &mut Engine<Event>) {
-        for (i, job) in self.jobs.iter().enumerate() {
+        engine.schedule_batch(self.jobs.iter().enumerate().map(|(i, job)| {
             let job = job.as_ref().expect("unconsumed at prime time");
-            engine.schedule_at(job.submit_time, Event::Submit(i));
-        }
+            (job.submit_time, Event::Submit(i))
+        }));
         if let Some(interval) = self.sample_interval {
             engine.schedule_at(SimTime::ZERO + interval, Event::Sample);
         }
@@ -502,10 +508,8 @@ impl GridSim {
         }
         let metrics = self.metrics.snapshot(engine.now());
         let trace_flush_ok = self.tracer.close_sink();
-        let fault_report = self.faults.take().map(|f| {
-            debug_assert!(f.running.is_empty(), "registry drained with the jobs");
-            f.report
-        });
+        debug_assert!(self.running.is_empty(), "registry drained with the jobs");
+        let fault_report = self.faults.take().map(|f| f.report);
         FinishedSim {
             federation: self.federation,
             db: self.db,
@@ -762,37 +766,20 @@ impl GridSim {
                     ("cores", s.job.cores.into()),
                 ]
             });
-            if let Some(f) = self.faults.as_mut() {
-                // Remember the attempt so a crash/outage can cancel it and
-                // requeue the job (the engine drops cancelled payloads).
-                let key = ctx.schedule_after(
-                    actual,
-                    Event::Complete {
-                        site,
-                        job: Box::new(s.job.clone()),
-                        started: ctx.now(),
-                    },
-                );
-                f.running.insert(
-                    s.job.id,
-                    RunningRec {
-                        site,
-                        cores: s.job.cores,
-                        key,
-                        started: ctx.now(),
-                        job: s.job,
-                    },
-                );
-            } else {
-                ctx.schedule_after(
-                    actual,
-                    Event::Complete {
-                        site,
-                        job: Box::new(s.job),
-                        started: ctx.now(),
-                    },
-                );
-            }
+            // The registry takes ownership of the job (no clone); the
+            // completion event carries only the id, and the stored event key
+            // lets a crash/outage cancel the attempt and requeue the job.
+            let key = ctx.schedule_after(actual, Event::Complete { id: s.job.id });
+            self.running.insert(
+                s.job.id,
+                RunningRec {
+                    site,
+                    cores: s.job.cores,
+                    key,
+                    started: ctx.now(),
+                    job: s.job,
+                },
+            );
         }
         // Arm a wakeup if the policy wants one (weekly drain).
         if let Some(at) = self.schedulers[site.index()].next_wakeup(ctx.now()) {
@@ -818,16 +805,24 @@ impl GridSim {
             .gauge_set(self.ins.queue_len[site.index()], now, queued as f64);
     }
 
-    fn complete_batch(&mut self, ctx: &mut Ctx<Event>, site: SiteId, job: Job, started: SimTime) {
+    fn complete_batch(&mut self, ctx: &mut Ctx<Event>, id: JobId) {
+        let rec = self
+            .running
+            .remove(&id)
+            .expect("completion delivered for a registered running job");
+        let RunningRec {
+            site, started, job, ..
+        } = rec;
         if let Some(f) = self.faults.as_mut() {
-            f.running.remove(&job.id);
             f.book.forget(job.id);
         }
         self.federation
             .site_mut(site)
             .cluster
             .release(ctx.now(), job.cores);
-        self.schedulers[site.index()].on_complete(ctx.now(), job.id);
+        {
+            self.schedulers[site.index()].on_complete(ctx.now(), job.id);
+        }
         if self.span_track.contains_key(&job.id) {
             self.emit_span(
                 ctx.now(),
@@ -852,9 +847,13 @@ impl GridSim {
                 ),
             ]
         });
-        self.emit_records(ctx, site, &job, started, false, None);
-        self.finish_job(ctx, &job);
-        self.dispatch(ctx, site);
+        {
+            self.emit_records(ctx, site, &job, started, false, None);
+            self.finish_job(ctx, &job);
+        }
+        {
+            self.dispatch(ctx, site);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1214,10 +1213,7 @@ impl GridSim {
     /// deterministic kill order for crashes and outages. Preferring the
     /// newest attempt loses the least completed work.
     fn pick_victim(&self, site: SiteId) -> Option<JobId> {
-        self.faults
-            .as_ref()
-            .expect("fault layer")
-            .running
+        self.running
             .values()
             .filter(|r| r.site == site)
             .max_by_key(|r| (r.started, r.job.id.index()))
@@ -1236,9 +1232,6 @@ impl GridSim {
         checkpoint: bool,
     ) {
         let rec = self
-            .faults
-            .as_mut()
-            .expect("fault layer")
             .running
             .remove(&id)
             .expect("victim is in the running registry");
@@ -1557,7 +1550,7 @@ impl Simulation for GridSim {
         match event {
             Event::Submit(index) => self.submit_from_trace(ctx, index),
             Event::Enqueue { site, job } => self.enqueue(ctx, site, *job),
-            Event::Complete { site, job, started } => self.complete_batch(ctx, site, *job, started),
+            Event::Complete { id } => self.complete_batch(ctx, id),
             Event::RcComplete {
                 site,
                 node,

@@ -1,0 +1,107 @@
+//! Whole-scenario differential suite: optimized vs reference schedulers.
+//!
+//! The per-crate property tests (`tg-sched/tests/differential_prop.rs`)
+//! compare decision streams on synthetic queues; this suite closes the loop
+//! at the system level by running *entire scenarios* both ways —
+//! `RunOptions::reference_schedulers` swaps in the frozen naive scheduler
+//! ports — and asserting the outputs are identical record for record. Any
+//! divergence in start order, backfill choice, or completion time would
+//! show up in the accounting database or the event count.
+
+use tg_core::{RunOptions, ScenarioConfig, SimOutput};
+
+fn run_both(cfg: ScenarioConfig, seed: u64) -> (SimOutput, SimOutput) {
+    let scenario = cfg.build();
+    let fast = scenario.run_with(seed, &RunOptions::default());
+    let slow = scenario.run_with(
+        seed,
+        &RunOptions {
+            reference_schedulers: true,
+            ..RunOptions::default()
+        },
+    );
+    (fast, slow)
+}
+
+fn assert_identical(fast: &SimOutput, slow: &SimOutput) {
+    assert_eq!(
+        fast.events_delivered, slow.events_delivered,
+        "event counts diverge"
+    );
+    assert_eq!(fast.end, slow.end, "end times diverge");
+    assert_eq!(fast.db.jobs, slow.db.jobs, "job records diverge");
+    assert_eq!(fast.db.transfers, slow.db.transfers);
+    assert_eq!(fast.db.sessions, slow.db.sessions);
+    assert_eq!(
+        fast.fault_report, slow.fault_report,
+        "fault outcomes diverge"
+    );
+}
+
+#[test]
+fn baseline_scenario_is_identical_under_reference_schedulers() {
+    for seed in [9000, 9001] {
+        let (fast, slow) = run_both(ScenarioConfig::baseline(60, 4), seed);
+        assert!(fast.db.jobs.len() > 100, "scenario produced real load");
+        assert_identical(&fast, &slow);
+    }
+}
+
+#[test]
+fn saturated_scenario_is_identical_under_reference_schedulers() {
+    // Small sites + the baseline population → long queues, so the backfill
+    // and drain paths (where the optimized index does real work) are hot.
+    let mut cfg = ScenarioConfig::baseline(80, 3);
+    for s in &mut cfg.sites {
+        s.batch_nodes = (s.batch_nodes / 8).max(4);
+    }
+    let (fast, slow) = run_both(cfg, 424242);
+    assert_identical(&fast, &slow);
+}
+
+#[test]
+fn faulted_scenario_is_identical_under_reference_schedulers() {
+    // Crash/outage kills exercise the out-of-order removal path
+    // (`on_complete` for a job that is *not* the earliest-ending one).
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../configs/faults-demo.json"
+    ))
+    .expect("fault spec exists");
+    let spec = serde_json::from_str(&text).expect("fault spec parses");
+    let mut cfg = ScenarioConfig::baseline(60, 4);
+    cfg.faults = Some(spec);
+    let (fast, slow) = run_both(cfg, 31337);
+    let fr = fast.fault_report.as_ref().expect("faults ran");
+    assert!(
+        fr.jobs_killed > 0 || fr.node_crashes > 0,
+        "fault schedule actually fired: {fr:?}"
+    );
+    assert_identical(&fast, &slow);
+}
+
+#[test]
+fn every_scheduler_kind_matches_its_reference() {
+    use tg_sched::SchedulerKind;
+    for kind in [
+        SchedulerKind::Fcfs,
+        SchedulerKind::Easy,
+        SchedulerKind::Conservative,
+        SchedulerKind::WeeklyDrain,
+        SchedulerKind::FairshareEasy,
+    ] {
+        let mut cfg = ScenarioConfig::baseline(40, 3);
+        cfg.scheduler = kind;
+        // Shrink the machines so queues form under every policy.
+        for s in &mut cfg.sites {
+            s.batch_nodes = (s.batch_nodes / 4).max(8);
+        }
+        let (fast, slow) = run_both(cfg, 777);
+        assert_eq!(
+            fast.db.jobs, slow.db.jobs,
+            "scheduler {kind:?} diverges from its reference"
+        );
+        assert_eq!(fast.end, slow.end);
+        assert_eq!(fast.events_delivered, slow.events_delivered);
+    }
+}

@@ -21,7 +21,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Identifies one scheduled event so it can be cancelled before it fires.
 ///
@@ -34,6 +34,58 @@ struct Scheduled<E> {
     at: SimTime,
     seq: u64,
     event: E,
+}
+
+/// Dense membership set over event sequence numbers.
+///
+/// Seqs are allocated 0, 1, 2, … for the engine's lifetime, so a bitmap
+/// beats a `HashSet<u64>`: membership flips on the delivery hot path touch
+/// one cache line instead of hashing into a table that grows to tens of
+/// megabytes on multi-million-event runs.
+#[derive(Debug, Default)]
+struct SeqSet {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl SeqSet {
+    #[inline]
+    fn insert(&mut self, seq: u64) -> bool {
+        let (word, bit) = ((seq / 64) as usize, seq % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove `seq`, reporting whether it was present.
+    #[inline]
+    fn remove(&mut self, seq: u64) -> bool {
+        let (word, bit) = ((seq / 64) as usize, seq % 64);
+        let Some(w) = self.bits.get_mut(word) else {
+            return false;
+        };
+        let mask = 1u64 << bit;
+        if *w & mask != 0 {
+            *w &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
 }
 
 // Reverse ordering so BinaryHeap (a max-heap) pops the *earliest* entry;
@@ -96,8 +148,12 @@ pub enum RunOutcome {
 pub struct Ctx<'a, E> {
     now: SimTime,
     queue: &'a mut BinaryHeap<Scheduled<E>>,
-    cancelled: &'a mut HashSet<u64>,
-    live: &'a mut HashSet<u64>,
+    cancelled: &'a mut SeqSet,
+    live: &'a mut SeqSet,
+    /// Staged-backlog entries not yet delivered; constant while one handler
+    /// runs (the backlog is only consumed between handlers) and folded into
+    /// the peak-queue high-water mark.
+    staged_len: usize,
     peak_queue_len: &'a mut usize,
     next_seq: &'a mut u64,
     delivered: u64,
@@ -141,7 +197,7 @@ impl<'a, E> Ctx<'a, E> {
         *self.next_seq += 1;
         self.live.insert(seq);
         self.queue.push(Scheduled { at, seq, event });
-        *self.peak_queue_len = (*self.peak_queue_len).max(self.queue.len());
+        *self.peak_queue_len = (*self.peak_queue_len).max(self.queue.len() + self.staged_len);
         EventKey(seq)
     }
 
@@ -161,7 +217,7 @@ impl<'a, E> Ctx<'a, E> {
     /// Cancel a pending event. Returns `true` if the key was still pending
     /// (i.e. not yet delivered and not already cancelled).
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if self.live.remove(&key.0) {
+        if self.live.remove(key.0) {
             self.cancelled.insert(key.0);
             true
         } else {
@@ -177,16 +233,29 @@ impl<'a, E> Ctx<'a, E> {
 }
 
 /// The event queue and virtual clock.
+///
+/// Events live in two places: the binary heap (everything scheduled one at
+/// a time) and the *staged backlog* — a pre-sorted run of events loaded in
+/// bulk with [`Engine::schedule_batch`]. Delivery merges the two sources by
+/// `(time, seq)`, which is exactly the heap's total order, so a batch
+/// behaves bit-identically to the equivalent `schedule_at` loop while the
+/// heap stays small: a workload's million pre-scheduled arrivals become a
+/// cursor walk over a sorted vector instead of log-depth sifts through a
+/// heap that dwarfs the cache.
 pub struct Engine<E> {
     queue: BinaryHeap<Scheduled<E>>,
-    cancelled: HashSet<u64>,
+    /// Bulk-loaded events, sorted ascending by `(at, seq)`, consumed from
+    /// the front.
+    staged: VecDeque<Scheduled<E>>,
+    cancelled: SeqSet,
     /// Sequence numbers of events that are scheduled but neither delivered
     /// nor cancelled. Keeping this alongside the tombstone set makes
     /// `cancel` exact (a delivered key can no longer be "cancelled") and
     /// `pending` O(1) without subtraction that could underflow.
-    live: HashSet<u64>,
-    /// High-water mark of the heap length over the engine's lifetime
-    /// (including tombstoned entries); feeds engine profiling.
+    live: SeqSet,
+    /// High-water mark of pending events (heap + staged backlog, including
+    /// tombstoned entries) over the engine's lifetime; feeds engine
+    /// profiling.
     peak_queue_len: usize,
     now: SimTime,
     next_seq: u64,
@@ -204,8 +273,9 @@ impl<E> Engine<E> {
     pub fn new() -> Self {
         Engine {
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            live: HashSet::new(),
+            staged: VecDeque::new(),
+            cancelled: SeqSet::default(),
+            live: SeqSet::default(),
             peak_queue_len: 0,
             now: SimTime::ZERO,
             next_seq: 0,
@@ -254,7 +324,36 @@ impl<E> Engine<E> {
     /// Timestamp of the next live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         self.skip_cancelled();
-        self.queue.peek().map(|s| s.at)
+        self.peek_key().map(|(at, _)| at)
+    }
+
+    /// The `(at, seq)` of the earliest undelivered event across both
+    /// sources, tombstones included.
+    #[inline]
+    fn peek_key(&self) -> Option<(SimTime, u64)> {
+        let heap = self.queue.peek().map(|s| (s.at, s.seq));
+        let staged = self.staged.front().map(|s| (s.at, s.seq));
+        match (heap, staged) {
+            (None, s) => s,
+            (h, None) => h,
+            (Some(h), Some(s)) => Some(h.min(s)),
+        }
+    }
+
+    /// Pop the earliest undelivered event across both sources.
+    #[inline]
+    fn pop_next(&mut self) -> Option<Scheduled<E>> {
+        let take_staged = match (self.queue.peek(), self.staged.front()) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(h), Some(s)) => (s.at, s.seq) < (h.at, h.seq),
+        };
+        if take_staged {
+            self.staged.pop_front()
+        } else {
+            self.queue.pop()
+        }
     }
 
     /// Schedule an event from outside a handler (initial conditions).
@@ -264,8 +363,32 @@ impl<E> Engine<E> {
         self.next_seq += 1;
         self.live.insert(seq);
         self.queue.push(Scheduled { at, seq, event });
-        self.peak_queue_len = self.peak_queue_len.max(self.queue.len());
+        self.peak_queue_len = self
+            .peak_queue_len
+            .max(self.queue.len() + self.staged.len());
         EventKey(seq)
+    }
+
+    /// Bulk-load events into the staged backlog (initial conditions — a
+    /// workload's arrival stream). Delivery order is bit-identical to
+    /// calling [`Engine::schedule_at`] once per item in iteration order;
+    /// only the cost changes. Items need not be pre-sorted. Batch events
+    /// are fire-and-forget: no [`EventKey`]s are returned, so they cannot
+    /// be individually cancelled.
+    pub fn schedule_batch(&mut self, items: impl IntoIterator<Item = (SimTime, E)>) {
+        for (at, event) in items {
+            assert!(at >= self.now, "scheduled into the past");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.live.insert(seq);
+            self.staged.push_back(Scheduled { at, seq, event });
+        }
+        self.staged
+            .make_contiguous()
+            .sort_unstable_by_key(|s| (s.at, s.seq));
+        self.peak_queue_len = self
+            .peak_queue_len
+            .max(self.queue.len() + self.staged.len());
     }
 
     /// Schedule an event `after` the current clock from outside a handler.
@@ -276,7 +399,7 @@ impl<E> Engine<E> {
     /// Cancel a pending event from outside a handler. Returns `false` for
     /// keys that were already delivered or already cancelled.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if self.live.remove(&key.0) {
+        if self.live.remove(key.0) {
             self.cancelled.insert(key.0);
             true
         } else {
@@ -285,9 +408,9 @@ impl<E> Engine<E> {
     }
 
     fn skip_cancelled(&mut self) {
-        while let Some(head) = self.queue.peek() {
-            if self.cancelled.remove(&head.seq) {
-                self.queue.pop();
+        while let Some((_, seq)) = self.peek_key() {
+            if self.cancelled.remove(seq) {
+                self.pop_next();
             } else {
                 break;
             }
@@ -298,11 +421,11 @@ impl<E> Engine<E> {
     /// was empty.
     pub fn step<S: Simulation<Event = E>>(&mut self, sim: &mut S) -> bool {
         self.skip_cancelled();
-        let Some(Scheduled { at, seq, event }) = self.queue.pop() else {
+        let Some(Scheduled { at, seq, event }) = self.pop_next() else {
             return false;
         };
         debug_assert!(at >= self.now, "event queue yielded a past event");
-        self.live.remove(&seq);
+        self.live.remove(seq);
         self.now = at;
         self.delivered += 1;
         let mut stop = false;
@@ -311,6 +434,7 @@ impl<E> Engine<E> {
             queue: &mut self.queue,
             cancelled: &mut self.cancelled,
             live: &mut self.live,
+            staged_len: self.staged.len(),
             peak_queue_len: &mut self.peak_queue_len,
             next_seq: &mut self.next_seq,
             delivered: self.delivered,
@@ -337,7 +461,7 @@ impl<E> Engine<E> {
         let start_delivered = self.delivered;
         loop {
             self.skip_cancelled();
-            let Some(head_at) = self.queue.peek().map(|s| s.at) else {
+            let Some((head_at, _)) = self.peek_key() else {
                 if let StopCondition::AtTime(horizon) = stop {
                     self.now = self.now.max(horizon);
                 }
@@ -357,8 +481,8 @@ impl<E> Engine<E> {
                     }
                 }
             }
-            let Scheduled { at, seq, event } = self.queue.pop().expect("peeked");
-            self.live.remove(&seq);
+            let Scheduled { at, seq, event } = self.pop_next().expect("peeked");
+            self.live.remove(seq);
             self.now = at;
             self.delivered += 1;
             let mut stop_req = false;
@@ -367,6 +491,7 @@ impl<E> Engine<E> {
                 queue: &mut self.queue,
                 cancelled: &mut self.cancelled,
                 live: &mut self.live,
+                staged_len: self.staged.len(),
                 peak_queue_len: &mut self.peak_queue_len,
                 next_seq: &mut self.next_seq,
                 delivered: self.delivered,

@@ -27,6 +27,8 @@
 //! * [`analyze`] — offline reconstruction of spans from an archived JSONL
 //!   trace into per-kind / per-cause / per-site / per-modality latency
 //!   breakdowns (mean, p50/p95/p99).
+//! * [`memory`] — process-level memory observability for benchmarks: peak
+//!   RSS via `/proc` and an opt-in counting global allocator.
 //! * [`metrics`] — a run-level metrics registry (counters, time-weighted
 //!   gauges, time series) and serializable snapshots, plus wall-clock engine
 //!   profiling ([`metrics::EngineProfile`]). Observers only: when disabled
@@ -74,6 +76,7 @@
 pub mod analyze;
 pub mod dist;
 pub mod engine;
+pub mod memory;
 pub mod metrics;
 pub mod rng;
 pub mod span;
@@ -96,6 +99,7 @@ pub mod prelude {
 pub use analyze::{GroupStats, TraceAnalysis, TraceAnalyzer};
 pub use dist::{Dist, DistKind};
 pub use engine::{Ctx, Engine, EventKey, Simulation, StopCondition};
+pub use memory::{alloc_snapshot, peak_rss_bytes, AllocDelta, AllocSnapshot, CountingAlloc};
 pub use metrics::{CounterId, EngineProfile, GaugeId, MetricsRegistry, MetricsSnapshot, SeriesId};
 pub use rng::{RngFactory, SimRng, StreamId};
 pub use span::{Span, SpanKind, WaitCause, SPAN_SCHEMA_VERSION};

@@ -267,10 +267,24 @@ pub struct EngineProfile {
     pub events_per_sec: f64,
     /// High-water mark of the event queue (peak heap footprint proxy).
     pub peak_queue_len: u64,
+    /// Peak resident set of the measuring process in bytes
+    /// ([`crate::memory::peak_rss_bytes`]); `None` off Linux or when the
+    /// caller did not sample it. A whole-process figure: meaningful for a
+    /// bench running one scenario at a time, not for concurrent batches.
+    #[serde(default)]
+    pub peak_rss_bytes: Option<u64>,
+    /// Heap allocations during the run (`None` unless the binary installed
+    /// [`crate::memory::CountingAlloc`]).
+    #[serde(default)]
+    pub allocations: Option<u64>,
+    /// Bytes requested from the allocator during the run (same gating).
+    #[serde(default)]
+    pub allocated_bytes: Option<u64>,
 }
 
 impl EngineProfile {
-    /// Build a profile from the raw figures, computing the rate.
+    /// Build a profile from the raw figures, computing the rate. Memory
+    /// fields start empty; see [`EngineProfile::with_memory`].
     pub fn new(events_delivered: u64, wall_seconds: f64, peak_queue_len: usize) -> Self {
         let events_per_sec = if wall_seconds > 0.0 {
             events_delivered as f64 / wall_seconds
@@ -282,7 +296,23 @@ impl EngineProfile {
             wall_seconds,
             events_per_sec,
             peak_queue_len: peak_queue_len as u64,
+            peak_rss_bytes: None,
+            allocations: None,
+            allocated_bytes: None,
         }
+    }
+
+    /// Attach memory figures: the process's peak RSS and (when a counting
+    /// allocator is installed) the run's allocation traffic.
+    pub fn with_memory(
+        mut self,
+        peak_rss_bytes: Option<u64>,
+        alloc: Option<crate::memory::AllocDelta>,
+    ) -> Self {
+        self.peak_rss_bytes = peak_rss_bytes;
+        self.allocations = alloc.map(|d| d.allocations);
+        self.allocated_bytes = alloc.map(|d| d.bytes);
+        self
     }
 }
 

@@ -1,0 +1,387 @@
+//! An indexed FIFO queue for EASY-style backfill scans.
+//!
+//! The naive Phase-3 backfill scan walks the whole queue on every decision
+//! pass. On saturated sites that is O(queue) per completion — the dominant
+//! cost of large-scenario runs (measured: ~25 000-job average scan depth,
+//! billions of visited entries, almost all of which fail the same two
+//! tests). This module replaces the walk with an index exploiting the two
+//! monotonicities of the scan:
+//!
+//! * free cores only *decrease* while picking, so a job wider than the
+//!   current free pool can be skipped for the rest of the pass, and
+//! * the reservation's spare ("extra") cores only decrease, so once a
+//!   width exceeds `extra`, *long* jobs of that width are unstartable for
+//!   the rest of the pass.
+//!
+//! Job widths come from small discrete sets (the workload profiles draw
+//! from ~a dozen power-of-two core counts), so the queue is kept as one
+//! **lane per distinct width**. Each lane stores its jobs in arrival order
+//! under a segment tree of minimum *estimated runtime*, answering
+//!
+//! > "first job of this width, at or after position `i`, estimated to run
+//! >  at most `limit`"
+//!
+//! in O(log lane). A backfill pass heap-merges the per-lane candidates in
+//! global arrival order and touches only jobs that are actually startable
+//! under the current free/extra budgets (plus one boundary probe per lane)
+//! — O((picks + distinct widths) · log) per pass instead of O(queue).
+//!
+//! Decisions are **bit-identical** to the naive walk; the differential
+//! suite (`tests/differential.rs`, plus the property tests in this crate)
+//! drives both against identical traffic to prove it.
+
+use crate::queue::estimated_runtime;
+use std::collections::{BTreeMap, VecDeque};
+use tg_workload::Job;
+
+/// Dead-slot sentinel in the lane segment trees. Real estimates are u64
+/// microseconds, so `u64::MAX as u128` (`ALIVE_LIMIT`) admits every live
+/// entry while the sentinel admits none.
+const DEAD: u128 = u128::MAX;
+
+/// Query limit that matches any live entry regardless of estimate.
+pub(crate) const ALIVE_LIMIT: u128 = u64::MAX as u128;
+
+/// Jobs of one width, in arrival order, under a min-estimate segment tree.
+#[derive(Debug, Default)]
+pub(crate) struct WidthLane {
+    /// Arrival-ordered sequence numbers; dead entries keep their slot until
+    /// the next rebuild.
+    seqs: Vec<u64>,
+    /// Segment tree over `seqs` of estimated runtime in microseconds
+    /// (`DEAD` for killed slots). `seg[cap + i]` is the leaf for `seqs[i]`.
+    seg: Vec<u128>,
+    /// Leaf capacity (power of two ≥ `seqs.len()`).
+    cap: usize,
+    /// Live seq → slot index.
+    by_seq: BTreeMap<u64, usize>,
+}
+
+impl WidthLane {
+    fn rebuild(&mut self, entries: Vec<(u64, u128)>) {
+        let cap = entries.len().next_power_of_two().max(8);
+        let mut seg = vec![DEAD; 2 * cap];
+        let mut seqs = Vec::with_capacity(cap);
+        let mut by_seq = BTreeMap::new();
+        for (i, (seq, est)) in entries.into_iter().enumerate() {
+            seg[cap + i] = est;
+            by_seq.insert(seq, i);
+            seqs.push(seq);
+        }
+        for n in (1..cap).rev() {
+            seg[n] = seg[2 * n].min(seg[2 * n + 1]);
+        }
+        self.seqs = seqs;
+        self.seg = seg;
+        self.cap = cap;
+        self.by_seq = by_seq;
+    }
+
+    /// Live entries in arrival order (used by rebuilds).
+    fn live_entries(&self) -> Vec<(u64, u128)> {
+        self.by_seq
+            .iter()
+            .map(|(&seq, &i)| (seq, self.seg[self.cap + i]))
+            .collect()
+    }
+
+    fn update_path(&mut self, i: usize, v: u128) {
+        let mut n = self.cap + i;
+        self.seg[n] = v;
+        while n > 1 {
+            n /= 2;
+            self.seg[n] = self.seg[2 * n].min(self.seg[2 * n + 1]);
+        }
+    }
+
+    /// Append a job (seqs are globally increasing, so arrival order holds).
+    fn push(&mut self, seq: u64, est_micros: u64) {
+        if self.seqs.len() == self.cap {
+            // No free slot: rebuild from the live entries (dropping dead
+            // slots) with the new job appended; `rebuild` sizes the tree
+            // with room to grow. Amortized O(1) per push.
+            let mut entries = self.live_entries();
+            entries.push((seq, est_micros as u128));
+            self.rebuild(entries);
+            return;
+        }
+        let i = self.seqs.len();
+        self.seqs.push(seq);
+        self.by_seq.insert(seq, i);
+        self.update_path(i, est_micros as u128);
+    }
+
+    /// Kill `seq` (it left the queue). Compacts when mostly dead.
+    fn kill(&mut self, seq: u64) {
+        let Some(i) = self.by_seq.remove(&seq) else {
+            return;
+        };
+        self.update_path(i, DEAD);
+        if self.seqs.len() >= 32 && self.by_seq.len() * 2 < self.seqs.len() {
+            self.rebuild(self.live_entries());
+        }
+    }
+
+    /// Estimated runtime (µs) of the live entry at slot `i`.
+    pub(crate) fn est_at(&self, i: usize) -> u128 {
+        self.seg[self.cap + i]
+    }
+
+    /// Seq of the entry at slot `i`.
+    pub(crate) fn seq_at(&self, i: usize) -> u64 {
+        self.seqs[i]
+    }
+
+    /// First slot ≥ `from` whose estimate is ≤ `limit`, if any.
+    pub(crate) fn first_le(&self, from: usize, limit: u128) -> Option<usize> {
+        if from >= self.seqs.len() {
+            return None;
+        }
+        self.descend(1, 0, self.cap, from, limit)
+    }
+
+    fn descend(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        from: usize,
+        limit: u128,
+    ) -> Option<usize> {
+        if hi <= from || self.seg[node] > limit {
+            return None;
+        }
+        if hi - lo == 1 {
+            return (lo < self.seqs.len()).then_some(lo);
+        }
+        let mid = (lo + hi) / 2;
+        self.descend(2 * node, lo, mid, from, limit)
+            .or_else(|| self.descend(2 * node + 1, mid, hi, from, limit))
+    }
+}
+
+/// FIFO job queue indexed for backfill: a seq-ordered job map plus one
+/// [`WidthLane`] per distinct core width.
+///
+/// Estimates are indexed at the site's `core_speed`, which `submit` doesn't
+/// receive — newly submitted jobs are *staged* and folded into the index at
+/// the start of the next decision pass ([`BackfillQueue::integrate`]).
+#[derive(Debug, Default)]
+pub(crate) struct BackfillQueue {
+    jobs: BTreeMap<u64, Job>,
+    lanes: BTreeMap<usize, WidthLane>,
+    staged: VecDeque<Job>,
+    next_seq: u64,
+    /// Captured at first integration; the per-site speed never changes.
+    core_speed: Option<f64>,
+}
+
+impl BackfillQueue {
+    pub(crate) fn new() -> Self {
+        BackfillQueue::default()
+    }
+
+    /// Stage a newly submitted job (indexed at the next decision pass).
+    pub(crate) fn push_back(&mut self, job: Job) {
+        self.staged.push_back(job);
+    }
+
+    /// Queued jobs (staged included).
+    pub(crate) fn len(&self) -> usize {
+        self.jobs.len() + self.staged.len()
+    }
+
+    /// Fold staged submissions into the index. Must run before any other
+    /// query in a decision pass.
+    pub(crate) fn integrate(&mut self, core_speed: f64) {
+        debug_assert!(
+            self.core_speed.replace(core_speed).unwrap_or(core_speed) == core_speed,
+            "a site's core speed is constant"
+        );
+        while let Some(job) = self.staged.pop_front() {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let est = estimated_runtime(&job, core_speed).as_micros();
+            self.lanes.entry(job.cores).or_default().push(seq, est);
+            self.jobs.insert(seq, job);
+        }
+    }
+
+    /// The queue head (after [`BackfillQueue::integrate`]).
+    pub(crate) fn front(&self) -> Option<&Job> {
+        self.jobs.first_key_value().map(|(_, j)| j)
+    }
+
+    /// Seq of the queue head.
+    pub(crate) fn head_seq(&self) -> Option<u64> {
+        self.jobs.first_key_value().map(|(&s, _)| s)
+    }
+
+    /// Pop the queue head.
+    pub(crate) fn pop_front(&mut self) -> Option<Job> {
+        let (seq, job) = self.jobs.pop_first()?;
+        self.lane_kill(job.cores, seq);
+        Some(job)
+    }
+
+    /// Remove an arbitrary queued job by seq (a backfill pick).
+    pub(crate) fn remove(&mut self, seq: u64) -> Job {
+        let job = self.jobs.remove(&seq).expect("picked seq is queued");
+        self.lane_kill(job.cores, seq);
+        job
+    }
+
+    fn lane_kill(&mut self, cores: usize, seq: u64) {
+        self.lanes
+            .get_mut(&cores)
+            .expect("lane exists for queued width")
+            .kill(seq);
+    }
+
+    /// Integrated jobs in arrival order (drain/pre-drain passes, tests).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, &Job)> {
+        self.jobs.iter().map(|(&s, j)| (s, j))
+    }
+
+    /// Width lanes at or below `max_width`, for candidate seeding.
+    pub(crate) fn lanes_up_to(
+        &self,
+        max_width: usize,
+    ) -> impl Iterator<Item = (usize, &WidthLane)> {
+        self.lanes.range(..=max_width).map(|(&w, l)| (w, l))
+    }
+
+    /// The lane for `width` (must exist).
+    pub(crate) fn lane(&self, width: usize) -> &WidthLane {
+        &self.lanes[&width]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_des::{SimDuration, SimTime};
+    use tg_workload::{JobId, ProjectId, UserId};
+
+    fn job(id: usize, cores: usize, secs: u64) -> Job {
+        Job::batch(
+            JobId(id),
+            UserId(0),
+            ProjectId(0),
+            SimTime::ZERO,
+            cores,
+            SimDuration::from_secs(secs),
+        )
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_across_widths() {
+        let mut q = BackfillQueue::new();
+        q.push_back(job(0, 4, 10));
+        q.push_back(job(1, 8, 10));
+        q.push_back(job(2, 4, 10));
+        q.integrate(1.0);
+        let ids: Vec<_> = q.iter().map(|(_, j)| j.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(q.pop_front().unwrap().id, JobId(0));
+        assert_eq!(q.front().unwrap().id, JobId(1));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn staged_jobs_count_but_integrate_lazily() {
+        let mut q = BackfillQueue::new();
+        q.push_back(job(0, 2, 5));
+        assert_eq!(q.len(), 1);
+        assert!(q.front().is_none(), "not integrated yet");
+        q.integrate(1.0);
+        assert_eq!(q.front().unwrap().id, JobId(0));
+    }
+
+    #[test]
+    fn first_le_finds_the_earliest_short_job_per_width() {
+        let mut q = BackfillQueue::new();
+        q.push_back(job(0, 4, 1000)); // long
+        q.push_back(job(1, 4, 10)); // short
+        q.push_back(job(2, 4, 20)); // short
+        q.integrate(1.0);
+        let lane = q.lane(4);
+        let limit = SimDuration::from_secs(100).as_micros() as u128;
+        let i = lane.first_le(0, limit).expect("short job exists");
+        assert_eq!(lane.seq_at(i), 1);
+        assert_eq!(lane.first_le(i + 1, limit).map(|j| lane.seq_at(j)), Some(2));
+        assert_eq!(
+            lane.first_le(0, SimDuration::from_secs(1).as_micros() as u128),
+            None
+        );
+    }
+
+    #[test]
+    fn removal_kills_lane_entries() {
+        let mut q = BackfillQueue::new();
+        for i in 0..100 {
+            q.push_back(job(i, 2, 10 + i as u64));
+        }
+        q.integrate(1.0);
+        // Remove every other job; survivors stay reachable in order.
+        let seqs: Vec<u64> = q.iter().map(|(s, _)| s).collect();
+        for &s in seqs.iter().step_by(2) {
+            q.remove(s);
+        }
+        assert_eq!(q.len(), 50);
+        let lane = q.lane(2);
+        let mut seen = Vec::new();
+        let mut from = 0;
+        while let Some(i) = lane.first_le(from, ALIVE_LIMIT) {
+            seen.push(lane.seq_at(i));
+            from = i + 1;
+        }
+        let expect: Vec<u64> = seqs.iter().skip(1).step_by(2).copied().collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn growth_and_compaction_keep_the_index_consistent() {
+        let mut q = BackfillQueue::new();
+        let mut next = 0usize;
+        for round in 0..8 {
+            for _ in 0..64 {
+                q.push_back(job(next, 4, 60 + (next as u64 % 7) * 60));
+                next += 1;
+            }
+            q.integrate(1.0);
+            // Drain three quarters from the front.
+            for _ in 0..48 {
+                q.pop_front();
+            }
+            let want = (round + 1) * 16;
+            assert_eq!(q.len(), want);
+            // Lane view matches the job map exactly.
+            let lane = q.lane(4);
+            let mut lane_seqs = Vec::new();
+            let mut from = 0;
+            while let Some(i) = lane.first_le(from, ALIVE_LIMIT) {
+                lane_seqs.push(lane.seq_at(i));
+                from = i + 1;
+            }
+            let map_seqs: Vec<u64> = q.iter().map(|(s, _)| s).collect();
+            assert_eq!(lane_seqs, map_seqs);
+        }
+    }
+
+    #[test]
+    fn estimates_are_indexed_at_site_speed() {
+        let mut q = BackfillQueue::new();
+        q.push_back(job(0, 4, 100));
+        q.integrate(2.0); // twice the reference speed → 50 s estimate
+        let lane = q.lane(4);
+        let i = lane
+            .first_le(0, SimDuration::from_secs(50).as_micros() as u128)
+            .expect("50 s at speed 2");
+        assert_eq!(lane.seq_at(i), 0);
+        assert_eq!(
+            lane.first_le(0, SimDuration::from_secs(49).as_micros() as u128),
+            None
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //! start. Rebuilding per round is O(queue × segments) — simple, and cheap at
 //! the queue lengths grid sites see.
 
-use crate::queue::{attribute, estimated_runtime, BatchScheduler, RunningJob, Started};
+use crate::queue::{attribute, estimated_runtime, BatchScheduler, RunningJob, RunningSet, Started};
 use std::collections::VecDeque;
 use tg_des::span::WaitCause;
 use tg_des::{SimDuration, SimTime};
@@ -46,8 +46,12 @@ impl Profile {
     }
 
     /// Profile starting at `now` with `free` cores, minus each running job's
-    /// cores until its estimated end.
-    pub(crate) fn from_running(now: SimTime, free: usize, running: &[RunningJob]) -> Self {
+    /// cores until its estimated end. The running jobs may come in any order
+    /// (the profile is a commutative sum of per-job contributions).
+    pub(crate) fn from_running<I>(now: SimTime, free: usize, running: I) -> Self
+    where
+        I: IntoIterator<Item = RunningJob>,
+    {
         let mut p = Profile::new(now, free);
         for r in running {
             // Each running job occupies its cores from now until its end.
@@ -142,7 +146,7 @@ impl Profile {
 #[derive(Debug, Default)]
 pub struct ConservativeBackfill {
     queue: VecDeque<Job>,
-    running: Vec<RunningJob>,
+    running: RunningSet,
 }
 
 impl ConservativeBackfill {
@@ -162,9 +166,7 @@ impl BatchScheduler for ConservativeBackfill {
     }
 
     fn on_complete(&mut self, _now: SimTime, id: JobId) {
-        if let Some(pos) = self.running.iter().position(|r| r.id == id) {
-            self.running.swap_remove(pos);
-        }
+        self.running.remove(id);
     }
 
     fn make_decisions(
@@ -173,7 +175,8 @@ impl BatchScheduler for ConservativeBackfill {
         cluster: &mut Cluster,
         core_speed: f64,
     ) -> Vec<Started> {
-        let mut profile = Profile::from_running(now, cluster.free_cores(), &self.running);
+        let mut profile =
+            Profile::from_running(now, cluster.free_cores(), self.running.iter_by_end());
         let mut started = Vec::new();
         let mut remaining = VecDeque::with_capacity(self.queue.len());
         for job in self.queue.drain(..) {
@@ -186,7 +189,7 @@ impl BatchScheduler for ConservativeBackfill {
                 // Under conservative backfill every delay traces back to the
                 // reservations of earlier-arrived jobs.
                 let cause = attribute(now, &job, WaitCause::AheadInQueue);
-                self.running.push(RunningJob {
+                self.running.insert(RunningJob {
                     id: job.id,
                     cores: job.cores,
                     estimated_end,
@@ -242,7 +245,7 @@ mod tests {
                 estimated_end: SimTime::from_secs(50),
             },
         ];
-        let p = Profile::from_running(SimTime::ZERO, 4, &running);
+        let p = Profile::from_running(SimTime::ZERO, 4, running);
         assert_eq!(p.free_at(SimTime::ZERO), 4);
         assert_eq!(p.free_at(SimTime::from_secs(49)), 4);
         assert_eq!(p.free_at(SimTime::from_secs(50)), 6);
@@ -256,7 +259,7 @@ mod tests {
             cores: 6,
             estimated_end: SimTime::from_secs(100),
         }];
-        let p = Profile::from_running(SimTime::ZERO, 4, &running);
+        let p = Profile::from_running(SimTime::ZERO, 4, running);
         // 4 cores for 50 s fits immediately.
         assert_eq!(
             p.find_slot(SimTime::ZERO, 4, SimDuration::from_secs(50)),
@@ -276,7 +279,7 @@ mod tests {
 
     #[test]
     fn reserve_blocks_subsequent_slots() {
-        let mut p = Profile::from_running(SimTime::ZERO, 10, &[]);
+        let mut p = Profile::from_running(SimTime::ZERO, 10, []);
         p.reserve(SimTime::from_secs(100), SimDuration::from_secs(100), 8);
         // 4 cores for 300 s starting now would overlap the reservation
         // window where only 2 are free.

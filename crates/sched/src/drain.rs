@@ -18,8 +18,9 @@
 //!
 //! With no hero jobs pending, the policy is exactly EASY.
 
-use crate::easy::{easy_pass, start_job};
-use crate::queue::{estimated_runtime, BatchScheduler, RunningJob, Started};
+use crate::backfill_queue::BackfillQueue;
+use crate::easy::{drain_pass, easy_pass, start_job};
+use crate::queue::{BatchScheduler, RunningSet, Started};
 use std::collections::VecDeque;
 use tg_des::span::WaitCause;
 use tg_des::{SimDuration, SimTime};
@@ -32,9 +33,9 @@ pub const DEFAULT_HERO_FRACTION: f64 = 0.9;
 /// Weekly-drain scheduler.
 #[derive(Debug)]
 pub struct WeeklyDrain {
-    normal: VecDeque<Job>,
+    normal: BackfillQueue,
     heroes: VecDeque<Job>,
-    running: Vec<RunningJob>,
+    running: RunningSet,
     period: SimDuration,
     machine_cores: usize,
     hero_threshold: usize,
@@ -67,9 +68,9 @@ impl WeeklyDrain {
         assert!(!period.is_zero(), "drain period must be positive");
         assert!(machine_cores > 0, "machine must have cores");
         WeeklyDrain {
-            normal: VecDeque::new(),
+            normal: BackfillQueue::new(),
             heroes: VecDeque::new(),
-            running: Vec::new(),
+            running: RunningSet::new(),
             period,
             machine_cores,
             hero_threshold: ((machine_cores as f64) * DEFAULT_HERO_FRACTION).ceil() as usize,
@@ -129,9 +130,7 @@ impl BatchScheduler for WeeklyDrain {
     }
 
     fn on_complete(&mut self, _now: SimTime, id: JobId) {
-        if let Some(pos) = self.running.iter().position(|r| r.id == id) {
-            self.running.swap_remove(pos);
-        }
+        self.running.remove(id);
     }
 
     fn make_decisions(
@@ -171,28 +170,18 @@ impl BatchScheduler for WeeklyDrain {
                         return started; // naive drain: start nothing
                     }
                     // Pre-drain: greedily start normal jobs that fit and
-                    // finish (by estimate) before the wall.
-                    let mut i = 0;
-                    while i < self.normal.len() {
-                        let job = &self.normal[i];
-                        let est_end = now + estimated_runtime(job, core_speed);
-                        if cluster.can_fit(job.cores) && est_end <= drain {
-                            let job = self.normal.remove(i).expect("index valid");
-                            // Any wait this job saw happened under the armed
-                            // drain's estimate-bounded fill regime.
-                            start_job(
-                                now,
-                                cluster,
-                                core_speed,
-                                job,
-                                WaitCause::DrainWindow,
-                                &mut self.running,
-                                &mut started,
-                            );
-                        } else {
-                            i += 1;
-                        }
-                    }
+                    // finish (by estimate) before the wall. Any wait these
+                    // jobs saw happened under the armed drain's
+                    // estimate-bounded fill regime.
+                    drain_pass(
+                        &mut self.normal,
+                        &mut self.running,
+                        now,
+                        cluster,
+                        core_speed,
+                        drain,
+                        &mut started,
+                    );
                     return started;
                 }
                 Some(_) => {

@@ -10,10 +10,13 @@
 //! EASY is what most TeraGrid-era sites actually ran, and is the scheduler
 //! the F3 wait-time experiment centers on.
 
+use crate::backfill_queue::{BackfillQueue, ALIVE_LIMIT};
 use crate::queue::{
-    attribute, earliest_fit, estimated_runtime, BatchScheduler, RunningJob, Started,
+    attribute, earliest_fit, estimated_runtime, free_at, BatchScheduler, RunningJob, RunningSet,
+    Started,
 };
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use tg_des::span::WaitCause;
 use tg_des::SimTime;
 use tg_model::Cluster;
@@ -22,8 +25,8 @@ use tg_workload::{Job, JobId};
 /// EASY backfill scheduler.
 #[derive(Debug, Default)]
 pub struct EasyBackfill {
-    queue: VecDeque<Job>,
-    running: Vec<RunningJob>,
+    queue: BackfillQueue,
+    running: RunningSet,
     backfilled: u64,
     /// Armed outage notice: don't start work estimated to outlive this.
     outage: Option<SimTime>,
@@ -36,37 +39,43 @@ impl EasyBackfill {
     }
 }
 
-/// Decision pass under an armed outage notice: start queued jobs in order
-/// whenever they fit *and* are estimated to finish before `horizon`. No
-/// head reservation — the head may be exactly the job that cannot finish in
-/// time, and reserving cores for it would idle the machine for work the
-/// outage will kill anyway.
+/// Decision pass under a drain horizon (an armed outage notice, or the
+/// weekly-drain wall): start queued jobs in order whenever they fit *and*
+/// are estimated to finish before `horizon`. No head reservation — the head
+/// may be exactly the job that cannot finish in time, and reserving cores
+/// for it would idle the machine for work the drain will stop anyway.
 pub(crate) fn drain_pass(
-    queue: &mut VecDeque<Job>,
-    running: &mut Vec<RunningJob>,
+    queue: &mut BackfillQueue,
+    running: &mut RunningSet,
     now: SimTime,
     cluster: &mut Cluster,
     core_speed: f64,
     horizon: SimTime,
     started: &mut Vec<Started>,
 ) {
-    let mut i = 0;
-    while i < queue.len() {
-        let job = &queue[i];
+    queue.integrate(core_speed);
+    // Jobs need ≥1 core, so a saturated cluster can start nothing: the scan
+    // below would pick zero jobs. Skipping it changes no decision.
+    if cluster.free_cores() == 0 {
+        return;
+    }
+    let mut picked = Vec::new();
+    for (seq, job) in queue.iter() {
         if cluster.can_fit(job.cores) && now + estimated_runtime(job, core_speed) <= horizon {
-            let job = queue.remove(i).expect("index valid");
-            start_job(
-                now,
-                cluster,
-                core_speed,
-                job,
-                WaitCause::DrainWindow,
-                running,
-                started,
-            );
-            continue; // same index now holds the next job
+            assert!(cluster.acquire(now, job.cores), "can_fit said yes");
+            picked.push(seq);
         }
-        i += 1;
+    }
+    for seq in picked {
+        let job = queue.remove(seq);
+        record_start(
+            now,
+            core_speed,
+            job,
+            WaitCause::DrainWindow,
+            running,
+            started,
+        );
     }
 }
 
@@ -79,13 +88,28 @@ pub(crate) fn start_job(
     core_speed: f64,
     job: Job,
     delayed: WaitCause,
-    running: &mut Vec<RunningJob>,
+    running: &mut RunningSet,
     out: &mut Vec<Started>,
 ) {
     assert!(cluster.acquire(now, job.cores), "caller checked fit");
+    record_start(now, core_speed, job, delayed, running, out);
+}
+
+/// The bookkeeping half of [`start_job`]: record `job` as running and
+/// started. The caller has already acquired its cores (scan-then-compact
+/// passes acquire during the scan so later decisions see the updated free
+/// pool, and record here during the single compaction drain).
+pub(crate) fn record_start(
+    now: SimTime,
+    core_speed: f64,
+    job: Job,
+    delayed: WaitCause,
+    running: &mut RunningSet,
+    out: &mut Vec<Started>,
+) {
     let estimated_end = now + estimated_runtime(&job, core_speed);
     let cause = attribute(now, &job, delayed);
-    running.push(RunningJob {
+    running.insert(RunningJob {
         id: job.id,
         cores: job.cores,
         estimated_end,
@@ -97,19 +121,69 @@ pub(crate) fn start_job(
     });
 }
 
-/// One EASY decision pass over `queue`: FCFS starts, head reservation, then
-/// reservation-respecting backfill. Shared with the weekly-drain policy's
-/// normal phase. Every Phase-3 start (a job overtaking the blocked head)
-/// bumps `backfills`.
-pub(crate) fn easy_pass(
+/// Remove the queue entries at `picked` (ascending indices whose cores the
+/// scan already acquired) in one O(queue) compaction drain, recording each
+/// as started in queue order — the same start order the old per-job
+/// `VecDeque::remove` produced, without its O(n) shift per start. No-op
+/// (and no reallocation) when nothing was picked.
+pub(crate) fn compact_starts(
     queue: &mut VecDeque<Job>,
-    running: &mut Vec<RunningJob>,
+    picked: &[usize],
+    now: SimTime,
+    core_speed: f64,
+    delayed: WaitCause,
+    running: &mut RunningSet,
+    out: &mut Vec<Started>,
+) {
+    if picked.is_empty() {
+        return;
+    }
+    // Few picks in a long queue: point removals (cost min(i, n-i) each, no
+    // allocation) beat rebuilding. Many picks: one drain-and-rebuild pass.
+    if picked.len() * 8 < queue.len() {
+        for (k, &i) in picked.iter().enumerate() {
+            let job = queue.remove(i - k).expect("picked index valid");
+            record_start(now, core_speed, job, delayed, running, out);
+        }
+        return;
+    }
+    let mut next = picked.iter().copied().peekable();
+    let mut rest = VecDeque::with_capacity(queue.len() - picked.len());
+    for (i, job) in queue.drain(..).enumerate() {
+        if next.peek() == Some(&i) {
+            next.next();
+            record_start(now, core_speed, job, delayed, running, out);
+        } else {
+            rest.push_back(job);
+        }
+    }
+    *queue = rest;
+}
+
+/// One EASY decision pass over an indexed queue: FCFS starts, head
+/// reservation, then reservation-respecting backfill. Shared with the
+/// weekly-drain policy's normal phase. Every Phase-3 start (a job
+/// overtaking the blocked head) bumps `backfills`.
+///
+/// Phase 3 visits candidates through the per-width lanes of
+/// [`BackfillQueue`] instead of walking the whole queue: lanes wider than
+/// the free pool are never consulted (free cores only shrink while
+/// picking), and a lane wider than the remaining `extra` yields only jobs
+/// short enough to finish before the reservation. A min-heap merges the
+/// lanes back into global arrival order, so the decisions — picks, start
+/// order, core/extra accounting — are bit-identical to the naive walk that
+/// [`crate::reference::NaiveEasy`] retains (the differential suite proves
+/// it). Cost per pass: O((picks + distinct widths) · log queue).
+pub(crate) fn easy_pass(
+    queue: &mut BackfillQueue,
+    running: &mut RunningSet,
     now: SimTime,
     cluster: &mut Cluster,
     core_speed: f64,
     started: &mut Vec<Started>,
     backfills: &mut u64,
 ) {
+    queue.integrate(core_speed);
     // Phase 1: start queue heads FCFS-style while they fit.
     while let Some(head) = queue.front() {
         if !cluster.can_fit(head.cores) {
@@ -130,54 +204,161 @@ pub(crate) fn easy_pass(
     let Some(head) = queue.front() else {
         return;
     };
+    // Saturated cluster: every queued job needs ≥1 core, so neither the
+    // reservation (pure computation) nor the backfill scan can start
+    // anything — skip both. Decisions are untouched; only the walk that
+    // would have picked nothing is avoided.
+    if cluster.free_cores() == 0 {
+        return;
+    }
     // Phase 2: reservation for the (blocked) head.
     let shadow = earliest_fit(now, cluster.free_cores(), head.cores, running);
     // Cores free at the shadow time beyond what the head needs: a backfilled
     // job running past the shadow may use only these.
-    let free_at_shadow = {
-        let mut free = cluster.free_cores();
-        for r in running.iter() {
-            if r.estimated_end.max(now) <= shadow {
-                free += r.cores;
-            }
+    let head_cores = head.cores;
+    let free_at_shadow = free_at(now, cluster.free_cores(), shadow, running);
+    let mut extra = free_at_shadow.saturating_sub(head_cores);
+
+    // Phase 3: backfill in arrival order via the width lanes. A job may
+    // start if it fits the free cores and either finishes (by estimate)
+    // before the reservation or uses only `extra` cores. `shadow ≥ now`
+    // always (earliest_fit clamps), so `est ≤ shadow − now` in integer
+    // microseconds is exactly the naive `now + est ≤ shadow` test.
+    let head_seq = queue.head_seq().expect("head exists");
+    let short_limit = shadow.saturating_since(now).as_micros() as u128;
+    // A lane no wider than `extra` may yield any live job; a wider lane
+    // only jobs that finish before the reservation.
+    let lane_limit = |w: usize, extra: usize| {
+        if w <= extra {
+            ALIVE_LIMIT
+        } else {
+            short_limit
         }
-        free
     };
+    // One in-flight candidate per lane, merged by (seq) = arrival order.
+    let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+    for (w, lane) in queue.lanes_up_to(cluster.free_cores()) {
+        if let Some(i) = lane.first_le(0, lane_limit(w, extra)) {
+            heap.push(Reverse((lane.seq_at(i), w, i)));
+        }
+    }
+    let mut picked: Vec<u64> = Vec::new();
+    while let Some(Reverse((seq, w, i))) = heap.pop() {
+        if !cluster.can_fit(w) {
+            // Free cores only shrink during the pass: this lane is done.
+            continue;
+        }
+        let lane = queue.lane(w);
+        if seq == head_seq {
+            // The head holds the reservation; it never backfills.
+            if let Some(n) = lane.first_le(i + 1, lane_limit(w, extra)) {
+                heap.push(Reverse((lane.seq_at(n), w, n)));
+            }
+            continue;
+        }
+        if lane.est_at(i) > short_limit {
+            // Runs past the reservation: only `extra` cores may serve it.
+            if w > extra {
+                // Candidate staled by a shrunk `extra`: from here this lane
+                // can only start reservation-safe (short) jobs.
+                if let Some(n) = lane.first_le(i + 1, short_limit) {
+                    heap.push(Reverse((lane.seq_at(n), w, n)));
+                }
+                continue;
+            }
+            extra -= w;
+        }
+        assert!(cluster.acquire(now, w), "can_fit said yes");
+        picked.push(seq);
+        *backfills += 1;
+        if let Some(n) = lane.first_le(i + 1, lane_limit(w, extra)) {
+            heap.push(Reverse((lane.seq_at(n), w, n)));
+        }
+    }
+    // Overtaking jobs waited only until a hole opened up. Removal is
+    // deferred so lane slots stay stable during the scan; `picked` is in
+    // arrival order, preserving the naive start order.
+    for seq in picked {
+        let job = queue.remove(seq);
+        record_start(
+            now,
+            core_speed,
+            job,
+            WaitCause::BackfillHole,
+            running,
+            started,
+        );
+    }
+}
+
+/// The [`easy_pass`] decision logic over a plain `VecDeque` — for
+/// schedulers whose queue order is rebuilt per pass (fair-share re-ranks by
+/// decayed priority each round), where a persistent arrival-order index
+/// cannot amortize. Decisions are identical to `easy_pass` on the same
+/// queue order.
+pub(crate) fn easy_pass_unindexed(
+    queue: &mut VecDeque<Job>,
+    running: &mut RunningSet,
+    now: SimTime,
+    cluster: &mut Cluster,
+    core_speed: f64,
+    started: &mut Vec<Started>,
+    backfills: &mut u64,
+) {
+    // Phase 1: start queue heads FCFS-style while they fit.
+    while let Some(head) = queue.front() {
+        if !cluster.can_fit(head.cores) {
+            break;
+        }
+        let job = queue.pop_front().expect("peeked");
+        start_job(
+            now,
+            cluster,
+            core_speed,
+            job,
+            WaitCause::AheadInQueue,
+            running,
+            started,
+        );
+    }
+    let Some(head) = queue.front() else {
+        return;
+    };
+    if cluster.free_cores() == 0 {
+        return;
+    }
+    // Phase 2: reservation for the (blocked) head.
+    let shadow = earliest_fit(now, cluster.free_cores(), head.cores, running);
+    let free_at_shadow = free_at(now, cluster.free_cores(), shadow, running);
     let head_cores = head.cores;
     let mut extra = free_at_shadow.saturating_sub(head_cores);
 
     // Phase 3: backfill the rest of the queue in order.
-    let mut i = 1; // skip the head
-    while i < queue.len() {
-        let job = &queue[i];
-        if cluster.can_fit(job.cores) {
-            let est_end = now + estimated_runtime(job, core_speed);
-            let ok = if est_end <= shadow {
-                true
-            } else {
-                job.cores <= extra
-            };
-            if ok {
-                if est_end > shadow {
-                    extra -= job.cores;
-                }
-                let job = queue.remove(i).expect("index valid");
-                // An overtaking job waited only until a hole opened up.
-                start_job(
-                    now,
-                    cluster,
-                    core_speed,
-                    job,
-                    WaitCause::BackfillHole,
-                    running,
-                    started,
-                );
-                *backfills += 1;
-                continue; // same index now holds the next job
-            }
+    let mut picked = Vec::new();
+    for (i, job) in queue.iter().enumerate().skip(1) {
+        if !cluster.can_fit(job.cores) {
+            continue;
         }
-        i += 1;
+        let est_end = now + estimated_runtime(job, core_speed);
+        if est_end > shadow {
+            if job.cores > extra {
+                continue;
+            }
+            extra -= job.cores;
+        }
+        assert!(cluster.acquire(now, job.cores), "can_fit said yes");
+        picked.push(i);
     }
+    *backfills += picked.len() as u64;
+    compact_starts(
+        queue,
+        &picked,
+        now,
+        core_speed,
+        WaitCause::BackfillHole,
+        running,
+        started,
+    );
 }
 
 impl BatchScheduler for EasyBackfill {
@@ -190,9 +371,7 @@ impl BatchScheduler for EasyBackfill {
     }
 
     fn on_complete(&mut self, _now: SimTime, id: JobId) {
-        if let Some(pos) = self.running.iter().position(|r| r.id == id) {
-            self.running.swap_remove(pos);
-        }
+        self.running.remove(id);
     }
 
     fn make_decisions(

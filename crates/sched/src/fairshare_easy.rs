@@ -9,10 +9,10 @@
 //! Usage is charged on completion — `cores × wall-clock` — which is what a
 //! production fair-share implementation sees from its accounting feed.
 
-use crate::easy::easy_pass;
+use crate::easy::easy_pass_unindexed;
 use crate::fairshare::FairShare;
-use crate::queue::{BatchScheduler, RunningJob, Started};
-use std::collections::VecDeque;
+use crate::queue::{BatchScheduler, RunningSet, Started};
+use std::collections::{HashMap, VecDeque};
 use tg_des::{SimDuration, SimTime};
 use tg_model::Cluster;
 use tg_workload::{Job, JobId};
@@ -21,9 +21,9 @@ use tg_workload::{Job, JobId};
 #[derive(Debug)]
 pub struct FairshareEasy {
     queue: VecDeque<Job>,
-    running: Vec<RunningJob>,
-    /// `(id, cores, start)` for usage charging at completion.
-    charge_info: Vec<(JobId, usize, SimTime, tg_workload::ProjectId)>,
+    running: RunningSet,
+    /// `id → (cores, start, project)` for usage charging at completion.
+    charge_info: HashMap<JobId, (usize, SimTime, tg_workload::ProjectId)>,
     shares: FairShare,
     backfilled: u64,
 }
@@ -33,8 +33,8 @@ impl FairshareEasy {
     pub fn new(half_life: SimDuration) -> Self {
         FairshareEasy {
             queue: VecDeque::new(),
-            running: Vec::new(),
-            charge_info: Vec::new(),
+            running: RunningSet::new(),
+            charge_info: HashMap::new(),
             shares: FairShare::new(half_life),
             backfilled: 0,
         }
@@ -68,11 +68,8 @@ impl BatchScheduler for FairshareEasy {
     }
 
     fn on_complete(&mut self, now: SimTime, id: JobId) {
-        if let Some(pos) = self.running.iter().position(|r| r.id == id) {
-            self.running.swap_remove(pos);
-        }
-        if let Some(pos) = self.charge_info.iter().position(|&(jid, ..)| jid == id) {
-            let (_, cores, start, project) = self.charge_info.swap_remove(pos);
+        self.running.remove(id);
+        if let Some((cores, start, project)) = self.charge_info.remove(&id) {
             let wall = now.saturating_since(start).as_secs_f64();
             self.shares.charge(project, now, cores as f64 * wall);
         }
@@ -86,7 +83,7 @@ impl BatchScheduler for FairshareEasy {
     ) -> Vec<Started> {
         self.rerank(now);
         let mut started = Vec::new();
-        easy_pass(
+        easy_pass_unindexed(
             &mut self.queue,
             &mut self.running,
             now,
@@ -97,7 +94,7 @@ impl BatchScheduler for FairshareEasy {
         );
         for s in &started {
             self.charge_info
-                .push((s.job.id, s.job.cores, now, s.job.project));
+                .insert(s.job.id, (s.job.cores, now, s.job.project));
         }
         started
     }

@@ -4,7 +4,7 @@
 //! overtake. Simple, fair, and the utilization floor every backfill variant
 //! is measured against.
 
-use crate::queue::{attribute, estimated_runtime, BatchScheduler, RunningJob, Started};
+use crate::queue::{attribute, estimated_runtime, BatchScheduler, RunningJob, RunningSet, Started};
 use std::collections::VecDeque;
 use tg_des::span::WaitCause;
 use tg_des::SimTime;
@@ -15,7 +15,7 @@ use tg_workload::{Job, JobId};
 #[derive(Debug, Default)]
 pub struct Fcfs {
     queue: VecDeque<Job>,
-    running: Vec<RunningJob>,
+    running: RunningSet,
     /// Armed outage notice: don't start work estimated to outlive this.
     outage: Option<SimTime>,
 }
@@ -37,9 +37,7 @@ impl BatchScheduler for Fcfs {
     }
 
     fn on_complete(&mut self, _now: SimTime, id: JobId) {
-        if let Some(pos) = self.running.iter().position(|r| r.id == id) {
-            self.running.swap_remove(pos);
-        }
+        self.running.remove(id);
     }
 
     fn make_decisions(
@@ -66,7 +64,7 @@ impl BatchScheduler for Fcfs {
             let estimated_end = now + estimated_runtime(&job, core_speed);
             // Under strict FCFS a delayed start is always queue-order.
             let cause = attribute(now, &job, WaitCause::AheadInQueue);
-            self.running.push(RunningJob {
+            self.running.insert(RunningJob {
                 id: job.id,
                 cores: job.cores,
                 estimated_end,

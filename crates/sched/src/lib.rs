@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub(crate) mod backfill_queue;
 pub mod coalloc;
 pub mod conservative;
 pub mod drain;
@@ -59,6 +60,7 @@ pub mod fcfs;
 pub mod meta;
 pub mod queue;
 pub mod reconf;
+pub mod reference;
 pub mod reservation;
 pub mod retry;
 

@@ -1,6 +1,7 @@
 //! The scheduler interface and shared queue machinery.
 
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
 use tg_des::span::WaitCause;
 use tg_des::{SimDuration, SimTime};
 use tg_model::Cluster;
@@ -25,6 +26,48 @@ pub(crate) struct RunningJob {
     pub id: JobId,
     pub cores: usize,
     pub estimated_end: SimTime,
+}
+
+/// The indexed running set shared by every scheduler: an id→job map for
+/// O(1)-expected completion removal plus an `(estimated_end, id)`-ordered
+/// view so shadow-time and profile computations iterate completions in end
+/// order without re-sorting per decision pass.
+///
+/// The end-ordered view iterates by *raw* estimated end. Shadow-time callers
+/// clamp ends to `now`; clamping `max(now)` preserves the non-decreasing
+/// order, so cumulative-core scans over this view cross any threshold at
+/// exactly the time the sorted-per-pass implementation found (ties at equal
+/// clamped time are order-independent for a cumulative sum).
+#[derive(Debug, Default)]
+pub(crate) struct RunningSet {
+    by_id: HashMap<JobId, RunningJob>,
+    by_end: BTreeMap<(SimTime, JobId), usize>,
+}
+
+impl RunningSet {
+    pub(crate) fn new() -> Self {
+        RunningSet::default()
+    }
+
+    pub(crate) fn insert(&mut self, r: RunningJob) {
+        self.by_end.insert((r.estimated_end, r.id), r.cores);
+        self.by_id.insert(r.id, r);
+    }
+
+    pub(crate) fn remove(&mut self, id: JobId) -> Option<RunningJob> {
+        let r = self.by_id.remove(&id)?;
+        self.by_end.remove(&(r.estimated_end, r.id));
+        Some(r)
+    }
+
+    /// Running jobs in ascending `(estimated_end, id)` order.
+    pub(crate) fn iter_by_end(&self) -> impl Iterator<Item = RunningJob> + '_ {
+        self.by_end.iter().map(|(&(end, id), &cores)| RunningJob {
+            id,
+            cores,
+            estimated_end: end,
+        })
+    }
 }
 
 /// The per-site batch scheduler interface.
@@ -142,6 +185,30 @@ impl SchedulerKind {
         }
     }
 
+    /// Instantiate the retained naive (pre-optimization) implementation —
+    /// the differential-test oracle of [`crate::reference`]. Same decisions
+    /// as [`SchedulerKind::build`], worse asymptotics; meant for tests and
+    /// benchmarks only.
+    pub fn build_reference(self, machine_cores: usize) -> Box<dyn BatchScheduler> {
+        use crate::reference::*;
+        match self {
+            SchedulerKind::Fcfs => Box::new(NaiveFcfs::new()),
+            SchedulerKind::Easy => Box::new(NaiveEasy::new()),
+            SchedulerKind::Conservative => Box::new(NaiveConservative::new()),
+            SchedulerKind::WeeklyDrain => Box::new(NaiveWeeklyDrain::new(
+                SimDuration::from_weeks(1),
+                machine_cores,
+            )),
+            SchedulerKind::NaiveDrain => Box::new(
+                NaiveWeeklyDrain::new(SimDuration::from_weeks(1), machine_cores)
+                    .with_predrain_fill(false),
+            ),
+            SchedulerKind::FairshareEasy => {
+                Box::new(NaiveFairshareEasy::new(SimDuration::from_weeks(1)))
+            }
+        }
+    }
+
     /// Stable short name.
     pub fn name(self) -> &'static str {
         match self {
@@ -188,25 +255,37 @@ pub(crate) fn earliest_fit(
     now: SimTime,
     free_cores: usize,
     cores_needed: usize,
-    running: &[RunningJob],
+    running: &RunningSet,
 ) -> SimTime {
     if cores_needed <= free_cores {
         return now;
     }
-    let mut ends: Vec<(SimTime, usize)> = running
-        .iter()
-        .map(|r| (r.estimated_end.max(now), r.cores))
-        .collect();
-    ends.sort_unstable_by_key(|&(t, _)| t);
     let mut free = free_cores;
-    for (t, cores) in ends {
-        free += cores;
+    for r in running.iter_by_end() {
+        free += r.cores;
         if free >= cores_needed {
-            return t;
+            return r.estimated_end.max(now);
         }
     }
     // Unreachable if the job fits the machine (total cores = free + running).
     SimTime::MAX
+}
+
+/// Cores free at instant `at ≥ now`: the currently free pool plus every
+/// running job estimated (clamped to `now`) to have completed by then.
+///
+/// Early exit is sound because `at ≥ now` makes `end.max(now) ≤ at`
+/// equivalent to `end ≤ at`, and the set iterates by ascending raw end.
+pub(crate) fn free_at(now: SimTime, free_cores: usize, at: SimTime, running: &RunningSet) -> usize {
+    debug_assert!(at >= now, "free_at queries the future");
+    let mut free = free_cores;
+    for r in running.iter_by_end() {
+        if r.estimated_end.max(now) > at {
+            break;
+        }
+        free += r.cores;
+    }
+    free
 }
 
 #[cfg(test)]
@@ -222,17 +301,25 @@ mod tests {
         }
     }
 
+    fn set(jobs: &[RunningJob]) -> RunningSet {
+        let mut s = RunningSet::new();
+        for &r in jobs {
+            s.insert(r);
+        }
+        s
+    }
+
     #[test]
     fn earliest_fit_now_when_free() {
         assert_eq!(
-            earliest_fit(SimTime::from_secs(5), 10, 8, &[]),
+            earliest_fit(SimTime::from_secs(5), 10, 8, &set(&[])),
             SimTime::from_secs(5)
         );
     }
 
     #[test]
     fn earliest_fit_waits_for_enough_completions() {
-        let r = vec![running(0, 4, 100), running(1, 4, 50), running(2, 2, 200)];
+        let r = set(&[running(0, 4, 100), running(1, 4, 50), running(2, 2, 200)]);
         // free 0, need 6: at t=50 free 4; at t=100 free 8 ≥ 6.
         assert_eq!(
             earliest_fit(SimTime::ZERO, 0, 6, &r),
@@ -249,15 +336,38 @@ mod tests {
     fn earliest_fit_clamps_past_estimates_to_now() {
         // A running job whose estimate already elapsed (overrun) still counts
         // as ending "now or later", never in the past.
-        let r = vec![running(0, 8, 10)];
+        let r = set(&[running(0, 8, 10)]);
         let t = earliest_fit(SimTime::from_secs(100), 0, 8, &r);
         assert_eq!(t, SimTime::from_secs(100));
     }
 
     #[test]
     fn earliest_fit_unsatisfiable_is_max() {
-        let r = vec![running(0, 2, 10)];
+        let r = set(&[running(0, 2, 10)]);
         assert_eq!(earliest_fit(SimTime::ZERO, 1, 10, &r), SimTime::MAX);
+    }
+
+    #[test]
+    fn free_at_counts_clamped_completions_up_to_the_instant() {
+        let r = set(&[running(0, 4, 100), running(1, 4, 50), running(2, 2, 200)]);
+        assert_eq!(free_at(SimTime::ZERO, 0, SimTime::from_secs(49), &r), 0);
+        assert_eq!(free_at(SimTime::ZERO, 0, SimTime::from_secs(50), &r), 4);
+        assert_eq!(free_at(SimTime::ZERO, 0, SimTime::from_secs(100), &r), 8);
+        assert_eq!(free_at(SimTime::ZERO, 0, SimTime::MAX, &r), 10);
+        // Overrun jobs (raw end in the past) clamp to `now` and count.
+        let late = set(&[running(0, 8, 10)]);
+        let now = SimTime::from_secs(100);
+        assert_eq!(free_at(now, 1, now, &late), 9);
+    }
+
+    #[test]
+    fn running_set_remove_keeps_both_views_consistent() {
+        let mut s = set(&[running(0, 4, 100), running(1, 2, 50)]);
+        let r = s.remove(JobId(1)).expect("present");
+        assert_eq!(r.cores, 2);
+        assert!(s.remove(JobId(1)).is_none(), "second remove is a no-op");
+        let ends: Vec<_> = s.iter_by_end().map(|r| r.id).collect();
+        assert_eq!(ends, vec![JobId(0)]);
     }
 
     #[test]

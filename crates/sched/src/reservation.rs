@@ -17,7 +17,7 @@
 //! * an expired window (job never arrived) releases its cores.
 
 use crate::conservative::Profile;
-use crate::queue::{attribute, estimated_runtime, BatchScheduler, RunningJob, Started};
+use crate::queue::{attribute, estimated_runtime, BatchScheduler, RunningJob, RunningSet, Started};
 use std::collections::VecDeque;
 use tg_des::span::WaitCause;
 use tg_des::{SimDuration, SimTime};
@@ -47,7 +47,7 @@ impl Reservation {
 #[derive(Debug, Default)]
 pub struct ReservingConservative {
     queue: VecDeque<Job>,
-    running: Vec<RunningJob>,
+    running: RunningSet,
     reservations: Vec<Reservation>,
 }
 
@@ -86,7 +86,7 @@ impl ReservingConservative {
     /// The availability profile with every *foreign* granted window carved
     /// out (a job's own window is not an obstacle to itself).
     fn profile_excluding(&self, now: SimTime, cluster: &Cluster, own: Option<JobId>) -> Profile {
-        let mut p = Profile::from_running(now, cluster.free_cores(), &self.running);
+        let mut p = Profile::from_running(now, cluster.free_cores(), self.running.iter_by_end());
         for r in &self.reservations {
             if Some(r.job) == own {
                 continue;
@@ -110,9 +110,7 @@ impl BatchScheduler for ReservingConservative {
     }
 
     fn on_complete(&mut self, _now: SimTime, id: JobId) {
-        if let Some(pos) = self.running.iter().position(|r| r.id == id) {
-            self.running.swap_remove(pos);
-        }
+        self.running.remove(id);
     }
 
     fn make_decisions(
@@ -147,7 +145,7 @@ impl BatchScheduler for ReservingConservative {
                 let estimated_end = now + estimated_runtime(&job, core_speed);
                 // A reserved job that waited was waiting for its own window.
                 let cause = attribute(now, &job, WaitCause::ReservationBlock);
-                self.running.push(RunningJob {
+                self.running.insert(RunningJob {
                     id: job.id,
                     cores: job.cores,
                     estimated_end,
@@ -186,7 +184,7 @@ impl BatchScheduler for ReservingConservative {
                 profile.reserve(now, dur, job.cores);
                 let estimated_end = now + dur;
                 let cause = attribute(now, &job, delayed);
-                self.running.push(RunningJob {
+                self.running.insert(RunningJob {
                     id: job.id,
                     cores: job.cores,
                     estimated_end,

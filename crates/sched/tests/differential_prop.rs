@@ -1,0 +1,206 @@
+//! Differential property tests: the optimized schedulers (indexed running
+//! set + compaction-drain backfill) must make **bit-identical** decisions to
+//! the retained naive implementations in `tg_sched::reference` — same
+//! `Started` jobs in the same order with the same estimated ends and wait
+//! causes, and the same observability counters — when driven through
+//! identical submit/complete/decide (and drain-notice) sequences over
+//! random queues.
+
+use proptest::prelude::*;
+use tg_des::span::WaitCause;
+use tg_des::{SimDuration, SimTime};
+use tg_model::Cluster;
+use tg_sched::{BatchScheduler, SchedulerKind};
+use tg_workload::{Job, JobId, ProjectId, UserId};
+
+#[derive(Debug, Clone, Copy)]
+struct JobSpec {
+    cores: usize,
+    runtime_s: u64,
+    estimate_factor_x10: u64,
+    gap_s: u64,
+}
+
+fn arb_jobs() -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        (1usize..96, 10u64..5_000, 10u64..40, 0u64..600).prop_map(
+            |(cores, runtime_s, estimate_factor_x10, gap_s)| JobSpec {
+                cores,
+                runtime_s,
+                estimate_factor_x10,
+                gap_s,
+            },
+        ),
+        1..60,
+    )
+}
+
+/// The full decision record of one episode: every `Started` field that the
+/// simulation consumes, in emission order, plus the counters.
+#[derive(Debug, Clone, PartialEq)]
+struct Episode {
+    starts: Vec<(JobId, SimTime, SimTime, WaitCause)>,
+    backfills: u64,
+    drains: u64,
+}
+
+/// Drive `sched` through the episode `specs` describes, recording every
+/// decision. `notice_every`: arm a drain notice (one hour out) before every
+/// n-th submission and lift it before the next, exercising the drain pass.
+fn drive(
+    mut sched: Box<dyn BatchScheduler>,
+    specs: &[JobSpec],
+    machine: usize,
+    notice_every: Option<usize>,
+) -> Episode {
+    let mut cluster = Cluster::new(SimTime::ZERO, machine);
+    let mut running: Vec<(SimTime, JobId, usize)> = Vec::new();
+    let mut episode = Episode {
+        starts: Vec::new(),
+        backfills: 0,
+        drains: 0,
+    };
+    let mut now = SimTime::ZERO;
+
+    fn decide(
+        sched: &mut Box<dyn BatchScheduler>,
+        cluster: &mut Cluster,
+        running: &mut Vec<(SimTime, JobId, usize)>,
+        episode: &mut Episode,
+        now: SimTime,
+    ) {
+        for s in sched.make_decisions(now, cluster, 1.0) {
+            running.push((now + s.job.runtime, s.job.id, s.job.cores));
+            episode
+                .starts
+                .push((s.job.id, now, s.estimated_end, s.cause));
+        }
+    }
+
+    for (n, spec) in specs.iter().enumerate() {
+        now += SimDuration::from_secs(spec.gap_s);
+        if let Some(every) = notice_every {
+            if n % every == every - 1 {
+                sched.drain_notice(Some(now + SimDuration::from_secs(3600)));
+            } else {
+                sched.drain_notice(None);
+            }
+        }
+        loop {
+            running.sort_by_key(|&(end, ..)| end);
+            let Some(&(end, id, cores)) = running.first() else {
+                break;
+            };
+            if end > now {
+                break;
+            }
+            running.remove(0);
+            cluster.release(end, cores);
+            sched.on_complete(end, id);
+            decide(&mut sched, &mut cluster, &mut running, &mut episode, end);
+        }
+        let cores = spec.cores.min(machine);
+        let job = Job::batch(
+            JobId(n),
+            UserId(0),
+            ProjectId(n % 5),
+            now,
+            cores,
+            SimDuration::from_secs(spec.runtime_s),
+        )
+        .with_estimate(SimDuration::from_secs(
+            spec.runtime_s * spec.estimate_factor_x10 / 10,
+        ));
+        sched.submit(now, job);
+        decide(&mut sched, &mut cluster, &mut running, &mut episode, now);
+    }
+    // Drain with any armed notice lifted (notices past the horizon would
+    // wedge the queue forever), re-deciding immediately as the simulation
+    // driver does on recovery.
+    sched.drain_notice(None);
+    decide(&mut sched, &mut cluster, &mut running, &mut episode, now);
+    let mut guard = 0;
+    while sched.queue_len() > 0 || !running.is_empty() {
+        guard += 1;
+        assert!(guard < 10_000, "scheduler failed to drain");
+        running.sort_by_key(|&(end, ..)| end);
+        let next_completion = running.first().map(|&(end, ..)| end);
+        let next = match (next_completion, sched.next_wakeup(now)) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => panic!("queued jobs but nothing will wake the scheduler"),
+        };
+        now = next.max(now);
+        if let Some(&(end, id, cores)) = running.first() {
+            if end <= now {
+                running.remove(0);
+                cluster.release(now, cores);
+                sched.on_complete(now, id);
+            }
+        }
+        decide(&mut sched, &mut cluster, &mut running, &mut episode, now);
+    }
+    episode.backfills = sched.backfills();
+    episode.drains = sched.drains();
+    episode
+}
+
+fn assert_identical(kind: SchedulerKind, specs: &[JobSpec], machine: usize) {
+    let optimized = drive(kind.build(machine), specs, machine, None);
+    let naive = drive(kind.build_reference(machine), specs, machine, None);
+    assert_eq!(optimized, naive, "{} diverged from naive", kind.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn fcfs_matches_naive(specs in arb_jobs()) {
+        assert_identical(SchedulerKind::Fcfs, &specs, 128);
+    }
+
+    #[test]
+    fn easy_matches_naive(specs in arb_jobs()) {
+        assert_identical(SchedulerKind::Easy, &specs, 128);
+    }
+
+    #[test]
+    fn conservative_matches_naive(specs in arb_jobs()) {
+        assert_identical(SchedulerKind::Conservative, &specs, 128);
+    }
+
+    #[test]
+    fn weekly_drain_matches_naive(specs in arb_jobs()) {
+        assert_identical(SchedulerKind::WeeklyDrain, &specs, 128);
+    }
+
+    #[test]
+    fn naive_drain_matches_naive(specs in arb_jobs()) {
+        assert_identical(SchedulerKind::NaiveDrain, &specs, 128);
+    }
+
+    #[test]
+    fn fairshare_easy_matches_naive(specs in arb_jobs()) {
+        assert_identical(SchedulerKind::FairshareEasy, &specs, 128);
+    }
+
+    /// Outage-notice drain passes (the scan-then-compact rewrite of
+    /// `drain_pass`) also match the naive per-job-removal loop.
+    #[test]
+    fn easy_matches_naive_under_drain_notices(specs in arb_jobs()) {
+        let optimized = drive(SchedulerKind::Easy.build(128), &specs, 128, Some(3));
+        let naive = drive(SchedulerKind::Easy.build_reference(128), &specs, 128, Some(3));
+        prop_assert_eq!(optimized, naive);
+    }
+
+    #[test]
+    fn fcfs_matches_naive_under_drain_notices(specs in arb_jobs()) {
+        let optimized = drive(SchedulerKind::Fcfs.build(128), &specs, 128, Some(4));
+        let naive = drive(SchedulerKind::Fcfs.build_reference(128), &specs, 128, Some(4));
+        prop_assert_eq!(optimized, naive);
+    }
+}

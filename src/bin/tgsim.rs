@@ -6,6 +6,8 @@
 //!       [--classify] [--out results.json] [--faults spec.json]
 //!       [--metrics-out metrics.json] [--trace-out trace.jsonl]
 //! tgsim analyze trace.jsonl [--json]
+//! tgsim replay trace.swf [--scenario cfg.json] [--seed N]
+//!       [--faults spec.json] [--classify]
 //! ```
 //!
 //! `run` prints the usage report (ground-truth labels) and, with
@@ -21,7 +23,11 @@
 //! fault report. `analyze` reconstructs per-job lifecycle spans from such a
 //! trace offline and prints wait-time breakdowns by span kind, wait cause,
 //! site, and modality (p50/p95/p99) — including the `fault`/`requeue` spans
-//! a faulted run emits.
+//! a faulted run emits. `replay` drives the simulator from a Standard
+//! Workload Format archive trace instead of the generator: the federation,
+//! policies, and (with `--faults`) fault schedule come from the scenario
+//! config, the jobs from the trace — so archive workloads get the same
+//! degraded-operation machinery as synthetic ones.
 
 use std::process::ExitCode;
 use teragrid_repro::prelude::*;
@@ -33,7 +39,9 @@ fn usage() -> ExitCode {
         "usage:\n  tgsim emit-baseline [USERS DAYS]\n  tgsim run <scenario.json> \
          [--seed N] [--reps K] [--sample-hours H] [--classify] [--out FILE] \
          [--faults FILE] [--metrics-out FILE] [--trace-out FILE]\n  \
-         tgsim analyze <trace.jsonl> [--json]"
+         tgsim analyze <trace.jsonl> [--json]\n  \
+         tgsim replay <trace.swf> [--scenario FILE] [--seed N] \
+         [--faults FILE] [--classify]"
     );
     ExitCode::from(2)
 }
@@ -44,6 +52,7 @@ fn main() -> ExitCode {
         Some("emit-baseline") => emit_baseline(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
+        Some("replay") => replay(&args[1..]),
         _ => usage(),
     }
 }
@@ -186,6 +195,7 @@ fn run(rest: &[String]) -> ExitCode {
     let opts = RunOptions {
         metrics: metrics_out.is_some(),
         trace_path: trace_out.as_ref().map(std::path::PathBuf::from),
+        ..RunOptions::default()
     };
     let replications = replicate_with(&scenario, seed, reps, 0, &opts);
     let first = &replications[0].output;
@@ -210,7 +220,6 @@ fn run(rest: &[String]) -> ExitCode {
         "engine: {} events in {:.3}s wall ({:.0} events/s), peak queue {}",
         agg.events_delivered, agg.wall_seconds, agg.events_per_sec, agg.peak_queue_len
     );
-
     if let Some(fr) = &first.fault_report {
         println!(
             "faults: {} crashes, {} outages ({:.1} h downtime), \
@@ -430,5 +439,204 @@ fn analyze(rest: &[String]) -> ExitCode {
         "total wait by modality (completed jobs)",
         &rows(&analysis.wait_by_modality),
     );
+    ExitCode::SUCCESS
+}
+
+fn replay(rest: &[String]) -> ExitCode {
+    use tg_core::sim::{Event, GridSim};
+    use tg_des::Engine;
+    use tg_sched::BatchScheduler;
+    use tg_workload::swf;
+
+    let Some(path) = rest.first() else {
+        return usage();
+    };
+    let mut seed = 42u64;
+    let mut scenario_path: Option<String> = None;
+    let mut faults_path: Option<String> = None;
+    let mut classify = false;
+    let mut i = 1;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--seed" | "--scenario" | "--faults" => {
+                let flag = rest[i].clone();
+                i += 1;
+                let Some(value) = rest.get(i) else {
+                    eprintln!("tgsim: {flag} needs a value");
+                    return usage();
+                };
+                match flag.as_str() {
+                    "--seed" => match value.parse() {
+                        Ok(v) => seed = v,
+                        Err(e) => {
+                            eprintln!("tgsim: bad --seed: {e}");
+                            return usage();
+                        }
+                    },
+                    "--scenario" => scenario_path = Some(value.clone()),
+                    _ => faults_path = Some(value.clone()),
+                }
+            }
+            "--classify" => classify = true,
+            other => {
+                eprintln!("tgsim: unknown flag {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+
+    let swf_text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tgsim: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let imported = match swf::from_swf(&swf_text) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("tgsim: invalid SWF trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if imported.is_empty() {
+        eprintln!("tgsim: {path} contains no jobs");
+        return ExitCode::FAILURE;
+    }
+
+    // The federation, policies, and fault schedule come from a scenario
+    // config; only the workload section is ignored (the trace replaces it).
+    let mut cfg = match &scenario_path {
+        Some(p) => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("tgsim: cannot read {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match serde_json::from_str::<ScenarioConfig>(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("tgsim: invalid scenario config {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => ScenarioConfig::baseline(300, 14),
+    };
+    if let Some(fp) = &faults_path {
+        let text = match std::fs::read_to_string(fp) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tgsim: cannot read {fp}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match serde_json::from_str::<FaultSpec>(&text) {
+            Ok(spec) => cfg.faults = Some(spec),
+            Err(e) => {
+                eprintln!("tgsim: invalid fault spec {fp}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if cfg.data_home >= cfg.sites.len() {
+        eprintln!("tgsim: scenario data_home out of range");
+        return ExitCode::FAILURE;
+    }
+
+    let factory = RngFactory::new(seed);
+    let library = cfg
+        .library
+        .clone()
+        .unwrap_or_else(|| ConfigLibrary::synthetic(cfg.workload.rc_config_count.max(1)));
+    let mut builder = Federation::builder().library(library);
+    for s in &cfg.sites {
+        builder = builder.site(s.clone());
+    }
+    let federation = builder.repository_at(cfg.data_home).build();
+    // Archive traces come from bigger iron than this federation may model:
+    // clamp like the generator path does — a pinned job must fit its site
+    // (drop hints pointing past this federation), an unpinned one the
+    // largest site.
+    let max_cores = federation
+        .sites()
+        .map(|s| s.cluster.total_cores())
+        .max()
+        .expect("non-empty federation");
+    let site_count = cfg.sites.len();
+    let jobs: Vec<Job> = imported
+        .into_iter()
+        .map(|mut j| {
+            if let Some(s) = j.site_hint {
+                if s.index() >= site_count {
+                    j.site_hint = None;
+                }
+            }
+            let cap = match j.site_hint {
+                Some(s) => federation.site(s).cluster.total_cores(),
+                None => max_cores,
+            };
+            j.cores = j.cores.min(cap);
+            j
+        })
+        .collect();
+    let n_jobs = jobs.len();
+    let schedulers: Vec<Box<dyn BatchScheduler>> = federation
+        .sites()
+        .map(|s| cfg.scheduler.build(s.cluster.total_cores()))
+        .collect();
+    eprintln!(
+        "replaying {n_jobs} jobs from {path} through `{}` at seed {seed} ...",
+        cfg.name
+    );
+    let mut sim = GridSim::new(
+        federation,
+        schedulers,
+        cfg.meta,
+        cfg.rc_policy,
+        SiteId(cfg.data_home),
+        jobs,
+        factory,
+    );
+    if let Some(spec) = &cfg.faults {
+        if !spec.is_trivial() {
+            sim = sim.with_faults(spec);
+        }
+    }
+    let mut engine: Engine<Event> = Engine::with_capacity(1024);
+    let out = sim.run(&mut engine);
+    println!(
+        "replay complete: {} of {n_jobs} jobs finished by {}, mean wait {:.0} s, {} events",
+        out.db.jobs.len(),
+        out.end,
+        tg_accounting::query::mean_wait_secs(&out.db.jobs),
+        engine.delivered()
+    );
+    if let Some(fr) = &out.fault_report {
+        println!(
+            "faults: {} crashes, {} outages ({:.1} h downtime), \
+             {} killed / {} requeued / {} abandoned / {} checkpointed",
+            fr.node_crashes,
+            fr.site_outages,
+            fr.total_downtime_s() / 3600.0,
+            fr.jobs_killed,
+            fr.jobs_requeued,
+            fr.jobs_abandoned,
+            fr.checkpoint_restarts
+        );
+    }
+    if classify {
+        // Only shape/timing survive the SWF round trip, so this quantifies
+        // what the archive format cannot carry.
+        let inferred = classify_all(&out.db, ClassifierMode::WithAttributes);
+        let acc = Accuracy::score(&out.truth, &inferred);
+        println!(
+            "classifier on replayed trace: accuracy {:.3}, macro-F1 {:.3}",
+            acc.accuracy, acc.macro_f1
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -21,10 +21,10 @@ pub mod prelude {
         FieldShares, MetricsReport, ModalityShares, ModalityTrend, UsageReport,
     };
     pub use tg_core::{
-        aggregate_profiles, classify_all, replicate, replicate_with, Accuracy, ClassifierMode,
-        DegradeWindow, EngineProfile, FaultReport, FaultSpec, IngestFaults, MetricsSnapshot,
-        Modality, NodeCrashSpec, OutagePolicy, OutageWindow, RunOptions, Scenario, ScenarioConfig,
-        SimOutput,
+        aggregate_profiles, classify_all, replicate, replicate_with, run_sweep, Accuracy,
+        ClassifierMode, DegradeWindow, EngineProfile, FaultReport, FaultSpec, IngestFaults,
+        MetricsSnapshot, Modality, NodeCrashSpec, OutagePolicy, OutageWindow, RunOptions, Scenario,
+        ScenarioConfig, SimOutput,
     };
     pub use tg_des::{RngFactory, SimDuration, SimTime};
     pub use tg_model::{ConfigLibrary, Federation, SiteConfig, SiteId};

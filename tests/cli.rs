@@ -80,6 +80,81 @@ fn run_executes_a_config_end_to_end() {
 }
 
 #[test]
+fn replay_drives_an_swf_trace_with_faults() {
+    use teragrid_repro::prelude::*;
+    let dir = std::env::temp_dir().join(format!("tgsim-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("trace.swf");
+
+    // Export a small generated workload to SWF — the archive-trace pathway.
+    let gen_cfg = GeneratorConfig::baseline(40, 2, 3);
+    let workload = WorkloadGenerator::new(gen_cfg).generate(&RngFactory::new(7));
+    let n_jobs = workload.jobs.len();
+    std::fs::write(&trace, tg_workload::swf::to_swf(&workload.jobs)).expect("write trace");
+
+    let faults = concat!(env!("CARGO_MANIFEST_DIR"), "/configs/faults-demo.json");
+    let run = tgsim()
+        .args([
+            "replay",
+            trace.to_str().expect("utf8 path"),
+            "--seed",
+            "7",
+            "--faults",
+            faults,
+            "--classify",
+        ])
+        .output()
+        .expect("replay executes");
+    assert!(
+        run.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(
+        stdout.contains(&format!("of {n_jobs} jobs finished")),
+        "replay reports the trace's job count: {stdout}"
+    );
+    assert!(
+        stdout.contains("faults:"),
+        "fault report printed for a faulted replay: {stdout}"
+    );
+    assert!(stdout.contains("classifier on replayed trace"));
+
+    // Same trace, same seed: byte-identical summary line (determinism
+    // holds through the SWF round trip and the fault schedule).
+    let rerun = tgsim()
+        .args([
+            "replay",
+            trace.to_str().expect("utf8"),
+            "--seed",
+            "7",
+            "--faults",
+            faults,
+        ])
+        .output()
+        .expect("rerun executes");
+    assert!(rerun.status.success());
+    let line = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("replay complete"))
+            .expect("summary line")
+            .to_string()
+    };
+    assert_eq!(line(&stdout), line(&String::from_utf8_lossy(&rerun.stdout)));
+
+    // Bad trace fails cleanly.
+    let bad = tgsim()
+        .args(["replay", "/nonexistent/trace.swf"])
+        .output()
+        .expect("runs");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("cannot read"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_invocations_fail_cleanly() {
     let out = tgsim().output().expect("runs");
     assert!(!out.status.success());

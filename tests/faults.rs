@@ -139,6 +139,7 @@ fn outage_run_emits_fault_and_requeue_spans_the_analyzer_counts() {
     let opts = RunOptions {
         metrics: false,
         trace_path: Some(path.clone()),
+        ..RunOptions::default()
     };
     let out = cfg.build().run_with(99, &opts);
     let health = out.trace_health.expect("trace requested");

@@ -23,6 +23,7 @@ fn run_traced(cfg: &ScenarioConfig, seed: u64, tag: &str) -> (SimOutput, Vec<Spa
     let opts = RunOptions {
         metrics: false,
         trace_path: Some(path.clone()),
+        ..RunOptions::default()
     };
     let out = cfg.clone().build().run_with(seed, &opts);
     let health = out.trace_health.expect("trace requested");
@@ -66,6 +67,7 @@ fn analyzer_reproduces_per_scheduler_mean_wait_within_1pct() {
         let opts = RunOptions {
             metrics: false,
             trace_path: Some(path.clone()),
+            ..RunOptions::default()
         };
         let out = cfg.build().run_with(4242, &opts);
         let file = std::fs::File::open(&path).expect("trace file exists");
