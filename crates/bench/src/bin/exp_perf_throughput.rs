@@ -87,6 +87,26 @@ struct FaultedSection {
     per_rep: Vec<RepRow>,
 }
 
+/// One thread-count datapoint of the sharded-engine scaling sweep.
+#[derive(Serialize)]
+struct ScalingRow {
+    threads: usize,
+    events: u64,
+    wall_seconds: f64,
+    events_per_sec: f64,
+    /// Relative to the `threads = 1` (serial-path) row of the same sweep.
+    speedup: f64,
+}
+
+/// Sharded-engine scaling on the large scenario (`tgsim run --threads N`).
+#[derive(Serialize)]
+struct ScalingSection {
+    scenario: String,
+    rows: Vec<ScalingRow>,
+    /// Every sharded run reproduced the serial job records exactly.
+    identical: bool,
+}
+
 #[derive(Serialize)]
 struct ThroughputOutput {
     scenario: String,
@@ -104,6 +124,9 @@ struct ThroughputOutput {
     faulted: Option<FaultedSection>,
     /// The large-scale datapoint (absent in `--quick` runs).
     large: Option<Section>,
+    /// Sharded-engine thread sweep on the large scenario (absent in
+    /// `--quick` runs).
+    scaling: Option<ScalingSection>,
 }
 
 /// Roughly 5% of total site-hours down across the 3-site, 14-day baseline:
@@ -180,6 +203,67 @@ fn measure(cfg: ScenarioConfig, base_seed: u64, reps_n: usize) -> (Section, Vec<
         per_rep,
     };
     (section, reps)
+}
+
+/// Run the large scenario once per thread count and fold the results into
+/// the scaling section. `threads = 1` is the serial engine (the speedup
+/// denominator); every sharded run is checked against its job records.
+fn measure_scaling(cfg: ScenarioConfig, seed: u64, counts: &[usize]) -> ScalingSection {
+    use tg_core::RunOptions;
+    let scenario = cfg.build();
+    let mut rows: Vec<ScalingRow> = Vec::new();
+    let mut baseline: Option<tg_core::SimOutput> = None;
+    let mut identical = true;
+    for &threads in counts {
+        let out = scenario.run_with(seed, &RunOptions::with_threads(threads));
+        let p = &out.profile;
+        let serial_rate = rows.first().map(|r| r.events_per_sec);
+        rows.push(ScalingRow {
+            threads,
+            events: p.events_delivered,
+            wall_seconds: p.wall_seconds,
+            events_per_sec: p.events_per_sec,
+            speedup: serial_rate.map_or(1.0, |s| p.events_per_sec / s),
+        });
+        match &baseline {
+            None => baseline = Some(out),
+            Some(base) => {
+                let same = out.events_delivered == base.events_delivered
+                    && out.end == base.end
+                    && out.db.jobs == base.db.jobs;
+                if !same {
+                    identical = false;
+                    eprintln!("scaling: threads={threads} diverged from serial output!");
+                }
+            }
+        }
+    }
+    ScalingSection {
+        scenario: scenario.config().name.clone(),
+        rows,
+        identical,
+    }
+}
+
+fn print_scaling(s: &ScalingSection) {
+    let mut table = Table::new(
+        format!("PERF (scaling): {} sharded thread sweep", s.scenario),
+        &["threads", "events", "wall s", "events/s", "speedup"],
+    );
+    for r in &s.rows {
+        table.row(vec![
+            r.threads.to_string(),
+            r.events.to_string(),
+            format!("{:.3}", r.wall_seconds),
+            format!("{:.0}", r.events_per_sec),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "scaling: sharded outputs {} the serial run",
+        if s.identical { "match" } else { "DIVERGE from" }
+    );
 }
 
 fn print_section(title: &str, s: &Section) {
@@ -259,6 +343,50 @@ fn check_against(reference: &serde_json::Value, healthy: &Section) -> Vec<String
     failures
 }
 
+/// The sharded leg of the regression guard: if both the reference and the
+/// current run carry a scaling sweep, the best sharded rate must not drop
+/// below 85% of the reference's best, and the event count must match the
+/// reference exactly (determinism). Quick runs (no sweep) skip this leg.
+fn check_scaling(reference: &serde_json::Value, current: Option<&ScalingSection>) -> Vec<String> {
+    let mut failures = Vec::new();
+    let (Some(ref_rows), Some(cur)) = (
+        reference
+            .get("scaling")
+            .and_then(|s| s.get("rows"))
+            .and_then(|v| v.as_array()),
+        current,
+    ) else {
+        return failures;
+    };
+    let best = |rows: &mut dyn Iterator<Item = (u64, f64)>| {
+        rows.fold(
+            (0u64, 0.0f64),
+            |acc, (ev, r)| if r > acc.1 { (ev, r) } else { acc },
+        )
+    };
+    let (ref_events, ref_rate) = best(&mut ref_rows.iter().filter_map(|r| {
+        Some((
+            r.get("events")?.as_u64()?,
+            r.get("events_per_sec")?.as_f64()?,
+        ))
+    }));
+    let (cur_events, cur_rate) = best(&mut cur.rows.iter().map(|r| (r.events, r.events_per_sec)));
+    if ref_rate == 0.0 {
+        return failures;
+    }
+    if ref_events != cur_events {
+        failures.push(format!(
+            "sharded determinism drift: reference {ref_events} events vs current {cur_events}"
+        ));
+    }
+    if cur_rate < ref_rate * 0.85 {
+        failures.push(format!(
+            "sharded throughput regression: {cur_rate:.0} events/s < 85% of reference {ref_rate:.0}"
+        ));
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -277,8 +405,8 @@ fn main() {
         &healthy,
     );
 
-    let (faulted, large) = if quick {
-        (None, None)
+    let (faulted, large, scaling) = if quick {
+        (None, None, None)
     } else {
         let mut faulted_cfg = ScenarioConfig::baseline(users, days);
         faulted_cfg.faults = Some(faulted_spec());
@@ -306,6 +434,10 @@ fn main() {
 
         let (lsec, _) = measure(ScenarioConfig::large(3000, 90), 9000, 1);
         print_section("PERF (large): 3000 users × 90 days", &lsec);
+
+        let ssec = measure_scaling(ScenarioConfig::large(3000, 90), 9000, &[1, 2, 4, 8]);
+        print_scaling(&ssec);
+        assert!(ssec.identical, "sharded runs must reproduce serial output");
         (
             Some(FaultedSection {
                 downtime_fraction: downtime_h / site_hours,
@@ -319,6 +451,7 @@ fn main() {
                 per_rep: fsec.per_rep,
             }),
             Some(lsec),
+            Some(ssec),
         )
     };
 
@@ -337,6 +470,7 @@ fn main() {
         per_rep: healthy.per_rep,
         faulted,
         large,
+        scaling,
     };
     save_json(
         if quick {
@@ -369,7 +503,8 @@ fn main() {
             },
             per_rep: out.per_rep,
         };
-        let failures = check_against(&reference, &healthy_view);
+        let mut failures = check_against(&reference, &healthy_view);
+        failures.extend(check_scaling(&reference, out.scaling.as_ref()));
         if failures.is_empty() {
             println!("check: OK against {path}");
         } else {

@@ -43,6 +43,7 @@
 
 pub mod accuracy;
 pub mod classify;
+mod parallel;
 pub mod report;
 pub mod runner;
 pub mod scenario;

@@ -1,0 +1,1380 @@
+//! Sharded parallel execution of [`GridSim`] with conservative synchronization.
+//!
+//! The federation is nearly decomposable: sites interact only through the
+//! metascheduler's routing decisions, WAN staging, and federation-wide fault
+//! events. This module exploits that by giving every site's event stream to
+//! a *shard* (a worker thread owning a subset of sites: queue, clock, and
+//! scheduler state), while a *coordinator* on the calling thread owns
+//! everything global — routing, workflow dependencies, the retry book,
+//! samples, and record ingest.
+//!
+//! ## Determinism
+//!
+//! The serial engine delivers events in `(time, seq)` order. Shards replay
+//! that exact order by keying their queues on [`Rank`] — the causal
+//! coordinate of each event (see `tg_des::shard`) — so a sharded run's
+//! output is **byte-identical** to the serial engine's, which the
+//! differential suite enforces on every config and on random scenarios.
+//!
+//! ## Conservative protocol
+//!
+//! Execution is conservative (no rollback): a shard only executes events it
+//! can prove safe.
+//!
+//! * Every cross-shard effect flows through the coordinator, and every
+//!   effect an event execution produces carries a coordinate strictly above
+//!   the executing event's. Hence a shard whose next event (queue head) is
+//!   at coordinate `h` can emit nothing below `h`.
+//! * The coordinator grants each shard a monotone *bound*
+//!   `B_j = min(own head, min over other shards' heads)`; the shard
+//!   free-runs every event strictly below its bound. Shards advance
+//!   concurrently between coordinator actions.
+//! * Heads that synchronize with global state — completions of *watched*
+//!   jobs (dependencies of other jobs) and kill-inducing fault events — are
+//!   *emission candidates*: the shard parks on them and the coordinator
+//!   executes them one at a time ([`ToShard::ExecuteHead`]) once every other
+//!   participant has drained everything below, so dependent routing sees
+//!   site-occupancy probes synchronized to exactly that coordinate.
+//! * Deadlock freedom: the globally minimal head is always executable —
+//!   by its own shard (granted past it), by the coordinator (own queue), or
+//!   as a candidate (all others are already beyond it). Bounds never need a
+//!   null-message cycle because the coordinator sees all heads each round.
+//!
+//! Emission floors from the WAN [`Lookahead`] matrix (staging transfer
+//! lower bounds) are computed for diagnostics and validated against the
+//! live event stream in debug builds; the head-based bounds above subsume
+//! them because routing (`schedule_now`) is zero-latency in this model —
+//! see DESIGN.md for the argument.
+//!
+//! The coordinator also keeps two kinds of *pseudo event* replicas (neither
+//! counted as delivered): `Event::NetUpdate` on every shard mirrors a link
+//! fault's network effect, and an outage *mirror* on the coordinator keeps
+//! `select_site`'s outage filter identical to the serial run while the
+//! owning shard executes the real outage event.
+
+use crate::sim::{BufRecord, EvCtx, Event, ExecRole, ExportReply, FinishedSim, GridSim, SiteProbe};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use tg_des::metrics::MetricsRegistry;
+use tg_des::shard::{Lookahead, Rank, RankQueue};
+use tg_des::{EventKey, SimDuration, SimTime};
+use tg_fault::FaultEventKind;
+use tg_model::SiteId;
+use tg_workload::{Job, JobId};
+
+/// Global ingest order of a buffered record: the executing event's
+/// coordinate plus the record's position within that handler.
+type Stamp = (SimTime, Rank, u32);
+
+/// Spin iterations before falling back to a blocking receive. Sync rounds
+/// between the coordinator and the shards are the sharded engine's unit of
+/// overhead; most replies arrive within a microsecond, so burning a short
+/// spin beats paying a futex sleep/wake per round.
+const RECV_SPIN: usize = 512;
+
+/// Spin only when the peer can actually run concurrently: on a machine with
+/// a single available core (common in CI containers), spinning burns the
+/// exact timeslice the sender needs and inverts the optimization.
+fn spin_budget() -> usize {
+    use std::sync::OnceLock;
+    static BUDGET: OnceLock<usize> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores > 1 {
+            RECV_SPIN
+        } else {
+            0
+        }
+    })
+}
+
+fn recv_spin<T>(rx: &Receiver<T>) -> T {
+    for _ in 0..spin_budget() {
+        match rx.try_recv() {
+            Some(m) => return m,
+            None => std::hint::spin_loop(),
+        }
+    }
+    rx.recv().unwrap_or_else(|_| panic!("peer alive"))
+}
+
+/// Cross-shard events awaiting delivery to one shard. Delivery is lazy: the
+/// earliest undelivered coordinate joins that shard's *effective head* in
+/// every driver decision, and the whole box rides along with the next
+/// [`ToShard::Advance`] — so a burst of coordinator-routed events costs one
+/// sync round instead of one per event.
+#[derive(Default)]
+struct Outbox {
+    items: Vec<(SimTime, Rank, Event)>,
+    min: Option<(SimTime, Rank)>,
+}
+
+impl Outbox {
+    fn push(&mut self, at: SimTime, rank: Rank, ev: Event) {
+        match &self.min {
+            Some((t, r)) if (*t, r) <= (at, &rank) => {}
+            _ => self.min = Some((at, rank.clone())),
+        }
+        self.items.push((at, rank, ev));
+    }
+
+    fn min(&self) -> Option<(SimTime, &Rank)> {
+        self.min.as_ref().map(|(t, r)| (*t, r))
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn take(&mut self) -> Vec<(SimTime, Rank, Event)> {
+        self.min = None;
+        std::mem::take(&mut self.items)
+    }
+}
+
+/// Which shard owns a site. Sites are dealt round-robin so the large and
+/// small sites of a config spread across workers.
+fn owner(site: usize, shards: usize) -> usize {
+    site % shards
+}
+
+/// An exclusive execution bound: `(t, rank)` is admitted iff it sorts
+/// strictly below the bound. `rank: None` is a pure time horizon (admits
+/// `t < time` only), which sorts below every same-time ranked bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Bound {
+    time: SimTime,
+    rank: Option<Rank>,
+}
+
+impl Bound {
+    const ZERO: Bound = Bound {
+        time: SimTime::ZERO,
+        rank: None,
+    };
+
+    fn at(time: SimTime, rank: Rank) -> Bound {
+        Bound {
+            time,
+            rank: Some(rank),
+        }
+    }
+
+    fn admits(&self, t: SimTime, r: &Rank) -> bool {
+        match &self.rank {
+            None => t < self.time,
+            Some(br) => t < self.time || (t == self.time && r < br),
+        }
+    }
+}
+
+impl PartialOrd for Bound {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bound {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| match (&self.rank, &other.rank) {
+                (None, None) => std::cmp::Ordering::Equal,
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                (Some(a), Some(b)) => a.cmp(b),
+            })
+    }
+}
+
+/// Coordinator → shard messages.
+enum ToShard {
+    /// Deliver cross-shard events and raise the execution bound; the shard
+    /// runs everything admitted (stopping at candidates) and parks.
+    Advance {
+        bound: Bound,
+        injects: Vec<(SimTime, Rank, Event)>,
+    },
+    /// Execute the (candidate) queue head, which must sit at exactly this
+    /// coordinate. Exports flow during execution; the shard parks after.
+    ExecuteHead { at: SimTime, rank: Rank },
+    /// Acknowledge an in-flight export: restore the shared child/record
+    /// cursors and absorb events routed back at the exporting shard.
+    Ack {
+        k: u64,
+        sub: u32,
+        injects: Vec<(SimTime, Rank, Event)>,
+    },
+    /// Continue an RC routing decision on the shard owning the fabric,
+    /// at the emitting event's coordinate with the shared cursors.
+    ExecRcCont {
+        now: SimTime,
+        rank: Rank,
+        k: u64,
+        sub: u32,
+        site: SiteId,
+        job: Box<Job>,
+    },
+    /// Drain finished: harvest and ship the final state.
+    Finish,
+}
+
+/// A shard's parked state, reported to the coordinator.
+struct ShardReport {
+    /// Next unexecuted event's coordinate, if any.
+    head: Option<(SimTime, Rank)>,
+    /// Whether the head is an emission candidate (needs [`ToShard::ExecuteHead`]).
+    candidate: bool,
+    /// Emission floor: earliest possible completion of any watched job here
+    /// (diagnostic; head-based bounds subsume it).
+    floor: Option<SimTime>,
+    /// Latest executed event time (diagnostic).
+    last: SimTime,
+    /// Real (counted) events remaining in the queue.
+    pending: usize,
+    /// Occupancy probes for the sites this shard owns.
+    probes: Vec<(usize, SiteProbe)>,
+}
+
+/// Shard → coordinator messages.
+enum ToCoord {
+    /// The shard has executed everything it may and is waiting.
+    Parked(ShardReport),
+    /// A watched job finished (export from inside the completing handler).
+    Finished {
+        id: JobId,
+        now: SimTime,
+        rank: Rank,
+        k: u64,
+        sub: u32,
+        probes: Vec<(usize, SiteProbe)>,
+    },
+    /// A fault kill needs the coordinator's retry book.
+    KilledRetry {
+        job: Box<Job>,
+        now: SimTime,
+        rank: Rank,
+        k: u64,
+        sub: u32,
+        probes: Vec<(usize, SiteProbe)>,
+    },
+    /// A checkpointed kill schedules its requeue on the coordinator
+    /// (fire-and-forget; the shard advanced the child cursor itself).
+    KilledCheckpoint {
+        at: SimTime,
+        rank: Rank,
+        job: Box<Job>,
+    },
+    /// An [`ToShard::ExecRcCont`] finished: shared cursors plus the owner's
+    /// refreshed parked state (its queue may have changed).
+    RcContDone {
+        k: u64,
+        sub: u32,
+        report: ShardReport,
+    },
+    /// Response to [`ToShard::Finish`].
+    Final(Box<ShardFinal>),
+}
+
+/// Everything a shard ships home at the end of the run.
+struct ShardFinal {
+    federation: tg_model::Federation,
+    metrics: MetricsRegistry,
+    fault_report: Option<tg_fault::FaultReport>,
+    records: Vec<(Stamp, BufRecord)>,
+    jobs_done: usize,
+    delivered: u64,
+    last: SimTime,
+    peak: usize,
+}
+
+/// Is this event an emission candidate — one whose execution may export
+/// state to the coordinator and therefore needs globally synchronized
+/// pacing? `fault_candidate[i]` pre-classifies fault schedule entries
+/// (kill-inducing kinds: node crash, site outage).
+fn is_candidate(ev: &Event, watched: &HashSet<JobId>, fault_candidate: &[bool]) -> bool {
+    match ev {
+        Event::Complete { id } => watched.contains(id),
+        Event::RcComplete { job, .. } => watched.contains(&job.id),
+        Event::Fault(i) => fault_candidate[*i],
+        _ => false,
+    }
+}
+
+/// The [`EvCtx`] a shard's handlers run against: local rank queue, shared
+/// child/record cursors, emission-floor bookkeeping, and the export channel
+/// to the coordinator.
+struct ShardCtx<'a> {
+    queue: &'a mut RankQueue<Event>,
+    now: SimTime,
+    rank: Rank,
+    k: u64,
+    sub: u32,
+    watched: &'a HashSet<JobId>,
+    watched_bounds: &'a mut HashMap<JobId, SimTime>,
+    records: &'a mut Vec<(Stamp, BufRecord)>,
+    tx: &'a Sender<ToCoord>,
+    rx: &'a Receiver<ToShard>,
+    owned: &'a [usize],
+    net_updates: &'a mut usize,
+    in_flight: bool,
+}
+
+impl ShardCtx<'_> {
+    fn child_rank(&mut self) -> Rank {
+        let r = self.rank.child(self.now, self.k);
+        self.k += 1;
+        r
+    }
+
+    fn owned_probes(&self, probes: Vec<SiteProbe>) -> Vec<(usize, SiteProbe)> {
+        self.owned.iter().map(|&i| (i, probes[i])).collect()
+    }
+}
+
+impl EvCtx for ShardCtx<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn pending(&self) -> usize {
+        self.queue.len() - *self.net_updates
+    }
+    fn schedule_at(&mut self, at: SimTime, ev: Event) -> EventKey {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let at = at.max(self.now);
+        let rank = self.child_rank();
+        self.queue.schedule(at, rank, ev)
+    }
+    fn schedule_after(&mut self, after: SimDuration, ev: Event) -> EventKey {
+        self.schedule_at(self.now + after, ev)
+    }
+    fn schedule_now(&mut self, ev: Event) -> EventKey {
+        self.schedule_at(self.now, ev)
+    }
+    fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key)
+    }
+    fn exec_mode(&self) -> ExecRole {
+        ExecRole::Shard
+    }
+    fn is_watched(&self, id: JobId) -> bool {
+        self.watched.contains(&id)
+    }
+    fn buffers_records(&self) -> bool {
+        true
+    }
+    fn buffer_record(&mut self, rec: BufRecord) {
+        self.records
+            .push(((self.now, self.rank.clone(), self.sub), rec));
+        self.sub += 1;
+    }
+    fn export_finish(&mut self, id: JobId, probes: Vec<SiteProbe>) {
+        let probes = self.owned_probes(probes);
+        self.tx
+            .send(ToCoord::Finished {
+                id,
+                now: self.now,
+                rank: self.rank.clone(),
+                k: self.k,
+                sub: self.sub,
+                probes,
+            })
+            .unwrap_or_else(|_| panic!("coordinator alive"));
+        self.in_flight = true;
+    }
+    fn export_requeue(&mut self, at: SimTime, job: Box<Job>) {
+        let rank = self.child_rank();
+        self.tx
+            .send(ToCoord::KilledCheckpoint { at, rank, job })
+            .unwrap_or_else(|_| panic!("coordinator alive"));
+    }
+    fn export_kill_retry(&mut self, job: Box<Job>, probes: Vec<SiteProbe>) {
+        let probes = self.owned_probes(probes);
+        self.tx
+            .send(ToCoord::KilledRetry {
+                job,
+                now: self.now,
+                rank: self.rank.clone(),
+                k: self.k,
+                sub: self.sub,
+                probes,
+            })
+            .unwrap_or_else(|_| panic!("coordinator alive"));
+        self.in_flight = true;
+    }
+    fn export_in_flight(&self) -> bool {
+        self.in_flight
+    }
+    fn recv_export_reply(&mut self) -> ExportReply {
+        match recv_spin(self.rx) {
+            ToShard::Ack { k, sub, injects } => {
+                self.k = k;
+                self.sub = sub;
+                for (at, rank, ev) in injects {
+                    debug_assert!(!matches!(ev, Event::NetUpdate(_)));
+                    self.queue.schedule(at, rank, ev);
+                }
+                self.in_flight = false;
+                ExportReply::Acked
+            }
+            ToShard::ExecRcCont {
+                now,
+                rank,
+                k,
+                sub,
+                site,
+                job,
+            } => {
+                debug_assert_eq!(now, self.now, "rc continuation at the emitting coordinate");
+                self.rank = rank;
+                self.k = k;
+                self.sub = sub;
+                ExportReply::RcCont { site, job }
+            }
+            _ => unreachable!("only Ack/ExecRcCont while an export is in flight"),
+        }
+    }
+    fn rc_cont_done(&mut self, _probes: Vec<SiteProbe>) {
+        unreachable!("mid-export rc continuations are answered by the worker loop")
+    }
+    fn note_watched_pending(&mut self, id: JobId, earliest_finish: SimTime) {
+        self.watched_bounds.insert(id, earliest_finish);
+    }
+    fn note_watched_started(&mut self, id: JobId, end: SimTime) {
+        self.watched_bounds.insert(id, end);
+    }
+    fn note_watched_done(&mut self, id: JobId) {
+        self.watched_bounds.remove(&id);
+    }
+}
+
+/// One worker shard: a [`GridSim`] replica (authoritative only for its owned
+/// sites), a rank-ordered local queue, and the conservative run loop.
+struct Shard {
+    sim: GridSim,
+    queue: RankQueue<Event>,
+    bound: Bound,
+    watched: Arc<HashSet<JobId>>,
+    watched_bounds: HashMap<JobId, SimTime>,
+    fault_candidate: Arc<Vec<bool>>,
+    records: Vec<(Stamp, BufRecord)>,
+    owned: Vec<usize>,
+    net_updates: usize,
+    delivered: u64,
+    last: SimTime,
+    tx: Sender<ToCoord>,
+    rx: Receiver<ToShard>,
+}
+
+impl Shard {
+    /// Prime the shard's queue: owned fault events as real events, link
+    /// fault events as uncounted [`Event::NetUpdate`] replicas. Root ranks
+    /// mirror the serial priming sequence (submits, then the sample tick,
+    /// then the fault schedule).
+    fn prime(&mut self, fault_rank_base: u64, me: usize, shards: usize) {
+        let Some(faults) = self.sim.faults.as_ref() else {
+            return;
+        };
+        let schedule: Vec<(SimTime, FaultEventKind)> = faults
+            .schedule
+            .events
+            .iter()
+            .map(|e| (e.at, e.kind))
+            .collect();
+        for (i, (at, kind)) in schedule.into_iter().enumerate() {
+            let rank = Rank::root(fault_rank_base + i as u64);
+            match kind {
+                FaultEventKind::LinkDegrade { .. } | FaultEventKind::LinkRestore { .. } => {
+                    // Every shard replays link effects on its network copy.
+                    self.queue.schedule(at, rank, Event::NetUpdate(i));
+                    self.net_updates += 1;
+                }
+                FaultEventKind::NodeCrash { site, .. }
+                | FaultEventKind::NodeRepair { site, .. }
+                | FaultEventKind::OutageNotice { site, .. }
+                | FaultEventKind::SiteOutage { site }
+                | FaultEventKind::SiteRecovery { site } => {
+                    if owner(site.index(), shards) == me {
+                        self.queue.schedule(at, rank, Event::Fault(i));
+                    }
+                }
+            }
+        }
+    }
+
+    fn execute(&mut self, at: SimTime, rank: Rank, ev: Event) {
+        if let Event::NetUpdate(i) = ev {
+            // Pseudo event: replicate the link change, count nothing.
+            self.sim.apply_net_update(i);
+            self.net_updates -= 1;
+            return;
+        }
+        self.delivered += 1;
+        self.last = self.last.max(at);
+        let mut ctx = ShardCtx {
+            queue: &mut self.queue,
+            now: at,
+            rank,
+            k: 0,
+            sub: 0,
+            watched: &self.watched,
+            watched_bounds: &mut self.watched_bounds,
+            records: &mut self.records,
+            tx: &self.tx,
+            rx: &self.rx,
+            owned: &self.owned,
+            net_updates: &mut self.net_updates,
+            in_flight: false,
+        };
+        self.sim.dispatch_event(&mut ctx, ev);
+        debug_assert!(!ctx.in_flight, "handlers drain exports before returning");
+    }
+
+    /// Run every admitted event, stopping at emission candidates.
+    fn run_admitted(&mut self) {
+        loop {
+            let Some((at, rank, ev)) = self.queue.peek_full() else {
+                return;
+            };
+            if is_candidate(ev, &self.watched, &self.fault_candidate) {
+                return;
+            }
+            // Pseudo NetUpdate replicas exist on *every* shard at the same
+            // root coordinate, so the exclusive bound can never pass one
+            // shard's copy while another's is its head. Inclusive admission
+            // at exactly the bound coordinate is safe for them: a bound
+            // reaching that coordinate proves no real event below it exists
+            // anywhere, so no arrival below it can ever land here.
+            let admitted = self.bound.admits(at, rank)
+                || (matches!(ev, Event::NetUpdate(_))
+                    && self.bound.time == at
+                    && self.bound.rank.as_ref() == Some(rank));
+            if !admitted {
+                return;
+            }
+            let (at, rank, ev) = self.queue.pop().expect("peeked");
+            self.execute(at, rank, ev);
+        }
+    }
+
+    fn report(&mut self) -> ShardReport {
+        let head = self.queue.peek().map(|(t, r)| (t, r.clone()));
+        let candidate = self
+            .queue
+            .peek_full()
+            .is_some_and(|(_, _, ev)| is_candidate(ev, &self.watched, &self.fault_candidate));
+        let probes = self.sim.all_probes();
+        ShardReport {
+            head,
+            candidate,
+            floor: self.watched_bounds.values().min().copied(),
+            last: self.last,
+            pending: self.queue.len() - self.net_updates,
+            probes: self.owned.iter().map(|&i| (i, probes[i])).collect(),
+        }
+    }
+
+    fn park(&mut self) {
+        let report = self.report();
+        self.tx
+            .send(ToCoord::Parked(report))
+            .unwrap_or_else(|_| panic!("coordinator alive"));
+    }
+
+    fn run(mut self, fault_rank_base: u64, me: usize, shards: usize) {
+        self.prime(fault_rank_base, me, shards);
+        self.park();
+        loop {
+            match recv_spin(&self.rx) {
+                ToShard::Advance { bound, injects } => {
+                    for (at, rank, ev) in injects {
+                        self.queue.schedule(at, rank, ev);
+                    }
+                    debug_assert!(bound >= self.bound, "bounds are monotone");
+                    self.bound = bound;
+                    self.run_admitted();
+                    self.park();
+                }
+                ToShard::ExecuteHead { at, rank } => {
+                    let (t, r, ev) = self.queue.pop().expect("candidate head exists");
+                    assert!(
+                        t == at && r == rank,
+                        "candidate head moved between park and execute"
+                    );
+                    // Executing a candidate voids this shard's standing
+                    // bound: the interlude it triggers creates fresh event
+                    // chains (released waiters, requeues) whose own watched
+                    // completions may land *below* a bound granted earlier —
+                    // including the unbounded grant issued when every other
+                    // queue was momentarily empty. Clamp to the candidate's
+                    // coordinate so the next events here wait for a fresh
+                    // grant computed from post-interlude heads.
+                    self.bound = Bound::at(t, r.clone());
+                    self.execute(t, r, ev);
+                    self.run_admitted();
+                    self.park();
+                }
+                ToShard::ExecRcCont {
+                    now,
+                    rank,
+                    k,
+                    sub,
+                    site,
+                    job,
+                } => {
+                    // A routing continuation at the coordinator's current
+                    // coordinate: run it with the shared cursors and report
+                    // the refreshed state (the queue may have changed).
+                    let mut ctx = ShardCtx {
+                        queue: &mut self.queue,
+                        now,
+                        rank,
+                        k,
+                        sub,
+                        watched: &self.watched,
+                        watched_bounds: &mut self.watched_bounds,
+                        records: &mut self.records,
+                        tx: &self.tx,
+                        rx: &self.rx,
+                        owned: &self.owned,
+                        net_updates: &mut self.net_updates,
+                        in_flight: false,
+                    };
+                    self.sim.route_rc(&mut ctx, site, *job);
+                    debug_assert!(!ctx.in_flight);
+                    let (k, sub) = (ctx.k, ctx.sub);
+                    let report = self.report();
+                    self.tx
+                        .send(ToCoord::RcContDone { k, sub, report })
+                        .unwrap_or_else(|_| panic!("coordinator alive"));
+                }
+                ToShard::Ack { .. } => {
+                    unreachable!("acks are consumed inside recv_export_reply")
+                }
+                ToShard::Finish => {
+                    assert!(self.queue.is_empty(), "finish with events pending");
+                    assert!(
+                        self.watched_bounds.is_empty(),
+                        "finish with watched jobs unresolved"
+                    );
+                    self.sim.harvest_scheduler_counters();
+                    let metrics =
+                        std::mem::replace(&mut self.sim.metrics, MetricsRegistry::disabled());
+                    let fault_report = self.sim.faults.take().map(|f| f.report);
+                    let fin = ShardFinal {
+                        federation: self.sim.federation,
+                        metrics,
+                        fault_report,
+                        records: self.records,
+                        jobs_done: self.sim.jobs_done,
+                        delivered: self.delivered,
+                        last: self.last,
+                        peak: self.queue.peak_len(),
+                    };
+                    self.tx
+                        .send(ToCoord::Final(Box::new(fin)))
+                        .unwrap_or_else(|_| panic!("coordinator alive"));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The [`EvCtx`] the coordinator's handlers run against: its own rank
+/// queue for global events, per-shard outboxes for cross-shard events, and
+/// the synchronous RC-continuation channel.
+struct CoordCtx<'a> {
+    queue: &'a mut RankQueue<Event>,
+    now: SimTime,
+    rank: Rank,
+    k: u64,
+    sub: u32,
+    records: &'a mut Vec<(Stamp, BufRecord)>,
+    outboxes: &'a mut [Outbox],
+    shards: usize,
+    to_shards: &'a [Sender<ToShard>],
+    from_shards: &'a [Receiver<ToCoord>],
+    reports: &'a mut [ShardReport],
+    probe_view: &'a mut [SiteProbe],
+}
+
+impl CoordCtx<'_> {
+    fn child_rank(&mut self) -> Rank {
+        let r = self.rank.child(self.now, self.k);
+        self.k += 1;
+        r
+    }
+}
+
+impl EvCtx for CoordCtx<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn pending(&self) -> usize {
+        // The serial engine's queue population, partitioned: global events
+        // here, site-local events on the shards, in-flight cross-shard
+        // events in the outboxes. Pseudo replicas are excluded on both
+        // sides (shard reports already exclude them).
+        self.queue.len()
+            + self.reports.iter().map(|r| r.pending).sum::<usize>()
+            + self.outboxes.iter().map(Outbox::len).sum::<usize>()
+    }
+    fn schedule_at(&mut self, at: SimTime, ev: Event) -> EventKey {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let at = at.max(self.now);
+        let rank = self.child_rank();
+        match &ev {
+            Event::Enqueue { site, .. } | Event::RcComplete { site, .. } => {
+                // Site-local events execute on the owning shard.
+                self.outboxes[owner(site.index(), self.shards)].push(at, rank, ev);
+                // Cross-shard events are never cancelled (only completion
+                // events are, and those live on the shard that created
+                // them), so a placeholder key is safe.
+                EventKey::placeholder()
+            }
+            _ => self.queue.schedule(at, rank, ev),
+        }
+    }
+    fn schedule_after(&mut self, after: SimDuration, ev: Event) -> EventKey {
+        self.schedule_at(self.now + after, ev)
+    }
+    fn schedule_now(&mut self, ev: Event) -> EventKey {
+        self.schedule_at(self.now, ev)
+    }
+    fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key)
+    }
+    fn exec_mode(&self) -> ExecRole {
+        ExecRole::Coord
+    }
+    fn buffers_records(&self) -> bool {
+        true
+    }
+    fn buffer_record(&mut self, rec: BufRecord) {
+        self.records
+            .push(((self.now, self.rank.clone(), self.sub), rec));
+        self.sub += 1;
+    }
+    fn export_route_rc(&mut self, site: SiteId, job: Box<Job>) -> Vec<(usize, SiteProbe)> {
+        let o = owner(site.index(), self.shards);
+        self.to_shards[o]
+            .send(ToShard::ExecRcCont {
+                now: self.now,
+                rank: self.rank.clone(),
+                k: self.k,
+                sub: self.sub,
+                site,
+                job,
+            })
+            .unwrap_or_else(|_| panic!("shard alive"));
+        match recv_spin(&self.from_shards[o]) {
+            ToCoord::RcContDone { k, sub, report } => {
+                self.k = k;
+                self.sub = sub;
+                let probes = report.probes.clone();
+                for &(i, p) in &report.probes {
+                    self.probe_view[i] = p;
+                }
+                // The owner's queue changed (a completion or enqueue may
+                // now precede its old head); its parked state is refreshed
+                // wholesale, including candidate classification.
+                self.reports[o] = report;
+                probes
+            }
+            _ => unreachable!("rc continuation answers synchronously"),
+        }
+    }
+}
+
+/// The coordinator: global [`GridSim`] replica (authoritative for routing,
+/// dependencies, retries, samples, metrics series, and record ingest), its
+/// own queue of global events, and the synchronization driver.
+struct Coordinator {
+    sim: GridSim,
+    queue: RankQueue<Event>,
+    /// Uncounted outage mirrors `(at, rank, schedule index)`, sorted; they
+    /// share the paired real event's coordinate and apply just before it.
+    mirrors: VecDeque<(SimTime, Rank, usize)>,
+    outboxes: Vec<Outbox>,
+    granted: Vec<Bound>,
+    reports: Vec<ShardReport>,
+    probe_view: Vec<SiteProbe>,
+    records: Vec<(Stamp, BufRecord)>,
+    to_shards: Vec<Sender<ToShard>>,
+    from_shards: Vec<Receiver<ToCoord>>,
+    delivered: u64,
+    last: SimTime,
+}
+
+impl Coordinator {
+    fn shards(&self) -> usize {
+        self.to_shards.len()
+    }
+
+    /// Prime the coordinator's queue: the whole submit stream (routing is
+    /// coordinator-owned), the sample tick, link fault events as real
+    /// (counted) events, and outage mirrors. Root rank assignment mirrors
+    /// the serial engine's priming seq order exactly.
+    fn prime(&mut self) -> u64 {
+        let submits: Vec<(SimTime, usize)> = self
+            .sim
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.as_ref().expect("unconsumed").submit_time, i))
+            .collect();
+        for (at, i) in submits {
+            self.queue
+                .schedule(at, Rank::root(i as u64), Event::Submit(i));
+        }
+        let mut next = self.sim.jobs.len() as u64;
+        if let Some(interval) = self.sim.sample_interval {
+            self.queue
+                .schedule(SimTime::ZERO + interval, Rank::root(next), Event::Sample);
+            next += 1;
+        }
+        let fault_rank_base = next;
+        if let Some(f) = self.sim.faults.as_ref() {
+            let schedule: Vec<(SimTime, FaultEventKind)> =
+                f.schedule.events.iter().map(|e| (e.at, e.kind)).collect();
+            let mut mirrors = Vec::new();
+            for (i, (at, kind)) in schedule.into_iter().enumerate() {
+                let rank = Rank::root(fault_rank_base + i as u64);
+                match kind {
+                    FaultEventKind::LinkDegrade { .. } | FaultEventKind::LinkRestore { .. } => {
+                        // Link faults touch only coordinator-owned state
+                        // (report, degradation windows) plus the network
+                        // replicas, which shards mirror via NetUpdate.
+                        self.queue.schedule(at, rank, Event::Fault(i));
+                    }
+                    FaultEventKind::SiteOutage { .. } | FaultEventKind::SiteRecovery { .. } => {
+                        mirrors.push((at, rank, i));
+                    }
+                    _ => {}
+                }
+            }
+            mirrors.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            self.mirrors = mirrors.into();
+        }
+        fault_rank_base
+    }
+
+    fn recv_parked(&mut self, shard: usize) {
+        match recv_spin(&self.from_shards[shard]) {
+            ToCoord::Parked(report) => {
+                for &(i, p) in &report.probes {
+                    self.probe_view[i] = p;
+                }
+                self.reports[shard] = report;
+            }
+            _ => unreachable!("an advancing shard reports by parking"),
+        }
+    }
+
+    /// Apply every pending outage mirror at or below `limit` (the
+    /// coordinate about to execute). The paired real outage event shares
+    /// the mirror's coordinate; applying the mirror first reproduces the
+    /// serial ordering of `down_since` before the kill loop.
+    fn apply_mirrors_through(&mut self, limit: (SimTime, &Rank)) {
+        while let Some((at, rank, _)) = self.mirrors.front() {
+            if (*at, rank) > (limit.0, limit.1) {
+                break;
+            }
+            let (at, _, i) = self.mirrors.pop_front().expect("peeked");
+            self.sim.apply_outage_mirror(i, at);
+        }
+    }
+
+    /// Process one export conversation after sending [`ToShard::ExecuteHead`]
+    /// to `emitter`, until the emitter parks.
+    fn interlude(&mut self, emitter: usize) {
+        loop {
+            match recv_spin(&self.from_shards[emitter]) {
+                ToCoord::Parked(report) => {
+                    for &(i, p) in &report.probes {
+                        self.probe_view[i] = p;
+                    }
+                    self.reports[emitter] = report;
+                    return;
+                }
+                ToCoord::Finished {
+                    id,
+                    now,
+                    rank,
+                    k,
+                    sub,
+                    probes,
+                } => {
+                    for &(i, p) in &probes {
+                        self.probe_view[i] = p;
+                    }
+                    self.sim.probes = Some(self.probe_view.clone());
+                    let mut ctx = CoordCtx {
+                        queue: &mut self.queue,
+                        now,
+                        rank,
+                        k,
+                        sub,
+                        records: &mut self.records,
+                        outboxes: &mut self.outboxes,
+                        shards: self.to_shards.len(),
+                        to_shards: &self.to_shards,
+                        from_shards: &self.from_shards,
+                        reports: &mut self.reports,
+                        probe_view: &mut self.probe_view,
+                    };
+                    self.sim.release_deps(&mut ctx, id);
+                    let (k, sub) = (ctx.k, ctx.sub);
+                    let injects = self.outboxes[emitter].take();
+                    self.to_shards[emitter]
+                        .send(ToShard::Ack { k, sub, injects })
+                        .unwrap_or_else(|_| panic!("shard alive"));
+                }
+                ToCoord::KilledRetry {
+                    job,
+                    now,
+                    rank,
+                    k,
+                    sub,
+                    probes,
+                } => {
+                    for &(i, p) in &probes {
+                        self.probe_view[i] = p;
+                    }
+                    self.sim.probes = Some(self.probe_view.clone());
+                    let mut ctx = CoordCtx {
+                        queue: &mut self.queue,
+                        now,
+                        rank,
+                        k,
+                        sub,
+                        records: &mut self.records,
+                        outboxes: &mut self.outboxes,
+                        shards: self.to_shards.len(),
+                        to_shards: &self.to_shards,
+                        from_shards: &self.from_shards,
+                        reports: &mut self.reports,
+                        probe_view: &mut self.probe_view,
+                    };
+                    self.sim.coord_kill_retry(&mut ctx, job);
+                    let (k, sub) = (ctx.k, ctx.sub);
+                    let injects = self.outboxes[emitter].take();
+                    self.to_shards[emitter]
+                        .send(ToShard::Ack { k, sub, injects })
+                        .unwrap_or_else(|_| panic!("shard alive"));
+                }
+                ToCoord::KilledCheckpoint { at, rank, job } => {
+                    // Fire-and-forget: the requeue re-enters routing here.
+                    self.queue.schedule(at, rank, Event::Requeue { job });
+                }
+                _ => unreachable!("unexpected message during candidate execution"),
+            }
+        }
+    }
+
+    /// Execute one event from the coordinator's own queue.
+    fn execute_own(&mut self, at: SimTime, rank: Rank, ev: Event) {
+        self.delivered += 1;
+        self.last = self.last.max(at);
+        self.sim.probes = Some(self.probe_view.clone());
+        let mut ctx = CoordCtx {
+            queue: &mut self.queue,
+            now: at,
+            rank,
+            k: 0,
+            sub: 0,
+            records: &mut self.records,
+            outboxes: &mut self.outboxes,
+            shards: self.to_shards.len(),
+            to_shards: &self.to_shards,
+            from_shards: &self.from_shards,
+            reports: &mut self.reports,
+            probe_view: &mut self.probe_view,
+        };
+        self.sim.dispatch_event(&mut ctx, ev);
+    }
+
+    /// A shard's *effective head*: its parked queue head or the earliest
+    /// undelivered cross-shard event bound for it, whichever sorts lower.
+    /// Undelivered events are part of the global order; ignoring them would
+    /// let decisions run ahead of an event that must execute first. The
+    /// `bool` is whether the head is a (delivered, in-queue) candidate.
+    fn effective_head(&self, j: usize) -> Option<(SimTime, Rank, bool)> {
+        let q = self.reports[j].head.as_ref();
+        let o = self.outboxes[j].min();
+        match (q, o) {
+            (Some((qt, qr)), Some((ot, or))) => {
+                if (*qt, qr) < (ot, or) {
+                    Some((*qt, qr.clone(), self.reports[j].candidate))
+                } else {
+                    Some((ot, or.clone(), false))
+                }
+            }
+            (Some((qt, qr)), None) => Some((*qt, qr.clone(), self.reports[j].candidate)),
+            (None, Some((ot, or))) => Some((ot, or.clone(), false)),
+            (None, None) => None,
+        }
+    }
+
+    /// The synchronization driver: decide, act, repeat.
+    fn drive(&mut self) {
+        let shards = self.shards();
+        for i in 0..shards {
+            self.recv_parked(i);
+        }
+        loop {
+            let own_head = self.queue.peek().map(|(t, r)| (t, r.clone()));
+            let effs: Vec<Option<(SimTime, Rank, bool)>> =
+                (0..shards).map(|j| self.effective_head(j)).collect();
+            let done = own_head.is_none() && effs.iter().all(Option::is_none);
+            if done {
+                // Trailing mirrors (e.g. a recovery window closing after the
+                // last real event) are harmless bookkeeping; apply them so
+                // the fault layer's view is consistent, then stop.
+                while let Some((at, _, i)) = self.mirrors.pop_front() {
+                    self.sim.apply_outage_mirror(i, at);
+                }
+                return;
+            }
+
+            // The globally minimal effective head. Every future effect of
+            // executing any event carries a strictly larger coordinate, so
+            // the minimum is always safe to act on.
+            let mut min_shard: Option<usize> = None;
+            for (i, e) in effs.iter().enumerate() {
+                if let Some((t, r, _)) = e {
+                    let better = match min_shard {
+                        None => true,
+                        Some(m) => {
+                            let (mt, mr, _) = effs[m].as_ref().expect("tracked");
+                            (*t, r) < (*mt, mr)
+                        }
+                    };
+                    if better {
+                        min_shard = Some(i);
+                    }
+                }
+            }
+            // Ties go to the coordinator: real coordinates are unique, so
+            // an equal shard head can only be a pseudo NetUpdate replica of
+            // the coordinator's own (real) link fault at that coordinate —
+            // which the serial run executes at exactly this point.
+            let coord_is_min = match (&own_head, min_shard) {
+                (Some(h), Some(m)) => {
+                    let (mt, mr, _) = effs[m].as_ref().expect("tracked");
+                    (h.0, &h.1) <= (*mt, mr)
+                }
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+
+            if coord_is_min {
+                let (at, rank) = own_head.expect("checked");
+                self.apply_mirrors_through((at, &rank));
+                let (t, r, ev) = self.queue.pop().expect("peeked");
+                self.execute_own(t, r, ev);
+                continue;
+            }
+
+            let j = min_shard.expect("not done, so some head exists");
+            let (at, rank, candidate) = effs[j].clone().expect("tracked");
+            if candidate {
+                // Everyone else has drained strictly below this coordinate;
+                // probes in the reports are synchronized to exactly here.
+                // (Shard j's undelivered events all sort above it, or one of
+                // them would be the effective head instead.)
+                debug_assert!(
+                    self.reports
+                        .iter()
+                        .enumerate()
+                        .all(|(m, rep)| m == j || rep.last <= at),
+                    "a shard executed past the candidate coordinate {:?}",
+                    (at, &rank),
+                );
+                self.apply_mirrors_through((at, &rank));
+                // Mirror the shard-side bound clamp (see ExecuteHead):
+                // whatever was granted before is void once the interlude
+                // runs, so the bound book must drop with it or later grant
+                // comparisons would skip re-raising it.
+                self.granted[j] = Bound::at(at, rank.clone());
+                self.to_shards[j]
+                    .send(ToShard::ExecuteHead { at, rank })
+                    .unwrap_or_else(|_| panic!("shard alive"));
+                self.interlude(j);
+                continue;
+            }
+
+            // Non-candidate minimum (a parked head or an undelivered
+            // event): raise bounds so its shard (and any other shard with
+            // admitted work) free-runs. B_j = min over the coordinator's
+            // head and every *other* shard's effective head — all strictly
+            // above shard j's own minimum, so j always progresses. Any
+            // Advance carries the destination's whole outbox: a raised
+            // bound may admit undelivered events, and they are always above
+            // the destination's executed frontier (every cross-shard event
+            // is created above every bound standing at its creation).
+            let mut awaiting = Vec::new();
+            for m in 0..shards {
+                let mut b: Option<Bound> = own_head.as_ref().map(|(t, r)| Bound::at(*t, r.clone()));
+                for (i, e) in effs.iter().enumerate() {
+                    if i == m {
+                        continue;
+                    }
+                    if let Some((t, r, _)) = e {
+                        let hb = Bound::at(*t, r.clone());
+                        b = Some(match b {
+                            None => hb,
+                            Some(cur) => cur.min(hb),
+                        });
+                    }
+                }
+                // No other participant has any event left: this shard may
+                // drain everything it has. (Its own candidates still park
+                // it, and executing one clamps this grant back down, so
+                // chains seeded by a later interlude stay paced.)
+                let b = b.unwrap_or(Bound {
+                    time: SimTime::MAX,
+                    rank: None,
+                });
+                if b > self.granted[m] {
+                    self.granted[m] = b.clone();
+                    let injects = self.outboxes[m].take();
+                    self.to_shards[m]
+                        .send(ToShard::Advance { bound: b, injects })
+                        .unwrap_or_else(|_| panic!("shard alive"));
+                    awaiting.push(m);
+                }
+            }
+            assert!(
+                !awaiting.is_empty(),
+                "conservative driver stalled at {:?} (emission floors: {:?})",
+                (at, &rank),
+                self.reports.iter().map(|r| r.floor).collect::<Vec<_>>(),
+            );
+            for m in awaiting {
+                self.recv_parked(m);
+            }
+        }
+    }
+}
+
+/// The result of a sharded run, shaped like the serial path's outputs.
+pub(crate) struct ShardedOutcome {
+    pub(crate) finished: FinishedSim,
+    pub(crate) delivered: u64,
+    pub(crate) peak_queue_len: usize,
+    /// The federation-wide minimum staged lookahead (diagnostic).
+    pub(crate) min_lookahead: SimDuration,
+}
+
+/// Run `threads`-way sharded (one coordinator on the calling thread plus
+/// `min(threads - 1, sites)` shard workers), producing output byte-identical
+/// to the serial engine.
+///
+/// `make_sim` builds one deterministic [`GridSim`] replica; every
+/// participant constructs its own (identical RNG draws, identical fault
+/// schedule), then touches only the state it owns. The merge swaps the
+/// authoritative per-site state back into the coordinator's replica and
+/// replays buffered accounting records in global serial order.
+pub(crate) fn run_sharded(
+    make_sim: &(dyn Fn() -> GridSim + Sync),
+    threads: usize,
+    watched: Arc<HashSet<JobId>>,
+) -> ShardedOutcome {
+    let coord_sim = make_sim();
+    let nsites = coord_sim.federation.len();
+    let shards = (threads - 1).min(nsites).max(1);
+
+    // Conservative lookahead matrix from the WAN uplinks (diagnostic: the
+    // head-based bounds subsume it; see the module docs).
+    let (lat, bw): (Vec<f64>, Vec<f64>) = (0..nsites)
+        .map(|i| {
+            let u = coord_sim.federation.network.uplink(SiteId(i));
+            (u.latency.as_secs_f64(), u.bandwidth_mbps)
+        })
+        .unzip();
+    let lookahead = Lookahead::from_uplinks(&lat, &bw, crate::sim::STAGING_THRESHOLD_MB);
+
+    let fault_candidate: Arc<Vec<bool>> = Arc::new(
+        coord_sim
+            .faults
+            .as_ref()
+            .map(|f| {
+                f.schedule
+                    .events
+                    .iter()
+                    .map(|e| {
+                        matches!(
+                            e.kind,
+                            FaultEventKind::NodeCrash { .. } | FaultEventKind::SiteOutage { .. }
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+    );
+
+    let mut to_shards = Vec::new();
+    let mut from_shards = Vec::new();
+    let mut shard_ends = Vec::new();
+    for _ in 0..shards {
+        let (tx_cmd, rx_cmd) = unbounded::<ToShard>();
+        let (tx_rep, rx_rep) = unbounded::<ToCoord>();
+        to_shards.push(tx_cmd);
+        from_shards.push(rx_rep);
+        shard_ends.push((rx_cmd, tx_rep));
+    }
+
+    let probe_view = coord_sim.all_probes();
+    let mut coordinator = Coordinator {
+        sim: coord_sim,
+        queue: RankQueue::new(),
+        mirrors: VecDeque::new(),
+        outboxes: (0..shards).map(|_| Outbox::default()).collect(),
+        granted: vec![Bound::ZERO; shards],
+        reports: (0..shards)
+            .map(|_| ShardReport {
+                head: None,
+                candidate: false,
+                floor: None,
+                last: SimTime::ZERO,
+                pending: 0,
+                probes: Vec::new(),
+            })
+            .collect(),
+        probe_view,
+        records: Vec::new(),
+        to_shards,
+        from_shards,
+        delivered: 0,
+        last: SimTime::ZERO,
+    };
+    let fault_rank_base = coordinator.prime();
+
+    std::thread::scope(|scope| {
+        for (me, (rx, tx)) in shard_ends.into_iter().enumerate() {
+            let watched = Arc::clone(&watched);
+            let fault_candidate = Arc::clone(&fault_candidate);
+            scope.spawn(move || {
+                let sim = make_sim();
+                let owned: Vec<usize> = (0..nsites).filter(|&s| owner(s, shards) == me).collect();
+                let shard = Shard {
+                    sim,
+                    queue: RankQueue::new(),
+                    bound: Bound::ZERO,
+                    watched,
+                    watched_bounds: HashMap::new(),
+                    fault_candidate,
+                    records: Vec::new(),
+                    owned,
+                    net_updates: 0,
+                    delivered: 0,
+                    last: SimTime::ZERO,
+                    tx,
+                    rx,
+                };
+                shard.run(fault_rank_base, me, shards);
+            });
+        }
+
+        coordinator.drive();
+
+        // Drain finished: collect every shard's final state.
+        let mut finals: Vec<ShardFinal> = Vec::with_capacity(shards);
+        for i in 0..shards {
+            coordinator.to_shards[i]
+                .send(ToShard::Finish)
+                .unwrap_or_else(|_| panic!("shard alive"));
+        }
+        for i in 0..shards {
+            match coordinator.from_shards[i]
+                .recv()
+                .unwrap_or_else(|_| panic!("shard alive"))
+            {
+                ToCoord::Final(f) => finals.push(*f),
+                _ => unreachable!("finish answers with the final state"),
+            }
+        }
+        merge(coordinator, finals, lookahead)
+    })
+}
+
+/// Fold the shards' final state into the coordinator's replica and finish
+/// the run exactly as the serial `GridSim::run` would.
+fn merge(mut c: Coordinator, finals: Vec<ShardFinal>, lookahead: Lookahead) -> ShardedOutcome {
+    let shards = c.shards();
+    let mut delivered = c.delivered;
+    let mut end = c.last;
+    let mut peak = c.queue.peak_len();
+    let mut jobs_done = c.sim.jobs_done;
+    let mut records = std::mem::take(&mut c.records);
+
+    for (me, mut f) in finals.into_iter().enumerate() {
+        // Swap in the authoritative per-site state (utilization integrals,
+        // RC fabric stats) from the owning shard.
+        for s in 0..c.sim.federation.len() {
+            if owner(s, shards) == me {
+                std::mem::swap(
+                    c.sim.federation.site_mut(SiteId(s)),
+                    f.federation.site_mut(SiteId(s)),
+                );
+            }
+        }
+        c.sim.metrics.merge_from(&f.metrics);
+        if let Some(rep) = f.fault_report {
+            c.sim
+                .faults
+                .as_mut()
+                .expect("shards report faults only when the layer exists")
+                .report
+                .merge_from(&rep);
+        }
+        records.extend(f.records);
+        jobs_done += f.jobs_done;
+        delivered += f.delivered;
+        end = end.max(f.last);
+        peak += f.peak;
+    }
+
+    assert_eq!(
+        jobs_done, c.sim.jobs_total,
+        "sharded run drained with jobs unfinished"
+    );
+
+    // Replay every buffered accounting record in global serial (stamp)
+    // order through the coordinator's virgin ingest channel: the lossy
+    // ingest RNG sees the exact serial draw sequence.
+    records.sort_by(|a, b| {
+        let ((ta, ra, sa), _) = a;
+        let ((tb, rb, sb), _) = b;
+        ta.cmp(tb).then_with(|| ra.cmp(rb)).then_with(|| sa.cmp(sb))
+    });
+    for (_, rec) in records {
+        c.sim.replay_record(rec);
+    }
+
+    c.sim.harvest_scheduler_counters();
+    let metrics = c.sim.metrics.snapshot(end);
+    let trace_flush_ok = c.sim.tracer.close_sink();
+    let fault_report = c.sim.faults.take().map(|f| f.report);
+    let finished = FinishedSim {
+        federation: c.sim.federation,
+        db: c.sim.db,
+        truth: c.sim.truth,
+        end,
+        samples: c.sim.samples,
+        metrics,
+        tracer: c.sim.tracer,
+        trace_flush_ok,
+        fault_report,
+    };
+    ShardedOutcome {
+        finished,
+        delivered,
+        peak_queue_len: peak,
+        min_lookahead: lookahead.min_staged(),
+    }
+}

@@ -119,6 +119,13 @@ pub struct RunOptions {
     /// instead of the optimized ones. The differential suite runs whole
     /// scenarios both ways and asserts identical outputs.
     pub reference_schedulers: bool,
+    /// Worker threads for the sharded engine (`0`/`1` = the serial path,
+    /// unchanged). With `N ≥ 2`, one coordinator plus up to `N - 1` per-site
+    /// shards run the simulation with conservative synchronization — results
+    /// are byte-identical to the serial path (the differential suite proves
+    /// it), so this too is an observer-only knob. Tracing is serial-only:
+    /// `trace_path` forces the serial path with a warning.
+    pub threads: usize,
 }
 
 impl RunOptions {
@@ -126,6 +133,14 @@ impl RunOptions {
     pub fn with_metrics() -> Self {
         RunOptions {
             metrics: true,
+            ..Self::default()
+        }
+    }
+
+    /// Options running `threads`-way sharded.
+    pub fn with_threads(threads: usize) -> Self {
+        RunOptions {
+            threads,
             ..Self::default()
         }
     }
@@ -153,7 +168,6 @@ impl Scenario {
     /// `metrics`/`profile` side channels differ.
     pub fn run_with(&self, seed: u64, opts: &RunOptions) -> SimOutput {
         let cfg = &self.config;
-        let factory = RngFactory::new(seed);
         let library = cfg
             .library
             .clone()
@@ -162,12 +176,9 @@ impl Scenario {
             library.len() >= cfg.workload.rc_config_count,
             "library smaller than the config ids the workload draws"
         );
-        let mut builder = Federation::builder().library(library);
-        for s in &cfg.sites {
-            builder = builder.site(s.clone());
-        }
-        let federation = builder.repository_at(cfg.data_home).build();
-        let mut workload = WorkloadGenerator::new(cfg.workload.clone()).generate(&factory);
+        let federation = build_federation(cfg, &library);
+        let mut workload =
+            WorkloadGenerator::new(cfg.workload.clone()).generate(&RngFactory::new(seed));
         // Real users size jobs to the machine; the generator doesn't know
         // machine sizes, so clamp here: a pinned job fits its site, an
         // unpinned one fits the largest site.
@@ -183,51 +194,63 @@ impl Scenario {
             };
             job.cores = job.cores.min(cap);
         }
-        let schedulers: Vec<Box<dyn BatchScheduler>> = federation
-            .sites()
-            .map(|s| {
-                if opts.reference_schedulers {
-                    cfg.scheduler.build_reference(s.cluster.total_cores())
-                } else {
-                    cfg.scheduler.build(s.cluster.total_cores())
-                }
-            })
-            .collect();
-        let charge_policy = ChargePolicy::new(cfg.sites.iter().map(|s| s.charge_factor).collect());
-        let mut sim = GridSim::new(
-            federation,
-            schedulers,
-            cfg.meta,
-            cfg.rc_policy,
-            SiteId(cfg.data_home),
-            workload.jobs,
-            factory,
-        );
-        if let Some(interval) = cfg.sample_interval {
-            sim = sim.with_sampling(interval);
+
+        let mut sharded = opts.threads >= 2 && federation.len() >= 2;
+        if sharded && opts.trace_path.is_some() {
+            eprintln!(
+                "warning: structured tracing is serial-only; ignoring --threads {}",
+                opts.threads
+            );
+            sharded = false;
         }
-        if let Some(spec) = &cfg.faults {
-            if !spec.is_trivial() {
-                sim = sim.with_faults(spec);
-            }
-        }
-        if opts.metrics {
-            sim = sim.with_metrics();
-        }
-        if let Some(path) = &opts.trace_path {
-            let file = std::fs::File::create(path)
-                .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
-            let mut tracer = Tracer::enabled(4096);
-            tracer.set_sink(Box::new(std::io::BufWriter::new(file)));
-            sim = sim.with_tracer(tracer);
-        }
-        let mut engine: Engine<Event> = Engine::with_capacity(1024);
+
         // Wall-clock profiling wraps the event loop; it lives OUTSIDE the
         // deterministic outputs (never compared across runs).
-        let wall_start = std::time::Instant::now();
-        let finished = sim.run(&mut engine);
-        let wall = wall_start.elapsed().as_secs_f64();
-        let profile = EngineProfile::new(engine.delivered(), wall, engine.peak_queue_len());
+        let (finished, events_delivered, peak_queue_len, wall) = if sharded {
+            // Every job that something else depends on: its completion
+            // must synchronize with the coordinator's dependency book.
+            let watched: std::sync::Arc<std::collections::HashSet<JobId>> = std::sync::Arc::new(
+                workload
+                    .jobs
+                    .iter()
+                    .flat_map(|j| j.deps.iter().copied())
+                    .collect(),
+            );
+            let jobs = std::mem::take(&mut workload.jobs);
+            let make_sim = move || {
+                // Each participant builds an identical replica: a fresh
+                // factory hands out the same named streams, so every copy
+                // compiles the same fault schedule and RNG state.
+                assemble(cfg, &library, jobs.clone(), RngFactory::new(seed), opts)
+            };
+            let wall_start = std::time::Instant::now();
+            let outcome = crate::parallel::run_sharded(&make_sim, opts.threads, watched);
+            let wall = wall_start.elapsed().as_secs_f64();
+            debug_assert!(outcome.min_lookahead >= tg_des::SimDuration::ZERO);
+            (
+                outcome.finished,
+                outcome.delivered,
+                outcome.peak_queue_len,
+                wall,
+            )
+        } else {
+            let jobs = std::mem::take(&mut workload.jobs);
+            let mut sim = assemble(cfg, &library, jobs, RngFactory::new(seed), opts);
+            if let Some(path) = &opts.trace_path {
+                let file = std::fs::File::create(path)
+                    .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+                let mut tracer = Tracer::enabled(4096);
+                tracer.set_sink(Box::new(std::io::BufWriter::new(file)));
+                sim = sim.with_tracer(tracer);
+            }
+            let mut engine: Engine<Event> = Engine::with_capacity(1024);
+            let wall_start = std::time::Instant::now();
+            let finished = sim.run(&mut engine);
+            let wall = wall_start.elapsed().as_secs_f64();
+            (finished, engine.delivered(), engine.peak_queue_len(), wall)
+        };
+        let charge_policy = ChargePolicy::new(cfg.sites.iter().map(|s| s.charge_factor).collect());
+        let profile = EngineProfile::new(events_delivered, wall, peak_queue_len);
         let metrics = finished.metrics.map(|mut m| {
             m.engine = Some(profile.clone());
             m
@@ -257,7 +280,7 @@ impl Scenario {
             site_stats,
             samples: finished.samples,
             population: workload.population,
-            events_delivered: engine.delivered(),
+            events_delivered,
             metrics,
             profile,
             trace_health: opts
@@ -267,6 +290,58 @@ impl Scenario {
             fault_report: finished.fault_report,
         }
     }
+}
+
+fn build_federation(cfg: &ScenarioConfig, library: &ConfigLibrary) -> Federation {
+    let mut builder = Federation::builder().library(library.clone());
+    for s in &cfg.sites {
+        builder = builder.site(s.clone());
+    }
+    builder.repository_at(cfg.data_home).build()
+}
+
+/// Assemble one [`GridSim`] replica. Deterministic in `(cfg, jobs, seed)`:
+/// the sharded runner calls this once per participant and relies on every
+/// copy being identical (same fault schedule, same named RNG streams).
+fn assemble(
+    cfg: &ScenarioConfig,
+    library: &ConfigLibrary,
+    jobs: Vec<tg_workload::Job>,
+    factory: RngFactory,
+    opts: &RunOptions,
+) -> GridSim {
+    let federation = build_federation(cfg, library);
+    let schedulers: Vec<Box<dyn BatchScheduler>> = federation
+        .sites()
+        .map(|s| {
+            if opts.reference_schedulers {
+                cfg.scheduler.build_reference(s.cluster.total_cores())
+            } else {
+                cfg.scheduler.build(s.cluster.total_cores())
+            }
+        })
+        .collect();
+    let mut sim = GridSim::new(
+        federation,
+        schedulers,
+        cfg.meta,
+        cfg.rc_policy,
+        SiteId(cfg.data_home),
+        jobs,
+        factory,
+    );
+    if let Some(interval) = cfg.sample_interval {
+        sim = sim.with_sampling(interval);
+    }
+    if let Some(spec) = &cfg.faults {
+        if !spec.is_trivial() {
+            sim = sim.with_faults(spec);
+        }
+    }
+    if opts.metrics {
+        sim = sim.with_metrics();
+    }
+    sim
 }
 
 /// Per-site outcome statistics.

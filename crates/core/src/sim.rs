@@ -104,6 +104,180 @@ pub enum Event {
         /// The job being resubmitted.
         job: Box<Job>,
     },
+    /// Sharded runs only: apply a link-kind fault event to this shard's
+    /// replica of the network state (no report/counter side effects — the
+    /// coordinator owns those). Never scheduled in serial runs.
+    NetUpdate(usize),
+}
+
+/// Which execution role a context is driving (see [`EvCtx`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExecRole {
+    /// The classic single-threaded engine loop.
+    Serial,
+    /// A worker shard owning a subset of sites in a sharded run.
+    Shard,
+    /// The coordinator of a sharded run (owns routing and global state).
+    Coord,
+}
+
+/// A point-in-time observation of one site, carried across shard boundaries
+/// so the coordinator can build byte-identical metascheduler views and
+/// samples without owning the site state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SiteProbe {
+    pub(crate) free_cores: usize,
+    pub(crate) busy_cores: usize,
+    pub(crate) total_cores: usize,
+    pub(crate) queue_len: usize,
+    pub(crate) core_speed: f64,
+}
+
+/// One accounting record awaiting (possibly lossy) ingest. In sharded runs
+/// records are buffered with their causal stamp and replayed through the
+/// ingest channel in global serial order at merge time, which keeps the
+/// per-record loss/duplication fate sequence byte-identical to a serial run.
+#[derive(Debug, Clone)]
+pub(crate) enum BufRecord {
+    Job(JobRecord),
+    Transfer(TransferRecord),
+    Session(SessionRecord),
+    Gateway(GatewayAttribute),
+    Rc(RcPlacementRecord),
+}
+
+impl BufRecord {
+    pub(crate) fn apply(self, db: &mut AccountingDb) {
+        match self {
+            BufRecord::Job(r) => db.add_job(r),
+            BufRecord::Transfer(r) => db.add_transfer(r),
+            BufRecord::Session(r) => db.add_session(r),
+            BufRecord::Gateway(r) => db.add_gateway_attr(r),
+            BufRecord::Rc(r) => db.add_rc_placement(r),
+        }
+    }
+}
+
+/// The scheduling surface a [`GridSim`] handler runs against.
+///
+/// The serial engine's [`Ctx`] implements this 1:1 (the hooks keep their
+/// no-op defaults, so the monomorphized serial instantiation is the exact
+/// pre-sharding code path). The sharded contexts in [`crate::parallel`]
+/// additionally route cross-shard effects through the hooks: exports carry
+/// work that the serial run would have done inline to the participant that
+/// owns the state, and the `note_watched_*` family maintains the emission
+/// floor that bounds how far other shards may safely advance.
+pub(crate) trait EvCtx {
+    fn now(&self) -> SimTime;
+    fn pending(&self) -> usize;
+    fn schedule_at(&mut self, at: SimTime, ev: Event) -> EventKey;
+    fn schedule_after(&mut self, after: SimDuration, ev: Event) -> EventKey;
+    fn schedule_now(&mut self, ev: Event) -> EventKey;
+    fn cancel(&mut self, key: EventKey) -> bool;
+    fn exec_mode(&self) -> ExecRole {
+        ExecRole::Serial
+    }
+    /// Is this job a dependency of some other job (so its completion must
+    /// synchronize with the coordinator's dependency bookkeeping)?
+    fn is_watched(&self, _id: JobId) -> bool {
+        false
+    }
+    /// Whether accounting records should be buffered for merge-time replay
+    /// instead of ingested immediately.
+    fn buffers_records(&self) -> bool {
+        false
+    }
+    fn buffer_record(&mut self, _rec: BufRecord) {
+        unreachable!("serial contexts never buffer records")
+    }
+    /// Shard → coordinator: a watched job finished here; release dependents.
+    /// Non-blocking: the coordinator's acknowledgement is consumed later at
+    /// a safe point by [`GridSim::sync_exports`].
+    fn export_finish(&mut self, _id: JobId, _probes: Vec<SiteProbe>) {
+        unreachable!("serial contexts never export")
+    }
+    /// Shard → coordinator: schedule a requeue (checkpoint-restart path).
+    /// Fire-and-forget — the shard advances its own child cursor, so no
+    /// acknowledgement is owed.
+    #[allow(clippy::boxed_local)] // boxed to match the shard-side message payload
+    fn export_requeue(&mut self, _at: SimTime, _job: Box<Job>) {
+        unreachable!("serial contexts never export")
+    }
+    /// Shard → coordinator: a kill needs the global retry book to decide
+    /// requeue-vs-abandon. Non-blocking, acknowledged via
+    /// [`GridSim::sync_exports`].
+    #[allow(clippy::boxed_local)] // boxed to match the shard-side message payload
+    fn export_kill_retry(&mut self, _job: Box<Job>, _probes: Vec<SiteProbe>) {
+        unreachable!("serial contexts never export")
+    }
+    /// Coordinator → shard: continue an RC routing decision on the shard
+    /// that owns the fabric, synchronously. Returns the owner's refreshed
+    /// probes for the sites it owns, which the caller folds back into the
+    /// coordinator's global view (the rest of the emitting handler may
+    /// read them).
+    #[allow(clippy::boxed_local)] // boxed to match the shard-side message payload
+    fn export_route_rc(&mut self, _site: SiteId, _job: Box<Job>) -> Vec<(usize, SiteProbe)> {
+        unreachable!("serial contexts never export")
+    }
+    /// Is an acknowledgement from the coordinator still owed for an earlier
+    /// export? Serial and coordinator contexts never owe one.
+    fn export_in_flight(&self) -> bool {
+        false
+    }
+    /// Block until the coordinator answers the in-flight export. The
+    /// acknowledgement's cursor/inject payload is absorbed internally; an
+    /// RC continuation request surfaces to the caller (see
+    /// [`GridSim::sync_exports`]).
+    fn recv_export_reply(&mut self) -> ExportReply {
+        unreachable!("serial contexts never await exports")
+    }
+    /// Report an RC continuation's completion (with refreshed owned-site
+    /// probes) back to the coordinator.
+    fn rc_cont_done(&mut self, _probes: Vec<SiteProbe>) {
+        unreachable!("serial contexts never run rc continuations")
+    }
+    fn note_watched_pending(&mut self, _id: JobId, _earliest_finish: SimTime) {}
+    fn note_watched_started(&mut self, _id: JobId, _end: SimTime) {}
+    fn note_watched_done(&mut self, _id: JobId) {}
+}
+
+/// What [`EvCtx::recv_export_reply`] surfaced while a shard waited out an
+/// export acknowledgement.
+pub(crate) enum ExportReply {
+    /// The coordinator finished processing the export; the shard's child
+    /// and record cursors were advanced and any events aimed back at this
+    /// shard were absorbed into its queue.
+    Acked,
+    /// Mid-acknowledgement, the coordinator needs an RC routing decision
+    /// continued on this shard (it owns the fabric). The caller runs
+    /// [`GridSim::route_rc`] and answers with [`EvCtx::rc_cont_done`].
+    RcCont {
+        /// Site owning the fabric.
+        site: SiteId,
+        /// The RC job.
+        job: Box<Job>,
+    },
+}
+
+impl EvCtx for Ctx<'_, Event> {
+    fn now(&self) -> SimTime {
+        Ctx::now(self)
+    }
+    fn pending(&self) -> usize {
+        Ctx::pending(self)
+    }
+    fn schedule_at(&mut self, at: SimTime, ev: Event) -> EventKey {
+        Ctx::schedule_at(self, at, ev)
+    }
+    fn schedule_after(&mut self, after: SimDuration, ev: Event) -> EventKey {
+        Ctx::schedule_after(self, after, ev)
+    }
+    fn schedule_now(&mut self, ev: Event) -> EventKey {
+        Ctx::schedule_now(self, ev)
+    }
+    fn cancel(&mut self, key: EventKey) -> bool {
+        Ctx::cancel(self, key)
+    }
 }
 
 /// Where a job currently is in its lifecycle, for span emission. Tracked
@@ -234,8 +408,8 @@ enum IngestFate {
 /// Everything fault injection needs at run time, attached by
 /// [`GridSim::with_faults`]. `None` (the default) means the fault path is
 /// completely inert: no events, no RNG draws, no job clones.
-struct FaultLayer {
-    schedule: FaultSchedule,
+pub(crate) struct FaultLayer {
+    pub(crate) schedule: FaultSchedule,
     outage_policy: OutagePolicy,
     retry: RetryPolicy,
     book: RetryBook,
@@ -248,20 +422,20 @@ struct FaultLayer {
     down_since: Vec<Option<SimTime>>,
     /// Degradation-window start per site (`Some` while the uplink is slow).
     degraded_since: Vec<Option<SimTime>>,
-    report: FaultReport,
+    pub(crate) report: FaultReport,
 }
 
 /// The assembled simulation.
 pub struct GridSim {
     /// The resource model (mutated as jobs run).
     pub federation: Federation,
-    schedulers: Vec<Box<dyn BatchScheduler>>,
+    pub(crate) schedulers: Vec<Box<dyn BatchScheduler>>,
     meta_policy: MetaPolicy,
     rc_policy: RcPolicy,
     data_home: SiteId,
-    jobs: Vec<Option<Job>>,
+    pub(crate) jobs: Vec<Option<Job>>,
     /// Ground-truth labels by job id (kept OUT of the record stream).
-    truth: HashMap<JobId, Modality>,
+    pub(crate) truth: HashMap<JobId, Modality>,
     /// Jobs waiting on workflow dependencies. Each held job is registered
     /// under exactly *one* of its unmet deps; when that dep completes the
     /// job is re-examined and either routed or re-registered under another
@@ -280,21 +454,25 @@ pub struct GridSim {
     rng: RngFactory,
     /// The accounting database being populated.
     pub db: AccountingDb,
-    jobs_done: usize,
-    jobs_total: usize,
-    sample_interval: Option<tg_des::SimDuration>,
-    samples: Vec<SampleRow>,
+    pub(crate) jobs_done: usize,
+    pub(crate) jobs_total: usize,
+    pub(crate) sample_interval: Option<tg_des::SimDuration>,
+    pub(crate) samples: Vec<SampleRow>,
     /// Run-level metrics (disabled by default; see [`GridSim::with_metrics`]).
-    metrics: MetricsRegistry,
+    pub(crate) metrics: MetricsRegistry,
     ins: Instruments,
     /// Structured event trace (disabled by default; see
     /// [`GridSim::with_tracer`]).
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
     /// Per-job lifecycle phase state for span emission (populated only while
     /// the tracer is enabled).
     span_track: HashMap<JobId, SpanTrack>,
     /// Fault injection (disabled by default; see [`GridSim::with_faults`]).
-    faults: Option<FaultLayer>,
+    pub(crate) faults: Option<FaultLayer>,
+    /// Sharded-coordinator mode only: the freshest per-site observations
+    /// gathered from the owning shards, substituted wherever a serial run
+    /// would read site state directly (metascheduler views, samples).
+    pub(crate) probes: Option<Vec<SiteProbe>>,
 }
 
 impl GridSim {
@@ -347,6 +525,7 @@ impl GridSim {
             tracer: Tracer::new(4096),
             span_track: HashMap::new(),
             faults: None,
+            probes: None,
         }
     }
 
@@ -441,13 +620,22 @@ impl GridSim {
         self
     }
 
-    fn take_sample(&mut self, ctx: &mut Ctx<Event>) {
-        let busy_fraction: Vec<f64> = self
-            .federation
-            .sites()
-            .map(|s| s.cluster.busy_cores() as f64 / s.cluster.total_cores() as f64)
-            .collect();
-        let queue_len: Vec<usize> = self.schedulers.iter().map(|s| s.queue_len()).collect();
+    fn take_sample(&mut self, ctx: &mut impl EvCtx) {
+        // Sharded coordinator: sample the shard-reported probes (gathered at
+        // exactly this event's coordinate), not the stale local replicas.
+        let (busy_fraction, queue_len): (Vec<f64>, Vec<usize>) = match &self.probes {
+            Some(probes) => probes
+                .iter()
+                .map(|p| (p.busy_cores as f64 / p.total_cores as f64, p.queue_len))
+                .unzip(),
+            None => (
+                self.federation
+                    .sites()
+                    .map(|s| s.cluster.busy_cores() as f64 / s.cluster.total_cores() as f64)
+                    .collect(),
+                self.schedulers.iter().map(|s| s.queue_len()).collect(),
+            ),
+        };
         for (i, (&bf, &ql)) in busy_fraction.iter().zip(&queue_len).enumerate() {
             self.metrics
                 .push(self.ins.busy_fraction_series[i], ctx.now(), bf);
@@ -500,12 +688,7 @@ impl GridSim {
             self.jobs_total
         );
         // Harvest scheduler-side observability counters, then freeze.
-        for i in 0..self.schedulers.len() {
-            let b = self.schedulers[i].backfills();
-            let d = self.schedulers[i].drains();
-            self.metrics.add(self.ins.site_backfills[i], b);
-            self.metrics.add(self.ins.site_drains[i], d);
-        }
+        self.harvest_scheduler_counters();
         let metrics = self.metrics.snapshot(engine.now());
         let trace_flush_ok = self.tracer.close_sink();
         debug_assert!(self.running.is_empty(), "registry drained with the jobs");
@@ -537,7 +720,7 @@ impl GridSim {
     // Routing
     // ------------------------------------------------------------------
 
-    fn route(&mut self, ctx: &mut Ctx<Event>, mut job: Job) {
+    fn route(&mut self, ctx: &mut impl EvCtx, mut job: Job) {
         // Workflow release semantics: the queue sees the task now.
         job.submit_time = job.submit_time.max(ctx.now());
         // Span: time between original submission and routing was spent held
@@ -564,7 +747,21 @@ impl GridSim {
         }
         if job.rc.is_some() {
             let site = self.rc_site_for(&job);
-            self.route_rc(ctx, site, job);
+            if ctx.exec_mode() == ExecRole::Coord {
+                // The fabric lives on a shard: ship the decision there. The
+                // continuation executes under this event's own rank, exactly
+                // where the serial run inlines it, and its effects on the
+                // owner's occupancy come back as refreshed probes so the
+                // rest of the emitting handler sees them.
+                let refreshed = ctx.export_route_rc(site, Box::new(job));
+                if let Some(probes) = self.probes.as_mut() {
+                    for (i, p) in refreshed {
+                        probes[i] = p;
+                    }
+                }
+            } else {
+                self.route_rc(ctx, site, job);
+            }
             return;
         }
         let site = match job.site_hint {
@@ -597,7 +794,7 @@ impl GridSim {
                 start: ctx.now(),
                 end: ctx.now() + dur,
             };
-            self.ingest(rec, |db, r| db.add_transfer(r));
+            self.ingest(ctx, BufRecord::Transfer(rec));
             ctx.schedule_after(
                 dur,
                 Event::Enqueue {
@@ -614,29 +811,38 @@ impl GridSim {
     }
 
     fn select_site(&mut self, job: &Job) -> SiteId {
-        let views: Vec<SiteView> = self
-            .federation
-            .sites()
-            .map(|s| SiteView {
-                site: s.id(),
-                total_cores: s.cluster.total_cores(),
-                free_cores: s.cluster.free_cores(),
-                queued_core_seconds: 0.0, // refined below
-                core_speed: s.core_speed(),
-            })
-            .collect();
         // Queue depth by scheduler queue length × job-average shape is a
-        // coarse stand-in; use queue length × estimate of this job.
-        let views: Vec<SiteView> = views
-            .into_iter()
-            .enumerate()
-            .map(|(i, mut v)| {
-                v.queued_core_seconds = self.schedulers[i].queue_len() as f64
-                    * job.cores as f64
-                    * job.estimate.as_secs_f64();
-                v
-            })
-            .collect();
+        // coarse stand-in; use queue length × estimate of this job. In a
+        // sharded run the coordinator reads the shard-reported probes
+        // (synchronized to exactly this event) instead of its stale local
+        // replicas — the view vectors are byte-identical either way.
+        let queued =
+            |queue_len: usize| queue_len as f64 * job.cores as f64 * job.estimate.as_secs_f64();
+        let views: Vec<SiteView> = match &self.probes {
+            Some(probes) => probes
+                .iter()
+                .enumerate()
+                .map(|(i, p)| SiteView {
+                    site: SiteId(i),
+                    total_cores: p.total_cores,
+                    free_cores: p.free_cores,
+                    queued_core_seconds: queued(p.queue_len),
+                    core_speed: p.core_speed,
+                })
+                .collect(),
+            None => self
+                .federation
+                .sites()
+                .enumerate()
+                .map(|(i, s)| SiteView {
+                    site: s.id(),
+                    total_cores: s.cluster.total_cores(),
+                    free_cores: s.cluster.free_cores(),
+                    queued_core_seconds: queued(self.schedulers[i].queue_len()),
+                    core_speed: s.core_speed(),
+                })
+                .collect(),
+        };
         // Under an active whole-site outage the metascheduler routes around
         // the dark site(s) — unless no surviving site could fit this job
         // (or everything is dark), in which case it routes to its normal
@@ -688,7 +894,7 @@ impl GridSim {
     // Batch path
     // ------------------------------------------------------------------
 
-    fn enqueue(&mut self, ctx: &mut Ctx<Event>, site: SiteId, job: Job) {
+    fn enqueue(&mut self, ctx: &mut impl EvCtx, site: SiteId, job: Job) {
         self.metrics.inc(self.ins.enqueues);
         // Span: any gap since routing was input staging over the WAN.
         if let Some(track) = self.span_track.get(&job.id).copied() {
@@ -718,11 +924,17 @@ impl GridSim {
                 ("cores", job.cores.into()),
             ]
         });
+        if ctx.exec_mode() == ExecRole::Shard {
+            // Emission floor: a watched job can finish no earlier than its
+            // arrival plus its minimum runtime at this site.
+            let speed = self.federation.site(site).core_speed();
+            ctx.note_watched_pending(job.id, ctx.now() + job.runtime_on(speed, false));
+        }
         self.schedulers[site.index()].submit(ctx.now(), job);
         self.dispatch(ctx, site);
     }
 
-    fn dispatch(&mut self, ctx: &mut Ctx<Event>, site: SiteId) {
+    fn dispatch(&mut self, ctx: &mut impl EvCtx, site: SiteId) {
         // A site in a whole-site outage is frozen: its queue keeps accepting
         // work but nothing starts until recovery (which dispatches again).
         if self.site_is_down(site) {
@@ -733,6 +945,11 @@ impl GridSim {
         let started = self.schedulers[site.index()].make_decisions(ctx.now(), cluster, speed);
         for s in started {
             let actual = s.job.runtime_on(speed, false);
+            if ctx.exec_mode() == ExecRole::Shard {
+                // The start pins the exact completion instant; tighten this
+                // job's contribution to the shard's emission floor.
+                ctx.note_watched_started(s.job.id, ctx.now() + actual);
+            }
             // Span: queued phase closes at start. The scheduler attributes the
             // wait from the job's routed submit time; jobs whose queued phase
             // began this instant (e.g. after staging) started immediately.
@@ -805,7 +1022,10 @@ impl GridSim {
             .gauge_set(self.ins.queue_len[site.index()], now, queued as f64);
     }
 
-    fn complete_batch(&mut self, ctx: &mut Ctx<Event>, id: JobId) {
+    fn complete_batch(&mut self, ctx: &mut impl EvCtx, id: JobId) {
+        if ctx.exec_mode() == ExecRole::Shard {
+            ctx.note_watched_done(id);
+        }
         let rec = self
             .running
             .remove(&id)
@@ -850,6 +1070,7 @@ impl GridSim {
         {
             self.emit_records(ctx, site, &job, started, false, None);
             self.finish_job(ctx, &job);
+            self.sync_exports(ctx);
         }
         {
             self.dispatch(ctx, site);
@@ -860,7 +1081,7 @@ impl GridSim {
     // RC path
     // ------------------------------------------------------------------
 
-    fn route_rc(&mut self, ctx: &mut Ctx<Event>, site: SiteId, job: Job) {
+    pub(crate) fn route_rc(&mut self, ctx: &mut impl EvCtx, site: SiteId, job: Job) {
         if !self.federation.site(site).has_rc() {
             // No fabric anywhere: run the software version.
             self.enqueue(ctx, site, job);
@@ -941,6 +1162,9 @@ impl GridSim {
                     reconfig: setup.reconfig,
                     deadline_met,
                 };
+                if ctx.exec_mode() == ExecRole::Shard {
+                    ctx.note_watched_started(job.id, end);
+                }
                 ctx.schedule_at(
                     end,
                     Event::RcComplete {
@@ -986,6 +1210,15 @@ impl GridSim {
                 if let Some(track) = self.span_track.get_mut(&job.id) {
                     track.deferred = true;
                 }
+                if ctx.exec_mode() == ExecRole::Shard {
+                    // Floor for a deferred rc job: it cannot finish before
+                    // now plus its faster of hardware/software runtimes.
+                    let speed = self.federation.site(site).core_speed();
+                    let d = job
+                        .runtime_on(speed, true)
+                        .min(job.runtime_on(speed, false));
+                    ctx.note_watched_pending(job.id, ctx.now() + d);
+                }
                 self.rc_backlog
                     .get_mut(&site)
                     .expect("site backlog exists")
@@ -997,7 +1230,7 @@ impl GridSim {
     #[allow(clippy::too_many_arguments)] // event fields arrive together
     fn complete_rc(
         &mut self,
-        ctx: &mut Ctx<Event>,
+        ctx: &mut impl EvCtx,
         site: SiteId,
         node: tg_model::NodeId,
         region: tg_model::reconf::RegionId,
@@ -1005,6 +1238,9 @@ impl GridSim {
         started: SimTime,
         placement: RcPlacementRecord,
     ) {
+        if ctx.exec_mode() == ExecRole::Shard {
+            ctx.note_watched_done(job.id);
+        }
         self.federation
             .site_mut(site)
             .rc
@@ -1030,6 +1266,7 @@ impl GridSim {
         });
         self.emit_records(ctx, site, &job, started, true, Some(placement));
         self.finish_job(ctx, &job);
+        self.sync_exports(ctx);
         // Fabric freed: retry deferred tasks (FIFO, stop at first re-defer).
         loop {
             let next = self
@@ -1059,7 +1296,7 @@ impl GridSim {
             .is_some_and(|f| f.down_since[site.index()].is_some())
     }
 
-    fn handle_fault(&mut self, ctx: &mut Ctx<Event>, index: usize) {
+    fn handle_fault(&mut self, ctx: &mut impl EvCtx, index: usize) {
         let ev = self
             .faults
             .as_ref()
@@ -1105,7 +1342,7 @@ impl GridSim {
     /// `cores` cores fail at `site`: enough running jobs are killed (newest
     /// start first) to vacate them, then the cores leave service until the
     /// paired repair. Crashes during a whole-site outage are absorbed by it.
-    fn fault_node_crash(&mut self, ctx: &mut Ctx<Event>, site: SiteId, cores: usize) {
+    fn fault_node_crash(&mut self, ctx: &mut impl EvCtx, site: SiteId, cores: usize) {
         if self.site_is_down(site) {
             return;
         }
@@ -1125,6 +1362,7 @@ impl GridSim {
                 break;
             };
             self.kill_running(ctx, victim, WaitCause::NodeFailure, false);
+            self.sync_exports(ctx);
         }
         let take = target.min(self.federation.site(site).cluster.free_cores());
         if take > 0 {
@@ -1138,7 +1376,7 @@ impl GridSim {
         self.dispatch(ctx, site);
     }
 
-    fn fault_node_repair(&mut self, ctx: &mut Ctx<Event>, site: SiteId, cores: usize) {
+    fn fault_node_repair(&mut self, ctx: &mut impl EvCtx, site: SiteId, cores: usize) {
         let f = self.faults.as_mut().expect("fault layer");
         let fixed = cores.min(f.crashed_cores[site.index()]);
         if fixed == 0 {
@@ -1161,7 +1399,7 @@ impl GridSim {
     /// The whole site goes dark: running work is killed (or checkpointed per
     /// [`OutagePolicy`]), the queue freezes, and every core leaves service
     /// until the paired recovery.
-    fn fault_site_outage(&mut self, ctx: &mut Ctx<Event>, site: SiteId) {
+    fn fault_site_outage(&mut self, ctx: &mut impl EvCtx, site: SiteId) {
         if self.site_is_down(site) {
             return; // overlapping windows merge into the first
         }
@@ -1175,6 +1413,7 @@ impl GridSim {
         let cause = WaitCause::SiteOutage;
         while let Some(victim) = self.pick_victim(site) {
             self.kill_running(ctx, victim, cause, checkpoint);
+            self.sync_exports(ctx);
         }
         // Park everything free (all in-service cores, now that the running
         // work is gone) until recovery; crashed cores stay in their pool.
@@ -1188,7 +1427,7 @@ impl GridSim {
         }
     }
 
-    fn fault_site_recovery(&mut self, ctx: &mut Ctx<Event>, site: SiteId) {
+    fn fault_site_recovery(&mut self, ctx: &mut impl EvCtx, site: SiteId) {
         let parked = {
             let f = self.faults.as_mut().expect("fault layer");
             let Some(since) = f.down_since[site.index()].take() else {
@@ -1226,7 +1465,7 @@ impl GridSim {
     /// or abandon it once the retry budget is exhausted.
     fn kill_running(
         &mut self,
-        ctx: &mut Ctx<Event>,
+        ctx: &mut impl EvCtx,
         id: JobId,
         cause: WaitCause,
         checkpoint: bool,
@@ -1275,6 +1514,9 @@ impl GridSim {
             ]
         });
         let mut job = rec.job;
+        if ctx.exec_mode() == ExecRole::Shard {
+            ctx.note_watched_done(id);
+        }
         if checkpoint {
             // Checkpoint at the kill instant: only the remaining work reruns
             // and the retry budget is not charged.
@@ -1287,7 +1529,21 @@ impl GridSim {
             f.report.checkpoint_restarts += 1;
             f.report.jobs_requeued += 1;
             let backoff = f.retry.backoff(1);
-            ctx.schedule_after(backoff, Event::Requeue { job: Box::new(job) });
+            if ctx.exec_mode() == ExecRole::Shard {
+                // Requeues re-enter routing, which is coordinator-owned.
+                let at = ctx.now() + backoff;
+                ctx.export_requeue(at, Box::new(job));
+            } else {
+                ctx.schedule_after(backoff, Event::Requeue { job: Box::new(job) });
+            }
+            return;
+        }
+        if ctx.exec_mode() == ExecRole::Shard {
+            // The retry book (and the abandon-vs-requeue decision it feeds)
+            // is coordinator state; ship the victim across with fresh site
+            // probes so a retry routes against current occupancy.
+            let probes = self.all_probes();
+            ctx.export_kill_retry(Box::new(job), probes);
             return;
         }
         let f = self.faults.as_mut().expect("fault layer");
@@ -1314,7 +1570,7 @@ impl GridSim {
     /// A killed job returns from backoff: emit the `requeue` span covering
     /// the backoff wait, then route it as a fresh submission (`route` bumps
     /// `submit_time`, so accounting sees the final attempt's resubmission).
-    fn requeue(&mut self, ctx: &mut Ctx<Event>, job: Job) {
+    fn requeue(&mut self, ctx: &mut impl EvCtx, job: Job) {
         if let Some(track) = self.span_track.get(&job.id).copied() {
             if ctx.now() > track.phase_start {
                 self.emit_span(
@@ -1365,9 +1621,25 @@ impl GridSim {
 
     /// Route one accounting record through the (possibly lossy) ingest.
     /// Ground truth is never touched — this models measurement loss.
-    fn ingest<R: Clone>(&mut self, rec: R, add: fn(&mut AccountingDb, R)) {
+    ///
+    /// In sharded runs the record is buffered (with its causal stamp) on
+    /// the emitting participant instead: the coordinator replays every
+    /// buffered record in global stamp order at merge time, so the ingest
+    /// RNG sees the exact serial draw sequence.
+    fn ingest(&mut self, ctx: &mut impl EvCtx, rec: BufRecord) {
+        if ctx.buffers_records() {
+            ctx.buffer_record(rec);
+            return;
+        }
+        self.replay_record(rec);
+    }
+
+    /// Apply one record through the lossy-ingest channel immediately.
+    /// Serial runs land here straight from [`GridSim::ingest`]; sharded
+    /// runs land here during the coordinator's merge replay.
+    pub(crate) fn replay_record(&mut self, rec: BufRecord) {
         match self.ingest_fate() {
-            IngestFate::Keep => add(&mut self.db, rec),
+            IngestFate::Keep => rec.apply(&mut self.db),
             IngestFate::Drop => {
                 self.faults
                     .as_mut()
@@ -1376,8 +1648,8 @@ impl GridSim {
                     .records_lost += 1;
             }
             IngestFate::Duplicate => {
-                add(&mut self.db, rec.clone());
-                add(&mut self.db, rec);
+                rec.clone().apply(&mut self.db);
+                rec.apply(&mut self.db);
                 self.faults
                     .as_mut()
                     .expect("lossy fate implies a channel")
@@ -1398,7 +1670,7 @@ impl GridSim {
 
     fn emit_records(
         &mut self,
-        ctx: &mut Ctx<Event>,
+        ctx: &mut impl EvCtx,
         site: SiteId,
         job: &Job,
         started: SimTime,
@@ -1423,7 +1695,7 @@ impl GridSim {
             input_mb: job.input_mb,
             output_mb: job.output_mb,
         };
-        self.ingest(rec, |db, r| db.add_job(r));
+        self.ingest(ctx, BufRecord::Job(rec));
         if let Some(gw) = job.gateway {
             // The gateway declares which of its community end users this job
             // served; the tag is the gateway's own id space (we use the
@@ -1433,10 +1705,10 @@ impl GridSim {
                 job: job.id,
                 end_user: job.user.index() as u64,
             };
-            self.ingest(rec, |db, r| db.add_gateway_attr(r));
+            self.ingest(ctx, BufRecord::Gateway(rec));
         }
         if let Some(p) = placement {
-            self.ingest(p, |db, r| db.add_rc_placement(r));
+            self.ingest(ctx, BufRecord::Rc(p));
         }
         // Interactive work implies a login session wrapping the job.
         if job.true_modality == Modality::Interactive {
@@ -1446,7 +1718,7 @@ impl GridSim {
                 login: job.submit_time,
                 logout: ctx.now(),
             };
-            self.ingest(rec, |db, r| db.add_session(r));
+            self.ingest(ctx, BufRecord::Session(rec));
         }
         // Output staging to the archive for big outputs.
         if job.output_mb >= STAGING_THRESHOLD_MB && site != self.data_home {
@@ -1485,15 +1757,32 @@ impl GridSim {
                 start: ctx.now(),
                 end: ctx.now() + dur,
             };
-            self.ingest(rec, |db, r| db.add_transfer(r));
+            self.ingest(ctx, BufRecord::Transfer(rec));
         }
     }
 
-    fn finish_job(&mut self, ctx: &mut Ctx<Event>, job: &Job) {
+    fn finish_job(&mut self, ctx: &mut impl EvCtx, job: &Job) {
         self.span_track.remove(&job.id);
-        self.completed.insert(job.id);
         self.jobs_done += 1;
-        if let Some(waiters) = self.dep_waiters.remove(&job.id) {
+        if ctx.exec_mode() == ExecRole::Shard {
+            // Dependency state lives on the coordinator. Only completions
+            // other jobs actually wait on need to cross the wire; the rest
+            // are fully local (nothing downstream ever consults them).
+            if ctx.is_watched(job.id) {
+                let probes = self.all_probes();
+                ctx.export_finish(job.id, probes);
+            }
+            return;
+        }
+        self.release_deps(ctx, job.id);
+    }
+
+    /// Mark `id` complete and route any jobs whose last unmet dependency
+    /// it was. Runs on the serial path inline and on the coordinator when
+    /// a shard reports a watched completion.
+    pub(crate) fn release_deps(&mut self, ctx: &mut impl EvCtx, id: JobId) {
+        self.completed.insert(id);
+        if let Some(waiters) = self.dep_waiters.remove(&id) {
             for waiter in waiters {
                 match waiter
                     .deps
@@ -1510,7 +1799,7 @@ impl GridSim {
         }
     }
 
-    fn submit_from_trace(&mut self, ctx: &mut Ctx<Event>, index: usize) {
+    fn submit_from_trace(&mut self, ctx: &mut impl EvCtx, index: usize) {
         let job = self.jobs[index].take().expect("submit delivered once");
         self.metrics.inc(self.ins.submits);
         self.tracer.emit_event(ctx.now(), "submit", || {
@@ -1543,10 +1832,11 @@ impl GridSim {
     }
 }
 
-impl Simulation for GridSim {
-    type Event = Event;
-
-    fn handle(&mut self, ctx: &mut Ctx<Event>, event: Event) {
+impl GridSim {
+    /// The event dispatch table, shared verbatim by the serial engine
+    /// ([`Simulation::handle`]) and the sharded participants (which call it
+    /// with their own [`EvCtx`] implementations).
+    pub(crate) fn dispatch_event(&mut self, ctx: &mut impl EvCtx, event: Event) {
         match event {
             Event::Submit(index) => self.submit_from_trace(ctx, index),
             Event::Enqueue { site, job } => self.enqueue(ctx, site, *job),
@@ -1566,7 +1856,149 @@ impl Simulation for GridSim {
             Event::Sample => self.take_sample(ctx),
             Event::Fault(index) => self.handle_fault(ctx, index),
             Event::Requeue { job } => self.requeue(ctx, *job),
+            Event::NetUpdate(index) => self.apply_net_update(index),
         }
+    }
+
+    /// Replicate a link fault's network effect on a shard. The coordinator
+    /// owns the counted `Fault` event (report + `degraded_since`); every
+    /// shard applies only the transfer-time change to its network replica.
+    pub(crate) fn apply_net_update(&mut self, index: usize) {
+        let ev = self
+            .faults
+            .as_ref()
+            .expect("net update without a fault layer")
+            .schedule
+            .events[index];
+        match ev.kind {
+            FaultEventKind::LinkDegrade {
+                site,
+                bandwidth_factor,
+                latency_factor,
+            } => {
+                self.federation
+                    .network
+                    .set_degradation(site, bandwidth_factor, latency_factor);
+            }
+            FaultEventKind::LinkRestore { site } => {
+                self.federation.network.clear_degradation(site);
+            }
+            _ => unreachable!("NetUpdate is only scheduled for link events"),
+        }
+    }
+
+    /// Replicate a site outage window's *routing visibility* on the
+    /// coordinator. The owning shard executes the real (counted) `Fault`
+    /// event with its kills and report bookkeeping; the coordinator only
+    /// needs `down_since` to keep `select_site`'s outage filter identical
+    /// to the serial run.
+    pub(crate) fn apply_outage_mirror(&mut self, index: usize, now: SimTime) {
+        let f = self
+            .faults
+            .as_mut()
+            .expect("outage mirror without a fault layer");
+        let ev = f.schedule.events[index];
+        match ev.kind {
+            FaultEventKind::SiteOutage { site } => {
+                // Overlapping windows merge into the first, as in
+                // `fault_site_outage`.
+                if f.down_since[site.index()].is_none() {
+                    f.down_since[site.index()] = Some(now);
+                }
+            }
+            FaultEventKind::SiteRecovery { site } => {
+                f.down_since[site.index()] = None;
+            }
+            _ => unreachable!("outage mirror is only scheduled for outage events"),
+        }
+    }
+
+    /// Coordinator half of a shard-exported kill: charge the retry book and
+    /// either abandon the job (counting it done and releasing dependents)
+    /// or schedule its requeue after backoff. Byte-for-byte the bottom of
+    /// the serial [`GridSim::kill_running`].
+    pub(crate) fn coord_kill_retry(&mut self, ctx: &mut impl EvCtx, job: Box<Job>) {
+        let id = job.id;
+        let f = self.faults.as_mut().expect("fault layer");
+        let attempts = f.book.record(id);
+        if f.retry.exhausted(attempts) {
+            f.report.jobs_abandoned += 1;
+            f.book.forget(id);
+            self.tracer.emit_event(ctx.now(), "abandon", || {
+                vec![
+                    ("job", id.index().into()),
+                    ("attempts", (attempts as usize).into()),
+                ]
+            });
+            self.finish_job(ctx, &job);
+        } else {
+            f.report.jobs_requeued += 1;
+            let backoff = f.retry.backoff(attempts);
+            ctx.schedule_after(backoff, Event::Requeue { job });
+        }
+    }
+
+    /// Drain any in-flight export acknowledgement at a safe re-entrancy
+    /// point (after a kill or a finish, where `&mut self` is available
+    /// again). While the coordinator processes the export it may need an RC
+    /// routing decision continued *on this very shard*; that continuation
+    /// runs here, inline, exactly where the serial run would have inlined
+    /// it — its effects (fabric occupancy, freed cores) are visible to the
+    /// remainder of the emitting handler, and the acknowledgement restores
+    /// the shared child/record cursors before any further scheduling calls.
+    ///
+    /// Serial and coordinator contexts never owe an acknowledgement, so
+    /// this compiles to nothing on those paths.
+    pub(crate) fn sync_exports(&mut self, ctx: &mut impl EvCtx) {
+        while ctx.export_in_flight() {
+            match ctx.recv_export_reply() {
+                ExportReply::Acked => {}
+                ExportReply::RcCont { site, job } => {
+                    self.route_rc(ctx, site, *job);
+                    let probes = self.all_probes();
+                    ctx.rc_cont_done(probes);
+                }
+            }
+        }
+    }
+
+    /// Fold the scheduler-side observability counters (backfills, drains)
+    /// into the metrics registry. The serial `run` calls this once at the
+    /// end; sharded participants call it on their own registries before
+    /// the merge.
+    pub(crate) fn harvest_scheduler_counters(&mut self) {
+        for i in 0..self.schedulers.len() {
+            let b = self.schedulers[i].backfills();
+            let d = self.schedulers[i].drains();
+            self.metrics.add(self.ins.site_backfills[i], b);
+            self.metrics.add(self.ins.site_drains[i], d);
+        }
+    }
+
+    /// Occupancy probes for every site, read from this participant's
+    /// replica. Only the probes of sites this participant *owns* are
+    /// meaningful; the sharded driver filters to those when assembling the
+    /// coordinator's global view.
+    pub(crate) fn all_probes(&self) -> Vec<SiteProbe> {
+        self.federation
+            .sites()
+            .enumerate()
+            .map(|(i, s)| SiteProbe {
+                free_cores: s.cluster.free_cores(),
+                busy_cores: s.cluster.busy_cores(),
+                total_cores: s.cluster.total_cores(),
+                queue_len: self.schedulers[i].queue_len(),
+                core_speed: s.core_speed(),
+            })
+            .collect()
+    }
+}
+
+impl Simulation for GridSim {
+    type Event = Event;
+
+    fn handle(&mut self, ctx: &mut Ctx<Event>, event: Event) {
+        self.dispatch_event(ctx, event);
     }
 }
 

@@ -1,0 +1,288 @@
+//! Sharded-vs-serial differential suite.
+//!
+//! The sharded engine's contract is *byte-identical* `SimOutput` for any
+//! thread count (`crates/core/src/parallel.rs`). This suite enforces it by
+//! running whole scenarios both ways — every scenario config shipped in
+//! `configs/`, a thread-count sweep, property-tested random scenarios, and
+//! targeted sync-layer cases (2-site ping-pong workflows, cross-shard fault
+//! delivery) — and comparing every deterministic output field.
+
+use tg_core::{FaultSpec, RunOptions, ScenarioConfig, SimOutput};
+
+fn load_config(name: &str) -> ScenarioConfig {
+    let path = format!("{}/../../configs/{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+fn run_pair(cfg: &ScenarioConfig, seed: u64, threads: usize) -> (SimOutput, SimOutput) {
+    let scenario = cfg.clone().build();
+    let mut opts = RunOptions::with_metrics();
+    let serial = scenario.run_with(seed, &opts);
+    opts.threads = threads;
+    let sharded = scenario.run_with(seed, &opts);
+    (serial, sharded)
+}
+
+/// Every deterministic field of [`SimOutput`] must match. (The engine
+/// profile is excluded — it carries wall-clock time by design.)
+fn assert_identical(serial: &SimOutput, sharded: &SimOutput, label: &str) {
+    assert_eq!(
+        serial.events_delivered, sharded.events_delivered,
+        "{label}: event counts diverge"
+    );
+    assert_eq!(serial.end, sharded.end, "{label}: end times diverge");
+    assert_eq!(serial.db.jobs, sharded.db.jobs, "{label}: job records");
+    assert_eq!(
+        serial.db.transfers, sharded.db.transfers,
+        "{label}: transfer records"
+    );
+    assert_eq!(
+        serial.db.sessions, sharded.db.sessions,
+        "{label}: session records"
+    );
+    assert_eq!(
+        serial.db.gateway_attrs, sharded.db.gateway_attrs,
+        "{label}: gateway attributes"
+    );
+    assert_eq!(
+        serial.db.rc_placements, sharded.db.rc_placements,
+        "{label}: rc placements"
+    );
+    assert_eq!(serial.samples, sharded.samples, "{label}: sample series");
+    assert_eq!(
+        serial.site_stats, sharded.site_stats,
+        "{label}: site statistics"
+    );
+    assert_eq!(
+        serial.fault_report, sharded.fault_report,
+        "{label}: fault report"
+    );
+    match (&serial.metrics, &sharded.metrics) {
+        (Some(a), Some(b)) => {
+            assert_eq!(a.counters, b.counters, "{label}: metric counters");
+            assert_eq!(a.gauges, b.gauges, "{label}: metric gauges");
+            assert_eq!(a.series, b.series, "{label}: metric series");
+        }
+        (None, None) => {}
+        _ => panic!("{label}: metrics presence diverges"),
+    }
+}
+
+#[test]
+fn baseline_config_is_identical_sharded() {
+    let mut cfg = load_config("baseline-300u-14d");
+    // Keep the sampler on so the Sample path (global probe reads) is hot.
+    cfg.sample_interval = Some(tg_des::SimDuration::from_hours(12));
+    let (serial, sharded) = run_pair(&cfg, 42, 4);
+    assert!(serial.db.jobs.len() > 1000, "config produced real load");
+    assert_identical(&serial, &sharded, "baseline-300u-14d");
+}
+
+#[test]
+fn faulty_config_is_identical_sharded() {
+    let mut cfg = load_config("faulty-300u-14d");
+    cfg.sample_interval = Some(tg_des::SimDuration::from_hours(12));
+    let (serial, sharded) = run_pair(&cfg, 42, 4);
+    let fr = serial.fault_report.as_ref().expect("faults ran");
+    assert!(fr.jobs_killed > 0, "kills actually happened: {fr:?}");
+    assert_identical(&serial, &sharded, "faulty-300u-14d");
+}
+
+#[test]
+fn faults_demo_spec_is_identical_sharded() {
+    let spec: FaultSpec = serde_json::from_str(
+        &std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../configs/faults-demo.json"
+        ))
+        .expect("fault spec exists"),
+    )
+    .expect("fault spec parses");
+    let mut cfg = ScenarioConfig::baseline(60, 4);
+    cfg.faults = Some(spec);
+    let (serial, sharded) = run_pair(&cfg, 31337, 4);
+    let fr = serial.fault_report.as_ref().expect("faults ran");
+    assert!(fr.jobs_killed > 0 || fr.node_crashes > 0, "faults fired");
+    assert_identical(&serial, &sharded, "faults-demo");
+}
+
+/// The big perf config. Expensive: run with `--ignored` (CI runs it in
+/// release mode as part of the parallel smoke step).
+#[test]
+#[ignore = "large config; CI runs it in release via the parallel smoke step"]
+fn large_config_is_identical_sharded() {
+    let cfg = load_config("large-3000u-90d");
+    let (serial, sharded) = run_pair(&cfg, 42, 4);
+    assert_identical(&serial, &sharded, "large-3000u-90d");
+}
+
+#[test]
+fn every_thread_count_is_identical() {
+    let mut cfg = ScenarioConfig::baseline(80, 5);
+    cfg.sites[0].batch_nodes = 64;
+    cfg.sites[1].batch_nodes = 128;
+    cfg.sites[2].batch_nodes = 32;
+    let scenario = cfg.build();
+    let serial = scenario.run_with(7, &RunOptions::default());
+    // threads=2 → one shard worker (pure pipelining); 3/4 → two/three
+    // shards; 8 → capped at one shard per site.
+    for threads in [2, 3, 4, 8] {
+        let sharded = scenario.run_with(7, &RunOptions::with_threads(threads));
+        assert_identical(&serial, &sharded, &format!("threads={threads}"));
+    }
+}
+
+/// Deadlock-freedom and ordering on a 2-site federation where workflow
+/// chains ping-pong between the sites: every dependency release crosses the
+/// coordinator, and site-pinned halves keep both shards active.
+#[test]
+fn two_site_ping_pong_is_identical_and_deadlock_free() {
+    use tg_model::SiteConfig;
+    let mut cfg = ScenarioConfig::baseline(70, 4);
+    cfg.name = "ping-pong-2site".into();
+    cfg.sites = vec![
+        SiteConfig {
+            batch_nodes: 48,
+            ..SiteConfig::medium("left")
+        },
+        SiteConfig {
+            batch_nodes: 64,
+            rc_nodes: 16,
+            rc_area_per_node: 8,
+            ..SiteConfig::medium("right")
+        },
+    ];
+    cfg.data_home = 0;
+    cfg.workload.sites = 2;
+    cfg.workload.rc_sites = vec![tg_model::SiteId(1)];
+    // Lean hard on workflows so cross-shard dependency traffic dominates.
+    let w = tg_core::Modality::Workflow.index();
+    cfg.workload.mix.users_per_modality[w] += 25;
+    let scenario = cfg.build();
+    let serial = scenario.run_with(99, &RunOptions::default());
+    for threads in [2, 3] {
+        let sharded = scenario.run_with(99, &RunOptions::with_threads(threads));
+        assert_identical(&serial, &sharded, &format!("ping-pong threads={threads}"));
+    }
+}
+
+/// Cross-shard fault delivery: an outage on one shard's site kills jobs
+/// whose requeues route through the coordinator (possibly onto the other
+/// shard), while a WAN degradation replicates to every shard's network
+/// copy. Order of kill → requeue → re-dispatch must survive sharding.
+#[test]
+fn cross_shard_fault_delivery_is_identical() {
+    use tg_core::{DegradeWindow, OutageWindow};
+    use tg_sched::RetryPolicy;
+    let mut cfg = ScenarioConfig::baseline(120, 6);
+    for s in &mut cfg.sites {
+        s.batch_nodes = (s.batch_nodes / 4).max(16);
+    }
+    cfg.faults = Some(FaultSpec {
+        node_crashes: Some(tg_core::NodeCrashSpec {
+            mtbf_hours: 36.0,
+            repair_hours: 4.0,
+            cores_per_crash: 64,
+            horizon_days: 6.0,
+        }),
+        site_outages: vec![
+            OutageWindow {
+                site: 1,
+                start_hours: 30.0,
+                duration_hours: 12.0,
+                notice_hours: 0.0,
+            },
+            OutageWindow {
+                site: 2,
+                start_hours: 70.0,
+                duration_hours: 8.0,
+                notice_hours: 0.0,
+            },
+        ],
+        wan_degradations: vec![DegradeWindow {
+            site: 0,
+            start_hours: 20.0,
+            duration_hours: 30.0,
+            bandwidth_factor: 3.0,
+            latency_factor: 2.0,
+        }],
+        retry: Some(RetryPolicy::default()),
+        ..FaultSpec::default()
+    });
+    let (serial, sharded) = run_pair(&cfg, 4242, 4);
+    let fr = serial.fault_report.as_ref().expect("faults ran");
+    assert!(fr.jobs_killed > 0, "outages killed running work: {fr:?}");
+    assert!(
+        fr.jobs_requeued > 0 || fr.checkpoint_restarts > 0,
+        "kills led to requeues: {fr:?}"
+    );
+    assert_identical(&serial, &sharded, "cross-shard faults");
+}
+
+/// Property test: random small scenarios (sites, machine sizes, scheduler
+/// kind, workload mix, faults) are byte-identical sharded at a random
+/// thread count. A cheap LCG derives every choice from the case index so
+/// failures reproduce exactly.
+#[test]
+fn random_scenarios_are_identical_sharded() {
+    use tg_sched::SchedulerKind;
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for case in 0..6u64 {
+        let users = 30 + (next() % 50) as usize;
+        let days = 2 + next() % 3;
+        let mut cfg = ScenarioConfig::baseline(users, days);
+        cfg.name = format!("prop-{case}");
+        cfg.scheduler = match next() % 4 {
+            0 => SchedulerKind::Fcfs,
+            1 => SchedulerKind::Easy,
+            2 => SchedulerKind::Conservative,
+            _ => SchedulerKind::FairshareEasy,
+        };
+        for s in &mut cfg.sites {
+            s.batch_nodes = (16 + (next() % 96) as usize).max(16);
+        }
+        if next() % 2 == 0 {
+            cfg.sample_interval = Some(tg_des::SimDuration::from_hours(6 + (next() % 18)));
+        }
+        if next() % 2 == 0 {
+            cfg.faults = Some(FaultSpec {
+                site_outages: vec![tg_fault::OutageWindow {
+                    site: (next() % 3) as usize,
+                    start_hours: 10.0 + (next() % 40) as f64,
+                    duration_hours: 2.0 + (next() % 10) as f64,
+                    notice_hours: (next() % 3) as f64,
+                }],
+                ..FaultSpec::default()
+            });
+        }
+        let seed = next();
+        let threads = 2 + (next() % 7) as usize;
+        let scenario = cfg.clone().build();
+        let serial = scenario.run_with(seed, &RunOptions::default());
+        let sharded = scenario.run_with(seed, &RunOptions::with_threads(threads));
+        assert_identical(
+            &serial,
+            &sharded,
+            &format!("case {case} (users={users} days={days} threads={threads} seed={seed})"),
+        );
+    }
+}
+
+/// `--threads 1` must be the serial path exactly: same outputs, and the
+/// sharded machinery never engages (tracing keeps working, which the
+/// sharded path would refuse).
+#[test]
+fn threads_one_is_the_serial_path() {
+    let cfg = ScenarioConfig::baseline(40, 3);
+    let scenario = cfg.build();
+    let a = scenario.run_with(3, &RunOptions::default());
+    let b = scenario.run_with(3, &RunOptions::with_threads(1));
+    assert_identical(&a, &b, "threads=1");
+}

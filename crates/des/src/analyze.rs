@@ -14,7 +14,7 @@
 //! estimators), so numbers derived offline from a trace are directly
 //! comparable to numbers computed in-run.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::span::{Span, SpanKind, WaitCause, SPAN_CATEGORY};
 use crate::stats::{Histogram, OnlineStats, P2Quantile};
@@ -90,7 +90,7 @@ struct JobAcc {
 }
 
 /// Aggregated results of analyzing one trace file.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct TraceAnalysis {
     /// Total input lines fed in (including blank and non-span lines).
     pub lines: u64,
@@ -121,7 +121,11 @@ pub struct TraceAnalyzer {
     by_kind: BTreeMap<String, GroupAcc>,
     queued_by_cause: BTreeMap<String, GroupAcc>,
     queued_by_site: BTreeMap<u64, GroupAcc>,
-    jobs: HashMap<u64, JobAcc>,
+    // BTreeMap, not HashMap: `finish()` folds per-job f64 wait totals in
+    // iteration order, and float addition is not associative — a hashed
+    // order would make `mean_wait_s` (and the per-modality stats) differ in
+    // the last bits between two identically-fed analyzers.
+    jobs: BTreeMap<u64, JobAcc>,
 }
 
 impl TraceAnalyzer {
@@ -134,7 +138,7 @@ impl TraceAnalyzer {
             by_kind: BTreeMap::new(),
             queued_by_cause: BTreeMap::new(),
             queued_by_site: BTreeMap::new(),
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
         }
     }
 
@@ -377,6 +381,42 @@ mod tests {
         let batch = &out.wait_by_modality["batch"];
         assert_eq!(batch.count, 1);
         assert!((batch.mean - 0.0).abs() < 1e-12);
+    }
+
+    /// Regression: job aggregation must not depend on map iteration order.
+    /// Two identically-fed analyzers must agree *bit for bit* — with a
+    /// hashed job registry each instance gets its own random iteration
+    /// order, and the non-associative f64 wait fold diverges in the last
+    /// bits (the sharded-run differential suite compares these outputs
+    /// byte-for-byte, so "last bits" means failures).
+    #[test]
+    fn job_aggregation_is_iteration_order_independent() {
+        let build = || {
+            let mut a = TraceAnalyzer::new();
+            // Waits like 1/3 and 1/7 don't round-trip through f64 addition
+            // associatively — any order change shows up in the sums.
+            for job in 0..200u64 {
+                let wait = (job as f64 + 1.0) / 3.0 + 1.0 / ((job as f64) + 7.0);
+                let modality = ["batch", "workflow", "gateway"][(job % 3) as usize];
+                a.add_line(&line(
+                    job,
+                    "queued",
+                    0.0,
+                    wait,
+                    &format!(",\"site\":0,\"modality\":\"{modality}\""),
+                ));
+                a.add_line(&line(job, "run", wait, wait + 1.0, ""));
+            }
+            a.finish()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.mean_wait_s.to_bits(), b.mean_wait_s.to_bits());
+        for (k, s) in &a.wait_by_modality {
+            let t = &b.wait_by_modality[k];
+            assert_eq!(s.mean.to_bits(), t.mean.to_bits(), "modality {k}");
+            assert_eq!(s.count, t.count, "modality {k}");
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -30,6 +30,28 @@ use std::collections::{BinaryHeap, VecDeque};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventKey(u64);
 
+impl EventKey {
+    /// Wrap a shard-queue counter as a key (see [`crate::shard::RankQueue`]).
+    /// Shard keys live in a different keyspace than engine keys; a key is
+    /// only ever presented back to the queue that issued it.
+    pub(crate) fn from_raw_shard(v: u64) -> Self {
+        EventKey(v)
+    }
+
+    /// The raw counter behind a shard-issued key.
+    pub(crate) fn raw_shard(self) -> u64 {
+        self.0
+    }
+
+    /// A key that never matches a scheduled event. Cancelling it is a no-op.
+    /// Used by contexts that forward an event elsewhere (e.g. a sharded
+    /// coordinator routing into another participant's queue) but still owe
+    /// the caller a key.
+    pub fn placeholder() -> Self {
+        EventKey(u64::MAX)
+    }
+}
+
 struct Scheduled<E> {
     at: SimTime,
     seq: u64,

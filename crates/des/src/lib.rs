@@ -28,7 +28,11 @@
 //!   trace into per-kind / per-cause / per-site / per-modality latency
 //!   breakdowns (mean, p50/p95/p99).
 //! * [`memory`] — process-level memory observability for benchmarks: peak
-//!   RSS via `/proc` and an opt-in counting global allocator.
+//!   RSS via `/proc` and an opt-in counting global allocator (thread-safe:
+//!   worker-thread allocations are attributed to the same run totals).
+//! * [`shard`] — building blocks for sharded conservative simulation:
+//!   causal event ranks that reproduce the serial tie-break order, a
+//!   rank-keyed cancellable queue, and the WAN-derived lookahead matrix.
 //! * [`metrics`] — a run-level metrics registry (counters, time-weighted
 //!   gauges, time series) and serializable snapshots, plus wall-clock engine
 //!   profiling ([`metrics::EngineProfile`]). Observers only: when disabled
@@ -79,6 +83,7 @@ pub mod engine;
 pub mod memory;
 pub mod metrics;
 pub mod rng;
+pub mod shard;
 pub mod span;
 pub mod stats;
 pub mod time;
@@ -99,9 +104,13 @@ pub mod prelude {
 pub use analyze::{GroupStats, TraceAnalysis, TraceAnalyzer};
 pub use dist::{Dist, DistKind};
 pub use engine::{Ctx, Engine, EventKey, Simulation, StopCondition};
-pub use memory::{alloc_snapshot, peak_rss_bytes, AllocDelta, AllocSnapshot, CountingAlloc};
+pub use memory::{
+    alloc_snapshot, current_in_use_bytes, peak_in_use_bytes, peak_rss_bytes, reset_peak_in_use,
+    AllocDelta, AllocSnapshot, CountingAlloc,
+};
 pub use metrics::{CounterId, EngineProfile, GaugeId, MetricsRegistry, MetricsSnapshot, SeriesId};
 pub use rng::{RngFactory, SimRng, StreamId};
+pub use shard::{Lookahead, Rank, RankQueue};
 pub use span::{Span, SpanKind, WaitCause, SPAN_SCHEMA_VERSION};
 pub use stats::{Histogram, OnlineStats, P2Quantile, TimeWeighted};
 pub use time::{SimDuration, SimTime};

@@ -46,6 +46,9 @@ struct Counter {
 struct Gauge {
     name: String,
     tw: TimeWeighted,
+    /// Has any `gauge_set`/`gauge_add` landed here? Merging uses this to
+    /// tell a live signal from an untouched default on another registry.
+    touched: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -117,6 +120,7 @@ impl MetricsRegistry {
         self.gauges.push(Gauge {
             name: name.into(),
             tw: TimeWeighted::new(start, initial),
+            touched: false,
         });
         GaugeId(self.gauges.len() - 1)
     }
@@ -151,6 +155,7 @@ impl MetricsRegistry {
         if !self.enabled {
             return;
         }
+        self.gauges[id.0].touched = true;
         self.gauges[id.0].tw.set(now, value);
     }
 
@@ -160,6 +165,7 @@ impl MetricsRegistry {
         if !self.enabled {
             return;
         }
+        self.gauges[id.0].touched = true;
         self.gauges[id.0].tw.add(now, delta);
     }
 
@@ -175,6 +181,42 @@ impl MetricsRegistry {
     /// Current value of a counter (0 when disabled).
     pub fn counter_value(&self, id: CounterId) -> u64 {
         self.counters[id.0].value
+    }
+
+    /// Fold another registry with the *same instrument layout* into this
+    /// one — the fan-in step of a sharded run, where every participant
+    /// registers the identical instrument set and each instrument has a
+    /// single writer.
+    ///
+    /// Counters sum index-wise. A gauge is taken wholesale from `other`
+    /// when `other` touched it (single-writer: at most one participant ever
+    /// writes a given gauge, so "touched on both sides" is a layout bug and
+    /// panics). Series concatenate in call order — callers merge shards in
+    /// a fixed order to keep output canonical.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        assert_eq!(
+            self.counters.len(),
+            other.counters.len(),
+            "merging registries with different counter layouts"
+        );
+        assert_eq!(self.gauges.len(), other.gauges.len());
+        assert_eq!(self.series.len(), other.series.len());
+        for (c, oc) in self.counters.iter_mut().zip(&other.counters) {
+            debug_assert_eq!(c.name, oc.name);
+            c.value += oc.value;
+        }
+        for (g, og) in self.gauges.iter_mut().zip(&other.gauges) {
+            debug_assert_eq!(g.name, og.name);
+            if og.touched {
+                assert!(!g.touched, "gauge {} written by two participants", g.name);
+                g.tw = og.tw.clone();
+                g.touched = true;
+            }
+        }
+        for (s, os) in self.series.iter_mut().zip(&other.series) {
+            debug_assert_eq!(s.name, os.name);
+            s.points.extend(os.points.iter().copied());
+        }
     }
 
     /// Freeze everything into a serializable snapshot closed out at `now`.
@@ -419,6 +461,51 @@ mod tests {
         m.add(other, 999);
         let snap = m.snapshot(SimTime::ZERO).unwrap();
         assert_eq!(snap.counter_sum("site."), 12);
+    }
+
+    #[test]
+    fn merge_sums_counters_takes_touched_gauges_concats_series() {
+        fn layout(m: &mut MetricsRegistry) -> (CounterId, GaugeId, GaugeId, SeriesId) {
+            (
+                m.counter("done"),
+                m.gauge("busy.a", SimTime::ZERO, 0.0),
+                m.gauge("busy.b", SimTime::ZERO, 0.0),
+                m.series("q"),
+            )
+        }
+        let mut coord = MetricsRegistry::enabled();
+        let (c, ga, _gb, s) = layout(&mut coord);
+        coord.add(c, 2);
+        coord.gauge_set(ga, SimTime::from_secs(5), 3.0);
+        coord.push(s, SimTime::from_secs(1), 1.0);
+
+        let mut shard = MetricsRegistry::enabled();
+        let (c2, _ga2, gb2, s2) = layout(&mut shard);
+        shard.add(c2, 5);
+        shard.gauge_set(gb2, SimTime::from_secs(8), 7.0);
+        shard.push(s2, SimTime::from_secs(2), 2.0);
+
+        coord.merge_from(&shard);
+        let snap = coord.snapshot(SimTime::from_secs(10)).unwrap();
+        assert_eq!(snap.counter("done"), Some(7));
+        assert_eq!(snap.gauge("busy.a").unwrap().current, 3.0);
+        assert_eq!(snap.gauge("busy.b").unwrap().current, 7.0);
+        assert_eq!(
+            snap.series("q").unwrap().points,
+            vec![(1.0, 1.0), (2.0, 2.0)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "written by two participants")]
+    fn merge_rejects_double_written_gauges() {
+        let mut a = MetricsRegistry::enabled();
+        let g = a.gauge("busy", SimTime::ZERO, 0.0);
+        a.gauge_set(g, SimTime::from_secs(1), 1.0);
+        let mut b = MetricsRegistry::enabled();
+        let g2 = b.gauge("busy", SimTime::ZERO, 0.0);
+        b.gauge_set(g2, SimTime::from_secs(1), 2.0);
+        a.merge_from(&b);
     }
 
     #[test]

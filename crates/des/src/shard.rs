@@ -1,0 +1,497 @@
+//! Building blocks for sharded (multi-queue) conservative simulation.
+//!
+//! The serial [`Engine`](crate::Engine) orders simultaneous events by a
+//! global scheduling sequence number. A sharded run has no global counter to
+//! consult, so shards order events by a *causal rank* instead: every event
+//! carries the execution coordinate of the handler that scheduled it plus
+//! the position of the `schedule` call within that handler. Delivering
+//! events in `(time, rank)` order reproduces the serial `(time, seq)` order
+//! exactly — see [`Rank`] for the argument — which is what makes
+//! byte-identical sharded output possible.
+//!
+//! The pieces here are engine-level and policy-free:
+//!
+//! * [`Rank`] — the causal coordinate, with the total order.
+//! * [`RankQueue`] — a cancellable priority queue keyed by `(time, rank)`,
+//!   the shard-local counterpart of the serial engine's queue.
+//! * [`Lookahead`] — the per-site-pair minimum cross-shard delay matrix
+//!   derived from WAN latency/bandwidth and the staging transfer floor.
+//!
+//! The synchronization protocol itself (conservative windows, emission
+//! floors, coordinator barriers) lives with the simulation driver; it is a
+//! consumer of these types, not part of them.
+
+use crate::engine::EventKey;
+use crate::time::{SimDuration, SimTime};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
+
+#[derive(Debug, PartialEq, Eq)]
+enum RankNode {
+    /// A primed (root) event: rank = its position in the priming batch.
+    Root(u64),
+    /// An event scheduled by a handler: the parent's execution time, the
+    /// parent's own rank, and the index of the `schedule` call within the
+    /// parent's handler.
+    Child {
+        parent_time: SimTime,
+        parent: Rank,
+        k: u64,
+    },
+}
+
+/// The causal rank of an event: where in the serial order its scheduling
+/// call would have happened.
+///
+/// The serial engine assigns sequence numbers in scheduling order and
+/// delivers in `(time, seq)` order. Scheduling order is itself determined
+/// by execution order: a handler executing at `(t_p, seq_p)` makes its
+/// `k`-th scheduling call before any call made by a handler executing at a
+/// larger `(t, seq)`. So for two events at equal delivery time, the serial
+/// tie-break compares `(t_p, seq_p, k)` — parents recursively. [`Rank`]
+/// stores exactly that path and its `Ord` compares it:
+///
+/// * `Root(i) < Root(j)` iff `i < j` (priming order);
+/// * `Root(_) < Child{..}` always (primed events get the lowest seqs, so at
+///   equal time every root beats every dynamically scheduled event);
+/// * `Child` vs `Child` is lexicographic on `(parent_time, parent, k)`.
+///
+/// An ancestor sorts strictly before any of its same-time descendants, and
+/// unrelated ranks compare exactly as their serial seqs would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rank(Arc<RankNode>);
+
+impl Rank {
+    /// The rank of the `index`-th primed event.
+    pub fn root(index: u64) -> Self {
+        Rank(Arc::new(RankNode::Root(index)))
+    }
+
+    /// The rank of the `k`-th event scheduled by a handler that is itself
+    /// executing with this rank at `parent_time`.
+    pub fn child(&self, parent_time: SimTime, k: u64) -> Self {
+        Rank(Arc::new(RankNode::Child {
+            parent_time,
+            parent: self.clone(),
+            k,
+        }))
+    }
+
+    /// Depth of the causal chain (roots are 1). Diagnostic only.
+    pub fn depth(&self) -> usize {
+        match self.0.as_ref() {
+            RankNode::Root(_) => 1,
+            RankNode::Child { parent, .. } => 1 + parent.depth(),
+        }
+    }
+}
+
+impl Ord for Rank {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return Ordering::Equal;
+        }
+        match (self.0.as_ref(), other.0.as_ref()) {
+            (RankNode::Root(a), RankNode::Root(b)) => a.cmp(b),
+            (RankNode::Root(_), RankNode::Child { .. }) => Ordering::Less,
+            (RankNode::Child { .. }, RankNode::Root(_)) => Ordering::Greater,
+            (
+                RankNode::Child {
+                    parent_time: ta,
+                    parent: pa,
+                    k: ka,
+                },
+                RankNode::Child {
+                    parent_time: tb,
+                    parent: pb,
+                    k: kb,
+                },
+            ) => ta.cmp(tb).then_with(|| pa.cmp(pb)).then_with(|| ka.cmp(kb)),
+        }
+    }
+}
+
+impl PartialOrd for Rank {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct RankedEntry<E> {
+    at: SimTime,
+    rank: Rank,
+    key: u64,
+    event: E,
+}
+
+impl<E> PartialEq for RankedEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for RankedEntry<E> {}
+impl<E> Ord for RankedEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at
+            .cmp(&other.at)
+            .then_with(|| self.rank.cmp(&other.rank))
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+impl<E> PartialOrd for RankedEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A cancellable event queue ordered by `(time, [`Rank`])` — the shard-local
+/// counterpart of the serial engine's `(time, seq)` queue.
+///
+/// Cancellation is tombstone-based like the serial engine's: [`cancel`]
+/// (RankQueue::cancel) marks a key, pops skip marked entries, and the live
+/// set keeps `len` exact and double-cancels honest.
+pub struct RankQueue<E> {
+    heap: BinaryHeap<Reverse<RankedEntry<E>>>,
+    cancelled: HashSet<u64>,
+    live: HashSet<u64>,
+    next_key: u64,
+    peak_len: usize,
+}
+
+impl<E> Default for RankQueue<E> {
+    fn default() -> Self {
+        RankQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            live: HashSet::new(),
+            next_key: 0,
+            peak_len: 0,
+        }
+    }
+}
+
+impl<E> RankQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at `(at, rank)`; the returned key cancels it.
+    pub fn schedule(&mut self, at: SimTime, rank: Rank, event: E) -> EventKey {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.live.insert(key);
+        self.heap.push(Reverse(RankedEntry {
+            at,
+            rank,
+            key,
+            event,
+        }));
+        self.peak_len = self.peak_len.max(self.live.len());
+        EventKey::from_raw_shard(key)
+    }
+
+    /// Cancel a pending event. `false` if it already fired or was cancelled.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        let raw = key.raw_shard();
+        if self.live.remove(&raw) {
+            self.cancelled.insert(raw);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if self.cancelled.remove(&head.key) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The `(time, rank)` of the next live event, if any.
+    pub fn peek(&mut self) -> Option<(SimTime, &Rank)> {
+        self.skip_cancelled();
+        self.heap.peek().map(|Reverse(e)| (e.at, &e.rank))
+    }
+
+    /// The `(time, rank, event)` of the next live event, if any. Event
+    /// access lets a sharded driver classify the head (may it execute
+    /// freely, or must it synchronize first?) without popping it.
+    pub fn peek_full(&mut self) -> Option<(SimTime, &Rank, &E)> {
+        self.skip_cancelled();
+        self.heap.peek().map(|Reverse(e)| (e.at, &e.rank, &e.event))
+    }
+
+    /// Pop the next live event.
+    pub fn pop(&mut self) -> Option<(SimTime, Rank, E)> {
+        self.skip_cancelled();
+        let Reverse(e) = self.heap.pop()?;
+        self.live.remove(&e.key);
+        Some((e.at, e.rank, e.event))
+    }
+
+    /// Live (scheduled, uncancelled) event count.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// High-water mark of the live event count.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+}
+
+/// The conservative lookahead matrix: a lower bound, per ordered site pair,
+/// on the virtual delay between a cross-site interaction being decided and
+/// its earliest effect at the destination.
+///
+/// Derived from the hub WAN model (path latency is the sum of the two
+/// uplink latencies, path bandwidth the minimum of the two) plus the
+/// staging transfer floor: a stage-in that crosses sites moves at least
+/// `min_transfer_mb`, so its enqueue lands at least `latency +
+/// min_transfer_mb / bandwidth` after the routing decision. Interactions
+/// that carry no data (dispatch of a small-input job) have no such floor —
+/// their entry is the bare path latency, which is zero when the
+/// configuration models latency as free. A zero entry means the protocol
+/// cannot advance a destination shard on lookahead alone and must fall back
+/// to coordinator-granted windows; nonzero entries let the window extend
+/// past the horizon by that much.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lookahead {
+    sites: usize,
+    /// `staged[src * sites + dst]`: minimum delay for data-bearing
+    /// (staging) interactions.
+    staged: Vec<SimDuration>,
+    /// `bare[src * sites + dst]`: minimum delay for data-free interactions.
+    bare: Vec<SimDuration>,
+}
+
+impl Lookahead {
+    /// Build from per-site uplink parameters. `latency_s[i]` and
+    /// `bandwidth_mbps[i]` describe site `i`'s uplink to the hub;
+    /// `min_transfer_mb` is the smallest stage-in that crosses sites (the
+    /// staging threshold). Self-pairs are never cross-shard; their entries
+    /// are `SimDuration::MAX` so they don't drag the minima down.
+    pub fn from_uplinks(latency_s: &[f64], bandwidth_mbps: &[f64], min_transfer_mb: f64) -> Self {
+        assert_eq!(latency_s.len(), bandwidth_mbps.len());
+        let n = latency_s.len();
+        let mut staged = vec![SimDuration::MAX; n * n];
+        let mut bare = vec![SimDuration::MAX; n * n];
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let latency = latency_s[src] + latency_s[dst];
+                let bw = bandwidth_mbps[src].min(bandwidth_mbps[dst]);
+                bare[src * n + dst] = SimDuration::from_secs_f64(latency);
+                let transfer = if bw > 0.0 { min_transfer_mb / bw } else { 0.0 };
+                staged[src * n + dst] = SimDuration::from_secs_f64(latency + transfer);
+            }
+        }
+        Lookahead {
+            sites: n,
+            staged,
+            bare,
+        }
+    }
+
+    /// Minimum delay for a data-bearing interaction `src → dst`.
+    pub fn staged(&self, src: usize, dst: usize) -> SimDuration {
+        self.staged[src * self.sites + dst]
+    }
+
+    /// Minimum delay for a data-free interaction `src → dst`.
+    pub fn bare(&self, src: usize, dst: usize) -> SimDuration {
+        self.bare[src * self.sites + dst]
+    }
+
+    /// The tightest incoming bound for `dst` over all sources: no cross-site
+    /// effect decided at another site at time `t` can reach `dst` before
+    /// `t + incoming_bound(dst)`.
+    pub fn incoming_bound(&self, dst: usize) -> SimDuration {
+        (0..self.sites)
+            .filter(|&s| s != dst)
+            .map(|s| self.bare(s, dst))
+            .min()
+            .unwrap_or(SimDuration::MAX)
+    }
+
+    /// The federation-wide minimum data-bearing delay (the classic scalar
+    /// "lookahead" of conservative PDES, for reporting).
+    pub fn min_staged(&self) -> SimDuration {
+        (0..self.sites * self.sites)
+            .filter(|i| i / self.sites != i % self.sites)
+            .map(|i| self.staged[i])
+            .min()
+            .unwrap_or(SimDuration::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Ctx, Engine, Simulation};
+
+    #[test]
+    fn rank_roots_order_by_index_and_beat_children() {
+        let r0 = Rank::root(0);
+        let r1 = Rank::root(1);
+        assert!(r0 < r1);
+        let t = SimTime::from_secs(5);
+        let c = r0.child(t, 0);
+        assert!(r0 < c, "ancestor before same-time descendant");
+        assert!(r1 < c, "any root before any child");
+        let c2 = r0.child(t, 1);
+        assert!(c < c2, "k orders siblings");
+        let gc = c.child(t, 0);
+        assert!(c < gc);
+        // gc was scheduled during c's handler, which runs only after the
+        // root's handler finished scheduling both c and c2 — so serially
+        // gc's seq is larger and c2 fires first.
+        assert!(c2 < gc, "sibling scheduled earlier fires first");
+        assert_eq!(gc.depth(), 3);
+    }
+
+    #[test]
+    fn rank_orders_by_parent_time_first() {
+        let r = Rank::root(0);
+        let early = r.child(SimTime::from_secs(1), 9);
+        let late = r.child(SimTime::from_secs(2), 0);
+        assert!(
+            early < late,
+            "earlier parent execution wins regardless of k"
+        );
+    }
+
+    /// A deterministic pseudo-random event tree, executed both ways: the
+    /// serial engine (global seq tie-break) and a [`RankQueue`] fed the
+    /// causal ranks. Delivery orders must match label for label.
+    #[test]
+    fn rank_queue_reproduces_serial_order_on_random_trees() {
+        fn mix(x: u64) -> u64 {
+            // splitmix64 step — deterministic fan-out decisions.
+            let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+        /// children(label) -> list of (delay_secs, child_label)
+        fn children(label: u64, budget: &mut u32) -> Vec<(u64, u64)> {
+            let h = mix(label);
+            let n = (h % 4) as u32; // 0..=3 children
+            (0..n.min(*budget))
+                .map(|i| {
+                    *budget -= 1;
+                    let hh = mix(h.wrapping_add(i as u64));
+                    (hh % 3, mix(hh)) // delay 0..=2 s — plenty of ties
+                })
+                .collect()
+        }
+
+        struct SerialSim {
+            order: Vec<u64>,
+            budget: u32,
+        }
+        impl Simulation for SerialSim {
+            type Event = u64;
+            fn handle(&mut self, ctx: &mut Ctx<u64>, label: u64) {
+                self.order.push(label);
+                for (d, c) in children(label, &mut self.budget) {
+                    ctx.schedule_after(SimDuration::from_secs(d), c);
+                }
+            }
+        }
+
+        for seed in 0..20u64 {
+            // Serial reference.
+            let mut eng: Engine<u64> = Engine::new();
+            let roots: Vec<u64> = (0..6).map(|i| mix(seed ^ (i << 40))).collect();
+            eng.schedule_batch(
+                roots
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| (SimTime::from_secs((i as u64) % 3), l)),
+            );
+            let mut sim = SerialSim {
+                order: Vec::new(),
+                budget: 200,
+            };
+            eng.run(&mut sim);
+
+            // Rank-queue replay of the same tree.
+            let mut rq: RankQueue<(u64, Rank)> = RankQueue::new();
+            for (i, &l) in roots.iter().enumerate() {
+                let rank = Rank::root(i as u64);
+                rq.schedule(SimTime::from_secs((i as u64) % 3), rank.clone(), (l, rank));
+            }
+            let mut order = Vec::new();
+            let mut budget = 200u32;
+            while let Some((at, _, (label, rank))) = rq.pop() {
+                order.push(label);
+                for (j, (d, c)) in children(label, &mut budget).into_iter().enumerate() {
+                    let child_rank = rank.child(at, j as u64);
+                    rq.schedule(
+                        at + SimDuration::from_secs(d),
+                        child_rank.clone(),
+                        (c, child_rank),
+                    );
+                }
+            }
+            assert_eq!(order, sim.order, "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn rank_queue_cancellation_matches_engine_semantics() {
+        let mut rq: RankQueue<&'static str> = RankQueue::new();
+        let r = Rank::root(0);
+        let a = rq.schedule(SimTime::from_secs(1), r.child(SimTime::ZERO, 0), "a");
+        let b = rq.schedule(SimTime::from_secs(2), r.child(SimTime::ZERO, 1), "b");
+        assert_eq!(rq.len(), 2);
+        assert!(rq.cancel(a));
+        assert!(!rq.cancel(a), "double cancel refused");
+        assert_eq!(rq.len(), 1);
+        let (at, _, ev) = rq.pop().expect("b survives");
+        assert_eq!((at, ev), (SimTime::from_secs(2), "b"));
+        assert!(!rq.cancel(b), "cancel after delivery refused");
+        assert!(rq.is_empty());
+        assert_eq!(rq.peak_len(), 2);
+    }
+
+    #[test]
+    fn lookahead_from_uplink_parameters() {
+        // Site 0: 100 MB/s, 50 ms; site 1: 50 MB/s, 10 ms; site 2: free link.
+        let look = Lookahead::from_uplinks(&[0.05, 0.01, 0.0], &[100.0, 50.0, 1000.0], 500.0);
+        // 0→1: latency 60 ms, bottleneck 50 MB/s → 500/50 = 10 s transfer.
+        assert_eq!(look.staged(0, 1), SimDuration::from_secs_f64(0.06 + 10.0));
+        assert_eq!(look.bare(0, 1), SimDuration::from_secs_f64(0.06));
+        // Symmetric in the hub model.
+        assert_eq!(look.staged(1, 0), look.staged(0, 1));
+        // 2→0 has site 0's bandwidth as the bottleneck.
+        assert_eq!(look.staged(2, 0), SimDuration::from_secs_f64(0.05 + 5.0));
+        // Incoming bound for 1 is the smallest bare delay into it.
+        assert_eq!(look.incoming_bound(1), SimDuration::from_secs_f64(0.01));
+        // Federation-wide staged minimum: the 2↔0 pair (5.05 s).
+        assert_eq!(look.min_staged(), SimDuration::from_secs_f64(5.05));
+        // Self pairs never constrain.
+        assert_eq!(look.staged(1, 1), SimDuration::MAX);
+    }
+
+    #[test]
+    fn zero_latency_links_yield_zero_bare_lookahead() {
+        let look = Lookahead::from_uplinks(&[0.0, 0.0], &[100.0, 100.0], 500.0);
+        assert_eq!(look.bare(0, 1), SimDuration::ZERO);
+        assert!(look.staged(0, 1) > SimDuration::ZERO);
+    }
+}

@@ -37,7 +37,7 @@ use tg_des::{TraceAnalyzer, TraceHealth};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tgsim emit-baseline [USERS DAYS]\n  tgsim run <scenario.json> \
-         [--seed N] [--reps K] [--sample-hours H] [--classify] [--out FILE] \
+         [--seed N] [--reps K] [--threads N] [--sample-hours H] [--classify] [--out FILE] \
          [--faults FILE] [--metrics-out FILE] [--trace-out FILE]\n  \
          tgsim analyze <trace.jsonl> [--json]\n  \
          tgsim replay <trace.swf> [--scenario FILE] [--seed N] \
@@ -82,6 +82,7 @@ fn run(rest: &[String]) -> ExitCode {
     };
     let mut seed = 42u64;
     let mut reps = 1usize;
+    let mut threads = 1usize;
     let mut classify = false;
     let mut out_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
@@ -91,8 +92,8 @@ fn run(rest: &[String]) -> ExitCode {
     let mut i = 1;
     while i < rest.len() {
         match rest[i].as_str() {
-            "--seed" | "--reps" | "--out" | "--sample-hours" | "--metrics-out" | "--trace-out"
-            | "--faults" => {
+            "--seed" | "--reps" | "--threads" | "--out" | "--sample-hours" | "--metrics-out"
+            | "--trace-out" | "--faults" => {
                 let flag = rest[i].clone();
                 i += 1;
                 let Some(value) = rest.get(i) else {
@@ -111,6 +112,13 @@ fn run(rest: &[String]) -> ExitCode {
                         Ok(v) if v >= 1 => reps = v,
                         _ => {
                             eprintln!("tgsim: bad --reps");
+                            return usage();
+                        }
+                    },
+                    "--threads" => match value.parse() {
+                        Ok(v) if v >= 1 => threads = v,
+                        _ => {
+                            eprintln!("tgsim: bad --threads");
                             return usage();
                         }
                     },
@@ -195,6 +203,7 @@ fn run(rest: &[String]) -> ExitCode {
     let opts = RunOptions {
         metrics: metrics_out.is_some(),
         trace_path: trace_out.as_ref().map(std::path::PathBuf::from),
+        threads,
         ..RunOptions::default()
     };
     let replications = replicate_with(&scenario, seed, reps, 0, &opts);
