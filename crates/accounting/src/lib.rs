@@ -45,8 +45,10 @@ pub mod charge;
 pub mod db;
 pub mod query;
 pub mod record;
+pub mod sink;
 
 pub use charge::{su_for, ChargePolicy};
 pub use db::AccountingDb;
 pub use query::{GroupSums, UserSummary};
 pub use record::{GatewayAttribute, JobRecord, RcPlacementRecord, SessionRecord, TransferRecord};
+pub use sink::{IngestTally, JsonlRecordSink, NullRecordSink, RecordRef, RecordSink};

@@ -1,0 +1,279 @@
+//! Streaming record sinks — the accounting memory diet.
+//!
+//! [`crate::db::AccountingDb`] retains every record in RAM, which is the
+//! right default for experiments that post-process the run (classifier
+//! features, usage reports) but dominates peak RSS at million-user scale.
+//! A [`RecordSink`] diverts the exact record stream the database would
+//! have ingested — *after* any lossy-ingest fate has been applied, so the
+//! sink's contents equal a retained run's database record for record —
+//! to an external writer, keeping only a compact running [`IngestTally`]
+//! in memory for end-of-run summaries.
+
+use crate::record::{
+    GatewayAttribute, JobRecord, RcPlacementRecord, SessionRecord, TransferRecord,
+};
+use serde::Serialize;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// One record on its way to a sink, borrowed from the emitting simulation.
+#[derive(Debug, Clone, Copy)]
+pub enum RecordRef<'a> {
+    /// A completed job.
+    Job(&'a JobRecord),
+    /// A data transfer.
+    Transfer(&'a TransferRecord),
+    /// A login session.
+    Session(&'a SessionRecord),
+    /// A gateway end-user attribute.
+    Gateway(&'a GatewayAttribute),
+    /// An RC placement record.
+    Rc(&'a RcPlacementRecord),
+}
+
+impl RecordRef<'_> {
+    /// The stream tag written to JSONL envelopes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RecordRef::Job(_) => "job",
+            RecordRef::Transfer(_) => "transfer",
+            RecordRef::Session(_) => "session",
+            RecordRef::Gateway(_) => "gateway",
+            RecordRef::Rc(_) => "rc",
+        }
+    }
+
+    fn body_json(&self) -> Result<String, serde_json::Error> {
+        fn one<T: Serialize>(r: &T) -> Result<String, serde_json::Error> {
+            serde_json::to_string(r)
+        }
+        match self {
+            RecordRef::Job(r) => one(r),
+            RecordRef::Transfer(r) => one(r),
+            RecordRef::Session(r) => one(r),
+            RecordRef::Gateway(r) => one(r),
+            RecordRef::Rc(r) => one(r),
+        }
+    }
+}
+
+/// Compact running totals a sink maintains in place of the retained
+/// vectors — enough for the end-of-run summary line without the records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct IngestTally {
+    /// Job records written.
+    pub jobs: u64,
+    /// Transfer records written.
+    pub transfers: u64,
+    /// Session records written.
+    pub sessions: u64,
+    /// Gateway attributes written.
+    pub gateway_attrs: u64,
+    /// RC placements written.
+    pub rc_placements: u64,
+    /// Core-hours across all job records (the headline usage figure).
+    pub core_hours: f64,
+    /// Megabytes across all transfer records.
+    pub transfer_mb: f64,
+    /// Writes that failed at the I/O layer (records were still counted).
+    pub write_errors: u64,
+}
+
+impl IngestTally {
+    /// Total records across streams (mirrors `AccountingDb::len`).
+    pub fn len(&self) -> u64 {
+        self.jobs + self.transfers + self.sessions + self.gateway_attrs + self.rc_placements
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn count(&mut self, rec: &RecordRef<'_>) {
+        match rec {
+            RecordRef::Job(r) => {
+                self.jobs += 1;
+                self.core_hours += r.core_hours();
+            }
+            RecordRef::Transfer(r) => {
+                self.transfers += 1;
+                self.transfer_mb += r.mb;
+            }
+            RecordRef::Session(_) => self.sessions += 1,
+            RecordRef::Gateway(_) => self.gateway_attrs += 1,
+            RecordRef::Rc(_) => self.rc_placements += 1,
+        }
+    }
+}
+
+/// Destination for a streamed accounting-record flow.
+///
+/// Write errors must not perturb the simulation (records never feed back
+/// into behaviour), so `write` is infallible at the call site: sinks count
+/// failures in their tally and surface them at [`RecordSink::close`].
+pub trait RecordSink: Send {
+    /// Consume one record.
+    fn write(&mut self, rec: RecordRef<'_>);
+
+    /// Flush and return the final tally. Called exactly once, at the end
+    /// of the run.
+    fn close(&mut self) -> IngestTally;
+}
+
+/// A sink that writes one JSON object per line (`{"kind": "job", ...}`),
+/// matching the JSONL convention of the span tracer.
+pub struct JsonlRecordSink {
+    out: Option<BufWriter<Box<dyn Write + Send>>>,
+    tally: IngestTally,
+}
+
+impl JsonlRecordSink {
+    /// A sink writing to `path` (created or truncated).
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::from_writer(Box::new(file)))
+    }
+
+    /// A sink over an arbitrary writer (tests use an in-memory buffer).
+    pub fn from_writer(w: Box<dyn Write + Send>) -> Self {
+        JsonlRecordSink {
+            out: Some(BufWriter::new(w)),
+            tally: IngestTally::default(),
+        }
+    }
+}
+
+impl RecordSink for JsonlRecordSink {
+    fn write(&mut self, rec: RecordRef<'_>) {
+        self.tally.count(&rec);
+        let Some(out) = self.out.as_mut() else {
+            self.tally.write_errors += 1;
+            return;
+        };
+        let ok = match rec.body_json() {
+            Ok(body) => writeln!(out, "{{\"kind\":\"{}\",\"rec\":{}}}", rec.kind(), body).is_ok(),
+            Err(_) => false,
+        };
+        if !ok {
+            self.tally.write_errors += 1;
+        }
+    }
+
+    fn close(&mut self) -> IngestTally {
+        if let Some(mut out) = self.out.take() {
+            if out.flush().is_err() {
+                self.tally.write_errors += 1;
+            }
+        }
+        self.tally
+    }
+}
+
+/// A sink that keeps only the tally — for memory-budget runs where even
+/// the JSONL file is unwanted.
+#[derive(Debug, Default)]
+pub struct NullRecordSink {
+    tally: IngestTally,
+}
+
+impl RecordSink for NullRecordSink {
+    fn write(&mut self, rec: RecordRef<'_>) {
+        self.tally.count(&rec);
+    }
+
+    fn close(&mut self) -> IngestTally {
+        self.tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+    use tg_des::SimTime;
+    use tg_model::SiteId;
+    use tg_workload::{JobId, ProjectId, SubmitInterface, UserId};
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn job(id: usize) -> JobRecord {
+        JobRecord {
+            job: JobId(id),
+            user: UserId(3),
+            project: ProjectId(0),
+            site: SiteId(0),
+            submit: SimTime::ZERO,
+            start: SimTime::from_secs(60),
+            end: SimTime::from_secs(3660),
+            cores: 2,
+            interface: SubmitInterface::CommandLine,
+            used_hw: false,
+            input_mb: 0.0,
+            output_mb: 0.0,
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_tagged_lines_and_tallies() {
+        let buf = SharedBuf::default();
+        let mut sink = JsonlRecordSink::from_writer(Box::new(buf.clone()));
+        sink.write(RecordRef::Job(&job(1)));
+        sink.write(RecordRef::Job(&job(2)));
+        sink.write(RecordRef::Session(&SessionRecord {
+            user: UserId(3),
+            site: SiteId(0),
+            login: SimTime::ZERO,
+            logout: SimTime::from_secs(100),
+        }));
+        let tally = sink.close();
+        assert_eq!(tally.jobs, 2);
+        assert_eq!(tally.sessions, 1);
+        assert_eq!(tally.len(), 3);
+        assert_eq!(tally.write_errors, 0);
+        assert!((tally.core_hours - 2.0 * 2.0).abs() < 1e-9);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.get("kind").and_then(|v| v.as_str()), Some("job"));
+        assert_eq!(
+            first
+                .get("rec")
+                .and_then(|r| r.get("cores"))
+                .and_then(|v| v.as_u64()),
+            Some(2)
+        );
+        let last: serde_json::Value = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(last.get("kind").and_then(|v| v.as_str()), Some("session"));
+    }
+
+    #[test]
+    fn null_sink_counts_without_output() {
+        let mut sink = NullRecordSink::default();
+        sink.write(RecordRef::Job(&job(1)));
+        sink.write(RecordRef::Transfer(&TransferRecord {
+            user: UserId(3),
+            project: ProjectId(0),
+            src: SiteId(0),
+            dst: SiteId(1),
+            mb: 750.0,
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(10),
+        }));
+        let tally = sink.close();
+        assert_eq!(tally.len(), 2);
+        assert!((tally.transfer_mb - 750.0).abs() < 1e-9);
+    }
+}

@@ -12,6 +12,12 @@
 //! 3. **Large scale** — `large-3000u-90d` (~5.3M events), one replication.
 //!    This is the hot-path benchmark: per-event costs that hide at 80k
 //!    events dominate here.
+//! 4. **Streaming million** — `million-1000000u-365d` (~11M events, ~3.9M
+//!    jobs) through the streaming generation path with records diverted to
+//!    a discard sink. The point is the memory ceiling, not the rate: the
+//!    section records peak live heap (counting allocator, reset at section
+//!    start) and peak RSS, and the run aborts if either breaches the 2 GiB
+//!    budget.
 //!
 //! Every section reports memory alongside wall-clock: the process peak RSS
 //! (`VmHWM`, monotone across sections — the large section dominates it) and
@@ -19,11 +25,14 @@
 //!
 //! Flags:
 //! * `--quick` — healthy section only, saved as `BENCH_throughput_quick`
-//!   (CI smoke; skips the faulted and large sections).
+//!   (CI smoke; skips the faulted, large, scaling, and streaming sections).
 //! * `--check <path>` — after measuring, compare against a previous
 //!   `BENCH_throughput*.json`: per-seed healthy `events`/`jobs` must match
 //!   exactly, and pooled healthy events/s must not regress below 85% of the
-//!   reference. Exits non-zero on either failure (the CI regression guard).
+//!   reference. The section inventory is checked strictly: a reference key
+//!   this binary does not know, or a section present on one side and absent
+//!   on the other, fails the check loudly instead of being skipped. Exits
+//!   non-zero on any failure (the CI regression guard).
 
 use serde::Serialize;
 use tg_bench::{save_json, Table};
@@ -31,7 +40,9 @@ use tg_core::{
     aggregate_profiles, replicate, FaultSpec, NodeCrashSpec, OutageWindow, Replication,
     ScenarioConfig,
 };
-use tg_des::memory::{alloc_snapshot, peak_rss_bytes, AllocDelta, CountingAlloc};
+use tg_des::memory::{
+    alloc_snapshot, peak_in_use_bytes, peak_rss_bytes, reset_peak_in_use, AllocDelta, CountingAlloc,
+};
 
 /// Count every allocation the bench makes; [`AllocDelta::since`] turns the
 /// counters into per-section traffic.
@@ -107,6 +118,30 @@ struct ScalingSection {
     identical: bool,
 }
 
+/// Memory budget for the million-user streaming run.
+const STREAMING_BUDGET_BYTES: u64 = 2 << 30; // 2 GiB
+
+/// The million-user streaming datapoint: throughput plus the memory-ceiling
+/// evidence the streaming path exists to provide.
+#[derive(Serialize)]
+struct StreamingSection {
+    scenario: String,
+    users: usize,
+    days: u64,
+    total_events: u64,
+    total_jobs: usize,
+    wall_seconds: f64,
+    events_per_sec: f64,
+    /// Process high-water RSS after the run. Monotone across sections, so
+    /// it may reflect an earlier section's footprint, not this one's.
+    peak_rss_bytes: Option<u64>,
+    /// Peak live heap *within this section* (counting allocator, reset at
+    /// section start) — the budget signal VmHWM cannot give.
+    peak_live_heap_bytes: u64,
+    budget_bytes: u64,
+    within_budget: bool,
+}
+
 #[derive(Serialize)]
 struct ThroughputOutput {
     scenario: String,
@@ -127,6 +162,9 @@ struct ThroughputOutput {
     /// Sharded-engine thread sweep on the large scenario (absent in
     /// `--quick` runs).
     scaling: Option<ScalingSection>,
+    /// Million-user streaming run under the 2 GiB memory budget (absent in
+    /// `--quick` runs).
+    streaming: Option<StreamingSection>,
 }
 
 /// Roughly 5% of total site-hours down across the 3-site, 14-day baseline:
@@ -243,6 +281,74 @@ fn measure_scaling(cfg: ScenarioConfig, seed: u64, counts: &[usize]) -> ScalingS
         rows,
         identical,
     }
+}
+
+/// Run the million-user scenario through the streaming path (lazy
+/// generation, records to a discard sink) and capture the memory ceiling.
+fn measure_streaming(users: usize, days: u64, seed: u64) -> StreamingSection {
+    use tg_core::{RecordStreaming, RunOptions};
+    let cfg = ScenarioConfig::million(users, days);
+    let name = cfg.name.clone();
+    let scenario = cfg.build();
+    let rss_before = peak_rss_bytes();
+    reset_peak_in_use();
+    let opts = RunOptions {
+        stream_gen: true,
+        record_streaming: RecordStreaming::Discard,
+        ..RunOptions::default()
+    };
+    let out = scenario.run_with(seed, &opts);
+    let peak_heap = peak_in_use_bytes().max(0) as u64;
+    let rss_after = peak_rss_bytes();
+    let tally = out
+        .ingest_tally
+        .as_ref()
+        .expect("streaming run diverts records");
+    // VmHWM is process-monotone: if this section left the high-water mark
+    // untouched, an earlier (retained, materialized) section set it and the
+    // live-heap leg alone decides the budget.
+    let rss_ok = match (rss_before, rss_after) {
+        (Some(before), Some(after)) => after <= STREAMING_BUDGET_BYTES || after == before,
+        _ => true,
+    };
+    StreamingSection {
+        scenario: name,
+        users,
+        days,
+        total_events: out.profile.events_delivered,
+        total_jobs: tally.jobs as usize,
+        wall_seconds: out.profile.wall_seconds,
+        events_per_sec: out.profile.events_per_sec,
+        peak_rss_bytes: rss_after,
+        peak_live_heap_bytes: peak_heap,
+        budget_bytes: STREAMING_BUDGET_BYTES,
+        within_budget: peak_heap <= STREAMING_BUDGET_BYTES && rss_ok,
+    }
+}
+
+fn print_streaming(s: &StreamingSection) {
+    let mib = |b: u64| format!("{:.1} MiB", b as f64 / (1 << 20) as f64);
+    let mut table = Table::new(
+        format!(
+            "PERF (streaming): {} users × {} days, lazy generation + discard sink",
+            s.users, s.days
+        ),
+        &["events", "jobs", "wall s", "events/s", "live heap", "RSS"],
+    );
+    table.row(vec![
+        s.total_events.to_string(),
+        s.total_jobs.to_string(),
+        format!("{:.3}", s.wall_seconds),
+        format!("{:.0}", s.events_per_sec),
+        mib(s.peak_live_heap_bytes),
+        s.peak_rss_bytes.map(mib).unwrap_or_else(|| "n/a".into()),
+    ]);
+    println!("{table}");
+    println!(
+        "streaming: {} the {} budget",
+        if s.within_budget { "within" } else { "EXCEEDS" },
+        mib(s.budget_bytes),
+    );
 }
 
 fn print_scaling(s: &ScalingSection) {
@@ -387,6 +493,104 @@ fn check_scaling(reference: &serde_json::Value, current: Option<&ScalingSection>
     failures
 }
 
+/// Every top-level key a `BENCH_throughput*.json` may carry. `--check`
+/// fails loudly on anything else: a section renamed or added without being
+/// registered here (and given a check leg) cannot silently pass the guard.
+const KNOWN_KEYS: &[&str] = &[
+    "scenario",
+    "users",
+    "days",
+    "replications",
+    "total_events",
+    "total_jobs",
+    "total_wall_seconds",
+    "events_per_sec",
+    "jobs_per_sec",
+    "peak_queue_len",
+    "memory",
+    "per_rep",
+    "faulted",
+    "large",
+    "scaling",
+    "streaming",
+];
+
+/// The optional sections; each must be present on both sides or neither.
+const SECTION_KEYS: &[&str] = &["faulted", "large", "scaling", "streaming"];
+
+/// Strict section inventory: unknown reference keys fail, and a section
+/// present in the reference but missing from this run (or vice versa) fails
+/// instead of being silently skipped by its per-section check.
+fn check_sections(reference: &serde_json::Value, produced: &[(&str, bool)]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some(entries) = reference.as_object() else {
+        return vec!["reference JSON is not an object".into()];
+    };
+    for (key, _) in entries {
+        if !KNOWN_KEYS.contains(&key.as_str()) {
+            failures.push(format!(
+                "reference carries unknown key `{key}` — register it in KNOWN_KEYS \
+                 and give it a check leg"
+            ));
+        }
+    }
+    for &name in SECTION_KEYS {
+        let in_ref = reference.get(name).is_some_and(|v| !v.is_null());
+        let in_cur = produced.iter().any(|(n, p)| *n == name && *p);
+        match (in_ref, in_cur) {
+            (true, false) => failures.push(format!(
+                "reference has a `{name}` section but this run produced none \
+                 (a --quick run checked against a full reference?)"
+            )),
+            (false, true) => failures.push(format!(
+                "this run produced a `{name}` section the reference lacks — \
+                 regenerate the reference with the full bench"
+            )),
+            _ => {}
+        }
+    }
+    failures
+}
+
+/// The streaming leg of the regression guard: event count must match the
+/// reference exactly (determinism), the rate floor is the usual 85%, and
+/// the memory budget must hold. Section presence is enforced upstream by
+/// [`check_sections`].
+fn check_streaming(
+    reference: &serde_json::Value,
+    current: Option<&StreamingSection>,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let (Some(r), Some(cur)) = (reference.get("streaming").filter(|v| !v.is_null()), current)
+    else {
+        return failures;
+    };
+    if let Some(events) = r.get("total_events").and_then(|v| v.as_u64()) {
+        if events != cur.total_events {
+            failures.push(format!(
+                "streaming determinism drift: reference {events} events vs current {}",
+                cur.total_events
+            ));
+        }
+    }
+    if let Some(rate) = r.get("events_per_sec").and_then(|v| v.as_f64()) {
+        if rate > 0.0 && cur.events_per_sec < rate * 0.85 {
+            failures.push(format!(
+                "streaming throughput regression: {:.0} events/s < 85% of reference {rate:.0}",
+                cur.events_per_sec
+            ));
+        }
+    }
+    if !cur.within_budget {
+        failures.push(format!(
+            "streaming memory budget breached: {:.1} MiB live heap (budget {:.0} MiB)",
+            cur.peak_live_heap_bytes as f64 / (1 << 20) as f64,
+            cur.budget_bytes as f64 / (1 << 20) as f64,
+        ));
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -405,8 +609,8 @@ fn main() {
         &healthy,
     );
 
-    let (faulted, large, scaling) = if quick {
-        (None, None, None)
+    let (faulted, large, scaling, streaming) = if quick {
+        (None, None, None, None)
     } else {
         let mut faulted_cfg = ScenarioConfig::baseline(users, days);
         faulted_cfg.faults = Some(faulted_spec());
@@ -438,6 +642,13 @@ fn main() {
         let ssec = measure_scaling(ScenarioConfig::large(3000, 90), 9000, &[1, 2, 4, 8]);
         print_scaling(&ssec);
         assert!(ssec.identical, "sharded runs must reproduce serial output");
+
+        let msec = measure_streaming(1_000_000, 365, 9000);
+        print_streaming(&msec);
+        assert!(
+            msec.within_budget,
+            "million-user streaming run breached the memory budget"
+        );
         (
             Some(FaultedSection {
                 downtime_fraction: downtime_h / site_hours,
@@ -452,6 +663,7 @@ fn main() {
             }),
             Some(lsec),
             Some(ssec),
+            Some(msec),
         )
     };
 
@@ -471,6 +683,7 @@ fn main() {
         faulted,
         large,
         scaling,
+        streaming,
     };
     save_json(
         if quick {
@@ -486,6 +699,13 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot read reference {path}: {e}"));
         let reference: serde_json::Value =
             serde_json::from_str(&raw).unwrap_or_else(|e| panic!("bad reference JSON {path}: {e}"));
+        let produced = [
+            ("faulted", out.faulted.is_some()),
+            ("large", out.large.is_some()),
+            ("scaling", out.scaling.is_some()),
+            ("streaming", out.streaming.is_some()),
+        ];
+        let section_failures = check_sections(&reference, &produced);
         // Rebuild the healthy view from the serialized output (it moved).
         let healthy_view = Section {
             scenario: out.scenario.clone(),
@@ -503,8 +723,10 @@ fn main() {
             },
             per_rep: out.per_rep,
         };
-        let mut failures = check_against(&reference, &healthy_view);
+        let mut failures = section_failures;
+        failures.extend(check_against(&reference, &healthy_view));
         failures.extend(check_scaling(&reference, out.scaling.as_ref()));
+        failures.extend(check_streaming(&reference, out.streaming.as_ref()));
         if failures.is_empty() {
             println!("check: OK against {path}");
         } else {

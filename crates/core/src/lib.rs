@@ -54,7 +54,7 @@ pub use accuracy::{Accuracy, ConfusionMatrix};
 pub use classify::{classify_all, ClassifierMode};
 pub use report::{FieldShares, GatewayReach, MetricsReport, ModalityShares, UsageReport};
 pub use runner::{aggregate_profiles, replicate, replicate_with, run_sweep, Replication};
-pub use scenario::{RunOptions, Scenario, ScenarioConfig, SimOutput};
+pub use scenario::{RecordStreaming, RunOptions, Scenario, ScenarioConfig, SimOutput};
 pub use sim::GridSim;
 
 // Observability types surfaced from the DES substrate.

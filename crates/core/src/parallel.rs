@@ -1360,6 +1360,7 @@ fn merge(mut c: Coordinator, finals: Vec<ShardFinal>, lookahead: Lookahead) -> S
     let metrics = c.sim.metrics.snapshot(end);
     let trace_flush_ok = c.sim.tracer.close_sink();
     let fault_report = c.sim.faults.take().map(|f| f.report);
+    let ingest_tally = c.sim.record_sink.as_mut().map(|s| s.close());
     let finished = FinishedSim {
         federation: c.sim.federation,
         db: c.sim.db,
@@ -1370,6 +1371,7 @@ fn merge(mut c: Coordinator, finals: Vec<ShardFinal>, lookahead: Lookahead) -> S
         tracer: c.sim.tracer,
         trace_flush_ok,
         fault_report,
+        ingest_tally,
     };
     ShardedOutcome {
         finished,

@@ -93,6 +93,24 @@ impl ScenarioConfig {
         }
     }
 
+    /// The million-user streaming scenario: the baseline federation under a
+    /// very large, very *sparse* population — per-modality submission rates
+    /// scaled down to ~0.01 jobs/user/day overall, so a 1M-user × 365-day
+    /// window lands near 3.5M jobs. What this config stresses is the
+    /// pending-workload footprint (users × window), not raw event count;
+    /// it is the `RunOptions::stream_gen` benchmark workload
+    /// (`configs/million-1000000u-365d.json`).
+    pub fn million(users: usize, days: u64) -> Self {
+        let mut cfg = ScenarioConfig::baseline(users, days);
+        cfg.name = format!("million-{users}u-{days}d");
+        // The baseline mix produces ~6 jobs/user/day including ensemble and
+        // workflow expansion; 0.0016 of that is ~0.01 jobs/user/day.
+        for p in &mut cfg.workload.profiles {
+            p.per_user_per_day *= 0.0016;
+        }
+        cfg
+    }
+
     /// Build the scenario.
     pub fn build(self) -> Scenario {
         assert_eq!(
@@ -105,10 +123,27 @@ impl ScenarioConfig {
     }
 }
 
+/// Where accounting records land during a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum RecordStreaming {
+    /// Retain every record in the in-memory [`AccountingDb`] (the default —
+    /// post-processing experiments need the records).
+    #[default]
+    Retain,
+    /// Stream records to a JSONL file as they are emitted, keeping only a
+    /// running [`tg_accounting::IngestTally`] in memory.
+    Jsonl(PathBuf),
+    /// Discard records, keeping only the tally. For memory-budget runs
+    /// where even the output file is unwanted.
+    Discard,
+}
+
 /// Observability options for one run. Everything here is an *observer*:
 /// enabling any of it cannot change simulation results (the determinism
 /// tests hold with or without them — including `reference_schedulers`,
-/// whose whole point is producing bit-identical results slower).
+/// whose whole point is producing bit-identical results slower, and
+/// `stream_gen`/`record_streaming`, which change *where* the workload and
+/// the records live in memory, never what they contain).
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
     /// Collect a [`MetricsSnapshot`] (counters, gauges, series).
@@ -126,6 +161,14 @@ pub struct RunOptions {
     /// it), so this too is an observer-only knob. Tracing is serial-only:
     /// `trace_path` forces the serial path with a warning.
     pub threads: usize,
+    /// Generate the workload lazily ([`WorkloadGenerator::generate_streaming`])
+    /// and feed jobs to the engine on demand, so pending workload is
+    /// O(in-flight) instead of O(total jobs). Outputs are byte-identical to
+    /// the materialized path at the same seed (the differential suite proves
+    /// it). Serial-only: `threads ≥ 2` is ignored with a warning.
+    pub stream_gen: bool,
+    /// Where accounting records land (retained in `db` by default).
+    pub record_streaming: RecordStreaming,
 }
 
 impl RunOptions {
@@ -168,6 +211,7 @@ impl Scenario {
     /// `metrics`/`profile` side channels differ.
     pub fn run_with(&self, seed: u64, opts: &RunOptions) -> SimOutput {
         let cfg = &self.config;
+        let alloc_before = tg_des::memory::alloc_snapshot();
         let library = cfg
             .library
             .clone()
@@ -177,6 +221,15 @@ impl Scenario {
             "library smaller than the config ids the workload draws"
         );
         let federation = build_federation(cfg, &library);
+        if opts.stream_gen {
+            if opts.threads >= 2 {
+                eprintln!(
+                    "warning: streaming generation is serial-only; ignoring --threads {}",
+                    opts.threads
+                );
+            }
+            return self.run_streaming(seed, opts, federation);
+        }
         let mut workload =
             WorkloadGenerator::new(cfg.workload.clone()).generate(&RngFactory::new(seed));
         // Real users size jobs to the machine; the generator doesn't know
@@ -199,6 +252,13 @@ impl Scenario {
         if sharded && opts.trace_path.is_some() {
             eprintln!(
                 "warning: structured tracing is serial-only; ignoring --threads {}",
+                opts.threads
+            );
+            sharded = false;
+        }
+        if sharded && opts.record_streaming != RecordStreaming::Retain {
+            eprintln!(
+                "warning: record streaming is serial-only; ignoring --threads {}",
                 opts.threads
             );
             sharded = false;
@@ -243,6 +303,9 @@ impl Scenario {
                 tracer.set_sink(Box::new(std::io::BufWriter::new(file)));
                 sim = sim.with_tracer(tracer);
             }
+            if let Some(sink) = build_record_sink(&opts.record_streaming) {
+                sim = sim.with_record_sink(sink);
+            }
             let mut engine: Engine<Event> = Engine::with_capacity(1024);
             let wall_start = std::time::Instant::now();
             let finished = sim.run(&mut engine);
@@ -250,7 +313,15 @@ impl Scenario {
             (finished, engine.delivered(), engine.peak_queue_len(), wall)
         };
         let charge_policy = ChargePolicy::new(cfg.sites.iter().map(|s| s.charge_factor).collect());
-        let profile = EngineProfile::new(events_delivered, wall, peak_queue_len);
+        // Memory is sampled HERE — after the engine (and, on the sharded
+        // path, after `run_sharded`'s scoped join, so every worker shard has
+        // dropped its buffers and its high-water is folded into the
+        // process-wide `VmHWM`). Sampling inside the coordinator would race
+        // the workers and under-report the parallel path.
+        let profile = EngineProfile::new(events_delivered, wall, peak_queue_len).with_memory(
+            tg_des::memory::peak_rss_bytes(),
+            tg_des::memory::AllocDelta::since(alloc_before),
+        );
         let metrics = finished.metrics.map(|mut m| {
             m.engine = Some(profile.clone());
             m
@@ -288,6 +359,106 @@ impl Scenario {
                 .as_ref()
                 .map(|_| finished.tracer.health(finished.trace_flush_ok)),
             fault_report: finished.fault_report,
+            ingest_tally: finished.ingest_tally,
+        }
+    }
+
+    /// The streaming run path: lazy generation, jobs pulled on demand, and
+    /// (optionally) records streamed out. Byte-identical outputs to the
+    /// materialized serial path at the same seed.
+    fn run_streaming(&self, seed: u64, opts: &RunOptions, federation: Federation) -> SimOutput {
+        let cfg = &self.config;
+        let alloc_before = tg_des::memory::alloc_snapshot();
+        let streamed =
+            WorkloadGenerator::new(cfg.workload.clone()).generate_streaming(&RngFactory::new(seed));
+        let population = streamed.population;
+        let total_jobs = streamed.total_jobs;
+        // The same machine-size clamp the materialized path applies after
+        // generation, moved into the stream adapter so it runs per job.
+        let caps: Vec<usize> = federation
+            .sites()
+            .map(|s| s.cluster.total_cores())
+            .collect();
+        let max_cores = *caps.iter().max().expect("non-empty federation");
+        let jobs = streamed.stream.map(move |mut job| {
+            let cap = match job.site_hint {
+                Some(s) => caps[s.index()],
+                None => max_cores,
+            };
+            job.cores = job.cores.min(cap);
+            job
+        });
+
+        let schedulers = build_schedulers(cfg, &federation, opts);
+        let mut sim = GridSim::new_streaming(
+            federation,
+            schedulers,
+            cfg.meta,
+            cfg.rc_policy,
+            SiteId(cfg.data_home),
+            total_jobs,
+            RngFactory::new(seed),
+        );
+        sim = apply_sim_options(sim, cfg, opts);
+        if let Some(path) = &opts.trace_path {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+            let mut tracer = Tracer::enabled(4096);
+            tracer.set_sink(Box::new(std::io::BufWriter::new(file)));
+            sim = sim.with_tracer(tracer);
+        }
+        if let Some(sink) = build_record_sink(&opts.record_streaming) {
+            sim = sim.with_record_sink(sink);
+        }
+        let mut engine: Engine<Event> = Engine::with_capacity(1024);
+        let wall_start = std::time::Instant::now();
+        let finished = sim.run_streaming(&mut engine, jobs);
+        let wall = wall_start.elapsed().as_secs_f64();
+        let events_delivered = engine.delivered();
+        let peak_queue_len = engine.peak_queue_len();
+
+        let charge_policy = ChargePolicy::new(cfg.sites.iter().map(|s| s.charge_factor).collect());
+        let profile = EngineProfile::new(events_delivered, wall, peak_queue_len).with_memory(
+            tg_des::memory::peak_rss_bytes(),
+            tg_des::memory::AllocDelta::since(alloc_before),
+        );
+        let metrics = finished.metrics.map(|mut m| {
+            m.engine = Some(profile.clone());
+            m
+        });
+        let site_stats: Vec<SiteStats> = finished
+            .federation
+            .sites()
+            .map(|s| SiteStats {
+                name: s.name().to_string(),
+                utilization: s.cluster.utilization(finished.end),
+                core_seconds: s.cluster.core_seconds(finished.end),
+                jobs_finished: s.cluster.jobs_finished(),
+                rc_stats: s.rc.total_stats(),
+                rc_wasted_area_seconds: s.rc.wasted_area_integral(finished.end),
+                rc_busy_area_seconds: s.rc.busy_area_integral(finished.end),
+            })
+            .collect();
+
+        SimOutput {
+            scenario: cfg.name.clone(),
+            seed,
+            db: finished.db,
+            truth: finished.truth,
+            end: finished.end,
+            charge_policy,
+            site_stats,
+            samples: finished.samples,
+            population,
+            events_delivered,
+            metrics,
+            profile,
+            trace_health: opts
+                .trace_path
+                .as_ref()
+                .map(|_| finished.tracer.health(finished.trace_flush_ok)),
+            fault_report: finished.fault_report,
+            ingest_tally: finished.ingest_tally,
         }
     }
 }
@@ -311,17 +482,8 @@ fn assemble(
     opts: &RunOptions,
 ) -> GridSim {
     let federation = build_federation(cfg, library);
-    let schedulers: Vec<Box<dyn BatchScheduler>> = federation
-        .sites()
-        .map(|s| {
-            if opts.reference_schedulers {
-                cfg.scheduler.build_reference(s.cluster.total_cores())
-            } else {
-                cfg.scheduler.build(s.cluster.total_cores())
-            }
-        })
-        .collect();
-    let mut sim = GridSim::new(
+    let schedulers = build_schedulers(cfg, &federation, opts);
+    let sim = GridSim::new(
         federation,
         schedulers,
         cfg.meta,
@@ -330,6 +492,30 @@ fn assemble(
         jobs,
         factory,
     );
+    apply_sim_options(sim, cfg, opts)
+}
+
+/// One batch scheduler per site, optimized or frozen-reference per `opts`.
+fn build_schedulers(
+    cfg: &ScenarioConfig,
+    federation: &Federation,
+    opts: &RunOptions,
+) -> Vec<Box<dyn BatchScheduler>> {
+    federation
+        .sites()
+        .map(|s| {
+            if opts.reference_schedulers {
+                cfg.scheduler.build_reference(s.cluster.total_cores())
+            } else {
+                cfg.scheduler.build(s.cluster.total_cores())
+            }
+        })
+        .collect()
+}
+
+/// The config/option knobs shared by every construction path (materialized,
+/// sharded replica, streaming).
+fn apply_sim_options(mut sim: GridSim, cfg: &ScenarioConfig, opts: &RunOptions) -> GridSim {
     if let Some(interval) = cfg.sample_interval {
         sim = sim.with_sampling(interval);
     }
@@ -342,6 +528,19 @@ fn assemble(
         sim = sim.with_metrics();
     }
     sim
+}
+
+/// Construct the record sink `opts` asks for (`None` = retain in `db`).
+fn build_record_sink(mode: &RecordStreaming) -> Option<Box<dyn tg_accounting::RecordSink>> {
+    match mode {
+        RecordStreaming::Retain => None,
+        RecordStreaming::Jsonl(path) => {
+            let sink = tg_accounting::JsonlRecordSink::create(path)
+                .unwrap_or_else(|e| panic!("cannot create record sink {}: {e}", path.display()));
+            Some(Box::new(sink))
+        }
+        RecordStreaming::Discard => Some(Box::new(tg_accounting::NullRecordSink::default())),
+    }
 }
 
 /// Per-site outcome statistics.
@@ -400,6 +599,10 @@ pub struct SimOutput {
     /// What fault injection did to the run (`None` when the config carried
     /// no — or only a trivial — fault spec).
     pub fault_report: Option<FaultReport>,
+    /// Final record-sink tally (`Some` only when
+    /// [`RunOptions::record_streaming`] diverted records; `db` is empty
+    /// then and this carries the summary counts instead).
+    pub ingest_tally: Option<tg_accounting::IngestTally>,
 }
 
 impl SimOutput {
@@ -567,6 +770,25 @@ mod tests {
         assert!(out.profile.peak_queue_len > 0);
     }
 
+    /// The parallel path's RSS is sampled after the scoped worker join, so
+    /// it must cover at least the job arena every participant replicates
+    /// (each shard clones the full workload). A sample taken before the
+    /// join could legally miss the workers' footprint; this pins the fix.
+    #[test]
+    fn parallel_peak_rss_covers_the_job_arena() {
+        let scenario = small().build();
+        let out = scenario.run_with(3, &RunOptions::with_threads(3));
+        let Some(rss) = out.profile.peak_rss_bytes else {
+            return; // non-Linux: VmHWM unavailable, nothing to assert
+        };
+        let arena = out.truth.len() * std::mem::size_of::<Option<tg_workload::Job>>();
+        assert!(arena > 0, "scenario generated jobs");
+        assert!(
+            rss as usize >= arena,
+            "parallel peak RSS {rss} below the serial arena size {arena}"
+        );
+    }
+
     #[test]
     fn faulted_scenario_runs_reports_and_roundtrips() {
         let mut cfg = small();
@@ -594,6 +816,30 @@ mod tests {
         let plain = small().build().run(42);
         assert_eq!(plain.db.jobs, trivial.db.jobs);
         assert_eq!(plain.end, trivial.end);
+    }
+
+    /// `configs/million-1000000u-365d.json` is the serialized form of
+    /// [`ScenarioConfig::million`]. Regenerate after changing either side:
+    /// `REGEN_CONFIGS=1 cargo test -p tg-core million_config_file`.
+    #[test]
+    fn million_config_file_is_in_sync() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../configs/million-1000000u-365d.json"
+        );
+        let cfg = ScenarioConfig::million(1_000_000, 365);
+        let want = serde_json::to_string_pretty(&cfg).unwrap();
+        if std::env::var_os("REGEN_CONFIGS").is_some() {
+            std::fs::write(path, &want).unwrap();
+        }
+        let text =
+            std::fs::read_to_string(path).expect("config file exists (REGEN_CONFIGS=1 writes it)");
+        let on_disk: ScenarioConfig = serde_json::from_str(&text).expect("config parses");
+        assert_eq!(
+            serde_json::to_string_pretty(&on_disk).unwrap(),
+            want,
+            "configs/million-1000000u-365d.json drifted from ScenarioConfig::million"
+        );
     }
 
     #[test]

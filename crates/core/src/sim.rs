@@ -31,7 +31,8 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use tg_accounting::{
-    AccountingDb, GatewayAttribute, JobRecord, RcPlacementRecord, SessionRecord, TransferRecord,
+    AccountingDb, GatewayAttribute, IngestTally, JobRecord, RcPlacementRecord, RecordRef,
+    RecordSink, SessionRecord, TransferRecord,
 };
 use tg_des::metrics::{CounterId, GaugeId, MetricsRegistry, MetricsSnapshot, SeriesId};
 use tg_des::span::{SpanKind, WaitCause, SPAN_CATEGORY, SPAN_SCHEMA_VERSION};
@@ -60,6 +61,10 @@ pub const STAGING_THRESHOLD_MB: f64 = 500.0;
 pub enum Event {
     /// A job arrives from the workload trace (index into the job list).
     Submit(usize),
+    /// A job arrives from a *streamed* workload (the job rides in the event
+    /// itself — there is no materialized job list to index into). Serial
+    /// runs only; the sharded coordinator requires the materialized list.
+    SubmitJob(Box<Job>),
     /// A job (input staged, deps met) reaches a site's batch queue.
     Enqueue {
         /// Target site.
@@ -154,6 +159,17 @@ impl BufRecord {
             BufRecord::Session(r) => db.add_session(r),
             BufRecord::Gateway(r) => db.add_gateway_attr(r),
             BufRecord::Rc(r) => db.add_rc_placement(r),
+        }
+    }
+
+    /// Borrowed view for streaming sinks.
+    pub(crate) fn as_record_ref(&self) -> RecordRef<'_> {
+        match self {
+            BufRecord::Job(r) => RecordRef::Job(r),
+            BufRecord::Transfer(r) => RecordRef::Transfer(r),
+            BufRecord::Session(r) => RecordRef::Session(r),
+            BufRecord::Gateway(r) => RecordRef::Gateway(r),
+            BufRecord::Rc(r) => RecordRef::Rc(r),
         }
     }
 }
@@ -469,6 +485,12 @@ pub struct GridSim {
     span_track: HashMap<JobId, SpanTrack>,
     /// Fault injection (disabled by default; see [`GridSim::with_faults`]).
     pub(crate) faults: Option<FaultLayer>,
+    /// Streaming mode: jobs arrive via [`Event::SubmitJob`] and ground
+    /// truth is recorded at admission instead of up front.
+    streaming: bool,
+    /// Record sink (None = retain in `db`, the default). See
+    /// [`GridSim::with_record_sink`].
+    pub(crate) record_sink: Option<Box<dyn RecordSink>>,
     /// Sharded-coordinator mode only: the freshest per-site observations
     /// gathered from the owning shards, substituted wherever a serial run
     /// would read site state directly (metascheduler views, samples).
@@ -525,8 +547,48 @@ impl GridSim {
             tracer: Tracer::new(4096),
             span_track: HashMap::new(),
             faults: None,
+            streaming: false,
+            record_sink: None,
             probes: None,
         }
+    }
+
+    /// Assemble a streaming-mode simulation: no materialized job list.
+    /// Exactly `jobs_total` jobs must later arrive through the stream
+    /// handed to [`GridSim::run_streaming`]; ground-truth labels are
+    /// collected at admission (complete by the end of the run, identical
+    /// final contents to the materialized constructor's up-front map).
+    pub fn new_streaming(
+        federation: Federation,
+        schedulers: Vec<Box<dyn BatchScheduler>>,
+        meta_policy: MetaPolicy,
+        rc_policy: RcPolicy,
+        data_home: SiteId,
+        jobs_total: usize,
+        rng: RngFactory,
+    ) -> Self {
+        let mut sim = Self::new(
+            federation,
+            schedulers,
+            meta_policy,
+            rc_policy,
+            data_home,
+            Vec::new(),
+            rng,
+        );
+        sim.jobs_total = jobs_total;
+        sim.streaming = true;
+        sim
+    }
+
+    /// Divert accounting records to `sink` instead of retaining them in the
+    /// in-memory database. The sink sees the exact post-ingest-fate record
+    /// stream the database would have stored (order included); records
+    /// never feed back into simulation behaviour, so the diversion cannot
+    /// change any event, draw, or decision.
+    pub fn with_record_sink(mut self, sink: Box<dyn RecordSink>) -> Self {
+        self.record_sink = Some(sink);
+        self
     }
 
     /// Emit one lifecycle span (`cat == "span"`) covering `[t0, t1]` for
@@ -665,6 +727,13 @@ impl GridSim {
             let job = job.as_ref().expect("unconsumed at prime time");
             (job.submit_time, Event::Submit(i))
         }));
+        self.prime_aux(engine);
+    }
+
+    /// The non-workload half of priming: the sample tick, then the fault
+    /// schedule — in that order, after the submit stream's sequence block,
+    /// exactly as [`GridSim::prime`] produces.
+    fn prime_aux(&self, engine: &mut Engine<Event>) {
         if let Some(interval) = self.sample_interval {
             engine.schedule_at(SimTime::ZERO + interval, Event::Sample);
         }
@@ -677,8 +746,33 @@ impl GridSim {
 
     /// Run to completion (all jobs done) with a hard event-horizon guard.
     /// Returns the final virtual time.
-    pub fn run(mut self, engine: &mut Engine<Event>) -> FinishedSim {
+    pub fn run(self, engine: &mut Engine<Event>) -> FinishedSim {
         self.prime(engine);
+        self.drive(engine)
+    }
+
+    /// Run a streaming-mode simulation (see [`GridSim::new_streaming`]) to
+    /// completion. `jobs` must yield exactly the declared `jobs_total`
+    /// jobs sorted by `(submit_time, id)`; the engine pulls them on demand,
+    /// so pending workload is O(in-flight), and the delivered event
+    /// sequence is bit-identical to a materialized run of the same jobs
+    /// (the stream's sequence block is reserved before the sample tick and
+    /// fault schedule, mirroring [`GridSim::prime`]'s order).
+    pub fn run_streaming(
+        self,
+        engine: &mut Engine<Event>,
+        jobs: impl Iterator<Item = Job> + Send + 'static,
+    ) -> FinishedSim {
+        assert!(self.streaming, "built with new_streaming");
+        engine.schedule_stream(
+            self.jobs_total as u64,
+            jobs.map(|j| (j.submit_time, Event::SubmitJob(Box::new(j)))),
+        );
+        self.prime_aux(engine);
+        self.drive(engine)
+    }
+
+    fn drive(mut self, engine: &mut Engine<Event>) -> FinishedSim {
         engine.run_until(&mut self, StopCondition::Exhausted);
         assert_eq!(
             self.jobs_done,
@@ -693,6 +787,7 @@ impl GridSim {
         let trace_flush_ok = self.tracer.close_sink();
         debug_assert!(self.running.is_empty(), "registry drained with the jobs");
         let fault_report = self.faults.take().map(|f| f.report);
+        let ingest_tally = self.record_sink.as_mut().map(|s| s.close());
         FinishedSim {
             federation: self.federation,
             db: self.db,
@@ -703,6 +798,7 @@ impl GridSim {
             tracer: self.tracer,
             trace_flush_ok,
             fault_report,
+            ingest_tally,
         }
     }
 
@@ -1639,7 +1735,7 @@ impl GridSim {
     /// runs land here during the coordinator's merge replay.
     pub(crate) fn replay_record(&mut self, rec: BufRecord) {
         match self.ingest_fate() {
-            IngestFate::Keep => rec.apply(&mut self.db),
+            IngestFate::Keep => self.store_record(rec, 1),
             IngestFate::Drop => {
                 self.faults
                     .as_mut()
@@ -1648,14 +1744,29 @@ impl GridSim {
                     .records_lost += 1;
             }
             IngestFate::Duplicate => {
-                rec.clone().apply(&mut self.db);
-                rec.apply(&mut self.db);
+                self.store_record(rec, 2);
                 self.faults
                     .as_mut()
                     .expect("lossy fate implies a channel")
                     .report
                     .records_duplicated += 1;
             }
+        }
+    }
+
+    /// Final landing point of a surviving record: the sink when one is
+    /// attached, the in-memory database otherwise. The sink sees the same
+    /// copies in the same order the database would have stored.
+    fn store_record(&mut self, rec: BufRecord, copies: usize) {
+        if let Some(sink) = self.record_sink.as_mut() {
+            for _ in 0..copies {
+                sink.write(rec.as_record_ref());
+            }
+        } else {
+            for _ in 1..copies {
+                rec.clone().apply(&mut self.db);
+            }
+            rec.apply(&mut self.db);
         }
     }
 
@@ -1801,6 +1912,17 @@ impl GridSim {
 
     fn submit_from_trace(&mut self, ctx: &mut impl EvCtx, index: usize) {
         let job = self.jobs[index].take().expect("submit delivered once");
+        self.admit(ctx, job);
+    }
+
+    /// Admit a newly arrived job — the shared trunk of both submit paths.
+    /// In streaming mode the ground-truth label is quarantined here (the
+    /// materialized constructor did it up front; final map contents are
+    /// identical because every job is admitted exactly once).
+    fn admit(&mut self, ctx: &mut impl EvCtx, job: Job) {
+        if self.streaming {
+            self.truth.insert(job.id, job.true_modality);
+        }
         self.metrics.inc(self.ins.submits);
         self.tracer.emit_event(ctx.now(), "submit", || {
             vec![
@@ -1839,6 +1961,7 @@ impl GridSim {
     pub(crate) fn dispatch_event(&mut self, ctx: &mut impl EvCtx, event: Event) {
         match event {
             Event::Submit(index) => self.submit_from_trace(ctx, index),
+            Event::SubmitJob(job) => self.admit(ctx, *job),
             Event::Enqueue { site, job } => self.enqueue(ctx, site, *job),
             Event::Complete { id } => self.complete_batch(ctx, id),
             Event::RcComplete {
@@ -2026,6 +2149,9 @@ pub struct FinishedSim {
     pub trace_flush_ok: bool,
     /// What fault injection did (`None` unless [`GridSim::with_faults`]).
     pub fault_report: Option<FaultReport>,
+    /// Final tally from an attached record sink (`None` when records were
+    /// retained in `db`, i.e. the default path).
+    pub ingest_tally: Option<IngestTally>,
 }
 
 #[cfg(test)]

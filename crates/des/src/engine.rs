@@ -87,6 +87,15 @@ impl SeqSet {
         }
     }
 
+    /// Insert every seq in `[start, end)`. Used when a stream source
+    /// reserves its sequence block up front so `pending` stays exact while
+    /// the events themselves are still unpulled.
+    fn insert_range(&mut self, start: u64, end: u64) {
+        for seq in start..end {
+            self.insert(seq);
+        }
+    }
+
     /// Remove `seq`, reporting whether it was present.
     #[inline]
     fn remove(&mut self, seq: u64) -> bool {
@@ -254,21 +263,58 @@ impl<'a, E> Ctx<'a, E> {
     }
 }
 
+/// A lazily-pulled event source feeding the engine (see
+/// [`Engine::schedule_stream`]). The source owns a contiguous block of
+/// pre-reserved sequence numbers and hands them out in pull order, so the
+/// merged delivery order is bit-identical to bulk-loading the same items —
+/// but only the buffered head physically exists at any moment.
+struct StreamSource<E> {
+    head: Option<Scheduled<E>>,
+    iter: Box<dyn Iterator<Item = (SimTime, E)> + Send>,
+    /// Next seq to hand to a pulled item.
+    next_seq: u64,
+    /// One past the last reserved seq.
+    end_seq: u64,
+}
+
+impl<E> StreamSource<E> {
+    /// Refill `head` from the iterator. Panics if the iterator runs dry
+    /// before the declared count is exhausted (the reservation contract).
+    fn pull(&mut self) {
+        self.head = if self.next_seq < self.end_seq {
+            let (at, event) = self
+                .iter
+                .next()
+                .expect("stream source yielded fewer events than declared");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            Some(Scheduled { at, seq, event })
+        } else {
+            None
+        };
+    }
+}
+
 /// The event queue and virtual clock.
 ///
-/// Events live in two places: the binary heap (everything scheduled one at
-/// a time) and the *staged backlog* — a pre-sorted run of events loaded in
-/// bulk with [`Engine::schedule_batch`]. Delivery merges the two sources by
-/// `(time, seq)`, which is exactly the heap's total order, so a batch
-/// behaves bit-identically to the equivalent `schedule_at` loop while the
-/// heap stays small: a workload's million pre-scheduled arrivals become a
-/// cursor walk over a sorted vector instead of log-depth sifts through a
-/// heap that dwarfs the cache.
+/// Events live in three places: the binary heap (everything scheduled one
+/// at a time), the *staged backlog* — a pre-sorted run of events loaded in
+/// bulk with [`Engine::schedule_batch`] — and an optional *stream source*
+/// ([`Engine::schedule_stream`]) that materializes events one at a time on
+/// demand. Delivery merges the sources by `(time, seq)`, which is exactly
+/// the heap's total order, so a batch or stream behaves bit-identically to
+/// the equivalent `schedule_at` loop while the heap stays small: a
+/// workload's million pre-scheduled arrivals become a cursor walk over a
+/// sorted vector (batch) or an O(1)-resident generator pull (stream)
+/// instead of log-depth sifts through a heap that dwarfs the cache.
 pub struct Engine<E> {
     queue: BinaryHeap<Scheduled<E>>,
     /// Bulk-loaded events, sorted ascending by `(at, seq)`, consumed from
     /// the front.
     staged: VecDeque<Scheduled<E>>,
+    /// Lazily-pulled source, sorted ascending by time; only its head is
+    /// resident.
+    stream: Option<StreamSource<E>>,
     cancelled: SeqSet,
     /// Sequence numbers of events that are scheduled but neither delivered
     /// nor cancelled. Keeping this alongside the tombstone set makes
@@ -296,6 +342,7 @@ impl<E> Engine<E> {
         Engine {
             queue: BinaryHeap::new(),
             staged: VecDeque::new(),
+            stream: None,
             cancelled: SeqSet::default(),
             live: SeqSet::default(),
             peak_queue_len: 0,
@@ -355,26 +402,53 @@ impl<E> Engine<E> {
     fn peek_key(&self) -> Option<(SimTime, u64)> {
         let heap = self.queue.peek().map(|s| (s.at, s.seq));
         let staged = self.staged.front().map(|s| (s.at, s.seq));
-        match (heap, staged) {
-            (None, s) => s,
-            (h, None) => h,
-            (Some(h), Some(s)) => Some(h.min(s)),
-        }
+        let stream = self
+            .stream
+            .as_ref()
+            .and_then(|s| s.head.as_ref())
+            .map(|s| (s.at, s.seq));
+        [heap, staged, stream].into_iter().flatten().min()
     }
 
-    /// Pop the earliest undelivered event across both sources.
+    /// Pop the earliest undelivered event across all sources.
     #[inline]
     fn pop_next(&mut self) -> Option<Scheduled<E>> {
-        let take_staged = match (self.queue.peek(), self.staged.front()) {
-            (None, None) => return None,
-            (None, Some(_)) => true,
-            (Some(_), None) => false,
-            (Some(h), Some(s)) => (s.at, s.seq) < (h.at, h.seq),
+        #[derive(PartialEq)]
+        enum Src {
+            Heap,
+            Staged,
+            Stream,
+        }
+        let mut best: Option<((SimTime, u64), Src)> = None;
+        let mut consider = |key: Option<(SimTime, u64)>, src: Src| {
+            if let Some(k) = key {
+                match &best {
+                    Some((b, _)) if k >= *b => {}
+                    _ => best = Some((k, src)),
+                }
+            }
         };
-        if take_staged {
-            self.staged.pop_front()
-        } else {
-            self.queue.pop()
+        consider(self.queue.peek().map(|s| (s.at, s.seq)), Src::Heap);
+        consider(self.staged.front().map(|s| (s.at, s.seq)), Src::Staged);
+        consider(
+            self.stream
+                .as_ref()
+                .and_then(|s| s.head.as_ref())
+                .map(|s| (s.at, s.seq)),
+            Src::Stream,
+        );
+        match best?.1 {
+            Src::Heap => self.queue.pop(),
+            Src::Staged => self.staged.pop_front(),
+            Src::Stream => {
+                let source = self.stream.as_mut().expect("stream head peeked");
+                let item = source.head.take();
+                source.pull();
+                if source.head.is_none() {
+                    self.stream = None;
+                }
+                item
+            }
         }
     }
 
@@ -411,6 +485,56 @@ impl<E> Engine<E> {
         self.peak_queue_len = self
             .peak_queue_len
             .max(self.queue.len() + self.staged.len());
+    }
+
+    /// Attach a lazily-pulled event source (initial conditions — a
+    /// workload's arrival stream generated on demand).
+    ///
+    /// The source must yield exactly `count` events in ascending time order;
+    /// its block of sequence numbers `[next, next+count)` is reserved up
+    /// front, so anything scheduled afterwards sorts behind stream events at
+    /// equal timestamps — delivery order is bit-identical to bulk-loading
+    /// the same items with [`Engine::schedule_batch`], but only one stream
+    /// item is resident at a time. `pending` counts the full reservation.
+    /// Stream events are fire-and-forget (no [`EventKey`]s, no
+    /// cancellation), and at most one stream can be attached at once.
+    ///
+    /// Panics if a stream is already attached, if the source yields fewer
+    /// than `count` events, or (in debug builds) if it yields out of time
+    /// order.
+    pub fn schedule_stream(
+        &mut self,
+        count: u64,
+        source: impl Iterator<Item = (SimTime, E)> + Send + 'static,
+    ) {
+        assert!(self.stream.is_none(), "a stream source is already attached");
+        if count == 0 {
+            return;
+        }
+        let start = self.next_seq;
+        self.next_seq += count;
+        self.live.insert_range(start, self.next_seq);
+        let floor = self.now;
+        let mut last = SimTime::ZERO;
+        let iter = source.inspect(move |(at, _)| {
+            debug_assert!(*at >= floor, "stream event scheduled into the past");
+            debug_assert!(*at >= last, "stream events must be time-ordered");
+            last = *at;
+        });
+        let mut src = StreamSource {
+            head: None,
+            iter: Box::new(iter),
+            next_seq: start,
+            end_seq: self.next_seq,
+        };
+        src.pull();
+        self.stream = Some(src);
+        // The stream's single buffered head joins the peak-queue accounting;
+        // the unpulled remainder intentionally does not — not being resident
+        // is the point.
+        self.peak_queue_len = self
+            .peak_queue_len
+            .max(self.queue.len() + self.staged.len() + 1);
     }
 
     /// Schedule an event `after` the current clock from outside a handler.
@@ -842,6 +966,81 @@ mod tests {
         // empty queue and stops — the run drains instead of looping forever.
         assert_eq!(sim.ticks, 4);
         assert_eq!(eng.now(), SimTime::from_secs(40));
+    }
+
+    #[test]
+    fn stream_source_is_bit_identical_to_batch() {
+        let items = |n: u64| {
+            (0..n).map(|i| {
+                (
+                    SimTime::from_secs(1 + i / 2), // duplicate timestamps on purpose
+                    Ev::Chain(0),
+                )
+            })
+        };
+        let run = |streamed: bool| {
+            let mut eng = Engine::new();
+            if streamed {
+                eng.schedule_stream(8, items(8));
+            } else {
+                eng.schedule_batch(items(8));
+            }
+            // Later scheduling must sort behind stream events at equal times.
+            eng.schedule_at(SimTime::from_secs(2), Ev::Tag("late"));
+            let mut sim = Recorder::default();
+            eng.run(&mut sim);
+            (sim.log, eng.delivered())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn stream_reservation_keeps_pending_exact() {
+        let mut eng = Engine::new();
+        eng.schedule_stream(
+            5,
+            (0..5u64).map(|i| (SimTime::from_secs(i + 1), Ev::Tag("s"))),
+        );
+        assert_eq!(eng.pending(), 5);
+        let mut sim = Recorder::default();
+        assert!(eng.step(&mut sim));
+        assert_eq!(eng.pending(), 4);
+        eng.run(&mut sim);
+        assert_eq!(eng.pending(), 0);
+        assert!(eng.is_empty());
+        assert_eq!(sim.log.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer events than declared")]
+    fn stream_shorter_than_declared_panics() {
+        let mut eng = Engine::new();
+        eng.schedule_stream(
+            3,
+            (0..2u64).map(|i| (SimTime::from_secs(i + 1), Ev::Tag("s"))),
+        );
+        let mut sim = Recorder::default();
+        eng.run(&mut sim);
+    }
+
+    #[test]
+    fn stream_interleaves_with_handler_scheduling() {
+        // A handler chain scheduled mid-run must merge with stream events in
+        // (time, seq) order exactly as it would against a materialized batch.
+        let arrivals = |n: u64| (0..n).map(|i| (SimTime::from_secs(2 * i), Ev::Tag("arrive")));
+        let run = |streamed: bool| {
+            let mut eng = Engine::new();
+            if streamed {
+                eng.schedule_stream(6, arrivals(6));
+            } else {
+                eng.schedule_batch(arrivals(6));
+            }
+            eng.schedule_at(SimTime::from_secs(1), Ev::Chain(4));
+            let mut sim = Recorder::default();
+            eng.run(&mut sim);
+            sim.log
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -83,6 +83,21 @@ impl Workload {
         self.jobs.iter().filter(move |j| j.true_modality == m)
     }
 
+    /// Group jobs by ensemble membership. Jobs without an ensemble id are
+    /// skipped rather than unwrapped — mixed workloads (the normal case)
+    /// are mostly non-ensemble jobs, and a batch that happens to contain
+    /// both must not panic the grouping.
+    pub fn by_ensemble(&self) -> std::collections::HashMap<EnsembleId, Vec<&Job>> {
+        let mut by_ens: std::collections::HashMap<EnsembleId, Vec<&Job>> =
+            std::collections::HashMap::new();
+        for j in &self.jobs {
+            if let Some(ens) = j.ensemble {
+                by_ens.entry(ens).or_default().push(j);
+            }
+        }
+        by_ens
+    }
+
     /// Total core-seconds demanded (reference hardware, software versions).
     pub fn total_core_seconds(&self) -> f64 {
         self.jobs.iter().map(Job::core_seconds).sum()
@@ -138,114 +153,43 @@ impl WorkloadGenerator {
     pub fn generate(&self, factory: &RngFactory) -> Workload {
         let population = self.build_population();
         let mut jobs = Vec::new();
-        let mut next_job = 0usize;
-        let mut next_wf = 0usize;
-        let mut next_ens = 0usize;
-        let rc_zipf = (self.config.rc_config_count > 0)
-            .then(|| Zipf::new(self.config.rc_config_count as u64, self.rc_zipf_s()));
-
-        // Gateway users share gateway identities round-robin.
+        let rc_zipf = self.rc_zipf();
+        let mut ids = IdCursor::default();
         let mut gw_counter = 0usize;
 
         for user in &population.users {
-            let profile = self.config.profile(user.modality);
-            let mut rng = factory.stream(StreamId::new("user", user.id.index() as u64));
-            let home = SiteId(rng.below(self.config.sites as u64) as usize);
-            let rc_home = self
-                .config
-                .rc_sites
-                .get(user.id.index() % self.config.rc_sites.len().max(1))
-                .copied();
-            let gateway = (user.modality == Modality::ScienceGateway).then(|| {
-                let g = GatewayId(gw_counter % self.config.mix.gateways.max(1));
-                gw_counter += 1;
-                g
-            });
-
-            let rate_per_day = profile.per_user_per_day * user.activity;
-            let mut process = build_arrival(profile.arrival, rate_per_day);
-            let arrivals = arrivals_in(
-                process.as_mut(),
-                SimTime::ZERO,
-                SimTime::ZERO + self.config.horizon,
-                &mut rng,
-            );
-
-            for at in arrivals {
-                match user.modality {
-                    Modality::Workflow => {
-                        let wf = WorkflowId(next_wf);
-                        next_wf += 1;
-                        self.emit_workflow(
-                            profile,
-                            user,
-                            at,
-                            wf,
-                            home,
-                            &mut next_job,
-                            &mut jobs,
-                            &mut rng,
-                        );
-                    }
-                    Modality::Ensemble => {
-                        let ens = EnsembleId(next_ens);
-                        next_ens += 1;
-                        self.emit_ensemble(
-                            profile,
-                            user,
-                            at,
-                            ens,
-                            home,
-                            &mut next_job,
-                            &mut jobs,
-                            &mut rng,
-                        );
-                    }
-                    _ => {
-                        let mut job =
-                            self.base_job(profile, user, at, JobId(next_job), home, &mut rng);
-                        next_job += 1;
-                        match user.modality {
-                            Modality::ScienceGateway => {
-                                job = job.via_gateway(gateway.expect("gateway assigned"));
-                            }
-                            Modality::Interactive => {
-                                job = job.labeled(Modality::Interactive);
-                            }
-                            Modality::DataMovement => {
-                                job = job.labeled(Modality::DataMovement);
-                            }
-                            Modality::RcAccelerated => {
-                                let rc_profile = profile.rc.as_ref().expect("RC profile present");
-                                let zipf = rc_zipf.as_ref().expect("RC library configured");
-                                let rank = zipf.sample_rank(&mut rng);
-                                let speedup = rc_profile.speedup.sample(&mut rng).max(1.0);
-                                let deadline =
-                                    rng.chance(rc_profile.deadline_fraction).then(|| {
-                                        let slack =
-                                            rc_profile.deadline_slack.sample(&mut rng).max(1.0);
-                                        // Deadline scaled from the HW runtime.
-                                        job.runtime.mul_f64(slack / speedup)
-                                    });
-                                job = job.with_rc(RcRequirement {
-                                    config: ConfigId((rank - 1) as usize),
-                                    speedup,
-                                    deadline,
-                                });
-                                if let Some(rc_site) = rc_home {
-                                    job = job.with_site(rc_site);
-                                }
-                            }
-                            _ => {}
-                        }
-                        jobs.push(job);
-                    }
-                }
-            }
+            let gateway = self.gateway_for(user, &mut gw_counter);
+            let mut cursor = UserGen::new(self, user, factory, ids, gateway);
+            while cursor.emit_next(self, rc_zipf.as_ref(), &mut jobs) {}
+            ids = cursor.ids();
         }
 
         jobs.sort_by_key(|j| (j.submit_time, j.id));
         Workload { population, jobs }
+    }
+
+    /// The shared RC configuration-popularity distribution, if the library
+    /// is non-empty. Draw-free to construct; sampling uses the caller's rng.
+    pub(crate) fn rc_zipf(&self) -> Option<Zipf> {
+        (self.config.rc_config_count > 0)
+            .then(|| Zipf::new(self.config.rc_config_count as u64, self.rc_zipf_s()))
+    }
+
+    /// Gateway users share gateway identities round-robin, in population
+    /// order. Draw-free: the assignment depends only on how many gateway
+    /// users precede this one.
+    pub(crate) fn gateway_for(&self, user: &User, gw_counter: &mut usize) -> Option<GatewayId> {
+        (user.modality == Modality::ScienceGateway).then(|| {
+            let g = GatewayId(*gw_counter % self.config.mix.gateways.max(1));
+            *gw_counter += 1;
+            g
+        })
+    }
+
+    /// Build the population (public so the streaming path can construct it
+    /// identically before any jobs exist).
+    pub(crate) fn population(&self) -> Population {
+        self.build_population()
     }
 
     fn rc_zipf_s(&self) -> f64 {
@@ -371,6 +315,172 @@ impl WorkloadGenerator {
     }
 }
 
+/// Absolute positions of the global id counters threaded across users in
+/// population order: each user's jobs (and workflows, ensembles) occupy a
+/// contiguous id block starting where the previous user's ended.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct IdCursor {
+    pub next_job: usize,
+    pub next_wf: usize,
+    pub next_ens: usize,
+}
+
+/// One user's deterministic generation state.
+///
+/// Encapsulates exactly the per-user slice of [`WorkloadGenerator::generate`]
+/// so the materialized and streaming paths share one draw sequence: the
+/// user's RNG stream draws the home site, then *all* arrival instants, then
+/// per-arrival job fields — in that order, independent of every other user
+/// (the common-random-numbers contract). Arrival instants strictly increase
+/// and every job in an arrival's block shares its submit time with ids
+/// ascending, so blocks come out already sorted by `(submit_time, id)`.
+pub(crate) struct UserGen {
+    user: User,
+    home: SiteId,
+    rc_home: Option<SiteId>,
+    gateway: Option<GatewayId>,
+    rng: SimRng,
+    arrivals: Vec<SimTime>,
+    next_arrival: usize,
+    ids: IdCursor,
+}
+
+impl UserGen {
+    pub(crate) fn new(
+        gen: &WorkloadGenerator,
+        user: &User,
+        factory: &RngFactory,
+        ids: IdCursor,
+        gateway: Option<GatewayId>,
+    ) -> Self {
+        let profile = gen.config.profile(user.modality);
+        let mut rng = factory.stream(StreamId::new("user", user.id.index() as u64));
+        let home = SiteId(rng.below(gen.config.sites as u64) as usize);
+        let rc_home = gen
+            .config
+            .rc_sites
+            .get(user.id.index() % gen.config.rc_sites.len().max(1))
+            .copied();
+        let rate_per_day = profile.per_user_per_day * user.activity;
+        let mut process = build_arrival(profile.arrival, rate_per_day);
+        let arrivals = arrivals_in(
+            process.as_mut(),
+            SimTime::ZERO,
+            SimTime::ZERO + gen.config.horizon,
+            &mut rng,
+        );
+        UserGen {
+            user: user.clone(),
+            home,
+            rc_home,
+            gateway,
+            rng,
+            arrivals,
+            next_arrival: 0,
+            ids,
+        }
+    }
+
+    /// Submit time of the next undelivered arrival, if any remain.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.arrivals.get(self.next_arrival).copied()
+    }
+
+    /// Where the global id counters stand (the next block's bases).
+    pub(crate) fn ids(&self) -> IdCursor {
+        self.ids
+    }
+
+    /// Emit the next arrival's job block into `out`. Returns `false` once
+    /// the user's arrivals are exhausted.
+    pub(crate) fn emit_next(
+        &mut self,
+        gen: &WorkloadGenerator,
+        rc_zipf: Option<&Zipf>,
+        out: &mut Vec<Job>,
+    ) -> bool {
+        let Some(at) = self.peek_time() else {
+            return false;
+        };
+        self.next_arrival += 1;
+        let profile = gen.config.profile(self.user.modality);
+        match self.user.modality {
+            Modality::Workflow => {
+                let wf = WorkflowId(self.ids.next_wf);
+                self.ids.next_wf += 1;
+                gen.emit_workflow(
+                    profile,
+                    &self.user,
+                    at,
+                    wf,
+                    self.home,
+                    &mut self.ids.next_job,
+                    out,
+                    &mut self.rng,
+                );
+            }
+            Modality::Ensemble => {
+                let ens = EnsembleId(self.ids.next_ens);
+                self.ids.next_ens += 1;
+                gen.emit_ensemble(
+                    profile,
+                    &self.user,
+                    at,
+                    ens,
+                    self.home,
+                    &mut self.ids.next_job,
+                    out,
+                    &mut self.rng,
+                );
+            }
+            _ => {
+                let mut job = gen.base_job(
+                    profile,
+                    &self.user,
+                    at,
+                    JobId(self.ids.next_job),
+                    self.home,
+                    &mut self.rng,
+                );
+                self.ids.next_job += 1;
+                match self.user.modality {
+                    Modality::ScienceGateway => {
+                        job = job.via_gateway(self.gateway.expect("gateway assigned"));
+                    }
+                    Modality::Interactive => {
+                        job = job.labeled(Modality::Interactive);
+                    }
+                    Modality::DataMovement => {
+                        job = job.labeled(Modality::DataMovement);
+                    }
+                    Modality::RcAccelerated => {
+                        let rc_profile = profile.rc.as_ref().expect("RC profile present");
+                        let zipf = rc_zipf.expect("RC library configured");
+                        let rank = zipf.sample_rank(&mut self.rng);
+                        let speedup = rc_profile.speedup.sample(&mut self.rng).max(1.0);
+                        let deadline = self.rng.chance(rc_profile.deadline_fraction).then(|| {
+                            let slack = rc_profile.deadline_slack.sample(&mut self.rng).max(1.0);
+                            // Deadline scaled from the HW runtime.
+                            job.runtime.mul_f64(slack / speedup)
+                        });
+                        job = job.with_rc(RcRequirement {
+                            config: ConfigId((rank - 1) as usize),
+                            speedup,
+                            deadline,
+                        });
+                        if let Some(rc_site) = self.rc_home {
+                            job = job.with_site(rc_site);
+                        }
+                    }
+                    _ => {}
+                }
+                out.push(job);
+            }
+        }
+        true
+    }
+}
+
 fn build_arrival(kind: ArrivalKind, rate_per_day: f64) -> Box<dyn ArrivalProcess> {
     let rate = rate_per_day.max(1e-9);
     match kind {
@@ -493,11 +603,7 @@ mod tests {
     #[test]
     fn ensembles_share_shape() {
         let w = generate(5);
-        use std::collections::HashMap;
-        let mut by_ens: HashMap<EnsembleId, Vec<&Job>> = HashMap::new();
-        for j in w.jobs_of(Modality::Ensemble) {
-            by_ens.entry(j.ensemble.unwrap()).or_default().push(j);
-        }
+        let by_ens = w.by_ensemble();
         assert!(!by_ens.is_empty());
         for (ens, members) in by_ens {
             assert!(members.len() >= 2, "{ens} too small");
@@ -508,6 +614,29 @@ mod tests {
             );
             let t = members[0].submit_time;
             assert!(members.iter().all(|m| m.submit_time == t));
+        }
+    }
+
+    #[test]
+    fn ensemble_grouping_tolerates_mixed_batches() {
+        // Regression: grouping used to unwrap `j.ensemble` while iterating,
+        // which panics the moment a non-ensemble job lands in the batch.
+        // A generated workload is exactly such a mixed batch.
+        let w = generate(5);
+        assert!(
+            w.jobs.iter().any(|j| j.ensemble.is_none()),
+            "need non-ensemble jobs to make the batch mixed"
+        );
+        let by_ens = w.by_ensemble();
+        assert!(!by_ens.is_empty());
+        let grouped: usize = by_ens.values().map(Vec::len).sum();
+        assert_eq!(
+            grouped,
+            w.jobs.iter().filter(|j| j.ensemble.is_some()).count(),
+            "every ensemble member grouped exactly once"
+        );
+        for members in by_ens.values() {
+            assert!(members.iter().all(|m| m.ensemble.is_some()));
         }
     }
 

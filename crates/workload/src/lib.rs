@@ -48,6 +48,7 @@ pub mod ids;
 pub mod job;
 pub mod modality;
 pub mod profiles;
+pub mod stream;
 pub mod swf;
 pub mod user;
 
@@ -57,4 +58,5 @@ pub use ids::{EnsembleId, GatewayId, JobId, ProjectId, UserId, WorkflowId};
 pub use job::{Job, RcRequirement, SubmitInterface};
 pub use modality::Modality;
 pub use profiles::{ModalityProfile, PopulationMix};
+pub use stream::{StreamedWorkload, WorkloadStream};
 pub use user::{Project, User};

@@ -172,3 +172,77 @@ proptest! {
         prop_assert!(result.is_ok(), "18 numeric fields must parse: {result:?}");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The streaming generator emits the exact job sequence the
+    /// materialized generator produces — ids, arrival times, modalities,
+    /// every field — whatever the population mix or seed. This is the
+    /// contract the streaming simulation path's byte-identity rests on.
+    #[test]
+    fn streaming_equals_materialized_generation(
+        mix in arb_mix(),
+        seed in any::<u64>(),
+        days in 1u64..4,
+    ) {
+        let rc_users = mix.users_per_modality[Modality::RcAccelerated.index()];
+        let cfg = GeneratorConfig {
+            horizon: SimDuration::from_days(days),
+            mix,
+            profiles: ModalityProfile::all_defaults(),
+            sites: 3,
+            rc_sites: if rc_users > 0 { vec![tg_model::SiteId(2)] } else { vec![] },
+            rc_config_count: if rc_users > 0 { 5 } else { 0 },
+        };
+        let gen = WorkloadGenerator::new(cfg);
+        let materialized = gen.generate(&RngFactory::new(seed));
+        let streamed = gen.generate_streaming(&RngFactory::new(seed));
+        prop_assert_eq!(&streamed.population.users, &materialized.population.users);
+        prop_assert_eq!(streamed.total_jobs, materialized.jobs.len());
+        let mut n = 0usize;
+        for (got, want) in streamed.stream.zip(materialized.jobs.iter()) {
+            prop_assert_eq!(got.id, want.id);
+            prop_assert_eq!(got.submit_time, want.submit_time);
+            prop_assert_eq!(got.true_modality, want.true_modality);
+            prop_assert_eq!(&got, want, "full job mismatch at #{}", n);
+            n += 1;
+        }
+        prop_assert_eq!(n, materialized.jobs.len(), "stream ended early");
+    }
+
+    /// SWF-replay inputs: the archive format truncates submit times to
+    /// whole seconds (which can reorder ties) and drops sub-second-runtime
+    /// jobs as cancelled records, so a replay harness re-sorts by
+    /// `(submit_time, id)` before streaming. After that sort the import is
+    /// a valid stream input — `stream::drain_sorted` yields it unchanged —
+    /// and every surviving job keeps its id and modality label.
+    #[test]
+    fn swf_roundtrip_feeds_the_stream_path(mix in arb_mix(), seed in any::<u64>()) {
+        let cfg = GeneratorConfig {
+            horizon: SimDuration::from_days(2),
+            mix,
+            profiles: ModalityProfile::all_defaults(),
+            sites: 3,
+            rc_sites: vec![tg_model::SiteId(2)],
+            rc_config_count: 5,
+        };
+        let w = WorkloadGenerator::new(cfg).generate(&RngFactory::new(seed));
+        let mut imported = swf::from_swf(&swf::to_swf(&w.jobs)).expect("round trip parses");
+        prop_assert!(imported.len() <= w.jobs.len());
+        imported.sort_by_key(|j| (j.submit_time, j.id));
+        let expect: Vec<_> = imported
+            .iter()
+            .map(|j| (j.submit_time, j.id, j.true_modality))
+            .collect();
+        let drained: Vec<_> = tg_workload::stream::drain_sorted(imported)
+            .map(|j| (j.submit_time, j.id, j.true_modality))
+            .collect();
+        prop_assert_eq!(&drained, &expect);
+        let truth: std::collections::HashMap<_, _> =
+            w.jobs.iter().map(|j| (j.id, j.true_modality)).collect();
+        for (_, id, modality) in &drained {
+            prop_assert_eq!(truth.get(id), Some(modality), "id {:?} not in source", id);
+        }
+    }
+}

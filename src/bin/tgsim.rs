@@ -5,6 +5,7 @@
 //! tgsim run scenario.json [--seed N] [--reps K] [--sample-hours H]
 //!       [--classify] [--out results.json] [--faults spec.json]
 //!       [--metrics-out metrics.json] [--trace-out trace.jsonl]
+//!       [--stream-out records.jsonl] [--assert-peak-rss-mb N]
 //! tgsim analyze trace.jsonl [--json]
 //! tgsim replay trace.swf [--scenario cfg.json] [--seed N]
 //!       [--faults spec.json] [--classify]
@@ -20,7 +21,14 @@
 //! the first replication. `--faults` loads a [`FaultSpec`] JSON file and
 //! overrides the config's `faults` section (node crashes, site outages, WAN
 //! degradation, lossy accounting ingest); the run summary then includes the
-//! fault report. `analyze` reconstructs per-job lifecycle spans from such a
+//! fault report. `--stream-out` switches to the O(in-flight) memory-diet
+//! path: the workload is generated lazily (jobs pulled as simulated time
+//! advances) and accounting records stream to the given JSONL file instead
+//! of accumulating in memory — outputs are byte-identical to the default
+//! path at the same seed, but the usage report is replaced by a compact
+//! ingest tally (and `--classify` is unavailable: classification needs the
+//! retained records). `--assert-peak-rss-mb` fails the run (exit 1) if the
+//! process peak RSS exceeded the budget — the CI memory-regression guard. `analyze` reconstructs per-job lifecycle spans from such a
 //! trace offline and prints wait-time breakdowns by span kind, wait cause,
 //! site, and modality (p50/p95/p99) — including the `fault`/`requeue` spans
 //! a faulted run emits. `replay` drives the simulator from a Standard
@@ -31,14 +39,22 @@
 
 use std::process::ExitCode;
 use teragrid_repro::prelude::*;
+use tg_des::memory::CountingAlloc;
 use tg_des::stats::ci_student_t;
 use tg_des::{TraceAnalyzer, TraceHealth};
+
+/// Exact heap accounting for `--assert-peak-rss-mb`: the counting allocator
+/// gives a live-bytes high-water alongside the kernel's `VmHWM`, so the
+/// memory guard has one signal immune to RSS noise (page-cache, arenas).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tgsim emit-baseline [USERS DAYS]\n  tgsim run <scenario.json> \
          [--seed N] [--reps K] [--threads N] [--sample-hours H] [--classify] [--out FILE] \
-         [--faults FILE] [--metrics-out FILE] [--trace-out FILE]\n  \
+         [--faults FILE] [--metrics-out FILE] [--trace-out FILE] \
+         [--stream-out FILE] [--assert-peak-rss-mb N]\n  \
          tgsim analyze <trace.jsonl> [--json]\n  \
          tgsim replay <trace.swf> [--scenario FILE] [--seed N] \
          [--faults FILE] [--classify]"
@@ -89,11 +105,21 @@ fn run(rest: &[String]) -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut faults_path: Option<String> = None;
     let mut sample_hours: Option<u64> = None;
+    let mut stream_out: Option<String> = None;
+    let mut rss_budget_mb: Option<u64> = None;
     let mut i = 1;
     while i < rest.len() {
         match rest[i].as_str() {
-            "--seed" | "--reps" | "--threads" | "--out" | "--sample-hours" | "--metrics-out"
-            | "--trace-out" | "--faults" => {
+            "--seed"
+            | "--reps"
+            | "--threads"
+            | "--out"
+            | "--sample-hours"
+            | "--metrics-out"
+            | "--trace-out"
+            | "--faults"
+            | "--stream-out"
+            | "--assert-peak-rss-mb" => {
                 let flag = rest[i].clone();
                 i += 1;
                 let Some(value) = rest.get(i) else {
@@ -132,6 +158,14 @@ fn run(rest: &[String]) -> ExitCode {
                     "--metrics-out" => metrics_out = Some(value.clone()),
                     "--trace-out" => trace_out = Some(value.clone()),
                     "--faults" => faults_path = Some(value.clone()),
+                    "--stream-out" => stream_out = Some(value.clone()),
+                    "--assert-peak-rss-mb" => match value.parse() {
+                        Ok(v) if v >= 1 => rss_budget_mb = Some(v),
+                        _ => {
+                            eprintln!("tgsim: bad --assert-peak-rss-mb");
+                            return usage();
+                        }
+                    },
                     _ => out_path = Some(value.clone()),
                 }
             }
@@ -144,10 +178,25 @@ fn run(rest: &[String]) -> ExitCode {
         i += 1;
     }
 
+    if stream_out.is_some() && classify {
+        eprintln!(
+            "tgsim: --stream-out and --classify are incompatible \
+             (classification needs the retained record database)"
+        );
+        return ExitCode::from(2);
+    }
+    if stream_out.is_some() && reps > 1 {
+        eprintln!("tgsim: --stream-out supports a single replication (every rep would clobber the same file); use --reps 1");
+        return ExitCode::from(2);
+    }
+
     // Fail fast on unwritable output paths instead of discovering them only
     // after the replications have run (the trace sink would otherwise panic
     // mid-setup). Append mode probes writability without truncating.
-    for p in [&out_path, &metrics_out, &trace_out].into_iter().flatten() {
+    for p in [&out_path, &metrics_out, &trace_out, &stream_out]
+        .into_iter()
+        .flatten()
+    {
         if let Err(e) = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -204,25 +253,59 @@ fn run(rest: &[String]) -> ExitCode {
         metrics: metrics_out.is_some(),
         trace_path: trace_out.as_ref().map(std::path::PathBuf::from),
         threads,
+        stream_gen: stream_out.is_some(),
+        record_streaming: match &stream_out {
+            Some(p) => RecordStreaming::Jsonl(std::path::PathBuf::from(p)),
+            None => RecordStreaming::Retain,
+        },
         ..RunOptions::default()
     };
     let replications = replicate_with(&scenario, seed, reps, 0, &opts);
     let first = &replications[0].output;
 
-    let report = UsageReport::compute(&first.db, &first.truth, &first.charge_policy);
-    println!("{report}");
+    let report: Option<UsageReport> = if let Some(tally) = &first.ingest_tally {
+        // Streamed run: the records left the process as they were emitted;
+        // report the compact tally in place of the full usage report.
+        println!(
+            "streamed {} records ({} jobs, {} transfers, {} sessions, \
+             {} gateway attrs, {} rc placements) to {}",
+            tally.len(),
+            tally.jobs,
+            tally.transfers,
+            tally.sessions,
+            tally.gateway_attrs,
+            tally.rc_placements,
+            stream_out.as_deref().unwrap_or("?"),
+        );
+        println!(
+            "usage: {:.0} core-hours charged, {:.0} MB transferred",
+            tally.core_hours, tally.transfer_mb
+        );
+        if tally.write_errors > 0 {
+            eprintln!(
+                "tgsim: warning: {} record writes failed; the stream file is incomplete",
+                tally.write_errors
+            );
+        }
+        None
+    } else {
+        let report = UsageReport::compute(&first.db, &first.truth, &first.charge_policy);
+        println!("{report}");
+        Some(report)
+    };
 
     let utils: Vec<f64> = replications
         .iter()
         .map(|r| r.output.average_utilization())
         .collect();
     let (u_mean, u_ci) = ci_student_t(&utils);
+    let jobs_recorded = first
+        .ingest_tally
+        .map_or(first.db.jobs.len() as u64, |t| t.jobs);
     println!(
         "federation utilization {u_mean:.3} ± {u_ci:.3} over {} replication(s); \
          {} jobs, {} events (first replication)",
-        reps,
-        first.db.jobs.len(),
-        first.events_delivered
+        reps, jobs_recorded, first.events_delivered
     );
     let agg = aggregate_profiles(&replications);
     println!(
@@ -317,10 +400,13 @@ fn run(rest: &[String]) -> ExitCode {
             "scenario": first.scenario,
             "seed": seed,
             "replications": reps,
-            "jobs": first.db.jobs.len(),
+            "jobs": jobs_recorded,
             "events": first.events_delivered,
             "utilization": { "mean": u_mean, "ci95": u_ci },
-            "shares": report.shares,
+            "shares": report.as_ref().map(|r| serde_json::to_value(&r.shares))
+                .unwrap_or(serde_json::Value::Null),
+            "ingest_tally": first.ingest_tally.as_ref().map(serde_json::to_value)
+                .unwrap_or(serde_json::Value::Null),
             "classifier": accuracy_summary
                 .iter()
                 .map(|(m, a, f)| serde_json::json!({"mode": m, "accuracy": a, "macro_f1": f}))
@@ -341,6 +427,48 @@ fn run(rest: &[String]) -> ExitCode {
             Err(e) => {
                 eprintln!("tgsim: cannot write {out}: {e}");
                 return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(budget_mb) = rss_budget_mb {
+        let budget = budget_mb * (1 << 20);
+        let heap_peak = tg_des::memory::peak_in_use_bytes().max(0) as u64;
+        let rss_peak = replications
+            .iter()
+            .filter_map(|r| r.output.profile.peak_rss_bytes)
+            .max();
+        let mib = |b: u64| b as f64 / (1 << 20) as f64;
+        match rss_peak {
+            Some(rss) => {
+                println!(
+                    "memory: peak RSS {:.1} MiB, peak live heap {:.1} MiB (budget {budget_mb} MiB)",
+                    mib(rss),
+                    mib(heap_peak)
+                );
+                if rss > budget || heap_peak > budget {
+                    eprintln!(
+                        "tgsim: peak memory (RSS {:.1} MiB / heap {:.1} MiB) exceeds the \
+                         --assert-peak-rss-mb budget of {budget_mb} MiB",
+                        mib(rss),
+                        mib(heap_peak)
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => {
+                // No /proc on this platform: enforce on the heap signal only.
+                println!(
+                    "memory: peak live heap {:.1} MiB (budget {budget_mb} MiB; RSS unavailable)",
+                    mib(heap_peak)
+                );
+                if heap_peak > budget {
+                    eprintln!(
+                        "tgsim: peak live heap {:.1} MiB exceeds the --assert-peak-rss-mb \
+                         budget of {budget_mb} MiB",
+                        mib(heap_peak)
+                    );
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }

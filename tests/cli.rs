@@ -155,6 +155,94 @@ fn replay_drives_an_swf_trace_with_faults() {
 }
 
 #[test]
+fn stream_out_diverts_records_and_matches_retained_run() {
+    let dir = std::env::temp_dir().join(format!("tgsim-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let scen = dir.join("scenario.json");
+    let records = dir.join("records.jsonl");
+
+    let emit = tgsim()
+        .args(["emit-baseline", "40", "2"])
+        .output()
+        .expect("emit runs");
+    std::fs::write(&scen, &emit.stdout).expect("write scenario");
+
+    let retained = tgsim()
+        .args(["run", scen.to_str().expect("utf8"), "--seed", "11"])
+        .output()
+        .expect("retained run");
+    assert!(retained.status.success());
+    let retained_text = String::from_utf8_lossy(&retained.stdout).to_string()
+        + &String::from_utf8_lossy(&retained.stderr);
+
+    let streamed = tgsim()
+        .args([
+            "run",
+            scen.to_str().expect("utf8"),
+            "--seed",
+            "11",
+            "--stream-out",
+            records.to_str().expect("utf8 path"),
+            "--assert-peak-rss-mb",
+            "2048",
+        ])
+        .output()
+        .expect("streamed run");
+    assert!(
+        streamed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&streamed.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&streamed.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("streamed "))
+        .expect("tally line printed");
+    let total: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .expect("record count")
+        .parse()
+        .expect("numeric");
+    let text = std::fs::read_to_string(&records).expect("records written");
+    assert_eq!(text.lines().count() as u64, total, "JSONL file complete");
+    assert!(stdout.contains("memory: peak RSS"), "budget line: {stdout}");
+
+    // The streamed simulation is the retained simulation: same job count.
+    let jobs = line.split('(').nth(1).expect("kinds").to_string();
+    let jobs: u64 = jobs
+        .split_whitespace()
+        .next()
+        .expect("jobs count")
+        .parse()
+        .expect("numeric");
+    assert!(
+        retained_text.contains(&format!("{jobs} jobs")),
+        "streamed job count {jobs} not found in retained output: {retained_text}"
+    );
+
+    // --stream-out diverts records away from the report path: --classify
+    // needs the retained database, so the combination is refused.
+    let conflict = tgsim()
+        .args([
+            "run",
+            scen.to_str().expect("utf8"),
+            "--stream-out",
+            records.to_str().expect("utf8 path"),
+            "--classify",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!conflict.status.success());
+    assert!(
+        String::from_utf8_lossy(&conflict.stderr).contains("--classify"),
+        "conflict names the flag"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_invocations_fail_cleanly() {
     let out = tgsim().output().expect("runs");
     assert!(!out.status.success());
