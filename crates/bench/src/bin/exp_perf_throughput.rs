@@ -18,6 +18,9 @@
 //!    section records peak live heap (counting allocator, reset at section
 //!    start) and peak RSS, and the run aborts if either breaches the 2 GiB
 //!    budget.
+//! 5. **Observability** — `large-3000u-90d` with and without `--live-stats`:
+//!    the online sketch/series layer must cost ≤5% throughput, and its
+//!    span/group/bucket totals are deterministic regression anchors.
 //!
 //! Every section reports memory alongside wall-clock: the process peak RSS
 //! (`VmHWM`, monotone across sections — the large section dominates it) and
@@ -121,6 +124,34 @@ struct ScalingSection {
 /// Memory budget for the million-user streaming run.
 const STREAMING_BUDGET_BYTES: u64 = 2 << 30; // 2 GiB
 
+/// Ceiling on the throughput cost of enabling live stats: the sketch
+/// update is an index computation plus a bin increment per span close, so
+/// anything above 5% on the large config is a hot-path regression.
+const OBSERVABILITY_OVERHEAD_BUDGET: f64 = 0.05;
+
+/// Online-observability cost on the large scenario: the same run with and
+/// without `--live-stats`, plus the deterministic sketch totals the check
+/// leg pins (span/group counts must reproduce exactly across PRs).
+#[derive(Serialize)]
+struct ObservabilitySection {
+    scenario: String,
+    /// events/s with live stats off (the denominator).
+    unobserved_events_per_sec: f64,
+    /// events/s with sketches + windowed series enabled.
+    observed_events_per_sec: f64,
+    /// `1 − observed/unobserved`, clamped at 0 (noise can make the observed
+    /// run *faster*).
+    overhead_fraction: f64,
+    overhead_budget: f64,
+    within_overhead_budget: bool,
+    /// Spans folded into the sketchbook (deterministic).
+    spans: u64,
+    /// Distinct `(kind, cause, site, modality)` sketch keys (deterministic).
+    groups: u64,
+    /// Closed windowed-series buckets (deterministic).
+    series_buckets: u64,
+}
+
 /// The million-user streaming datapoint: throughput plus the memory-ceiling
 /// evidence the streaming path exists to provide.
 #[derive(Serialize)]
@@ -165,6 +196,8 @@ struct ThroughputOutput {
     /// Million-user streaming run under the 2 GiB memory budget (absent in
     /// `--quick` runs).
     streaming: Option<StreamingSection>,
+    /// Live-stats overhead on the large scenario (absent in `--quick` runs).
+    observability: Option<ObservabilitySection>,
 }
 
 /// Roughly 5% of total site-hours down across the 3-site, 14-day baseline:
@@ -351,6 +384,73 @@ fn print_streaming(s: &StreamingSection) {
     );
 }
 
+/// Measure the live-stats observer cost: one unobserved and one observed
+/// run of `cfg` at the same seed. The simulation outputs must be identical
+/// (the observer contract); only the wall clock may move.
+fn measure_observability(cfg: ScenarioConfig, seed: u64) -> ObservabilitySection {
+    use tg_core::RunOptions;
+    let scenario = cfg.build();
+    let plain = scenario.run_with(seed, &RunOptions::default());
+    let observed = scenario.run_with(
+        seed,
+        &RunOptions {
+            live_stats: true,
+            ..RunOptions::default()
+        },
+    );
+    assert_eq!(
+        plain.db.jobs, observed.db.jobs,
+        "live stats perturbed the simulation"
+    );
+    let stats = observed.stats.as_ref().expect("observed run reports stats");
+    let unobs = plain.profile.events_per_sec;
+    let obs = observed.profile.events_per_sec;
+    let overhead = (1.0 - obs / unobs.max(1e-9)).max(0.0);
+    ObservabilitySection {
+        scenario: scenario.config().name.clone(),
+        unobserved_events_per_sec: unobs,
+        observed_events_per_sec: obs,
+        overhead_fraction: overhead,
+        overhead_budget: OBSERVABILITY_OVERHEAD_BUDGET,
+        within_overhead_budget: overhead <= OBSERVABILITY_OVERHEAD_BUDGET,
+        spans: stats.spans.spans,
+        groups: stats.spans.groups as u64,
+        series_buckets: stats.series.rows.len() as u64,
+    }
+}
+
+fn print_observability(s: &ObservabilitySection) {
+    let mut table = Table::new(
+        format!("PERF (observability): {} with --live-stats", s.scenario),
+        &[
+            "events/s off",
+            "events/s on",
+            "overhead",
+            "spans",
+            "groups",
+            "buckets",
+        ],
+    );
+    table.row(vec![
+        format!("{:.0}", s.unobserved_events_per_sec),
+        format!("{:.0}", s.observed_events_per_sec),
+        format!("{:.1}%", 100.0 * s.overhead_fraction),
+        s.spans.to_string(),
+        s.groups.to_string(),
+        s.series_buckets.to_string(),
+    ]);
+    println!("{table}");
+    println!(
+        "observability: {} the {:.0}% overhead budget",
+        if s.within_overhead_budget {
+            "within"
+        } else {
+            "EXCEEDS"
+        },
+        100.0 * s.overhead_budget,
+    );
+}
+
 fn print_scaling(s: &ScalingSection) {
     let mut table = Table::new(
         format!("PERF (scaling): {} sharded thread sweep", s.scenario),
@@ -513,10 +613,11 @@ const KNOWN_KEYS: &[&str] = &[
     "large",
     "scaling",
     "streaming",
+    "observability",
 ];
 
 /// The optional sections; each must be present on both sides or neither.
-const SECTION_KEYS: &[&str] = &["faulted", "large", "scaling", "streaming"];
+const SECTION_KEYS: &[&str] = &["faulted", "large", "scaling", "streaming", "observability"];
 
 /// Strict section inventory: unknown reference keys fail, and a section
 /// present in the reference but missing from this run (or vice versa) fails
@@ -591,6 +692,44 @@ fn check_streaming(
     failures
 }
 
+/// The observability leg of the regression guard: the sketch totals are
+/// deterministic and must match the reference exactly, and the enabled-run
+/// overhead must stay inside the budget. Section presence is enforced
+/// upstream by [`check_sections`].
+fn check_observability(
+    reference: &serde_json::Value,
+    current: Option<&ObservabilitySection>,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let (Some(r), Some(cur)) = (
+        reference.get("observability").filter(|v| !v.is_null()),
+        current,
+    ) else {
+        return failures;
+    };
+    for (field, got) in [
+        ("spans", cur.spans),
+        ("groups", cur.groups),
+        ("series_buckets", cur.series_buckets),
+    ] {
+        if let Some(want) = r.get(field).and_then(|v| v.as_u64()) {
+            if want != got {
+                failures.push(format!(
+                    "observability determinism drift: reference {field} {want} vs current {got}"
+                ));
+            }
+        }
+    }
+    if !cur.within_overhead_budget {
+        failures.push(format!(
+            "live-stats overhead {:.1}% exceeds the {:.0}% budget",
+            100.0 * cur.overhead_fraction,
+            100.0 * cur.overhead_budget,
+        ));
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -609,8 +748,8 @@ fn main() {
         &healthy,
     );
 
-    let (faulted, large, scaling, streaming) = if quick {
-        (None, None, None, None)
+    let (faulted, large, scaling, streaming, observability) = if quick {
+        (None, None, None, None, None)
     } else {
         let mut faulted_cfg = ScenarioConfig::baseline(users, days);
         faulted_cfg.faults = Some(faulted_spec());
@@ -649,6 +788,14 @@ fn main() {
             msec.within_budget,
             "million-user streaming run breached the memory budget"
         );
+
+        let osec = measure_observability(ScenarioConfig::large(3000, 90), 9000);
+        print_observability(&osec);
+        assert!(
+            osec.within_overhead_budget,
+            "live-stats overhead breached the {:.0}% budget",
+            100.0 * OBSERVABILITY_OVERHEAD_BUDGET
+        );
         (
             Some(FaultedSection {
                 downtime_fraction: downtime_h / site_hours,
@@ -664,6 +811,7 @@ fn main() {
             Some(lsec),
             Some(ssec),
             Some(msec),
+            Some(osec),
         )
     };
 
@@ -684,6 +832,7 @@ fn main() {
         large,
         scaling,
         streaming,
+        observability,
     };
     save_json(
         if quick {
@@ -704,6 +853,7 @@ fn main() {
             ("large", out.large.is_some()),
             ("scaling", out.scaling.is_some()),
             ("streaming", out.streaming.is_some()),
+            ("observability", out.observability.is_some()),
         ];
         let section_failures = check_sections(&reference, &produced);
         // Rebuild the healthy view from the serialized output (it moved).
@@ -727,6 +877,7 @@ fn main() {
         failures.extend(check_against(&reference, &healthy_view));
         failures.extend(check_scaling(&reference, out.scaling.as_ref()));
         failures.extend(check_streaming(&reference, out.streaming.as_ref()));
+        failures.extend(check_observability(&reference, out.observability.as_ref()));
         if failures.is_empty() {
             println!("check: OK against {path}");
         } else {

@@ -55,7 +55,7 @@ pub use classify::{classify_all, ClassifierMode};
 pub use report::{FieldShares, GatewayReach, MetricsReport, ModalityShares, UsageReport};
 pub use runner::{aggregate_profiles, replicate, replicate_with, run_sweep, Replication};
 pub use scenario::{RecordStreaming, RunOptions, Scenario, ScenarioConfig, SimOutput};
-pub use sim::GridSim;
+pub use sim::{GridSim, StatsReport};
 
 // Observability types surfaced from the DES substrate.
 pub use survey::{run_survey, SurveyDesign, SurveyResult};

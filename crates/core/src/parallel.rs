@@ -56,8 +56,11 @@ use crate::sim::{BufRecord, EvCtx, Event, ExecRole, ExportReply, FinishedSim, Gr
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
-use tg_des::metrics::MetricsRegistry;
+use std::time::Instant;
+use tg_des::metrics::{MetricsRegistry, SyncProfile};
+use tg_des::series::WindowedSeries;
 use tg_des::shard::{Lookahead, Rank, RankQueue};
+use tg_des::sketch::{QuantileSketch, SpanSketchbook};
 use tg_des::{EventKey, SimDuration, SimTime};
 use tg_fault::FaultEventKind;
 use tg_model::SiteId;
@@ -91,14 +94,87 @@ fn spin_budget() -> usize {
     })
 }
 
-fn recv_spin<T>(rx: &Receiver<T>) -> T {
+/// Spin-vs-block tally for one participant's channel receives. Observer
+/// data only — it feeds [`SyncProfile`], never the simulation.
+#[derive(Default, Clone, Copy)]
+struct RecvTally {
+    /// Receives satisfied within the spin window.
+    spins: u64,
+    /// Receives that fell back to a blocking wait.
+    blocks: u64,
+}
+
+fn recv_spin<T>(rx: &Receiver<T>, tally: &mut RecvTally) -> T {
     for _ in 0..spin_budget() {
         match rx.try_recv() {
-            Some(m) => return m,
+            Some(m) => {
+                tally.spins += 1;
+                return m;
+            }
             None => std::hint::spin_loop(),
         }
     }
+    tally.blocks += 1;
     rx.recv().unwrap_or_else(|_| panic!("peer alive"))
+}
+
+/// The coordinator's half of the sync-round profiler: protocol counters
+/// plus wall-clock sketches, folded into a [`SyncProfile`] at merge. All
+/// of it is gathered *outside* the deterministic simulation state, so it
+/// can never perturb event order or RNG draws.
+struct SyncRecorder {
+    rounds: u64,
+    coord_events: u64,
+    candidate_rounds: u64,
+    grant_rounds: u64,
+    advances_sent: u64,
+    parks_received: u64,
+    interlude_messages: u64,
+    bound_clamps: u64,
+    recv: RecvTally,
+    round_wall: QuantileSketch,
+    candidate_wall: QuantileSketch,
+    grant_occupancy: QuantileSketch,
+}
+
+impl SyncRecorder {
+    fn new() -> Self {
+        SyncRecorder {
+            rounds: 0,
+            coord_events: 0,
+            candidate_rounds: 0,
+            grant_rounds: 0,
+            advances_sent: 0,
+            parks_received: 0,
+            interlude_messages: 0,
+            bound_clamps: 0,
+            recv: RecvTally::default(),
+            round_wall: QuantileSketch::new(),
+            candidate_wall: QuantileSketch::new(),
+            grant_occupancy: QuantileSketch::new(),
+        }
+    }
+
+    fn into_profile(self, shards: usize, shard_recv: RecvTally) -> SyncProfile {
+        SyncProfile {
+            shards: shards as u64,
+            rounds: self.rounds,
+            coord_events: self.coord_events,
+            candidate_rounds: self.candidate_rounds,
+            grant_rounds: self.grant_rounds,
+            advances_sent: self.advances_sent,
+            parks_received: self.parks_received,
+            interlude_messages: self.interlude_messages,
+            bound_clamps: self.bound_clamps,
+            recv_spins: self.recv.spins,
+            recv_blocks: self.recv.blocks,
+            shard_recv_spins: shard_recv.spins,
+            shard_recv_blocks: shard_recv.blocks,
+            round_wall: self.round_wall.summary(),
+            candidate_wall: self.candidate_wall.summary(),
+            grant_occupancy: self.grant_occupancy.summary(),
+        }
+    }
 }
 
 /// Cross-shard events awaiting delivery to one shard. Delivery is lazy: the
@@ -264,6 +340,7 @@ enum ToCoord {
     /// (fire-and-forget; the shard advanced the child cursor itself).
     KilledCheckpoint {
         at: SimTime,
+        killed_at: SimTime,
         rank: Rank,
         job: Box<Job>,
     },
@@ -288,6 +365,12 @@ struct ShardFinal {
     delivered: u64,
     last: SimTime,
     peak: usize,
+    /// Span sketches recorded by this shard's events (exactly mergeable).
+    sketches: SpanSketchbook,
+    /// Windowed series columns this shard wrote (single writer per site).
+    series: WindowedSeries,
+    /// This shard's channel-receive tally (observer data).
+    recv: RecvTally,
 }
 
 /// Is this event an emission candidate — one whose execution may export
@@ -320,6 +403,7 @@ struct ShardCtx<'a> {
     owned: &'a [usize],
     net_updates: &'a mut usize,
     in_flight: bool,
+    recv: &'a mut RecvTally,
 }
 
 impl ShardCtx<'_> {
@@ -384,10 +468,15 @@ impl EvCtx for ShardCtx<'_> {
             .unwrap_or_else(|_| panic!("coordinator alive"));
         self.in_flight = true;
     }
-    fn export_requeue(&mut self, at: SimTime, job: Box<Job>) {
+    fn export_requeue(&mut self, at: SimTime, killed_at: SimTime, job: Box<Job>) {
         let rank = self.child_rank();
         self.tx
-            .send(ToCoord::KilledCheckpoint { at, rank, job })
+            .send(ToCoord::KilledCheckpoint {
+                at,
+                killed_at,
+                rank,
+                job,
+            })
             .unwrap_or_else(|_| panic!("coordinator alive"));
     }
     fn export_kill_retry(&mut self, job: Box<Job>, probes: Vec<SiteProbe>) {
@@ -408,7 +497,7 @@ impl EvCtx for ShardCtx<'_> {
         self.in_flight
     }
     fn recv_export_reply(&mut self) -> ExportReply {
-        match recv_spin(self.rx) {
+        match recv_spin(self.rx, self.recv) {
             ToShard::Ack { k, sub, injects } => {
                 self.k = k;
                 self.sub = sub;
@@ -466,6 +555,7 @@ struct Shard {
     last: SimTime,
     tx: Sender<ToCoord>,
     rx: Receiver<ToShard>,
+    recv: RecvTally,
 }
 
 impl Shard {
@@ -527,6 +617,7 @@ impl Shard {
             owned: &self.owned,
             net_updates: &mut self.net_updates,
             in_flight: false,
+            recv: &mut self.recv,
         };
         self.sim.dispatch_event(&mut ctx, ev);
         debug_assert!(!ctx.in_flight, "handlers drain exports before returning");
@@ -587,7 +678,7 @@ impl Shard {
         self.prime(fault_rank_base, me, shards);
         self.park();
         loop {
-            match recv_spin(&self.rx) {
+            match recv_spin(&self.rx, &mut self.recv) {
                 ToShard::Advance { bound, injects } => {
                     for (at, rank, ev) in injects {
                         self.queue.schedule(at, rank, ev);
@@ -641,6 +732,7 @@ impl Shard {
                         owned: &self.owned,
                         net_updates: &mut self.net_updates,
                         in_flight: false,
+                        recv: &mut self.recv,
                     };
                     self.sim.route_rc(&mut ctx, site, *job);
                     debug_assert!(!ctx.in_flight);
@@ -663,6 +755,10 @@ impl Shard {
                     let metrics =
                         std::mem::replace(&mut self.sim.metrics, MetricsRegistry::disabled());
                     let fault_report = self.sim.faults.take().map(|f| f.report);
+                    let sketches =
+                        std::mem::replace(&mut self.sim.obs.sketches, SpanSketchbook::disabled());
+                    let series =
+                        std::mem::replace(&mut self.sim.obs.series, WindowedSeries::disabled());
                     let fin = ShardFinal {
                         federation: self.sim.federation,
                         metrics,
@@ -672,6 +768,9 @@ impl Shard {
                         delivered: self.delivered,
                         last: self.last,
                         peak: self.queue.peak_len(),
+                        sketches,
+                        series,
+                        recv: self.recv,
                     };
                     self.tx
                         .send(ToCoord::Final(Box::new(fin)))
@@ -699,6 +798,7 @@ struct CoordCtx<'a> {
     from_shards: &'a [Receiver<ToCoord>],
     reports: &'a mut [ShardReport],
     probe_view: &'a mut [SiteProbe],
+    recv: &'a mut RecvTally,
 }
 
 impl CoordCtx<'_> {
@@ -770,7 +870,7 @@ impl EvCtx for CoordCtx<'_> {
                 job,
             })
             .unwrap_or_else(|_| panic!("shard alive"));
-        match recv_spin(&self.from_shards[o]) {
+        match recv_spin(&self.from_shards[o], self.recv) {
             ToCoord::RcContDone { k, sub, report } => {
                 self.k = k;
                 self.sub = sub;
@@ -807,6 +907,7 @@ struct Coordinator {
     from_shards: Vec<Receiver<ToCoord>>,
     delivered: u64,
     last: SimTime,
+    prof: SyncRecorder,
 }
 
 impl Coordinator {
@@ -863,8 +964,9 @@ impl Coordinator {
     }
 
     fn recv_parked(&mut self, shard: usize) {
-        match recv_spin(&self.from_shards[shard]) {
+        match recv_spin(&self.from_shards[shard], &mut self.prof.recv) {
             ToCoord::Parked(report) => {
+                self.prof.parks_received += 1;
                 for &(i, p) in &report.probes {
                     self.probe_view[i] = p;
                 }
@@ -892,8 +994,13 @@ impl Coordinator {
     /// to `emitter`, until the emitter parks.
     fn interlude(&mut self, emitter: usize) {
         loop {
-            match recv_spin(&self.from_shards[emitter]) {
+            let msg = recv_spin(&self.from_shards[emitter], &mut self.prof.recv);
+            if !matches!(msg, ToCoord::Parked(_)) {
+                self.prof.interlude_messages += 1;
+            }
+            match msg {
                 ToCoord::Parked(report) => {
+                    self.prof.parks_received += 1;
                     for &(i, p) in &report.probes {
                         self.probe_view[i] = p;
                     }
@@ -925,6 +1032,7 @@ impl Coordinator {
                         from_shards: &self.from_shards,
                         reports: &mut self.reports,
                         probe_view: &mut self.probe_view,
+                        recv: &mut self.prof.recv,
                     };
                     self.sim.release_deps(&mut ctx, id);
                     let (k, sub) = (ctx.k, ctx.sub);
@@ -958,6 +1066,7 @@ impl Coordinator {
                         from_shards: &self.from_shards,
                         reports: &mut self.reports,
                         probe_view: &mut self.probe_view,
+                        recv: &mut self.prof.recv,
                     };
                     self.sim.coord_kill_retry(&mut ctx, job);
                     let (k, sub) = (ctx.k, ctx.sub);
@@ -966,9 +1075,15 @@ impl Coordinator {
                         .send(ToShard::Ack { k, sub, injects })
                         .unwrap_or_else(|_| panic!("shard alive"));
                 }
-                ToCoord::KilledCheckpoint { at, rank, job } => {
+                ToCoord::KilledCheckpoint {
+                    at,
+                    killed_at,
+                    rank,
+                    job,
+                } => {
                     // Fire-and-forget: the requeue re-enters routing here.
-                    self.queue.schedule(at, rank, Event::Requeue { job });
+                    self.queue
+                        .schedule(at, rank, Event::Requeue { job, killed_at });
                 }
                 _ => unreachable!("unexpected message during candidate execution"),
             }
@@ -993,6 +1108,7 @@ impl Coordinator {
             from_shards: &self.from_shards,
             reports: &mut self.reports,
             probe_view: &mut self.probe_view,
+            recv: &mut self.prof.recv,
         };
         self.sim.dispatch_event(&mut ctx, ev);
     }
@@ -1026,6 +1142,7 @@ impl Coordinator {
             self.recv_parked(i);
         }
         loop {
+            let round_t0 = Instant::now();
             let own_head = self.queue.peek().map(|(t, r)| (t, r.clone()));
             let effs: Vec<Option<(SimTime, Rank, bool)>> =
                 (0..shards).map(|j| self.effective_head(j)).collect();
@@ -1076,6 +1193,11 @@ impl Coordinator {
                 self.apply_mirrors_through((at, &rank));
                 let (t, r, ev) = self.queue.pop().expect("peeked");
                 self.execute_own(t, r, ev);
+                self.prof.rounds += 1;
+                self.prof.coord_events += 1;
+                self.prof
+                    .round_wall
+                    .record(round_t0.elapsed().as_secs_f64());
                 continue;
             }
 
@@ -1099,11 +1221,26 @@ impl Coordinator {
                 // whatever was granted before is void once the interlude
                 // runs, so the bound book must drop with it or later grant
                 // comparisons would skip re-raising it.
-                self.granted[j] = Bound::at(at, rank.clone());
+                let clamp = Bound::at(at, rank.clone());
+                if clamp < self.granted[j] {
+                    // The shard held a higher free-running grant; the
+                    // interlude voids it and the bound book drops back.
+                    self.prof.bound_clamps += 1;
+                }
+                self.granted[j] = clamp;
                 self.to_shards[j]
                     .send(ToShard::ExecuteHead { at, rank })
                     .unwrap_or_else(|_| panic!("shard alive"));
+                let interlude_t0 = Instant::now();
                 self.interlude(j);
+                self.prof.rounds += 1;
+                self.prof.candidate_rounds += 1;
+                self.prof
+                    .candidate_wall
+                    .record(interlude_t0.elapsed().as_secs_f64());
+                self.prof
+                    .round_wall
+                    .record(round_t0.elapsed().as_secs_f64());
                 continue;
             }
 
@@ -1154,9 +1291,16 @@ impl Coordinator {
                 (at, &rank),
                 self.reports.iter().map(|r| r.floor).collect::<Vec<_>>(),
             );
+            self.prof.rounds += 1;
+            self.prof.grant_rounds += 1;
+            self.prof.advances_sent += awaiting.len() as u64;
+            self.prof.grant_occupancy.record(awaiting.len() as f64);
             for m in awaiting {
                 self.recv_parked(m);
             }
+            self.prof
+                .round_wall
+                .record(round_t0.elapsed().as_secs_f64());
         }
     }
 }
@@ -1168,6 +1312,9 @@ pub(crate) struct ShardedOutcome {
     pub(crate) peak_queue_len: usize,
     /// The federation-wide minimum staged lookahead (diagnostic).
     pub(crate) min_lookahead: SimDuration,
+    /// Sync-round profile of the conservative protocol (observer data;
+    /// the harness attaches it to the run's [`tg_des::EngineProfile`]).
+    pub(crate) sync: SyncProfile,
 }
 
 /// Run `threads`-way sharded (one coordinator on the calling thread plus
@@ -1251,6 +1398,7 @@ pub(crate) fn run_sharded(
         from_shards,
         delivered: 0,
         last: SimTime::ZERO,
+        prof: SyncRecorder::new(),
     };
     let fault_rank_base = coordinator.prime();
 
@@ -1275,6 +1423,7 @@ pub(crate) fn run_sharded(
                     last: SimTime::ZERO,
                     tx,
                     rx,
+                    recv: RecvTally::default(),
                 };
                 shard.run(fault_rank_base, me, shards);
             });
@@ -1311,6 +1460,7 @@ fn merge(mut c: Coordinator, finals: Vec<ShardFinal>, lookahead: Lookahead) -> S
     let mut peak = c.queue.peak_len();
     let mut jobs_done = c.sim.jobs_done;
     let mut records = std::mem::take(&mut c.records);
+    let mut shard_recv = RecvTally::default();
 
     for (me, mut f) in finals.into_iter().enumerate() {
         // Swap in the authoritative per-site state (utilization integrals,
@@ -1337,6 +1487,16 @@ fn merge(mut c: Coordinator, finals: Vec<ShardFinal>, lookahead: Lookahead) -> S
         delivered += f.delivered;
         end = end.max(f.last);
         peak += f.peak;
+        shard_recv.spins += f.recv.spins;
+        shard_recv.blocks += f.recv.blocks;
+        // Pool this shard's span sketches (element-wise counts — exact,
+        // order-free) and series columns (single writer per site) into the
+        // coordinator's book. Iterating `finals` in shard order keeps even
+        // the f64 gauge-area sums byte-identical at any thread count.
+        if c.sim.obs.is_enabled() {
+            c.sim.obs.sketches.merge_from(&f.sketches);
+            c.sim.obs.series.merge_from(&f.series);
+        }
     }
 
     assert_eq!(
@@ -1361,6 +1521,8 @@ fn merge(mut c: Coordinator, finals: Vec<ShardFinal>, lookahead: Lookahead) -> S
     let trace_flush_ok = c.sim.tracer.close_sink();
     let fault_report = c.sim.faults.take().map(|f| f.report);
     let ingest_tally = c.sim.record_sink.as_mut().map(|s| s.close());
+    let stats = c.sim.obs.finish(end);
+    let sync = c.prof.into_profile(shards, shard_recv);
     let finished = FinishedSim {
         federation: c.sim.federation,
         db: c.sim.db,
@@ -1372,11 +1534,13 @@ fn merge(mut c: Coordinator, finals: Vec<ShardFinal>, lookahead: Lookahead) -> S
         trace_flush_ok,
         fault_report,
         ingest_tally,
+        stats,
     };
     ShardedOutcome {
         finished,
         delivered,
         peak_queue_len: peak,
         min_lookahead: lookahead.min_staged(),
+        sync,
     }
 }

@@ -169,6 +169,20 @@ pub struct RunOptions {
     pub stream_gen: bool,
     /// Where accounting records land (retained in `db` by default).
     pub record_streaming: RecordStreaming,
+    /// Collect constant-memory online observability: span-latency sketches
+    /// keyed by (kind, cause, site, modality) plus the windowed operational
+    /// series ([`crate::sim::GridSim::with_live_stats`]). The final
+    /// [`crate::sim::StatsReport`] lands in [`SimOutput::stats`]. Works
+    /// sharded: per-shard books merge exactly at join, so the report is
+    /// byte-identical at any thread count.
+    pub live_stats: bool,
+    /// Stream each closed series bucket as a JSONL row to this path while
+    /// the run progresses (implies `live_stats`). Serial-only: a live file
+    /// is written in event order, so this forces the serial path with a
+    /// warning, exactly like `trace_path`.
+    pub live_stats_path: Option<PathBuf>,
+    /// Bucket width for the windowed series (`None` = one hour).
+    pub live_stats_bucket: Option<tg_des::SimDuration>,
 }
 
 impl RunOptions {
@@ -263,10 +277,17 @@ impl Scenario {
             );
             sharded = false;
         }
+        if sharded && opts.live_stats_path.is_some() {
+            eprintln!(
+                "warning: live-stats streaming is serial-only; ignoring --threads {}",
+                opts.threads
+            );
+            sharded = false;
+        }
 
         // Wall-clock profiling wraps the event loop; it lives OUTSIDE the
         // deterministic outputs (never compared across runs).
-        let (finished, events_delivered, peak_queue_len, wall) = if sharded {
+        let (finished, events_delivered, peak_queue_len, wall, sync) = if sharded {
             // Every job that something else depends on: its completion
             // must synchronize with the coordinator's dependency book.
             let watched: std::sync::Arc<std::collections::HashSet<JobId>> = std::sync::Arc::new(
@@ -292,6 +313,7 @@ impl Scenario {
                 outcome.delivered,
                 outcome.peak_queue_len,
                 wall,
+                Some(outcome.sync),
             )
         } else {
             let jobs = std::mem::take(&mut workload.jobs);
@@ -306,11 +328,20 @@ impl Scenario {
             if let Some(sink) = build_record_sink(&opts.record_streaming) {
                 sim = sim.with_record_sink(sink);
             }
+            if let Some(sink) = build_live_sink(opts) {
+                sim = sim.with_live_sink(sink);
+            }
             let mut engine: Engine<Event> = Engine::with_capacity(1024);
             let wall_start = std::time::Instant::now();
             let finished = sim.run(&mut engine);
             let wall = wall_start.elapsed().as_secs_f64();
-            (finished, engine.delivered(), engine.peak_queue_len(), wall)
+            (
+                finished,
+                engine.delivered(),
+                engine.peak_queue_len(),
+                wall,
+                None,
+            )
         };
         let charge_policy = ChargePolicy::new(cfg.sites.iter().map(|s| s.charge_factor).collect());
         // Memory is sampled HERE — after the engine (and, on the sharded
@@ -318,10 +349,11 @@ impl Scenario {
         // dropped its buffers and its high-water is folded into the
         // process-wide `VmHWM`). Sampling inside the coordinator would race
         // the workers and under-report the parallel path.
-        let profile = EngineProfile::new(events_delivered, wall, peak_queue_len).with_memory(
+        let mut profile = EngineProfile::new(events_delivered, wall, peak_queue_len).with_memory(
             tg_des::memory::peak_rss_bytes(),
             tg_des::memory::AllocDelta::since(alloc_before),
         );
+        profile.sync = sync;
         let metrics = finished.metrics.map(|mut m| {
             m.engine = Some(profile.clone());
             m
@@ -360,6 +392,7 @@ impl Scenario {
                 .map(|_| finished.tracer.health(finished.trace_flush_ok)),
             fault_report: finished.fault_report,
             ingest_tally: finished.ingest_tally,
+            stats: finished.stats,
         }
     }
 
@@ -410,6 +443,9 @@ impl Scenario {
         if let Some(sink) = build_record_sink(&opts.record_streaming) {
             sim = sim.with_record_sink(sink);
         }
+        if let Some(sink) = build_live_sink(opts) {
+            sim = sim.with_live_sink(sink);
+        }
         let mut engine: Engine<Event> = Engine::with_capacity(1024);
         let wall_start = std::time::Instant::now();
         let finished = sim.run_streaming(&mut engine, jobs);
@@ -459,6 +495,7 @@ impl Scenario {
                 .map(|_| finished.tracer.health(finished.trace_flush_ok)),
             fault_report: finished.fault_report,
             ingest_tally: finished.ingest_tally,
+            stats: finished.stats,
         }
     }
 }
@@ -527,7 +564,23 @@ fn apply_sim_options(mut sim: GridSim, cfg: &ScenarioConfig, opts: &RunOptions) 
     if opts.metrics {
         sim = sim.with_metrics();
     }
+    if opts.live_stats || opts.live_stats_path.is_some() {
+        let bucket = opts
+            .live_stats_bucket
+            .unwrap_or(tg_des::SimDuration::from_hours(1));
+        // Only the enablement is shared; the live sink (serial-only) is
+        // attached by the run paths, never to sharded replicas.
+        sim = sim.with_live_stats(bucket);
+    }
     sim
+}
+
+/// Construct the live-stats JSONL sink (`None` when not streaming).
+fn build_live_sink(opts: &RunOptions) -> Option<Box<dyn std::io::Write + Send>> {
+    let path = opts.live_stats_path.as_ref()?;
+    let file = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create live-stats file {}: {e}", path.display()));
+    Some(Box::new(std::io::BufWriter::new(file)))
 }
 
 /// Construct the record sink `opts` asks for (`None` = retain in `db`).
@@ -603,6 +656,12 @@ pub struct SimOutput {
     /// [`RunOptions::record_streaming`] diverted records; `db` is empty
     /// then and this carries the summary counts instead).
     pub ingest_tally: Option<tg_accounting::IngestTally>,
+    /// Online observability report (`Some` only when
+    /// [`RunOptions::live_stats`] or a live-stats path was set):
+    /// analyzer-aligned span-latency sketch tables plus the windowed
+    /// operational series. Deterministic — byte-identical at any thread
+    /// count — unlike `profile`.
+    pub stats: Option<crate::sim::StatsReport>,
 }
 
 impl SimOutput {

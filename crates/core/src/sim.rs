@@ -35,6 +35,8 @@ use tg_accounting::{
     RecordSink, SessionRecord, TransferRecord,
 };
 use tg_des::metrics::{CounterId, GaugeId, MetricsRegistry, MetricsSnapshot, SeriesId};
+use tg_des::series::{SeriesSnapshot, WindowedSeries};
+use tg_des::sketch::{SpanSketchbook, SpanStatsSnapshot};
 use tg_des::span::{SpanKind, WaitCause, SPAN_CATEGORY, SPAN_SCHEMA_VERSION};
 use tg_des::trace::{TraceValue, Tracer};
 use tg_des::{
@@ -108,6 +110,10 @@ pub enum Event {
     Requeue {
         /// The job being resubmitted.
         job: Box<Job>,
+        /// When the fault killed it (the requeue span's start; carried in
+        /// the event so the coordinator of a sharded run — where the kill
+        /// happened on a shard — emits the same span the serial run does).
+        killed_at: SimTime,
     },
     /// Sharded runs only: apply a link-kind fault event to this shard's
     /// replica of the network state (no report/counter side effects — the
@@ -216,7 +222,7 @@ pub(crate) trait EvCtx {
     /// Fire-and-forget — the shard advances its own child cursor, so no
     /// acknowledgement is owed.
     #[allow(clippy::boxed_local)] // boxed to match the shard-side message payload
-    fn export_requeue(&mut self, _at: SimTime, _job: Box<Job>) {
+    fn export_requeue(&mut self, _at: SimTime, _killed_at: SimTime, _job: Box<Job>) {
         unreachable!("serial contexts never export")
     }
     /// Shard → coordinator: a kill needs the global retry book to decide
@@ -305,6 +311,100 @@ struct SpanTrack {
     phase_start: SimTime,
     /// Whether the job sat in an RC backlog (fabric full) this phase.
     deferred: bool,
+}
+
+/// The online observability layer (`--live-stats`): span-duration sketches
+/// plus the windowed operational series, with an optional JSONL sink that
+/// receives one row per closed series bucket. Disabled by default; see
+/// [`GridSim::with_live_stats`]. Like the tracer and metrics, everything
+/// here is a pure observer — it never draws randomness, schedules events,
+/// or feeds back into a decision, so observed and unobserved runs stay
+/// byte-identical.
+pub(crate) struct Obs {
+    pub(crate) sketches: SpanSketchbook,
+    pub(crate) series: WindowedSeries,
+    /// Live JSONL sink for closed buckets (serial runs only; sharded runs
+    /// snapshot the merged series at join instead).
+    sink: Option<Box<dyn std::io::Write + Send>>,
+    sink_errors: u64,
+}
+
+impl Obs {
+    fn disabled() -> Self {
+        Obs {
+            sketches: SpanSketchbook::disabled(),
+            series: WindowedSeries::disabled(),
+            sink: None,
+            sink_errors: 0,
+        }
+    }
+
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.sketches.is_enabled()
+    }
+
+    /// Emit any series buckets that closed before `now` to the live sink.
+    /// One compare when no sink is attached or no boundary has passed.
+    fn tick(&mut self, now: SimTime) {
+        if self.sink.is_none() {
+            return;
+        }
+        let rows = self.series.drain_closed(now);
+        if rows.is_empty() {
+            return;
+        }
+        let sink = self.sink.as_mut().expect("checked above");
+        for row in rows {
+            let line = serde_json::to_string(&row).expect("series row serializes");
+            if writeln!(sink, "{line}").is_err() {
+                self.sink_errors += 1;
+            }
+        }
+    }
+
+    /// Close out the layer at run end: flush remaining buckets to the sink
+    /// and snapshot the final report. `None` when the layer was disabled.
+    pub(crate) fn finish(&mut self, end: SimTime) -> Option<StatsReport> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let spans = self.sketches.snapshot();
+        let already = self.series.drained_buckets();
+        let series = self.series.snapshot(end);
+        if let Some(sink) = self.sink.as_mut() {
+            // The final snapshot covers every bucket; emit the tail the
+            // periodic drain had not reached (the last row is the partial
+            // end-of-run bucket, so live files always end on the final
+            // window).
+            for row in series.rows.iter().skip(already) {
+                let line = serde_json::to_string(row).expect("series row serializes");
+                if writeln!(sink, "{line}").is_err() {
+                    self.sink_errors += 1;
+                }
+            }
+            if sink.flush().is_err() {
+                self.sink_errors += 1;
+            }
+        }
+        Some(StatsReport {
+            spans,
+            series,
+            live_sink_errors: self.sink_errors,
+        })
+    }
+}
+
+/// Final online-statistics report: the analyzer-aligned sketch tables plus
+/// the windowed series. Rides in [`FinishedSim::stats`] /
+/// `SimOutput::stats` when `--live-stats` is on.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StatsReport {
+    /// Span-duration sketch tables (kind / cause / site / modality).
+    pub spans: SpanStatsSnapshot,
+    /// Windowed operational series, one row per virtual-time bucket.
+    pub series: SeriesSnapshot,
+    /// Write failures on the live JSONL sink (0 when none was attached).
+    pub live_sink_errors: u64,
 }
 
 /// One periodic metric snapshot.
@@ -481,8 +581,11 @@ pub struct GridSim {
     /// [`GridSim::with_tracer`]).
     pub(crate) tracer: Tracer,
     /// Per-job lifecycle phase state for span emission (populated only while
-    /// the tracer is enabled).
+    /// the tracer or the online-stats layer is enabled).
     span_track: HashMap<JobId, SpanTrack>,
+    /// Online observability (disabled by default; see
+    /// [`GridSim::with_live_stats`]).
+    pub(crate) obs: Obs,
     /// Fault injection (disabled by default; see [`GridSim::with_faults`]).
     pub(crate) faults: Option<FaultLayer>,
     /// Streaming mode: jobs arrive via [`Event::SubmitJob`] and ground
@@ -546,6 +649,7 @@ impl GridSim {
             ins,
             tracer: Tracer::new(4096),
             span_track: HashMap::new(),
+            obs: Obs::disabled(),
             faults: None,
             streaming: false,
             record_sink: None,
@@ -606,6 +710,15 @@ impl GridSim {
         site: Option<SiteId>,
         cause: Option<WaitCause>,
     ) {
+        // Online stats see every span close the tracer would, without
+        // requiring a retained trace.
+        self.obs.sketches.record(
+            kind,
+            cause,
+            site.map(|s| s.index()),
+            Some(job.true_modality.index()),
+            t1.saturating_since(t0).as_secs_f64(),
+        );
         self.tracer.emit_event(now, SPAN_CATEGORY, || {
             let mut fields: Vec<(&'static str, TraceValue)> = vec![
                 ("v", SPAN_SCHEMA_VERSION.into()),
@@ -623,6 +736,40 @@ impl GridSim {
             }
             fields
         });
+    }
+
+    /// Sharded runs only: bring this participant's span-phase entry for
+    /// `job` up to date before a span-emitting handler runs. On the serial
+    /// path `admit` seeds the entry and `route` keeps it current, but
+    /// `admit`/`route` run on the *coordinator*, so a shard first meets a
+    /// job here with no entry (fresh arrival) or a stale one (a previous
+    /// attempt's phase, older than the requeued `submit_time`).
+    ///
+    /// The rule is a no-op on the serial path by construction: `route`
+    /// bumps `job.submit_time` to the routing instant and resets
+    /// `phase_start` to that same instant, so at every `enqueue` /
+    /// `route_rc` entry the serial invariant `phase_start >= submit_time`
+    /// already holds and neither arm fires.
+    fn sync_span_phase(&mut self, job: &Job) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        match self.span_track.get_mut(&job.id) {
+            Some(track) if track.phase_start < job.submit_time => {
+                track.phase_start = job.submit_time;
+                track.deferred = false;
+            }
+            Some(_) => {}
+            None => {
+                self.span_track.insert(
+                    job.id,
+                    SpanTrack {
+                        phase_start: job.submit_time,
+                        deferred: false,
+                    },
+                );
+            }
+        }
     }
 
     /// Enable run-level metrics collection. Metrics are pure observers —
@@ -646,6 +793,37 @@ impl GridSim {
     pub fn with_sampling(mut self, interval: tg_des::SimDuration) -> Self {
         assert!(!interval.is_zero(), "sample interval must be positive");
         self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Enable the online observability layer: span-duration sketches keyed
+    /// by `(kind, cause, site, modality)` updated at every span close, plus
+    /// the windowed operational series at `bucket` granularity. Pure
+    /// observers — nothing here draws randomness, schedules events, or
+    /// feeds a decision — so enabling it cannot change any simulation
+    /// result, and the per-shard state merges byte-deterministically at a
+    /// sharded join.
+    pub fn with_live_stats(mut self, bucket: tg_des::SimDuration) -> Self {
+        let modalities = Modality::ALL.iter().map(|m| m.name().to_string()).collect();
+        self.obs.sketches = SpanSketchbook::enabled(self.federation.len(), modalities);
+        let cores: Vec<f64> = self
+            .federation
+            .sites()
+            .map(|s| s.cluster.total_cores() as f64)
+            .collect();
+        self.obs.series = WindowedSeries::enabled(bucket, &cores);
+        self
+    }
+
+    /// Attach a live JSONL sink receiving one [`tg_des::series::SeriesRow`]
+    /// per closed series bucket (requires [`GridSim::with_live_stats`]).
+    /// Write failures are tallied, never fatal, mirroring the trace sink.
+    pub fn with_live_sink(mut self, sink: Box<dyn std::io::Write + Send>) -> Self {
+        assert!(
+            self.obs.is_enabled(),
+            "attach a live sink after enabling live stats"
+        );
+        self.obs.sink = Some(sink);
         self
     }
 
@@ -788,6 +966,7 @@ impl GridSim {
         debug_assert!(self.running.is_empty(), "registry drained with the jobs");
         let fault_report = self.faults.take().map(|f| f.report);
         let ingest_tally = self.record_sink.as_mut().map(|s| s.close());
+        let stats = self.obs.finish(engine.now());
         FinishedSim {
             federation: self.federation,
             db: self.db,
@@ -799,6 +978,7 @@ impl GridSim {
             trace_flush_ok,
             fault_report,
             ingest_tally,
+            stats,
         }
     }
 
@@ -992,6 +1172,9 @@ impl GridSim {
 
     fn enqueue(&mut self, ctx: &mut impl EvCtx, site: SiteId, job: Job) {
         self.metrics.inc(self.ins.enqueues);
+        if ctx.exec_mode() == ExecRole::Shard {
+            self.sync_span_phase(&job);
+        }
         // Span: any gap since routing was input staging over the WAN.
         if let Some(track) = self.span_track.get(&job.id).copied() {
             if ctx.now() > track.phase_start {
@@ -1041,6 +1224,7 @@ impl GridSim {
         let started = self.schedulers[site.index()].make_decisions(ctx.now(), cluster, speed);
         for s in started {
             let actual = s.job.runtime_on(speed, false);
+            self.obs.series.on_start(ctx.now());
             if ctx.exec_mode() == ExecRole::Shard {
                 // The start pins the exact completion instant; tighten this
                 // job's contribution to the shard's emission floor.
@@ -1107,7 +1291,8 @@ impl GridSim {
 
     /// Refresh a site's time-weighted gauges after its state changed.
     fn observe_site(&mut self, now: SimTime, site: SiteId) {
-        if !self.metrics.is_enabled() {
+        let series_on = self.obs.series.is_enabled();
+        if !self.metrics.is_enabled() && !series_on {
             return;
         }
         let busy = self.federation.site(site).cluster.busy_cores();
@@ -1116,6 +1301,11 @@ impl GridSim {
             .gauge_set(self.ins.busy_cores[site.index()], now, busy as f64);
         self.metrics
             .gauge_set(self.ins.queue_len[site.index()], now, queued as f64);
+        if series_on {
+            self.obs
+                .series
+                .set_site(site.index(), now, busy as f64, queued as f64);
+        }
     }
 
     fn complete_batch(&mut self, ctx: &mut impl EvCtx, id: JobId) {
@@ -1136,6 +1326,7 @@ impl GridSim {
             .site_mut(site)
             .cluster
             .release(ctx.now(), job.cores);
+        self.obs.series.on_stop(ctx.now());
         {
             self.schedulers[site.index()].on_complete(ctx.now(), job.id);
         }
@@ -1178,6 +1369,9 @@ impl GridSim {
     // ------------------------------------------------------------------
 
     pub(crate) fn route_rc(&mut self, ctx: &mut impl EvCtx, site: SiteId, job: Job) {
+        if ctx.exec_mode() == ExecRole::Shard {
+            self.sync_span_phase(&job);
+        }
         if !self.federation.site(site).has_rc() {
             // No fabric anywhere: run the software version.
             self.enqueue(ctx, site, job);
@@ -1261,6 +1455,7 @@ impl GridSim {
                 if ctx.exec_mode() == ExecRole::Shard {
                     ctx.note_watched_started(job.id, end);
                 }
+                self.obs.series.on_start(ctx.now());
                 ctx.schedule_at(
                     end,
                     Event::RcComplete {
@@ -1342,6 +1537,7 @@ impl GridSim {
             .rc
             .node_mut(node)
             .finish(region, ctx.now());
+        self.obs.series.on_stop(ctx.now());
         if self.span_track.contains_key(&job.id) {
             self.emit_span(
                 ctx.now(),
@@ -1578,6 +1774,7 @@ impl GridSim {
             .site_mut(rec.site)
             .cluster
             .preempt(ctx.now(), rec.cores);
+        self.obs.series.on_stop(ctx.now());
         self.schedulers[rec.site.index()].on_complete(ctx.now(), id);
         self.faults
             .as_mut()
@@ -1628,9 +1825,15 @@ impl GridSim {
             if ctx.exec_mode() == ExecRole::Shard {
                 // Requeues re-enter routing, which is coordinator-owned.
                 let at = ctx.now() + backoff;
-                ctx.export_requeue(at, Box::new(job));
+                ctx.export_requeue(at, ctx.now(), Box::new(job));
             } else {
-                ctx.schedule_after(backoff, Event::Requeue { job: Box::new(job) });
+                ctx.schedule_after(
+                    backoff,
+                    Event::Requeue {
+                        job: Box::new(job),
+                        killed_at: ctx.now(),
+                    },
+                );
             }
             return;
         }
@@ -1659,21 +1862,33 @@ impl GridSim {
         } else {
             f.report.jobs_requeued += 1;
             let backoff = f.retry.backoff(attempts);
-            ctx.schedule_after(backoff, Event::Requeue { job: Box::new(job) });
+            ctx.schedule_after(
+                backoff,
+                Event::Requeue {
+                    job: Box::new(job),
+                    killed_at: ctx.now(),
+                },
+            );
         }
     }
 
     /// A killed job returns from backoff: emit the `requeue` span covering
     /// the backoff wait, then route it as a fresh submission (`route` bumps
     /// `submit_time`, so accounting sees the final attempt's resubmission).
-    fn requeue(&mut self, ctx: &mut impl EvCtx, job: Job) {
-        if let Some(track) = self.span_track.get(&job.id).copied() {
-            if ctx.now() > track.phase_start {
+    ///
+    /// The span's start is `killed_at`, carried in the event rather than
+    /// read from `span_track`: in a serial run the kill site just set
+    /// `phase_start` to the kill time so the two are identical, but in a
+    /// sharded run the kill happened on a shard and the coordinator's
+    /// track (seeded at admit) is stale.
+    fn requeue(&mut self, ctx: &mut impl EvCtx, job: Job, killed_at: SimTime) {
+        if self.span_track.contains_key(&job.id) {
+            if ctx.now() > killed_at {
                 self.emit_span(
                     ctx.now(),
                     &job,
                     SpanKind::Requeue,
-                    track.phase_start,
+                    killed_at,
                     ctx.now(),
                     None,
                     None,
@@ -1874,6 +2089,7 @@ impl GridSim {
 
     fn finish_job(&mut self, ctx: &mut impl EvCtx, job: &Job) {
         self.span_track.remove(&job.id);
+        self.obs.series.on_complete(ctx.now());
         self.jobs_done += 1;
         if ctx.exec_mode() == ExecRole::Shard {
             // Dependency state lives on the coordinator. Only completions
@@ -1931,7 +2147,8 @@ impl GridSim {
                 ("deps", job.deps.len().into()),
             ]
         });
-        if self.tracer.is_enabled() {
+        self.obs.series.on_submit(ctx.now());
+        if self.tracer.is_enabled() || self.obs.is_enabled() {
             self.span_track.insert(
                 job.id,
                 SpanTrack {
@@ -1959,6 +2176,10 @@ impl GridSim {
     /// ([`Simulation::handle`]) and the sharded participants (which call it
     /// with their own [`EvCtx`] implementations).
     pub(crate) fn dispatch_event(&mut self, ctx: &mut impl EvCtx, event: Event) {
+        // Live-stats sink: flush series buckets that closed before this
+        // event (a no-op compare unless a sink is attached, which only the
+        // serial engine does).
+        self.obs.tick(ctx.now());
         match event {
             Event::Submit(index) => self.submit_from_trace(ctx, index),
             Event::SubmitJob(job) => self.admit(ctx, *job),
@@ -1978,7 +2199,7 @@ impl GridSim {
             }
             Event::Sample => self.take_sample(ctx),
             Event::Fault(index) => self.handle_fault(ctx, index),
-            Event::Requeue { job } => self.requeue(ctx, *job),
+            Event::Requeue { job, killed_at } => self.requeue(ctx, *job, killed_at),
             Event::NetUpdate(index) => self.apply_net_update(index),
         }
     }
@@ -2057,7 +2278,15 @@ impl GridSim {
         } else {
             f.report.jobs_requeued += 1;
             let backoff = f.retry.backoff(attempts);
-            ctx.schedule_after(backoff, Event::Requeue { job });
+            // The interlude runs this at the shard's kill time, so `now`
+            // is the moment the fault struck — the requeue span's start.
+            ctx.schedule_after(
+                backoff,
+                Event::Requeue {
+                    job,
+                    killed_at: ctx.now(),
+                },
+            );
         }
     }
 
@@ -2152,6 +2381,10 @@ pub struct FinishedSim {
     /// Final tally from an attached record sink (`None` when records were
     /// retained in `db`, i.e. the default path).
     pub ingest_tally: Option<IngestTally>,
+    /// Online observability report (`None` unless
+    /// [`GridSim::with_live_stats`] was on): pooled span sketches plus the
+    /// windowed operational series.
+    pub stats: Option<StatsReport>,
 }
 
 #[cfg(test)]

@@ -1,0 +1,261 @@
+//! Online-observability differential suite.
+//!
+//! The live-stats layer (`crates/des/src/sketch.rs`, `crates/des/src/series.rs`,
+//! wired through `GridSim` and the sharded engine) is an *observer*: enabling
+//! it must not change a single byte of simulation output, and the report it
+//! produces must itself be byte-identical at any `--threads N`. This suite
+//! enforces both, and cross-checks the online sketches against the offline
+//! trace analyzer within the sketch's documented error bound.
+
+use std::io::BufRead;
+use std::path::PathBuf;
+
+use tg_core::{RunOptions, ScenarioConfig, SimOutput};
+use tg_des::analyze::parse_span_line;
+use tg_des::sketch::RELATIVE_ERROR;
+use tg_des::{SpanKind, TraceAnalyzer};
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tg-obs-{tag}-{}.jsonl", std::process::id()))
+}
+
+fn observed(threads: usize) -> RunOptions {
+    RunOptions {
+        live_stats: true,
+        threads,
+        ..RunOptions::default()
+    }
+}
+
+/// Every deterministic field of [`SimOutput`] must match between an observed
+/// and an unobserved run (`stats` and `profile` are the intentional deltas).
+fn assert_same_simulation(a: &SimOutput, b: &SimOutput, label: &str) {
+    assert_eq!(a.events_delivered, b.events_delivered, "{label}: events");
+    assert_eq!(a.end, b.end, "{label}: end time");
+    assert_eq!(a.db.jobs, b.db.jobs, "{label}: job records");
+    assert_eq!(a.db.transfers, b.db.transfers, "{label}: transfers");
+    assert_eq!(a.db.sessions, b.db.sessions, "{label}: sessions");
+    assert_eq!(a.db.rc_placements, b.db.rc_placements, "{label}: rc");
+    assert_eq!(a.samples, b.samples, "{label}: sample series");
+    assert_eq!(a.site_stats, b.site_stats, "{label}: site stats");
+    assert_eq!(a.fault_report, b.fault_report, "{label}: fault report");
+}
+
+#[test]
+fn live_stats_never_perturb_serial_results() {
+    let cfg = ScenarioConfig::baseline(120, 7);
+    let scenario = cfg.build();
+    let plain = scenario.run_with(11, &RunOptions::default());
+    let obs = scenario.run_with(11, &observed(0));
+    assert!(plain.stats.is_none(), "unobserved run grew a stats report");
+    let stats = obs.stats.as_ref().expect("observed run reports stats");
+    assert!(stats.spans.spans > 0, "no spans recorded");
+    assert_same_simulation(&plain, &obs, "serial observed-vs-not");
+}
+
+#[test]
+fn live_stats_never_perturb_sharded_results() {
+    let cfg = ScenarioConfig::baseline(120, 7);
+    let scenario = cfg.build();
+    let plain = scenario.run_with(11, &RunOptions::with_threads(4));
+    let obs = scenario.run_with(11, &observed(4));
+    assert!(obs.stats.is_some(), "sharded observed run reports stats");
+    assert_same_simulation(&plain, &obs, "sharded observed-vs-not");
+}
+
+/// The stats report itself — sketch tables *and* the f64 series rows — must
+/// be byte-identical at every thread count: per-shard books merge with
+/// element-wise integer adds, and each series site column has exactly one
+/// writer, summed in site-index order.
+#[test]
+fn stats_report_is_identical_at_any_thread_count() {
+    let mut cfg = ScenarioConfig::baseline(120, 7);
+    cfg.sites[0].batch_nodes = 64;
+    let scenario = cfg.build();
+    let serial = scenario.run_with(23, &observed(0));
+    let want = serial.stats.as_ref().expect("serial stats");
+    assert!(want.spans.spans > 0 && !want.series.rows.is_empty());
+    for threads in [2, 3, 4, 8] {
+        let sharded = scenario.run_with(23, &observed(threads));
+        let got = sharded.stats.as_ref().expect("sharded stats");
+        assert_eq!(want, got, "stats diverged at threads={threads}");
+        assert_same_simulation(&serial, &sharded, &format!("threads={threads}"));
+    }
+}
+
+/// Faults exercise the kill → requeue span path, whose sharded phase-start
+/// bookkeeping (`killed_at` riding `Event::Requeue`) must agree with the
+/// serial tracker exactly.
+#[test]
+fn stats_report_survives_faults_at_any_thread_count() {
+    let mut cfg = ScenarioConfig::baseline(120, 6);
+    for s in &mut cfg.sites {
+        s.batch_nodes = (s.batch_nodes / 4).max(16);
+    }
+    cfg.faults = Some(tg_core::FaultSpec {
+        site_outages: vec![tg_core::OutageWindow {
+            site: 1,
+            start_hours: 30.0,
+            duration_hours: 12.0,
+            notice_hours: 0.0,
+        }],
+        retry: Some(tg_sched::RetryPolicy::default()),
+        ..tg_core::FaultSpec::default()
+    });
+    let scenario = cfg.build();
+    let serial = scenario.run_with(4242, &observed(0));
+    let fr = serial.fault_report.as_ref().expect("faults ran");
+    assert!(fr.jobs_killed > 0, "outage killed running work: {fr:?}");
+    let want = serial.stats.as_ref().expect("serial stats");
+    assert!(
+        want.spans.by_kind.contains_key("requeue"),
+        "kill path produced requeue spans: {:?}",
+        want.spans.by_kind.keys().collect::<Vec<_>>()
+    );
+    for threads in [2, 4] {
+        let sharded = scenario.run_with(4242, &observed(threads));
+        assert_eq!(
+            want,
+            sharded.stats.as_ref().expect("sharded stats"),
+            "stats diverged at threads={threads}"
+        );
+    }
+}
+
+/// Acceptance cross-check: run once with both the JSONL trace and the online
+/// sketches, then compare the sketch tables against (a) the offline analyzer
+/// (exact counts and means) and (b) exact nearest-rank quantiles over the
+/// parsed span durations — everything within the sketch's documented
+/// [`RELATIVE_ERROR`].
+#[test]
+fn online_sketches_agree_with_offline_analyzer() {
+    let cfg = ScenarioConfig::baseline(150, 7);
+    let path = scratch("agree");
+    let opts = RunOptions {
+        trace_path: Some(path.clone()),
+        live_stats: true,
+        ..RunOptions::default()
+    };
+    let out = cfg.build().run_with(777, &opts);
+    let stats = out.stats.as_ref().expect("stats collected");
+
+    let mut analyzer = TraceAnalyzer::new();
+    let mut durations: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    let file = std::fs::File::open(&path).expect("trace file exists");
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line.expect("readable line");
+        if let Some(span) = parse_span_line(&line) {
+            durations
+                .entry(span.kind.name().to_string())
+                .or_default()
+                .push(span.duration());
+        }
+        analyzer.add_line(&line);
+    }
+    let _ = std::fs::remove_file(&path);
+    let analysis = analyzer.finish();
+
+    // Same span stream, so group membership and counts match exactly.
+    assert_eq!(
+        analysis.span_lines, stats.spans.spans,
+        "span count online vs trace"
+    );
+    assert_eq!(
+        analysis.by_kind.keys().collect::<Vec<_>>(),
+        stats.spans.by_kind.keys().collect::<Vec<_>>(),
+        "span kinds"
+    );
+    assert_eq!(
+        analysis.queued_by_cause.keys().collect::<Vec<_>>(),
+        stats.spans.queued_by_cause.keys().collect::<Vec<_>>(),
+        "wait causes"
+    );
+    let close = |got: f64, want: f64, what: &str| {
+        let tol = want.abs() * RELATIVE_ERROR + 1e-6;
+        assert!(
+            (got - want).abs() <= tol,
+            "{what}: online {got} vs offline {want} (tol {tol})"
+        );
+    };
+    for (kind, offline) in &analysis.by_kind {
+        let online = &stats.spans.by_kind[kind];
+        assert_eq!(online.count, offline.count, "{kind}: count");
+        // The analyzer's mean is exact; the sketch's is bin-midpoint based.
+        close(online.mean, offline.mean, &format!("{kind}: mean"));
+    }
+    for (cause, offline) in &analysis.queued_by_cause {
+        assert_eq!(
+            stats.spans.queued_by_cause[cause].count, offline.count,
+            "{cause}: count"
+        );
+    }
+    for (site, offline) in &analysis.queued_by_site {
+        assert_eq!(
+            stats.spans.queued_by_site[site].count, offline.count,
+            "site {site}: count"
+        );
+    }
+
+    // Exact nearest-rank quantiles from the retained durations: the sketch
+    // must land within its documented relative error. (The analyzer's own
+    // quantiles are P² *estimates*, so the exact sort is the fair referee.)
+    for (kind, vals) in &mut durations {
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let online = &stats.spans.by_kind[kind.as_str()];
+        for (q, got) in [(0.50, online.p50), (0.95, online.p95), (0.99, online.p99)] {
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let want = vals[rank - 1];
+            let tol = want.abs() * RELATIVE_ERROR + 1e-6;
+            assert!(
+                (got - want).abs() <= tol,
+                "{kind} p{:.0}: sketch {got} vs exact {want} (tol {tol}, n={})",
+                q * 100.0,
+                vals.len()
+            );
+        }
+        close(online.min, vals[0], &format!("{kind}: min"));
+        close(online.max, vals[vals.len() - 1], &format!("{kind}: max"));
+    }
+
+    // The windowed series agrees with the accounting database on totals.
+    let digest = stats.series.digest();
+    assert_eq!(
+        digest.completed,
+        out.db.jobs.len() as u64,
+        "series completion count vs accounting db"
+    );
+    assert!(digest.buckets > 0 && digest.peak_active > 0);
+    // Queued spans: one per completed job (requeues add more, baseline has
+    // none), so the queued table covers every job.
+    assert_eq!(
+        stats.spans.by_kind[SpanKind::Queued.name()].count,
+        out.db.jobs.len() as u64 + stats.spans.by_kind.get("requeue").map_or(0, |s| s.count),
+        "queued span coverage"
+    );
+}
+
+/// The JSONL live sink streams exactly the closed-bucket rows of the final
+/// snapshot, in order, as parseable JSON.
+#[test]
+fn live_sink_rows_match_the_final_snapshot() {
+    let cfg = ScenarioConfig::baseline(80, 5);
+    let path = scratch("sink");
+    let opts = RunOptions {
+        live_stats_path: Some(path.clone()),
+        ..RunOptions::default()
+    };
+    let out = cfg.build().run_with(5, &opts);
+    let stats = out.stats.as_ref().expect("stats collected");
+    assert_eq!(stats.live_sink_errors, 0, "sink writes failed");
+    let file = std::fs::File::open(&path).expect("live-stats file exists");
+    let rows: Vec<tg_des::SeriesRow> = std::io::BufReader::new(file)
+        .lines()
+        .map(|l| serde_json::from_str(&l.expect("readable")).expect("row parses"))
+        .collect();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(
+        rows, stats.series.rows,
+        "streamed rows vs final snapshot rows"
+    );
+    assert!(rows.len() > 24, "a 5-day run closes >24 hourly buckets");
+}

@@ -20,6 +20,7 @@
 //! [`EngineProfile`] carries the wall-clock engine figures that ride along
 //! with a snapshot but are *not* part of the deterministic run output.
 
+use crate::sketch::SketchSummary;
 use crate::stats::TimeWeighted;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -322,6 +323,12 @@ pub struct EngineProfile {
     /// Bytes requested from the allocator during the run (same gating).
     #[serde(default)]
     pub allocated_bytes: Option<u64>,
+    /// Sync-round profile of the sharded coordinator protocol (`None` for
+    /// serial runs). Like the rest of the profile this is wall-clock-bearing
+    /// observer data: it rides alongside the deterministic output and is
+    /// excluded from byte-identity comparisons.
+    #[serde(default)]
+    pub sync: Option<SyncProfile>,
 }
 
 impl EngineProfile {
@@ -341,6 +348,7 @@ impl EngineProfile {
             peak_rss_bytes: None,
             allocations: None,
             allocated_bytes: None,
+            sync: None,
         }
     }
 
@@ -356,6 +364,55 @@ impl EngineProfile {
         self.allocated_bytes = alloc.map(|d| d.bytes);
         self
     }
+}
+
+/// Per-round profile of the sharded coordinator's conservative sync
+/// protocol — the measurement layer the "cut sync rounds" roadmap item was
+/// blocked on. Counters say *how many* of each protocol step happened;
+/// the sketch summaries say how long coordinator rounds took (wall-clock)
+/// and how many shards each grant round advanced (occupancy).
+///
+/// Everything here is observer data gathered outside the deterministic
+/// simulation state: the wall-clock figures vary run to run, while the
+/// protocol counters are functions of `(config, seed, threads)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncProfile {
+    /// Worker shards the run used (excludes the coordinator).
+    pub shards: u64,
+    /// Coordinator drive-loop rounds.
+    pub rounds: u64,
+    /// Events the coordinator executed itself (routing, admissions).
+    pub coord_events: u64,
+    /// Candidate interludes: rounds that parked every shard so one watched
+    /// head event (completion/kill) could run under a clamped bound.
+    pub candidate_rounds: u64,
+    /// Grant rounds: bound-advance broadcasts after coordinator work.
+    pub grant_rounds: u64,
+    /// Individual `Advance` grants sent to shards.
+    pub advances_sent: u64,
+    /// `Parked` reports received from shards.
+    pub parks_received: u64,
+    /// Interlude messages a candidate execution sent back to the
+    /// coordinator (exports, finishes, kills).
+    pub interlude_messages: u64,
+    /// Candidate rounds where the clamp *mattered*: the candidate's
+    /// timestamp was below the shard's standing grant, voiding a higher
+    /// free-running bound the shard had already been given.
+    pub bound_clamps: u64,
+    /// Coordinator receives satisfied within the spin window.
+    pub recv_spins: u64,
+    /// Coordinator receives that fell back to a blocking wait.
+    pub recv_blocks: u64,
+    /// Shard-side receives satisfied within the spin window (all shards).
+    pub shard_recv_spins: u64,
+    /// Shard-side receives that fell back to blocking (all shards).
+    pub shard_recv_blocks: u64,
+    /// Wall-clock seconds per coordinator drive round.
+    pub round_wall: SketchSummary,
+    /// Wall-clock seconds per candidate interlude (park → execute → ack).
+    pub candidate_wall: SketchSummary,
+    /// Shards advanced per grant round.
+    pub grant_occupancy: SketchSummary,
 }
 
 /// A full end-of-run metrics snapshot.

@@ -28,7 +28,16 @@
 //! path at the same seed, but the usage report is replaced by a compact
 //! ingest tally (and `--classify` is unavailable: classification needs the
 //! retained records). `--assert-peak-rss-mb` fails the run (exit 1) if the
-//! process peak RSS exceeded the budget — the CI memory-regression guard. `analyze` reconstructs per-job lifecycle spans from such a
+//! process peak RSS exceeded the budget — the CI memory-regression guard.
+//! `--live-stats` collects constant-memory online observability during the
+//! run — span-latency quantile sketches keyed by (kind, cause, site,
+//! modality) plus an hourly windowed series of submit/start/complete rates,
+//! active jobs, utilization, and queue depth — reported at the end and
+//! included as a `stats` object in the `--out` summary; it works sharded
+//! (per-shard sketches merge exactly, so the report is byte-identical at
+//! any `--threads`). `--live-stats=FILE` additionally streams each closed
+//! series bucket as a JSONL row while the run progresses (serial-only, like
+//! `--trace-out`). `analyze` reconstructs per-job lifecycle spans from such a
 //! trace offline and prints wait-time breakdowns by span kind, wait cause,
 //! site, and modality (p50/p95/p99) — including the `fault`/`requeue` spans
 //! a faulted run emits. `replay` drives the simulator from a Standard
@@ -54,7 +63,7 @@ fn usage() -> ExitCode {
         "usage:\n  tgsim emit-baseline [USERS DAYS]\n  tgsim run <scenario.json> \
          [--seed N] [--reps K] [--threads N] [--sample-hours H] [--classify] [--out FILE] \
          [--faults FILE] [--metrics-out FILE] [--trace-out FILE] \
-         [--stream-out FILE] [--assert-peak-rss-mb N]\n  \
+         [--stream-out FILE] [--assert-peak-rss-mb N] [--live-stats[=FILE]]\n  \
          tgsim analyze <trace.jsonl> [--json]\n  \
          tgsim replay <trace.swf> [--scenario FILE] [--seed N] \
          [--faults FILE] [--classify]"
@@ -92,6 +101,44 @@ fn emit_baseline(rest: &[String]) -> ExitCode {
     }
 }
 
+/// The `tgsim run` flag combinations that interact; one place holds every
+/// rejection rule so the CLI and its tests cannot drift apart.
+struct RunFlags {
+    /// `--stream-out FILE` was given.
+    stream_out: bool,
+    /// `--classify` was given.
+    classify: bool,
+    /// `--reps K`.
+    reps: usize,
+    /// `--live-stats=FILE` (the streaming form; bare `--live-stats` never
+    /// conflicts with anything).
+    live_stats_file: bool,
+}
+
+/// Why this flag combination is rejected, or `None` if it is fine. Checked
+/// before any file is touched so a bad invocation costs nothing.
+fn run_flag_conflict(f: &RunFlags) -> Option<&'static str> {
+    if f.stream_out && f.classify {
+        return Some(
+            "--stream-out and --classify are incompatible \
+             (classification needs the retained record database)",
+        );
+    }
+    if f.stream_out && f.reps > 1 {
+        return Some(
+            "--stream-out supports a single replication \
+             (every rep would clobber the same file); use --reps 1",
+        );
+    }
+    if f.live_stats_file && f.reps > 1 {
+        return Some(
+            "--live-stats=FILE supports a single replication \
+             (every rep would clobber the same file); use --reps 1 or bare --live-stats",
+        );
+    }
+    None
+}
+
 fn run(rest: &[String]) -> ExitCode {
     let Some(path) = rest.first() else {
         return usage();
@@ -107,6 +154,8 @@ fn run(rest: &[String]) -> ExitCode {
     let mut sample_hours: Option<u64> = None;
     let mut stream_out: Option<String> = None;
     let mut rss_budget_mb: Option<u64> = None;
+    let mut live_stats = false;
+    let mut live_stats_file: Option<String> = None;
     let mut i = 1;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -170,6 +219,15 @@ fn run(rest: &[String]) -> ExitCode {
                 }
             }
             "--classify" => classify = true,
+            "--live-stats" => live_stats = true,
+            s if s.starts_with("--live-stats=") => {
+                let value = &s["--live-stats=".len()..];
+                if value.is_empty() {
+                    eprintln!("tgsim: --live-stats= needs a file");
+                    return usage();
+                }
+                live_stats_file = Some(value.to_string());
+            }
             other => {
                 eprintln!("tgsim: unknown flag {other}");
                 return usage();
@@ -178,24 +236,28 @@ fn run(rest: &[String]) -> ExitCode {
         i += 1;
     }
 
-    if stream_out.is_some() && classify {
-        eprintln!(
-            "tgsim: --stream-out and --classify are incompatible \
-             (classification needs the retained record database)"
-        );
-        return ExitCode::from(2);
-    }
-    if stream_out.is_some() && reps > 1 {
-        eprintln!("tgsim: --stream-out supports a single replication (every rep would clobber the same file); use --reps 1");
+    if let Some(msg) = run_flag_conflict(&RunFlags {
+        stream_out: stream_out.is_some(),
+        classify,
+        reps,
+        live_stats_file: live_stats_file.is_some(),
+    }) {
+        eprintln!("tgsim: {msg}");
         return ExitCode::from(2);
     }
 
     // Fail fast on unwritable output paths instead of discovering them only
     // after the replications have run (the trace sink would otherwise panic
     // mid-setup). Append mode probes writability without truncating.
-    for p in [&out_path, &metrics_out, &trace_out, &stream_out]
-        .into_iter()
-        .flatten()
+    for p in [
+        &out_path,
+        &metrics_out,
+        &trace_out,
+        &stream_out,
+        &live_stats_file,
+    ]
+    .into_iter()
+    .flatten()
     {
         if let Err(e) = std::fs::OpenOptions::new()
             .create(true)
@@ -258,6 +320,8 @@ fn run(rest: &[String]) -> ExitCode {
             Some(p) => RecordStreaming::Jsonl(std::path::PathBuf::from(p)),
             None => RecordStreaming::Retain,
         },
+        live_stats,
+        live_stats_path: live_stats_file.as_ref().map(std::path::PathBuf::from),
         ..RunOptions::default()
     };
     let replications = replicate_with(&scenario, seed, reps, 0, &opts);
@@ -312,6 +376,62 @@ fn run(rest: &[String]) -> ExitCode {
         "engine: {} events in {:.3}s wall ({:.0} events/s), peak queue {}",
         agg.events_delivered, agg.wall_seconds, agg.events_per_sec, agg.peak_queue_len
     );
+    // Sync-round profile of the sharded engine (first replication). Wall
+    // clock varies run to run, so this stays OUT of the --out summary —
+    // CI byte-compares summaries across thread counts.
+    if let Some(sync) = &first.profile.sync {
+        println!(
+            "sync: {} shards, {} rounds ({} coord, {} candidate, {} grant), \
+             {} advances / {} parks / {} clamps, round p50 {:.1}µs p99 {:.1}µs, \
+             interlude p50 {:.1}µs, occupancy mean {:.2}, \
+             recv spin/block coord {}/{} shard {}/{}",
+            sync.shards,
+            sync.rounds,
+            sync.coord_events,
+            sync.candidate_rounds,
+            sync.grant_rounds,
+            sync.advances_sent,
+            sync.parks_received,
+            sync.bound_clamps,
+            sync.round_wall.p50 * 1e6,
+            sync.round_wall.p99 * 1e6,
+            sync.candidate_wall.p50 * 1e6,
+            sync.grant_occupancy.mean,
+            sync.recv_spins,
+            sync.recv_blocks,
+            sync.shard_recv_spins,
+            sync.shard_recv_blocks,
+        );
+    }
+    if let Some(stats) = &first.stats {
+        let d = stats.series.digest();
+        println!(
+            "live stats: {} spans across {} groups; {} series buckets of {:.0}s \
+             (peak active {}, peak queue {:.0}, mean utilization {:.3})",
+            stats.spans.spans,
+            stats.spans.groups,
+            d.buckets,
+            d.bucket_secs,
+            d.peak_active,
+            d.peak_queue_depth,
+            d.mean_utilization,
+        );
+        if let Some(q) = stats.spans.by_kind.get("queued") {
+            println!(
+                "  queued: n {} mean {:.1}s p50 {:.1}s p95 {:.1}s p99 {:.1}s",
+                q.count, q.mean, q.p50, q.p95, q.p99
+            );
+        }
+        if stats.live_sink_errors > 0 {
+            eprintln!(
+                "tgsim: warning: {} live-stats writes failed; {} is missing rows",
+                stats.live_sink_errors,
+                live_stats_file.as_deref().unwrap_or("?"),
+            );
+        } else if let Some(f) = &live_stats_file {
+            eprintln!("wrote {f}");
+        }
+    }
     if let Some(fr) = &first.fault_report {
         println!(
             "faults: {} crashes, {} outages ({:.1} h downtime), \
@@ -412,6 +532,8 @@ fn run(rest: &[String]) -> ExitCode {
                 .map(|(m, a, f)| serde_json::json!({"mode": m, "accuracy": a, "macro_f1": f}))
                 .collect::<Vec<_>>(),
             "samples": first.samples,
+            "stats": first.stats.as_ref().map(serde_json::to_value)
+                .unwrap_or(serde_json::Value::Null),
             "trace": trace_json,
             "faults": first
                 .fault_report
@@ -776,4 +898,93 @@ fn replay(rest: &[String]) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{run_flag_conflict, RunFlags};
+
+    fn flags() -> RunFlags {
+        RunFlags {
+            stream_out: false,
+            classify: false,
+            reps: 1,
+            live_stats_file: false,
+        }
+    }
+
+    #[test]
+    fn default_flags_do_not_conflict() {
+        assert_eq!(run_flag_conflict(&flags()), None);
+    }
+
+    #[test]
+    fn stream_out_alone_is_fine() {
+        let f = RunFlags {
+            stream_out: true,
+            ..flags()
+        };
+        assert_eq!(run_flag_conflict(&f), None);
+    }
+
+    #[test]
+    fn stream_out_rejects_classify() {
+        let f = RunFlags {
+            stream_out: true,
+            classify: true,
+            ..flags()
+        };
+        let msg = run_flag_conflict(&f).expect("rejected");
+        assert!(msg.contains("--classify"), "{msg}");
+    }
+
+    #[test]
+    fn stream_out_rejects_multiple_reps() {
+        let f = RunFlags {
+            stream_out: true,
+            reps: 3,
+            ..flags()
+        };
+        let msg = run_flag_conflict(&f).expect("rejected");
+        assert!(msg.contains("--stream-out"), "{msg}");
+        assert!(msg.contains("--reps 1"), "{msg}");
+    }
+
+    #[test]
+    fn live_stats_file_rejects_multiple_reps() {
+        let f = RunFlags {
+            live_stats_file: true,
+            reps: 2,
+            ..flags()
+        };
+        let msg = run_flag_conflict(&f).expect("rejected");
+        assert!(msg.contains("--live-stats=FILE"), "{msg}");
+    }
+
+    #[test]
+    fn live_stats_file_single_rep_is_fine() {
+        let f = RunFlags {
+            live_stats_file: true,
+            ..flags()
+        };
+        assert_eq!(run_flag_conflict(&f), None);
+    }
+
+    #[test]
+    fn classify_with_reps_is_fine_without_stream_out() {
+        let f = RunFlags {
+            classify: true,
+            reps: 5,
+            live_stats_file: true,
+            stream_out: false,
+        };
+        // live_stats_file + reps still conflicts; classify itself is fine.
+        assert!(run_flag_conflict(&f).is_some());
+        let f2 = RunFlags {
+            classify: true,
+            reps: 5,
+            ..flags()
+        };
+        assert_eq!(run_flag_conflict(&f2), None);
+    }
 }

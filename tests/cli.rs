@@ -243,6 +243,201 @@ fn stream_out_diverts_records_and_matches_retained_run() {
 }
 
 #[test]
+fn live_stats_streams_buckets_and_lands_in_the_summary() {
+    let dir = std::env::temp_dir().join(format!("tgsim-livestats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let scen = dir.join("scenario.json");
+    let rows = dir.join("series.jsonl");
+    let summary = dir.join("summary.json");
+
+    let emit = tgsim()
+        .args(["emit-baseline", "40", "2"])
+        .output()
+        .expect("emit runs");
+    std::fs::write(&scen, &emit.stdout).expect("write scenario");
+
+    let run = tgsim()
+        .args([
+            "run",
+            scen.to_str().expect("utf8"),
+            "--seed",
+            "3",
+            &format!("--live-stats={}", rows.to_str().expect("utf8 path")),
+            "--out",
+            summary.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run executes");
+    assert!(
+        run.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    let live_line = stdout
+        .lines()
+        .find(|l| l.starts_with("live stats:"))
+        .expect("live stats line printed")
+        .to_string();
+
+    // The streamed file is one JSON object per closed hourly bucket, with
+    // the documented schema.
+    let text = std::fs::read_to_string(&rows).expect("series file written");
+    let parsed: Vec<serde_json::Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("row parses"))
+        .collect();
+    assert!(parsed.len() > 24, "2-day run closes >24 hourly buckets");
+    for row in &parsed {
+        for key in [
+            "bucket",
+            "t_end_s",
+            "submitted",
+            "started",
+            "completed",
+            "active",
+            "utilization",
+            "queue_depth",
+        ] {
+            assert!(!row[key].is_null(), "row missing {key}: {row}");
+        }
+    }
+
+    // The summary JSON carries the full deterministic stats report.
+    let summary: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&summary).expect("summary written"))
+            .expect("summary is JSON");
+    let stats = &summary["stats"];
+    assert!(stats["spans"]["spans"].as_u64().expect("span count") > 0);
+    assert!(!stats["spans"]["by_kind"]["queued"].is_null());
+    assert_eq!(
+        stats["series"]["rows"].as_array().expect("rows").len(),
+        parsed.len(),
+        "streamed rows == snapshot rows"
+    );
+
+    // Bare --live-stats works sharded, and the report is byte-identical to
+    // the serial one (per-shard sketches merge exactly).
+    let sharded = tgsim()
+        .args([
+            "run",
+            scen.to_str().expect("utf8"),
+            "--seed",
+            "3",
+            "--live-stats",
+            "--threads",
+            "4",
+        ])
+        .output()
+        .expect("sharded run");
+    assert!(
+        sharded.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&sharded.stderr)
+    );
+    let sharded_stdout = String::from_utf8_lossy(&sharded.stdout);
+    let sharded_line = sharded_stdout
+        .lines()
+        .find(|l| l.starts_with("live stats:"))
+        .expect("sharded live stats line");
+    assert_eq!(live_line, sharded_line, "live stats diverge under sharding");
+
+    // --live-stats=FILE is serial-only: multiple replications would clobber
+    // the one file, so the combination is refused.
+    let conflict = tgsim()
+        .args([
+            "run",
+            scen.to_str().expect("utf8"),
+            &format!("--live-stats={}", rows.to_str().expect("utf8")),
+            "--reps",
+            "2",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!conflict.status.success());
+    assert!(
+        String::from_utf8_lossy(&conflict.stderr).contains("--live-stats=FILE"),
+        "conflict names the flag"
+    );
+    let empty = tgsim()
+        .args(["run", scen.to_str().expect("utf8"), "--live-stats="])
+        .output()
+        .expect("runs");
+    assert!(!empty.status.success(), "--live-stats= without a file");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite check: `tgsim analyze` streams line-by-line (BufReader), so a
+/// trace far larger than any in-test simulation must analyze correctly with
+/// exact counts. The trace is synthesized directly in the span-line schema.
+#[test]
+fn analyze_handles_a_large_synthetic_trace() {
+    let dir = std::env::temp_dir().join(format!("tgsim-bigtrace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("big.jsonl");
+
+    const JOBS: u64 = 100_000;
+    {
+        use std::io::Write;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&trace).expect("create"));
+        for job in 0..JOBS {
+            // queued (60s, cause cycles) then run (600s), site cycles 0..3.
+            let t0 = job as f64;
+            let cause = ["ahead-in-queue", "drain-window", "immediate"][(job % 3) as usize];
+            let site = job % 3;
+            writeln!(
+                w,
+                "{{\"t\":{t1},\"cat\":\"span\",\"fields\":{{\"v\":1,\"job\":{job},\
+                 \"kind\":\"queued\",\"t0\":{t0},\"t1\":{t1},\"site\":{site},\
+                 \"cause\":\"{cause}\",\"modality\":\"batch\"}}}}",
+                t1 = t0 + 60.0,
+            )
+            .expect("write");
+            writeln!(
+                w,
+                "{{\"t\":{t1},\"cat\":\"span\",\"fields\":{{\"v\":1,\"job\":{job},\
+                 \"kind\":\"run\",\"t0\":{t0},\"t1\":{t1},\"site\":{site},\
+                 \"modality\":\"batch\"}}}}",
+                t0 = t0 + 60.0,
+                t1 = t0 + 660.0,
+            )
+            .expect("write");
+            // Interleave non-span noise the analyzer must skip, not choke on.
+            if job % 10 == 0 {
+                writeln!(w, "{{\"t\":{t0},\"cat\":\"sched\",\"fields\":{{}}}}").expect("write");
+            }
+        }
+    }
+
+    let out = tgsim()
+        .args(["analyze", trace.to_str().expect("utf8"), "--json"])
+        .output()
+        .expect("analyze runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("analysis is JSON");
+    assert_eq!(v["span_lines"].as_u64().expect("spans"), 2 * JOBS);
+    assert_eq!(v["skipped"].as_u64().expect("skipped"), JOBS / 10);
+    assert_eq!(v["jobs"].as_u64().expect("jobs"), JOBS);
+    // Every job waited exactly 60s, ran exactly 600s.
+    assert!((v["mean_wait_s"].as_f64().expect("mean") - 60.0).abs() < 1e-6);
+    assert_eq!(v["by_kind"]["queued"]["count"].as_u64(), Some(JOBS));
+    assert_eq!(v["by_kind"]["run"]["count"].as_u64(), Some(JOBS));
+    assert!((v["by_kind"]["run"]["mean"].as_f64().expect("run mean") - 600.0).abs() < 1e-6);
+    for cause in ["ahead-in-queue", "drain-window", "immediate"] {
+        let n = v["queued_by_cause"][cause]["count"].as_u64().expect(cause);
+        assert!((JOBS / 3..=JOBS / 3 + 1).contains(&n), "{cause}: {n}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_invocations_fail_cleanly() {
     let out = tgsim().output().expect("runs");
     assert!(!out.status.success());
