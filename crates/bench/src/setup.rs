@@ -94,6 +94,7 @@ pub fn single_site_config(
             Vec::new()
         },
         rc_config_count: if rc_users > 0 { 12 } else { 0 },
+        data: None,
     };
     ScenarioConfig {
         name: format!("{name}-{days}d"),
@@ -106,6 +107,7 @@ pub fn single_site_config(
         library: None,
         sample_interval: None,
         faults: None,
+        data: None,
     }
 }
 
@@ -155,6 +157,7 @@ pub fn rc_only_config(
         sites: 2,
         rc_sites: vec![tg_model::SiteId(1)],
         rc_config_count: config_count,
+        data: None,
     };
     ScenarioConfig {
         name: format!("rc-{rc_nodes}n-{tasks_per_day}tpd-{days}d"),
@@ -167,6 +170,7 @@ pub fn rc_only_config(
         library: None,
         sample_interval: None,
         faults: None,
+        data: None,
     }
 }
 

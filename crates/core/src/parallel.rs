@@ -1522,6 +1522,9 @@ fn merge(mut c: Coordinator, finals: Vec<ShardFinal>, lookahead: Lookahead) -> S
     let fault_report = c.sim.faults.take().map(|f| f.report);
     let ingest_tally = c.sim.record_sink.as_mut().map(|s| s.close());
     let stats = c.sim.obs.finish(end);
+    // The data layer is touched only by routing, which runs here on the
+    // coordinator — its replica holds the complete catalog/cache history.
+    let data_report = c.sim.data.as_ref().map(tg_data::DataLayer::report);
     let sync = c.prof.into_profile(shards, shard_recv);
     let finished = FinishedSim {
         federation: c.sim.federation,
@@ -1535,6 +1538,7 @@ fn merge(mut c: Coordinator, finals: Vec<ShardFinal>, lookahead: Lookahead) -> S
         fault_report,
         ingest_tally,
         stats,
+        data_report,
     };
     ShardedOutcome {
         finished,

@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use tg_accounting::{AccountingDb, ChargePolicy};
+use tg_data::{DataGridSpec, DataLayer, DataReport, DatasetSpec};
 use tg_des::metrics::{EngineProfile, MetricsSnapshot};
 use tg_des::trace::Tracer;
 use tg_des::{Engine, RngFactory, SimTime};
@@ -49,6 +50,13 @@ pub struct ScenarioConfig {
     /// is a pure function of `(spec, seed)`; see [`tg_fault::FaultSpec`].
     #[serde(default)]
     pub faults: Option<FaultSpec>,
+    /// Data-grid spec: named datasets with permanent replica placements,
+    /// Zipf popularity, and per-modality attach probabilities (`None` — or
+    /// a trivial spec — runs the flat staging model, byte-identical to a
+    /// config without the field). Per-site cache capacity comes from
+    /// [`SiteConfig::data_cache_mb`].
+    #[serde(default)]
+    pub data: Option<DataGridSpec>,
 }
 
 impl ScenarioConfig {
@@ -78,6 +86,7 @@ impl ScenarioConfig {
             library: None,
             sample_interval: None,
             faults: None,
+            data: None,
         }
     }
 
@@ -111,7 +120,51 @@ impl ScenarioConfig {
         cfg
     }
 
-    /// Build the scenario.
+    /// The data-grid scenario: the baseline federation shrunk until queues
+    /// form, a per-site dataset cache, a Zipf-popular catalog of six
+    /// datasets pinned across the sites, and the replica-catalog-aware
+    /// metascheduler. This is the locality experiment's workload
+    /// (`configs/datagrid-300u-14d.json`); swap `meta` to
+    /// [`MetaPolicy::ShortestEta`] for the locality-blind control.
+    pub fn datagrid(users: usize, days: u64) -> Self {
+        let mut cfg = ScenarioConfig::baseline(users, days);
+        cfg.name = format!("datagrid-{users}u-{days}d");
+        cfg.meta = MetaPolicy::DataLocality;
+        cfg.sites[0].batch_nodes = 128;
+        cfg.sites[1].batch_nodes = 256;
+        cfg.sites[2].batch_nodes = 64;
+        for s in &mut cfg.sites {
+            s.data_cache_mb = 6_000.0;
+        }
+        let ds = |name: &str, size_mb: f64, replicas: Vec<usize>| DatasetSpec {
+            name: name.to_string(),
+            size_mb,
+            replicas,
+        };
+        cfg.data = Some(DataGridSpec {
+            datasets: vec![
+                ds("sky-survey", 2_400.0, vec![0]),
+                ds("reference-genome", 1_800.0, vec![1]),
+                ds("climate-reanalysis", 3_600.0, vec![2]),
+                ds("protein-structures", 1_200.0, vec![1]),
+                ds("seismic-waveforms", 2_800.0, vec![0]),
+                ds("shared-calibration", 900.0, vec![0, 1, 2]),
+            ],
+            zipf_s: 0.9,
+            attach: [
+                ("batch".to_string(), 0.6),
+                ("ensemble".to_string(), 0.5),
+                ("workflow".to_string(), 0.4),
+            ]
+            .into_iter()
+            .collect(),
+        });
+        cfg
+    }
+
+    /// Build the scenario. Panics with a descriptive message on an invalid
+    /// data-grid spec (dataset replicas at unknown sites, zero-size or
+    /// unnamed datasets, attach probabilities outside [0, 1]).
     pub fn build(self) -> Scenario {
         assert_eq!(
             self.workload.sites,
@@ -119,7 +172,29 @@ impl ScenarioConfig {
             "workload and federation disagree on site count"
         );
         assert!(self.data_home < self.sites.len(), "data home out of range");
+        if let Some(spec) = &self.data {
+            if let Err(e) = spec.validate(self.sites.len()) {
+                panic!("invalid data-grid spec in scenario '{}': {e}", self.name);
+            }
+        }
         Scenario { config: self }
+    }
+
+    /// The workload config this scenario actually generates from: the
+    /// data-grid spec's dataset assignment (count, popularity, attach
+    /// probabilities) is injected unless the workload already carries an
+    /// explicit one. A trivial spec injects nothing, keeping the generator's
+    /// draw sequence — and therefore every output byte — unchanged.
+    fn effective_workload(&self) -> GeneratorConfig {
+        let mut w = self.workload.clone();
+        if w.data.is_none() {
+            if let Some(spec) = &self.data {
+                if !spec.is_trivial() {
+                    w.data = Some(spec.assignment());
+                }
+            }
+        }
+        w
     }
 }
 
@@ -245,7 +320,7 @@ impl Scenario {
             return self.run_streaming(seed, opts, federation);
         }
         let mut workload =
-            WorkloadGenerator::new(cfg.workload.clone()).generate(&RngFactory::new(seed));
+            WorkloadGenerator::new(cfg.effective_workload()).generate(&RngFactory::new(seed));
         // Real users size jobs to the machine; the generator doesn't know
         // machine sizes, so clamp here: a pinned job fits its site, an
         // unpinned one fits the largest site.
@@ -393,6 +468,7 @@ impl Scenario {
             fault_report: finished.fault_report,
             ingest_tally: finished.ingest_tally,
             stats: finished.stats,
+            data_report: finished.data_report,
         }
     }
 
@@ -402,8 +478,8 @@ impl Scenario {
     fn run_streaming(&self, seed: u64, opts: &RunOptions, federation: Federation) -> SimOutput {
         let cfg = &self.config;
         let alloc_before = tg_des::memory::alloc_snapshot();
-        let streamed =
-            WorkloadGenerator::new(cfg.workload.clone()).generate_streaming(&RngFactory::new(seed));
+        let streamed = WorkloadGenerator::new(cfg.effective_workload())
+            .generate_streaming(&RngFactory::new(seed));
         let population = streamed.population;
         let total_jobs = streamed.total_jobs;
         // The same machine-size clamp the materialized path applies after
@@ -496,6 +572,7 @@ impl Scenario {
             fault_report: finished.fault_report,
             ingest_tally: finished.ingest_tally,
             stats: finished.stats,
+            data_report: finished.data_report,
         }
     }
 }
@@ -555,6 +632,12 @@ fn build_schedulers(
 fn apply_sim_options(mut sim: GridSim, cfg: &ScenarioConfig, opts: &RunOptions) -> GridSim {
     if let Some(interval) = cfg.sample_interval {
         sim = sim.with_sampling(interval);
+    }
+    if let Some(spec) = &cfg.data {
+        if !spec.is_trivial() {
+            let caches: Vec<f64> = cfg.sites.iter().map(|s| s.data_cache_mb).collect();
+            sim = sim.with_data_grid(DataLayer::new(spec, &caches));
+        }
     }
     if let Some(spec) = &cfg.faults {
         if !spec.is_trivial() {
@@ -662,6 +745,10 @@ pub struct SimOutput {
     /// operational series. Deterministic — byte-identical at any thread
     /// count — unlike `profile`.
     pub stats: Option<crate::sim::StatsReport>,
+    /// Data-grid outcome (`Some` only when the config carried a non-trivial
+    /// data spec): per-site cache hit rates, WAN bytes moved by dataset
+    /// fetches, eviction counts. Deterministic at any thread count.
+    pub data_report: Option<DataReport>,
 }
 
 impl SimOutput {
@@ -898,6 +985,35 @@ mod tests {
             serde_json::to_string_pretty(&on_disk).unwrap(),
             want,
             "configs/million-1000000u-365d.json drifted from ScenarioConfig::million"
+        );
+    }
+
+    /// `configs/datagrid-300u-14d.json` is the serialized form of
+    /// [`ScenarioConfig::datagrid`]. Regenerate after changing either side:
+    /// `REGEN_CONFIGS=1 cargo test -p tg-core datagrid_config_file`.
+    #[test]
+    fn datagrid_config_file_is_in_sync() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../configs/datagrid-300u-14d.json"
+        );
+        let cfg = ScenarioConfig::datagrid(300, 14);
+        cfg.data
+            .as_ref()
+            .expect("datagrid carries a catalog")
+            .validate(cfg.sites.len())
+            .expect("catalog is valid");
+        let want = serde_json::to_string_pretty(&cfg).unwrap();
+        if std::env::var_os("REGEN_CONFIGS").is_some() {
+            std::fs::write(path, &want).unwrap();
+        }
+        let text =
+            std::fs::read_to_string(path).expect("config file exists (REGEN_CONFIGS=1 writes it)");
+        let on_disk: ScenarioConfig = serde_json::from_str(&text).expect("config parses");
+        assert_eq!(
+            serde_json::to_string_pretty(&on_disk).unwrap(),
+            want,
+            "configs/datagrid-300u-14d.json drifted from ScenarioConfig::datagrid"
         );
     }
 

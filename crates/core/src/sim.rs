@@ -34,6 +34,7 @@ use tg_accounting::{
     AccountingDb, GatewayAttribute, IngestTally, JobRecord, RcPlacementRecord, RecordRef,
     RecordSink, SessionRecord, TransferRecord,
 };
+use tg_data::{DataLayer, DataReport, Locate};
 use tg_des::metrics::{CounterId, GaugeId, MetricsRegistry, MetricsSnapshot, SeriesId};
 use tg_des::series::{SeriesSnapshot, WindowedSeries};
 use tg_des::sketch::{SpanSketchbook, SpanStatsSnapshot};
@@ -47,7 +48,7 @@ use tg_fault::{FaultEventKind, FaultReport, FaultSchedule, FaultSpec, OutagePoli
 use tg_model::reconf::HostPlan;
 use tg_model::{Federation, SiteId};
 use tg_sched::{
-    BatchScheduler, MetaPolicy, RcDecision, RcPolicy, RetryBook, RetryPolicy, SiteView,
+    BatchScheduler, DataContext, MetaPolicy, RcDecision, RcPolicy, RetryBook, RetryPolicy, SiteView,
 };
 use tg_workload::{Job, JobId, Modality, UserId};
 
@@ -73,6 +74,12 @@ pub enum Event {
         site: SiteId,
         /// The job.
         job: Box<Job>,
+        /// How the job's dataset was satisfied (`CacheHit`/`CacheMiss`),
+        /// carried from the coordinator's routing decision so the span
+        /// emitted at enqueue time — possibly on another shard — names the
+        /// cause. `None` for jobs without a dataset (the pre-data-grid
+        /// event, byte-identical behaviour).
+        cause: Option<WaitCause>,
     },
     /// A batch job completes. The job itself (plus its site and start time)
     /// lives in the simulation's running registry — the event carries only
@@ -549,6 +556,11 @@ pub struct GridSim {
     meta_policy: MetaPolicy,
     rc_policy: RcPolicy,
     data_home: SiteId,
+    /// The data grid: replica catalog plus per-site caches (`None` — the
+    /// default — is the pre-data-grid simulator, byte-identical behaviour).
+    /// Touched only by the routing path, which runs on the coordinator in
+    /// sharded runs, so shard replicas never mutate theirs.
+    pub(crate) data: Option<DataLayer>,
     pub(crate) jobs: Vec<Option<Job>>,
     /// Ground-truth labels by job id (kept OUT of the record stream).
     pub(crate) truth: HashMap<JobId, Modality>,
@@ -632,6 +644,7 @@ impl GridSim {
             meta_policy,
             rc_policy,
             data_home,
+            data: None,
             jobs: jobs.into_iter().map(Some).collect(),
             truth,
             dep_waiters: HashMap::new(),
@@ -692,6 +705,18 @@ impl GridSim {
     /// change any event, draw, or decision.
     pub fn with_record_sink(mut self, sink: Box<dyn RecordSink>) -> Self {
         self.record_sink = Some(sink);
+        self
+    }
+
+    /// Attach a data grid (replica catalog + per-site caches). Dataset-
+    /// carrying jobs then resolve their input through the catalog — routed
+    /// toward replica holders by the locality-aware metascheduler policy,
+    /// hitting or missing the destination cache — instead of paying the
+    /// flat `data_home` staging charge. Jobs without a dataset are
+    /// untouched, so a workload that attaches no datasets runs
+    /// byte-identically with or without the layer.
+    pub fn with_data_grid(mut self, layer: DataLayer) -> Self {
+        self.data = Some(layer);
         self
     }
 
@@ -967,6 +992,7 @@ impl GridSim {
         let fault_report = self.faults.take().map(|f| f.report);
         let ingest_tally = self.record_sink.as_mut().map(|s| s.close());
         let stats = self.obs.finish(engine.now());
+        let data_report = self.data.as_ref().map(DataLayer::report);
         FinishedSim {
             federation: self.federation,
             db: self.db,
@@ -979,6 +1005,7 @@ impl GridSim {
             fault_report,
             ingest_tally,
             stats,
+            data_report,
         }
     }
 
@@ -1044,6 +1071,61 @@ impl GridSim {
             Some(s) => s,
             None => self.select_site(&job),
         };
+        // Data-grid path: a named dataset replaces the flat input-staging
+        // charge with replica-catalog / cache mechanics. A hit at the
+        // chosen site enqueues immediately; a miss pays the WAN from the
+        // nearest replica holder and admits the dataset into the site's
+        // cache. Either way the resolution cause rides the event so the
+        // stage-in span (possibly emitted on another shard) names it.
+        if let (Some(ds), true) = (job.dataset, self.data.is_some()) {
+            match self.data.as_mut().expect("checked above").access(
+                ds,
+                site,
+                &self.federation.network,
+            ) {
+                Locate::Hit => {
+                    ctx.schedule_now(Event::Enqueue {
+                        site,
+                        job: Box::new(job),
+                        cause: Some(WaitCause::CacheHit),
+                    });
+                }
+                Locate::Miss { source } => {
+                    let mb = self.data.as_ref().expect("checked above").size_mb(ds);
+                    let dur = self.federation.network.transfer_time(source, site, mb);
+                    self.metrics.add(self.ins.staging_bytes, (mb * 1e6) as u64);
+                    self.metrics.inc(self.ins.staging_transfers);
+                    self.tracer.emit_event(ctx.now(), "xfer", || {
+                        vec![
+                            ("job", job.id.index().into()),
+                            ("dir", "in".into()),
+                            ("src", source.index().into()),
+                            ("dst", site.index().into()),
+                            ("mb", mb.into()),
+                        ]
+                    });
+                    let rec = TransferRecord {
+                        user: self.account_of(&job),
+                        project: job.project,
+                        src: source,
+                        dst: site,
+                        mb,
+                        start: ctx.now(),
+                        end: ctx.now() + dur,
+                    };
+                    self.ingest(ctx, BufRecord::Transfer(rec));
+                    ctx.schedule_after(
+                        dur,
+                        Event::Enqueue {
+                            site,
+                            job: Box::new(job),
+                            cause: Some(WaitCause::CacheMiss),
+                        },
+                    );
+                }
+            }
+            return;
+        }
         // Input staging for large inputs: pay the WAN before queueing.
         if job.input_mb >= STAGING_THRESHOLD_MB && site != self.data_home {
             let dur = self
@@ -1076,12 +1158,14 @@ impl GridSim {
                 Event::Enqueue {
                     site,
                     job: Box::new(job),
+                    cause: None,
                 },
             );
         } else {
             ctx.schedule_now(Event::Enqueue {
                 site,
                 job: Box::new(job),
+                cause: None,
             });
         }
     }
@@ -1139,6 +1223,17 @@ impl GridSim {
             }
             _ => views,
         };
+        // Data-locality context: where the job's dataset is resident right
+        // now (permanent replicas plus warm caches) and how big it is. Only
+        // dataset-carrying jobs build one; everything else passes `None`,
+        // which every policy ignores.
+        let holders = job
+            .dataset
+            .and_then(|d| self.data.as_ref().map(|l| (l.holders(d), l.size_mb(d))));
+        let dctx = holders.as_ref().map(|(sites, mb)| DataContext {
+            resident: sites,
+            size_mb: *mb,
+        });
         let mut rng = self
             .rng
             .stream(StreamId::new("meta", job.id.index() as u64));
@@ -1148,6 +1243,7 @@ impl GridSim {
                 &views,
                 self.data_home,
                 &self.federation.network,
+                dctx.as_ref(),
                 &mut rng,
             )
             .expect("at least one site fits any generated job")
@@ -1170,14 +1266,17 @@ impl GridSim {
     // Batch path
     // ------------------------------------------------------------------
 
-    fn enqueue(&mut self, ctx: &mut impl EvCtx, site: SiteId, job: Job) {
+    fn enqueue(&mut self, ctx: &mut impl EvCtx, site: SiteId, job: Job, cause: Option<WaitCause>) {
         self.metrics.inc(self.ins.enqueues);
         if ctx.exec_mode() == ExecRole::Shard {
             self.sync_span_phase(&job);
         }
         // Span: any gap since routing was input staging over the WAN.
+        // Dataset jobs always close a stage-in span — a cache hit closes a
+        // zero-length one — so the hit/miss cause is observable; jobs
+        // without a dataset keep the pre-data-grid emission rule.
         if let Some(track) = self.span_track.get(&job.id).copied() {
-            if ctx.now() > track.phase_start {
+            if ctx.now() > track.phase_start || cause.is_some() {
                 self.emit_span(
                     ctx.now(),
                     &job,
@@ -1185,7 +1284,7 @@ impl GridSim {
                     track.phase_start,
                     ctx.now(),
                     Some(site),
-                    None,
+                    cause,
                 );
                 self.span_track.insert(
                     job.id,
@@ -1374,7 +1473,7 @@ impl GridSim {
         }
         if !self.federation.site(site).has_rc() {
             // No fabric anywhere: run the software version.
-            self.enqueue(ctx, site, job);
+            self.enqueue(ctx, site, job, None);
             return;
         }
         let decision = {
@@ -1491,7 +1590,7 @@ impl GridSim {
                         );
                     }
                 }
-                self.enqueue(ctx, site, job);
+                self.enqueue(ctx, site, job, None);
             }
             RcDecision::Defer => {
                 self.metrics.inc(self.ins.rc_deferrals);
@@ -2183,7 +2282,7 @@ impl GridSim {
         match event {
             Event::Submit(index) => self.submit_from_trace(ctx, index),
             Event::SubmitJob(job) => self.admit(ctx, *job),
-            Event::Enqueue { site, job } => self.enqueue(ctx, site, *job),
+            Event::Enqueue { site, job, cause } => self.enqueue(ctx, site, *job, cause),
             Event::Complete { id } => self.complete_batch(ctx, id),
             Event::RcComplete {
                 site,
@@ -2385,6 +2484,9 @@ pub struct FinishedSim {
     /// [`GridSim::with_live_stats`] was on): pooled span sketches plus the
     /// windowed operational series.
     pub stats: Option<StatsReport>,
+    /// Data-grid outcome (`None` unless [`GridSim::with_data_grid`]):
+    /// per-site cache hit rates, WAN bytes moved, eviction counts.
+    pub data_report: Option<DataReport>,
 }
 
 #[cfg(test)]

@@ -107,6 +107,10 @@ pub struct TraceAnalysis {
     pub by_kind: BTreeMap<String, GroupStats>,
     /// Queued-span duration stats grouped by attributed wait cause.
     pub queued_by_cause: BTreeMap<String, GroupStats>,
+    /// Stage-in span duration stats grouped by cause (`cache-hit` /
+    /// `cache-miss` for dataset-carrying jobs; stage-in spans without a
+    /// cause — plain bulk staging — do not appear here).
+    pub stage_in_by_cause: BTreeMap<String, GroupStats>,
     /// Queued-span duration stats grouped by site index.
     pub queued_by_site: BTreeMap<u64, GroupStats>,
     /// Per-job total wait stats grouped by modality (completed jobs only).
@@ -120,6 +124,7 @@ pub struct TraceAnalyzer {
     skipped: u64,
     by_kind: BTreeMap<String, GroupAcc>,
     queued_by_cause: BTreeMap<String, GroupAcc>,
+    stage_in_by_cause: BTreeMap<String, GroupAcc>,
     queued_by_site: BTreeMap<u64, GroupAcc>,
     // BTreeMap, not HashMap: `finish()` folds per-job f64 wait totals in
     // iteration order, and float addition is not associative — a hashed
@@ -137,6 +142,7 @@ impl TraceAnalyzer {
             skipped: 0,
             by_kind: BTreeMap::new(),
             queued_by_cause: BTreeMap::new(),
+            stage_in_by_cause: BTreeMap::new(),
             queued_by_site: BTreeMap::new(),
             jobs: BTreeMap::new(),
         }
@@ -166,6 +172,14 @@ impl TraceAnalyzer {
             .entry(span.kind.name().to_string())
             .or_insert_with(GroupAcc::new)
             .record(d);
+        if span.kind == SpanKind::StageIn {
+            if let Some(cause) = span.cause {
+                self.stage_in_by_cause
+                    .entry(cause.name().to_string())
+                    .or_insert_with(GroupAcc::new)
+                    .record(d);
+            }
+        }
         if span.kind == SpanKind::Queued {
             let cause = span.cause.unwrap_or(WaitCause::Immediate);
             self.queued_by_cause
@@ -225,6 +239,11 @@ impl TraceAnalyzer {
                 .collect(),
             queued_by_cause: self
                 .queued_by_cause
+                .iter()
+                .map(|(k, a)| (k.clone(), a.finish()))
+                .collect(),
+            stage_in_by_cause: self
+                .stage_in_by_cause
                 .iter()
                 .map(|(k, a)| (k.clone(), a.finish()))
                 .collect(),

@@ -437,6 +437,13 @@ impl SpanSketchbook {
                 queued_by_cause.insert(cause.name().to_string(), pooled.summary());
             }
         }
+        let mut stage_in_by_cause = BTreeMap::new();
+        for cause in WaitCause::ALL {
+            let pooled = self.pooled(|k, c, _, _| k == SpanKind::StageIn && c == Some(cause));
+            if !pooled.is_empty() {
+                stage_in_by_cause.insert(cause.name().to_string(), pooled.summary());
+            }
+        }
         let mut queued_by_site = BTreeMap::new();
         for site in 0..self.nsites {
             let pooled = self.pooled(|k, _, s, _| k == SpanKind::Queued && s == Some(site));
@@ -456,6 +463,7 @@ impl SpanSketchbook {
             groups: self.groups(),
             by_kind,
             queued_by_cause,
+            stage_in_by_cause,
             queued_by_site,
             wait_spans_by_modality,
         }
@@ -477,6 +485,9 @@ pub struct SpanStatsSnapshot {
     pub by_kind: BTreeMap<String, SketchSummary>,
     /// Queued-span durations per attributed wait cause.
     pub queued_by_cause: BTreeMap<String, SketchSummary>,
+    /// Stage-in span durations per cause (`cache-hit` / `cache-miss` for
+    /// dataset-carrying jobs; cause-less bulk staging spans are excluded).
+    pub stage_in_by_cause: BTreeMap<String, SketchSummary>,
     /// Queued-span durations per site index.
     pub queued_by_site: BTreeMap<u64, SketchSummary>,
     /// Individual wait-span durations (stage-in, queued, reconfig) per

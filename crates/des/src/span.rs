@@ -147,11 +147,18 @@ pub enum WaitCause {
     NodeFailure,
     /// Killed or frozen by a fault-injected whole-site outage.
     SiteOutage,
+    /// The job's dataset was already resident at the chosen site (cache or
+    /// permanent replica); stage-in cost was avoided (attributes `stage_in`
+    /// spans).
+    CacheHit,
+    /// The job's dataset missed locally and was fetched over the WAN from
+    /// the nearest replica holder (attributes `stage_in` spans).
+    CacheMiss,
 }
 
 impl WaitCause {
     /// All causes.
-    pub const ALL: [WaitCause; 9] = [
+    pub const ALL: [WaitCause; 11] = [
         WaitCause::Immediate,
         WaitCause::AheadInQueue,
         WaitCause::BackfillHole,
@@ -161,6 +168,8 @@ impl WaitCause {
         WaitCause::FabricBusy,
         WaitCause::NodeFailure,
         WaitCause::SiteOutage,
+        WaitCause::CacheHit,
+        WaitCause::CacheMiss,
     ];
 
     /// Stable wire name.
@@ -175,6 +184,8 @@ impl WaitCause {
             WaitCause::FabricBusy => "fabric-busy",
             WaitCause::NodeFailure => "node-failure",
             WaitCause::SiteOutage => "site-outage",
+            WaitCause::CacheHit => "cache-hit",
+            WaitCause::CacheMiss => "cache-miss",
         }
     }
 

@@ -34,6 +34,11 @@ pub struct SiteConfig {
     pub storage_bandwidth_mbps: f64,
     /// Archive (tape) bandwidth, MB/s.
     pub archive_bandwidth_mbps: f64,
+    /// Dataset cache capacity on scratch, in MB (data-grid scenarios).
+    /// 0 disables caching at this site — every non-permanent access
+    /// refetches over the WAN.
+    #[serde(default)]
+    pub data_cache_mb: f64,
 }
 
 impl SiteConfig {
@@ -52,6 +57,7 @@ impl SiteConfig {
             wan_latency_ms: 20.0,
             storage_bandwidth_mbps: 2000.0,
             archive_bandwidth_mbps: 200.0,
+            data_cache_mb: 0.0,
         }
     }
 

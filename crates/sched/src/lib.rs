@@ -70,7 +70,7 @@ pub use drain::WeeklyDrain;
 pub use easy::EasyBackfill;
 pub use fairshare_easy::FairshareEasy;
 pub use fcfs::Fcfs;
-pub use meta::{MetaPolicy, SiteView};
+pub use meta::{DataContext, MetaPolicy, SiteView};
 pub use queue::{BatchScheduler, SchedulerKind, Started};
 pub use reconf::{RcDecision, RcPolicy};
 pub use reservation::{Reservation, ReservingConservative};

@@ -8,9 +8,14 @@
 //!   derived from queued work ahead of the job.
 //! * [`MetaPolicy::DataAware`] — [`MetaPolicy::ShortestEta`] plus the input-
 //!   staging transfer time from the data's home site.
+//! * [`MetaPolicy::DataLocality`] — replica-catalog aware: route to a site
+//!   already holding the job's dataset when one is feasible, otherwise fall
+//!   back to a transfer-cost-weighted choice from the nearest replica.
 //!
 //! The metascheduler works on [`SiteView`] snapshots so it can be tested
-//! without a simulation, and never sees scheduler internals.
+//! without a simulation, and never sees scheduler internals. Replica
+//! locations reach it through a [`DataContext`] snapshot for the same
+//! reason.
 
 use serde::{Deserialize, Serialize};
 use tg_des::{SimDuration, SimRng};
@@ -48,6 +53,17 @@ impl SiteView {
     }
 }
 
+/// What the metascheduler knows about a job's dataset at selection time:
+/// which sites currently hold a copy (permanent replica or warm cache) and
+/// how large it is. Snapshot semantics, like [`SiteView`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataContext<'a> {
+    /// Sites holding the dataset right now, sorted by site index.
+    pub resident: &'a [SiteId],
+    /// Dataset size in MB (what a miss would move over the WAN).
+    pub size_mb: f64,
+}
+
 /// Site-selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
@@ -60,15 +76,21 @@ pub enum MetaPolicy {
     ShortestEta,
     /// ETA plus input-staging time from `data_home`.
     DataAware,
+    /// Replica-catalog aware: prefer the minimum-ETA feasible site already
+    /// holding the job's dataset; when none is feasible, weight every site
+    /// by ETA plus the WAN fetch time from its nearest replica. Jobs
+    /// without a dataset fall back to [`MetaPolicy::DataAware`] behaviour.
+    DataLocality,
 }
 
 impl MetaPolicy {
     /// All policies, for sweeps.
-    pub const ALL: [MetaPolicy; 4] = [
+    pub const ALL: [MetaPolicy; 5] = [
         MetaPolicy::Random,
         MetaPolicy::LeastLoaded,
         MetaPolicy::ShortestEta,
         MetaPolicy::DataAware,
+        MetaPolicy::DataLocality,
     ];
 
     /// Stable short name.
@@ -78,18 +100,22 @@ impl MetaPolicy {
             MetaPolicy::LeastLoaded => "least-loaded",
             MetaPolicy::ShortestEta => "eta",
             MetaPolicy::DataAware => "data-aware",
+            MetaPolicy::DataLocality => "data-locality",
         }
     }
 
     /// Choose a site for `job`. `data_home` is where the job's input lives
-    /// (used by [`MetaPolicy::DataAware`]); `network` prices the staging.
-    /// Returns `None` if no site can ever fit the job.
+    /// (used by [`MetaPolicy::DataAware`]); `network` prices the staging;
+    /// `data` carries the job's replica locations when the scenario runs a
+    /// data grid (used by [`MetaPolicy::DataLocality`], ignored by the
+    /// rest). Returns `None` if no site can ever fit the job.
     pub fn select(
         self,
         job: &Job,
         views: &[SiteView],
         data_home: SiteId,
         network: &Network,
+        data: Option<&DataContext>,
         rng: &mut SimRng,
     ) -> Option<SiteId> {
         let feasible: Vec<&SiteView> = views
@@ -126,6 +152,43 @@ impl MetaPolicy {
                     cost(a).cmp(&cost(b)).then(a.site.cmp(&b.site))
                 })
                 .expect("non-empty"),
+            MetaPolicy::DataLocality => {
+                let resident = data.map(|d| d.resident).unwrap_or(&[]);
+                if resident.is_empty() {
+                    // No dataset (or nothing resident yet): behave like
+                    // DataAware so mixed workloads still route sensibly.
+                    return MetaPolicy::DataAware.select(job, views, data_home, network, data, rng);
+                }
+                let holders: Vec<&&SiteView> = feasible
+                    .iter()
+                    .filter(|v| resident.binary_search(&v.site).is_ok())
+                    .collect();
+                if let Some(v) = holders.iter().min_by(|a, b| {
+                    a.eta(job.cores)
+                        .cmp(&b.eta(job.cores))
+                        .then(a.site.cmp(&b.site))
+                }) {
+                    ***v
+                } else {
+                    // No feasible holder: weigh every site by ETA plus the
+                    // cheapest replica fetch it would trigger.
+                    let size = data.map(|d| d.size_mb).unwrap_or(job.input_mb);
+                    **feasible
+                        .iter()
+                        .min_by(|a, b| {
+                            let cost = |v: &SiteView| {
+                                let fetch = resident
+                                    .iter()
+                                    .map(|&r| network.transfer_time(r, v.site, size))
+                                    .min()
+                                    .unwrap_or(SimDuration::ZERO);
+                                v.eta(job.cores) + fetch
+                            };
+                            cost(a).cmp(&cost(b)).then(a.site.cmp(&b.site))
+                        })
+                        .expect("non-empty")
+                }
+            }
         };
         Some(chosen.site)
     }
@@ -195,7 +258,7 @@ mod tests {
     fn least_loaded_picks_most_free() {
         let mut rng = SimRng::seeded(1);
         let s = MetaPolicy::LeastLoaded
-            .select(&job(50, 0.0), &views(), SiteId(0), &net(), &mut rng)
+            .select(&job(50, 0.0), &views(), SiteId(0), &net(), None, &mut rng)
             .unwrap();
         assert_eq!(s, SiteId(1));
     }
@@ -205,18 +268,18 @@ mod tests {
         let mut rng = SimRng::seeded(2);
         // 50 cores: free at site1 (eta 0) → site1.
         let s = MetaPolicy::ShortestEta
-            .select(&job(50, 0.0), &views(), SiteId(0), &net(), &mut rng)
+            .select(&job(50, 0.0), &views(), SiteId(0), &net(), None, &mut rng)
             .unwrap();
         assert_eq!(s, SiteId(1));
         // 90 cores: site0 eta 8e6/1000=8000 s; site1 free → 0; site2 eta
         // 0.5e6/200=2500 s. Site1 wins again.
         let s = MetaPolicy::ShortestEta
-            .select(&job(90, 0.0), &views(), SiteId(0), &net(), &mut rng)
+            .select(&job(90, 0.0), &views(), SiteId(0), &net(), None, &mut rng)
             .unwrap();
         assert_eq!(s, SiteId(1));
         // 300 cores: only sites 0,1 feasible; site0 eta 8000, site1 eta 2000.
         let s = MetaPolicy::ShortestEta
-            .select(&job(300, 0.0), &views(), SiteId(0), &net(), &mut rng)
+            .select(&job(300, 0.0), &views(), SiteId(0), &net(), None, &mut rng)
             .unwrap();
         assert_eq!(s, SiteId(1));
     }
@@ -226,7 +289,7 @@ mod tests {
         let mut rng = SimRng::seeded(3);
         for _ in 0..100 {
             let s = MetaPolicy::Random
-                .select(&job(600, 0.0), &views(), SiteId(0), &net(), &mut rng)
+                .select(&job(600, 0.0), &views(), SiteId(0), &net(), None, &mut rng)
                 .unwrap();
             assert_eq!(s, SiteId(0), "only site0 fits 600 cores");
         }
@@ -234,7 +297,7 @@ mod tests {
         for _ in 0..200 {
             seen.insert(
                 MetaPolicy::Random
-                    .select(&job(10, 0.0), &views(), SiteId(0), &net(), &mut rng)
+                    .select(&job(10, 0.0), &views(), SiteId(0), &net(), None, &mut rng)
                     .unwrap(),
             );
         }
@@ -250,6 +313,7 @@ mod tests {
                 &views(),
                 SiteId(0),
                 &net(),
+                None,
                 &mut rng
             ),
             None
@@ -267,22 +331,101 @@ mod tests {
         // from site0 (fat pipes, cheap); cost(site2) would include thin pipe.
         let big = job(90, 100_000.0);
         let s = MetaPolicy::DataAware
-            .select(&big, &views(), SiteId(0), &net(), &mut rng)
+            .select(&big, &views(), SiteId(0), &net(), None, &mut rng)
             .unwrap();
         assert_eq!(s, SiteId(1), "fat-pipe site with zero ETA wins");
         // Data already at site2 and job fits there: transfer to site2 is
         // free; to site1 it crosses the thin pipe (10 MB/s → 10,000 s).
         let local = job(90, 100_000.0);
         let s = MetaPolicy::DataAware
-            .select(&local, &views(), SiteId(2), &net(), &mut rng)
+            .select(&local, &views(), SiteId(2), &net(), None, &mut rng)
             .unwrap();
         assert_eq!(s, SiteId(2), "keeping compute near data wins");
+    }
+
+    #[test]
+    fn data_locality_routes_to_replica_holders() {
+        let mut rng = SimRng::seeded(6);
+        // The dataset sits at sites 0 and 2; a 90-core job fits all three
+        // sites. Holder ETAs: site0 8000 s, site2 2500 s → site2 wins even
+        // though site1 has zero ETA, because site1 would pay a WAN fetch.
+        let ctx = DataContext {
+            resident: &[SiteId(0), SiteId(2)],
+            size_mb: 5_000.0,
+        };
+        let s = MetaPolicy::DataLocality
+            .select(
+                &job(90, 0.0),
+                &views(),
+                SiteId(0),
+                &net(),
+                Some(&ctx),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(s, SiteId(2), "min-ETA replica holder wins");
+        // 300 cores: site2 infeasible, so holders = {site0}. Site0 wins over
+        // the empty site1 because holding the data beats fetching it.
+        let s = MetaPolicy::DataLocality
+            .select(
+                &job(300, 0.0),
+                &views(),
+                SiteId(0),
+                &net(),
+                Some(&ctx),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(s, SiteId(0), "feasible holder preferred over non-holder");
+        // Only a thin-piped holder: 600 cores fits only site0; site0 holds
+        // nothing, the fallback weighs fetch cost and still must pick it.
+        let ctx2 = DataContext {
+            resident: &[SiteId(2)],
+            size_mb: 5_000.0,
+        };
+        let s = MetaPolicy::DataLocality
+            .select(
+                &job(600, 0.0),
+                &views(),
+                SiteId(0),
+                &net(),
+                Some(&ctx2),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(s, SiteId(0), "fallback picks the only feasible site");
+    }
+
+    #[test]
+    fn data_locality_without_a_dataset_matches_data_aware() {
+        for (cores, mb, home) in [(90usize, 100_000.0, 2usize), (50, 0.0, 0), (300, 10.0, 1)] {
+            let mut r1 = SimRng::seeded(9);
+            let mut r2 = SimRng::seeded(9);
+            let a = MetaPolicy::DataAware.select(
+                &job(cores, mb),
+                &views(),
+                SiteId(home),
+                &net(),
+                None,
+                &mut r1,
+            );
+            let b = MetaPolicy::DataLocality.select(
+                &job(cores, mb),
+                &views(),
+                SiteId(home),
+                &net(),
+                None,
+                &mut r2,
+            );
+            assert_eq!(a, b, "cores={cores} mb={mb} home={home}");
+        }
     }
 
     #[test]
     fn names_are_stable() {
         assert_eq!(MetaPolicy::Random.name(), "random");
         assert_eq!(MetaPolicy::DataAware.name(), "data-aware");
-        assert_eq!(MetaPolicy::ALL.len(), 4);
+        assert_eq!(MetaPolicy::DataLocality.name(), "data-locality");
+        assert_eq!(MetaPolicy::ALL.len(), 5);
     }
 }

@@ -15,6 +15,7 @@ use crate::modality::Modality;
 use crate::profiles::{ArrivalKind, ModalityProfile, PopulationMix};
 use crate::user::{Population, Project, User};
 use serde::{Deserialize, Serialize};
+use tg_data::{DatasetAssignment, DatasetId};
 use tg_des::dist::Zipf;
 use tg_des::{RngFactory, SimDuration, SimRng, SimTime, StreamId};
 use tg_model::{ConfigId, SiteId};
@@ -36,6 +37,12 @@ pub struct GeneratorConfig {
     pub rc_sites: Vec<SiteId>,
     /// Size of the processor-configuration library RC tasks draw from.
     pub rc_config_count: usize,
+    /// Dataset-assignment rule when the scenario declares a data grid:
+    /// per-modality attach probabilities plus the Zipf skew over catalog
+    /// ranks. `None` (the default) draws nothing and generates workloads
+    /// byte-identical to pre-data-grid builds.
+    #[serde(default)]
+    pub data: Option<DatasetAssignment>,
 }
 
 impl GeneratorConfig {
@@ -50,6 +57,7 @@ impl GeneratorConfig {
             sites,
             rc_sites: vec![SiteId(sites - 1)],
             rc_config_count: 12,
+            data: None,
         }
     }
 
@@ -118,6 +126,9 @@ impl Workload {
 #[derive(Debug, Clone)]
 pub struct WorkloadGenerator {
     config: GeneratorConfig,
+    /// Shared dataset-popularity distribution; `Some` only when a
+    /// non-trivial dataset assignment is configured. Draw-free to construct.
+    data_zipf: Option<Zipf>,
 }
 
 impl WorkloadGenerator {
@@ -141,7 +152,22 @@ impl WorkloadGenerator {
             );
         }
         assert!(config.sites > 0, "need at least one site");
-        WorkloadGenerator { config }
+        if let Some(data) = &config.data {
+            assert!(
+                data.attach.values().all(|p| (0.0..=1.0).contains(p)),
+                "dataset attach probabilities must be in [0,1]"
+            );
+            assert!(
+                data.is_trivial() || data.count > 0,
+                "dataset assignment needs a non-empty catalog"
+            );
+        }
+        let data_zipf = config
+            .data
+            .as_ref()
+            .filter(|d| !d.is_trivial())
+            .map(|d| Zipf::new(d.count as u64, d.zipf_s));
+        WorkloadGenerator { config, data_zipf }
     }
 
     /// The configuration.
@@ -248,6 +274,21 @@ impl WorkloadGenerator {
             .with_data(input, output);
         if rng.chance(profile.site_pinned_prob) {
             job = job.with_site(home);
+        }
+        // Dataset assignment rides the same per-user stream, after every
+        // existing draw, and only when the scenario configured a data grid —
+        // zero extra draws otherwise, so data-free runs stay byte-identical.
+        if let Some(zipf) = &self.data_zipf {
+            let p = self
+                .config
+                .data
+                .as_ref()
+                .map(|d| d.prob(profile.modality.name()))
+                .unwrap_or(0.0);
+            if p > 0.0 && rng.chance(p) {
+                let rank = zipf.sample_rank(rng);
+                job = job.with_dataset(DatasetId((rank - 1) as u32));
+            }
         }
         job
     }

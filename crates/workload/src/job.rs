@@ -7,6 +7,7 @@
 use crate::ids::{EnsembleId, GatewayId, JobId, ProjectId, UserId, WorkflowId};
 use crate::modality::Modality;
 use serde::{Deserialize, Serialize};
+use tg_data::DatasetId;
 use tg_des::{SimDuration, SimTime};
 use tg_model::{ConfigId, SiteId};
 
@@ -79,6 +80,11 @@ pub struct Job {
     pub input_mb: f64,
     /// Output data staged out after the run, MB.
     pub output_mb: f64,
+    /// Named dataset this job reads, when the scenario declares a data grid.
+    /// Replaces the flat `input_mb` staging charge with replica-catalog /
+    /// cache mechanics.
+    #[serde(default)]
+    pub dataset: Option<DatasetId>,
     /// Ground-truth modality (hidden from the classifier, used for scoring).
     pub true_modality: Modality,
 }
@@ -111,6 +117,7 @@ impl Job {
             rc: None,
             input_mb: 0.0,
             output_mb: 0.0,
+            dataset: None,
             true_modality: Modality::BatchComputing,
         }
     }
@@ -164,6 +171,12 @@ impl Job {
     pub fn with_data(mut self, input_mb: f64, output_mb: f64) -> Self {
         self.input_mb = input_mb;
         self.output_mb = output_mb;
+        self
+    }
+
+    /// Attach a named dataset (data-grid scenarios).
+    pub fn with_dataset(mut self, dataset: DatasetId) -> Self {
+        self.dataset = Some(dataset);
         self
     }
 

@@ -50,6 +50,7 @@ proptest! {
             sites: 3,
             rc_sites: if rc_users > 0 { vec![tg_model::SiteId(2)] } else { vec![] },
             rc_config_count: if rc_users > 0 { 5 } else { 0 },
+            data: None,
         };
         let w = WorkloadGenerator::new(cfg).generate(&RngFactory::new(seed));
         let horizon = SimTime::ZERO + SimDuration::from_days(days);
@@ -99,6 +100,7 @@ proptest! {
             sites: 1,
             rc_sites: vec![],
             rc_config_count: 0,
+            data: None,
         };
         let w = WorkloadGenerator::new(cfg).generate(&RngFactory::new(seed));
         let by_id: std::collections::HashMap<_, _> =
@@ -194,6 +196,7 @@ proptest! {
             sites: 3,
             rc_sites: if rc_users > 0 { vec![tg_model::SiteId(2)] } else { vec![] },
             rc_config_count: if rc_users > 0 { 5 } else { 0 },
+            data: None,
         };
         let gen = WorkloadGenerator::new(cfg);
         let materialized = gen.generate(&RngFactory::new(seed));
@@ -226,6 +229,7 @@ proptest! {
             sites: 3,
             rc_sites: vec![tg_model::SiteId(2)],
             rc_config_count: 5,
+            data: None,
         };
         let w = WorkloadGenerator::new(cfg).generate(&RngFactory::new(seed));
         let mut imported = swf::from_swf(&swf::to_swf(&w.jobs)).expect("round trip parses");

@@ -35,6 +35,7 @@ fn scenario(policy: OutagePolicy) -> ScenarioConfig {
         sites: 1,
         rc_sites: vec![],
         rc_config_count: 0,
+        data: None,
     };
     ScenarioConfig {
         name: format!("site-outage-{policy:?}"),
@@ -72,6 +73,7 @@ fn scenario(policy: OutagePolicy) -> ScenarioConfig {
             }),
             outage_policy: policy,
         }),
+        data: None,
     }
 }
 

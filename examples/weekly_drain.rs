@@ -25,6 +25,7 @@ fn scenario(kind: SchedulerKind) -> ScenarioConfig {
         sites: 1,
         rc_sites: vec![],
         rc_config_count: 0,
+        data: None,
     };
     ScenarioConfig {
         name: format!("weekly-drain-{}", kind.name()),
@@ -37,6 +38,7 @@ fn scenario(kind: SchedulerKind) -> ScenarioConfig {
         library: None,
         sample_interval: None,
         faults: None,
+        data: None,
     }
 }
 

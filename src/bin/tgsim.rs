@@ -64,7 +64,7 @@ fn usage() -> ExitCode {
          [--seed N] [--reps K] [--threads N] [--sample-hours H] [--classify] [--out FILE] \
          [--faults FILE] [--metrics-out FILE] [--trace-out FILE] \
          [--stream-out FILE] [--assert-peak-rss-mb N] [--live-stats[=FILE]]\n  \
-         tgsim analyze <trace.jsonl> [--json]\n  \
+         tgsim analyze <trace.jsonl> [--json] [--data]\n  \
          tgsim replay <trace.swf> [--scenario FILE] [--seed N] \
          [--faults FILE] [--classify]"
     );
@@ -432,6 +432,13 @@ fn run(rest: &[String]) -> ExitCode {
             eprintln!("wrote {f}");
         }
     }
+    if let Some(dr) = &first.data_report {
+        println!(
+            "data grid: {} datasets, {} accesses ({} hits / {} misses, hit rate {:.3}), \
+             {:.0} MB fetched over WAN, {} evictions",
+            dr.datasets, dr.accesses, dr.hits, dr.misses, dr.hit_rate, dr.wan_mb, dr.evictions
+        );
+    }
     if let Some(fr) = &first.fault_report {
         println!(
             "faults: {} crashes, {} outages ({:.1} h downtime), \
@@ -535,6 +542,8 @@ fn run(rest: &[String]) -> ExitCode {
             "stats": first.stats.as_ref().map(serde_json::to_value)
                 .unwrap_or(serde_json::Value::Null),
             "trace": trace_json,
+            "data": first.data_report.as_ref().map(serde_json::to_value)
+                .unwrap_or(serde_json::Value::Null),
             "faults": first
                 .fault_report
                 .as_ref()
@@ -607,9 +616,11 @@ fn analyze(rest: &[String]) -> ExitCode {
         return usage();
     };
     let mut as_json = false;
+    let mut data_summary = false;
     for flag in &rest[1..] {
         match flag.as_str() {
             "--json" => as_json = true,
+            "--data" => data_summary = true,
             other => {
                 eprintln!("tgsim: unknown flag {other}");
                 return usage();
@@ -682,6 +693,28 @@ fn analyze(rest: &[String]) -> ExitCode {
         m.iter().map(|(k, v)| (k.clone(), *v)).collect::<Vec<_>>()
     };
     table("span durations by kind", &rows(&analysis.by_kind));
+    table(
+        "stage-in time by cache outcome",
+        &rows(&analysis.stage_in_by_cause),
+    );
+    if data_summary {
+        let count = |cause: &str| analysis.stage_in_by_cause.get(cause).map_or(0, |g| g.count);
+        let (hits, misses) = (count("cache-hit"), count("cache-miss"));
+        let total = hits + misses;
+        if total == 0 {
+            println!("\ndata: no dataset stage-ins in this trace (no data grid configured?)");
+        } else {
+            println!(
+                "\ndata: {total} dataset stage-ins, {hits} cache hits / {misses} misses \
+                 (hit rate {:.3}), mean miss fetch {:.1}s",
+                hits as f64 / total as f64,
+                analysis
+                    .stage_in_by_cause
+                    .get("cache-miss")
+                    .map_or(0.0, |g| g.mean),
+            );
+        }
+    }
     table(
         "queued time by wait cause",
         &rows(&analysis.queued_by_cause),

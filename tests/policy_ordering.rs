@@ -31,10 +31,12 @@ fn single_site(kind: SchedulerKind, seed_name: &str) -> ScenarioConfig {
             sites: 1,
             rc_sites: vec![],
             rc_config_count: 0,
+            data: None,
         },
         library: None,
         sample_interval: None,
         faults: None,
+        data: None,
     }
 }
 

@@ -54,10 +54,12 @@ fn arb_scenario() -> impl Strategy<Value = (ScenarioConfig, u64)> {
                     sites: 2,
                     rc_sites: if rc > 0 { vec![SiteId(1)] } else { vec![] },
                     rc_config_count: if rc > 0 { 6 } else { 0 },
+                    data: None,
                 },
                 library: None,
                 sample_interval: None,
                 faults: None,
+                data: None,
             };
             (cfg, seed)
         })
