@@ -31,14 +31,27 @@
 //!   concurrently between coordinator actions.
 //! * Heads that synchronize with global state — completions of *watched*
 //!   jobs (dependencies of other jobs) and kill-inducing fault events — are
-//!   *emission candidates*: the shard parks on them and the coordinator
-//!   executes them one at a time ([`ToShard::ExecuteHead`]) once every other
-//!   participant has drained everything below, so dependent routing sees
-//!   site-occupancy probes synchronized to exactly that coordinate.
+//!   *emission candidates*. Under the **batched protocol** (the default),
+//!   only fault candidates park the shard for a classic clamped interlude
+//!   ([`ToShard::ExecuteHead`]); watched completions strictly admitted by
+//!   the standing bound execute in place, holding their export conversation
+//!   mid-run, and every resolution ack **prefetches the next monotone
+//!   bound** (plus any pending outbox batch) so the whole same-shard run
+//!   costs the one grant round that admitted it. This is sound because only
+//!   the globally minimal shard ever holds admitted work — a grant round
+//!   sends exactly one `Advance`, so no peer is in flight during the
+//!   exchange. `RunOptions::per_event_sync` restores the one-round-per-
+//!   candidate protocol for differential tests and overhead measurement.
 //! * Deadlock freedom: the globally minimal head is always executable —
 //!   by its own shard (granted past it), by the coordinator (own queue), or
 //!   as a candidate (all others are already beyond it). Bounds never need a
 //!   null-message cycle because the coordinator sees all heads each round.
+//! * The **execution governor** ([`Governor`]) watches sync rounds per
+//!   event online and, on a host without two available cores or when
+//!   protocol overhead crosses the tripwire, *folds* at an epoch boundary:
+//!   every shard surrenders its queue (re-ranked into the coordinator's),
+//!   site state, and buffered records, and the run finishes on the fused
+//!   serial path — byte-identical output, ~serial wall time.
 //!
 //! Emission floors from the WAN [`Lookahead`] matrix (staging transfer
 //! lower bounds) are computed for diagnostics and validated against the
@@ -52,6 +65,7 @@
 //! `select_site`'s outage filter identical to the serial run while the
 //! owning shard executes the real outage event.
 
+use crate::scenario::Governor;
 use crate::sim::{BufRecord, EvCtx, Event, ExecRole, ExportReply, FinishedSim, GridSim, SiteProbe};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -75,6 +89,22 @@ type Stamp = (SimTime, Rank, u32);
 /// overhead; most replies arrive within a microsecond, so burning a short
 /// spin beats paying a futex sleep/wake per round.
 const RECV_SPIN: usize = 512;
+
+/// Real events the run must deliver before the execution governor's first
+/// epoch check: long enough to smooth startup transients out of the
+/// rounds-per-event ratio, short enough that a hopeless configuration (a
+/// 1-core host) wastes only milliseconds before folding.
+const GOV_WARMUP_EVENTS: u64 = 2048;
+
+/// Events between governor re-evaluations after the warmup.
+const GOV_CHECK_EVERY: u64 = 2048;
+
+/// [`Governor::Auto`] tripwire: fold to serial when the run's cumulative
+/// sync rounds (candidate + grant) per delivered event exceed this.
+/// Healthy batched-protocol runs sit well under 0.1; a pathologically
+/// chatty scenario (every run length 1) approaches the PR 6 ratio of
+/// ~0.34, where the protocol overhead swamps any parallel gain.
+const GOV_SYNC_ROUNDS_PER_EVENT_MAX: f64 = 0.25;
 
 /// Spin only when the peer can actually run concurrently: on a machine with
 /// a single available core (common in CI containers), spinning burns the
@@ -131,6 +161,10 @@ struct SyncRecorder {
     parks_received: u64,
     interlude_messages: u64,
     bound_clamps: u64,
+    batched_candidates: u64,
+    governor_fired: bool,
+    governor_at_events: u64,
+    serial_tail_events: u64,
     recv: RecvTally,
     round_wall: QuantileSketch,
     candidate_wall: QuantileSketch,
@@ -148,6 +182,10 @@ impl SyncRecorder {
             parks_received: 0,
             interlude_messages: 0,
             bound_clamps: 0,
+            batched_candidates: 0,
+            governor_fired: false,
+            governor_at_events: 0,
+            serial_tail_events: 0,
             recv: RecvTally::default(),
             round_wall: QuantileSketch::new(),
             candidate_wall: QuantileSketch::new(),
@@ -166,6 +204,10 @@ impl SyncRecorder {
             parks_received: self.parks_received,
             interlude_messages: self.interlude_messages,
             bound_clamps: self.bound_clamps,
+            batched_candidates: self.batched_candidates,
+            governor_fired: self.governor_fired,
+            governor_at_events: self.governor_at_events,
+            serial_tail_events: self.serial_tail_events,
             recv_spins: self.recv.spins,
             recv_blocks: self.recv.blocks,
             shard_recv_spins: shard_recv.spins,
@@ -278,10 +320,18 @@ enum ToShard {
     ExecuteHead { at: SimTime, rank: Rank },
     /// Acknowledge an in-flight export: restore the shared child/record
     /// cursors and absorb events routed back at the exporting shard.
+    /// `bound`, when present, is a *prefetched* fresh execution bound
+    /// computed from post-interlude heads — the shard adopts it in place of
+    /// its standing grant and keeps running, so a same-shard run of
+    /// candidates costs one grant round instead of one round each. The
+    /// fresh bound may sort *below* the voided grant (interludes create new
+    /// event chains), but always strictly above the candidate just
+    /// acknowledged, so nothing already executed could have needed it.
     Ack {
         k: u64,
         sub: u32,
         injects: Vec<(SimTime, Rank, Event)>,
+        bound: Option<Bound>,
     },
     /// Continue an RC routing decision on the shard owning the fabric,
     /// at the emitting event's coordinate with the shared cursors.
@@ -293,6 +343,9 @@ enum ToShard {
         site: SiteId,
         job: Box<Job>,
     },
+    /// The execution governor folded the run to serial: hand everything
+    /// back ([`ToCoord::Surrendered`]) and exit the worker thread.
+    Surrender,
     /// Drain finished: harvest and ship the final state.
     Finish,
 }
@@ -301,8 +354,13 @@ enum ToShard {
 struct ShardReport {
     /// Next unexecuted event's coordinate, if any.
     head: Option<(SimTime, Rank)>,
-    /// Whether the head is an emission candidate (needs [`ToShard::ExecuteHead`]).
+    /// Whether the head is a candidate the shard will *not* self-execute
+    /// (needs [`ToShard::ExecuteHead`]): any emission candidate in
+    /// per-event mode, fault candidates only in batched mode.
     candidate: bool,
+    /// Real (counted) events this shard has executed so far — the
+    /// governor's share of the global events-per-round ratio.
+    delivered: u64,
     /// Emission floor: earliest possible completion of any watched job here
     /// (diagnostic; head-based bounds subsume it).
     floor: Option<SimTime>,
@@ -351,8 +409,25 @@ enum ToCoord {
         sub: u32,
         report: ShardReport,
     },
+    /// Response to [`ToShard::Surrender`]: the shard's whole remaining
+    /// state, ready to fold into the coordinator for the serial tail.
+    Surrendered(Box<SurrenderedShard>),
     /// Response to [`ToShard::Finish`].
     Final(Box<ShardFinal>),
+}
+
+/// Everything a shard hands back when the governor folds the run: the
+/// authoritative per-site simulation state plus the shard's undelivered
+/// queue (with its local keys, so the coordinator can translate the
+/// completion keys held by running jobs) and its observer tallies.
+struct SurrenderedShard {
+    yielded: crate::sim::ShardYield,
+    queue: Vec<(SimTime, Rank, EventKey, Event)>,
+    records: Vec<(Stamp, BufRecord)>,
+    delivered: u64,
+    last: SimTime,
+    peak: usize,
+    recv: RecvTally,
 }
 
 /// Everything a shard ships home at the end of the run.
@@ -373,16 +448,52 @@ struct ShardFinal {
     recv: RecvTally,
 }
 
-/// Is this event an emission candidate — one whose execution may export
+/// How an emission candidate synchronizes with the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CandidateKind {
+    /// A watched-job completion: its only export is [`ToCoord::Finished`],
+    /// which blocks on an [`ToShard::Ack`] — so in batched mode the shard
+    /// may execute it itself whenever its bound strictly admits it, and the
+    /// coordinator prefetches the next bound on the Ack.
+    Watched,
+    /// A kill-inducing fault event: it can fire-and-forget
+    /// [`ToCoord::KilledCheckpoint`] exports (no Ack to carry a fresh
+    /// bound), so it always parks the shard for a classic
+    /// [`ToShard::ExecuteHead`] round.
+    Fault,
+}
+
+/// Classify an emission candidate — an event whose execution may export
 /// state to the coordinator and therefore needs globally synchronized
-/// pacing? `fault_candidate[i]` pre-classifies fault schedule entries
+/// pacing. `fault_candidate[i]` pre-classifies fault schedule entries
 /// (kill-inducing kinds: node crash, site outage).
-fn is_candidate(ev: &Event, watched: &HashSet<JobId>, fault_candidate: &[bool]) -> bool {
+fn candidate_kind(
+    ev: &Event,
+    watched: &HashSet<JobId>,
+    fault_candidate: &[bool],
+) -> Option<CandidateKind> {
     match ev {
-        Event::Complete { id } => watched.contains(id),
-        Event::RcComplete { job, .. } => watched.contains(&job.id),
-        Event::Fault(i) => fault_candidate[*i],
-        _ => false,
+        Event::Complete { id } if watched.contains(id) => Some(CandidateKind::Watched),
+        Event::RcComplete { job, .. } if watched.contains(&job.id) => Some(CandidateKind::Watched),
+        Event::Fault(i) if fault_candidate[*i] => Some(CandidateKind::Fault),
+        _ => None,
+    }
+}
+
+/// Does this head event park its shard for coordinator pacing? In batched
+/// mode only fault candidates do; watched completions are self-executed
+/// under the bound (their `Finished` export blocks on an Ack, which carries
+/// the next bound). In per-event mode every candidate parks (PR 6).
+fn parks_on(
+    ev: &Event,
+    watched: &HashSet<JobId>,
+    fault_candidate: &[bool],
+    per_event: bool,
+) -> bool {
+    match candidate_kind(ev, watched, fault_candidate) {
+        Some(CandidateKind::Fault) => true,
+        Some(CandidateKind::Watched) => per_event,
+        None => false,
     }
 }
 
@@ -398,6 +509,9 @@ struct ShardCtx<'a> {
     watched: &'a HashSet<JobId>,
     watched_bounds: &'a mut HashMap<JobId, SimTime>,
     records: &'a mut Vec<(Stamp, BufRecord)>,
+    /// The shard's standing execution bound; acknowledgements carrying a
+    /// prefetched bound overwrite it mid-run.
+    bound: &'a mut Bound,
     tx: &'a Sender<ToCoord>,
     rx: &'a Receiver<ToShard>,
     owned: &'a [usize],
@@ -498,12 +612,20 @@ impl EvCtx for ShardCtx<'_> {
     }
     fn recv_export_reply(&mut self) -> ExportReply {
         match recv_spin(self.rx, self.recv) {
-            ToShard::Ack { k, sub, injects } => {
+            ToShard::Ack {
+                k,
+                sub,
+                injects,
+                bound,
+            } => {
                 self.k = k;
                 self.sub = sub;
                 for (at, rank, ev) in injects {
                     debug_assert!(!matches!(ev, Event::NetUpdate(_)));
                     self.queue.schedule(at, rank, ev);
+                }
+                if let Some(b) = bound {
+                    *self.bound = b;
                 }
                 self.in_flight = false;
                 ExportReply::Acked
@@ -553,6 +675,10 @@ struct Shard {
     net_updates: usize,
     delivered: u64,
     last: SimTime,
+    /// PR 6 compatibility mode: park on *every* candidate (watched
+    /// completions included) instead of self-executing admitted ones.
+    /// Kept for differential testing of the batched protocol.
+    per_event: bool,
     tx: Sender<ToCoord>,
     rx: Receiver<ToShard>,
     recv: RecvTally,
@@ -612,6 +738,7 @@ impl Shard {
             watched: &self.watched,
             watched_bounds: &mut self.watched_bounds,
             records: &mut self.records,
+            bound: &mut self.bound,
             tx: &self.tx,
             rx: &self.rx,
             owned: &self.owned,
@@ -623,13 +750,13 @@ impl Shard {
         debug_assert!(!ctx.in_flight, "handlers drain exports before returning");
     }
 
-    /// Run every admitted event, stopping at emission candidates.
+    /// Run every admitted event, stopping at parking candidates.
     fn run_admitted(&mut self) {
         loop {
             let Some((at, rank, ev)) = self.queue.peek_full() else {
                 return;
             };
-            if is_candidate(ev, &self.watched, &self.fault_candidate) {
+            if parks_on(ev, &self.watched, &self.fault_candidate, self.per_event) {
                 return;
             }
             // Pseudo NetUpdate replicas exist on *every* shard at the same
@@ -652,14 +779,14 @@ impl Shard {
 
     fn report(&mut self) -> ShardReport {
         let head = self.queue.peek().map(|(t, r)| (t, r.clone()));
-        let candidate = self
-            .queue
-            .peek_full()
-            .is_some_and(|(_, _, ev)| is_candidate(ev, &self.watched, &self.fault_candidate));
+        let candidate = self.queue.peek_full().is_some_and(|(_, _, ev)| {
+            parks_on(ev, &self.watched, &self.fault_candidate, self.per_event)
+        });
         let probes = self.sim.all_probes();
         ShardReport {
             head,
             candidate,
+            delivered: self.delivered,
             floor: self.watched_bounds.values().min().copied(),
             last: self.last,
             pending: self.queue.len() - self.net_updates,
@@ -727,6 +854,7 @@ impl Shard {
                         watched: &self.watched,
                         watched_bounds: &mut self.watched_bounds,
                         records: &mut self.records,
+                        bound: &mut self.bound,
                         tx: &self.tx,
                         rx: &self.rx,
                         owned: &self.owned,
@@ -744,6 +872,28 @@ impl Shard {
                 }
                 ToShard::Ack { .. } => {
                     unreachable!("acks are consumed inside recv_export_reply")
+                }
+                ToShard::Surrender => {
+                    // Governor fold: ship back the owned simulation state
+                    // and the undelivered queue (with this shard's local
+                    // keys so the coordinator can translate the completion
+                    // keys of running jobs), then exit the worker.
+                    let q = std::mem::replace(&mut self.queue, RankQueue::new());
+                    let peak = q.peak_len();
+                    let queue: Vec<(SimTime, Rank, EventKey, Event)> = q.drain();
+                    let msg = SurrenderedShard {
+                        yielded: self.sim.surrender(),
+                        queue,
+                        records: self.records,
+                        delivered: self.delivered,
+                        last: self.last,
+                        peak,
+                        recv: self.recv,
+                    };
+                    self.tx
+                        .send(ToCoord::Surrendered(Box::new(msg)))
+                        .unwrap_or_else(|_| panic!("coordinator alive"));
+                    return;
                 }
                 ToShard::Finish => {
                     assert!(self.queue.is_empty(), "finish with events pending");
@@ -799,6 +949,12 @@ struct CoordCtx<'a> {
     reports: &'a mut [ShardReport],
     probe_view: &'a mut [SiteProbe],
     recv: &'a mut RecvTally,
+    /// Post-fold serial tail: the shards are gone, every event executes
+    /// here under the serial role, nothing routes to an outbox, and the
+    /// queue is in tail mode (`RankQueue::fuse_serial`). Records skip the
+    /// buffer and flow straight through the lossy ingest — execution is
+    /// already in serial order, so emission order *is* the replay order.
+    fused: bool,
 }
 
 impl CoordCtx<'_> {
@@ -825,6 +981,11 @@ impl EvCtx for CoordCtx<'_> {
     fn schedule_at(&mut self, at: SimTime, ev: Event) -> EventKey {
         debug_assert!(at >= self.now, "scheduling into the past");
         let at = at.max(self.now);
+        if self.fused {
+            // Tail mode: the queue allocates inline seqs in call order,
+            // which is exactly the serial scheduling order. No rank.
+            return self.queue.schedule_tail(at, ev);
+        }
         let rank = self.child_rank();
         match &ev {
             Event::Enqueue { site, .. } | Event::RcComplete { site, .. } => {
@@ -848,10 +1009,17 @@ impl EvCtx for CoordCtx<'_> {
         self.queue.cancel(key)
     }
     fn exec_mode(&self) -> ExecRole {
-        ExecRole::Coord
+        if self.fused {
+            ExecRole::Serial
+        } else {
+            ExecRole::Coord
+        }
     }
     fn buffers_records(&self) -> bool {
-        true
+        // Pre-fold, records buffer with causal stamps for the merge-time
+        // replay; the fused tail executes in serial order, so its records
+        // take the serial engine's direct-ingest path.
+        !self.fused
     }
     fn buffer_record(&mut self, rec: BufRecord) {
         self.records
@@ -908,6 +1076,18 @@ struct Coordinator {
     delivered: u64,
     last: SimTime,
     prof: SyncRecorder,
+    /// PR 6 compatibility mode (see [`Shard::per_event`]).
+    per_event: bool,
+    /// The adaptive execution governor's tripwire configuration.
+    governor: Governor,
+    /// Next delivered-events threshold at which the governor re-evaluates.
+    gov_next_check: u64,
+    /// Set once the governor has folded the run to the serial tail.
+    fused: bool,
+    /// Peak queue lengths handed over by surrendered shards.
+    folded_peak: usize,
+    /// Channel-receive tallies handed over by surrendered shards.
+    folded_recv: RecvTally,
 }
 
 impl Coordinator {
@@ -963,6 +1143,44 @@ impl Coordinator {
         fault_rank_base
     }
 
+    /// Pre-spawn priming for a run folding before any shard exists: stage
+    /// the entire primed event set straight onto the fused tail in serial
+    /// `(time, priming-seq)` order — no ranks, no mirrors, and every
+    /// fault-schedule kind as a real coordinator event, since the serial
+    /// handler applies each one itself. A stable sort by time keeps the
+    /// priming order (submits by job index, then the sample tick, then the
+    /// fault schedule) as the tie-break, which is exactly the serial
+    /// engine's seq order.
+    fn prime_fused(&mut self) {
+        let mut entries: Vec<(SimTime, Event)> = self
+            .sim
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                (
+                    j.as_ref().expect("unconsumed").submit_time,
+                    Event::Submit(i),
+                )
+            })
+            .collect();
+        if let Some(interval) = self.sim.sample_interval {
+            entries.push((SimTime::ZERO + interval, Event::Sample));
+        }
+        if let Some(f) = self.sim.faults.as_ref() {
+            entries.extend(
+                f.schedule
+                    .events
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (e.at, Event::Fault(i))),
+            );
+        }
+        entries.sort_by_key(|e| e.0);
+        self.queue.fuse_primed(entries);
+        self.fused = true;
+    }
+
     fn recv_parked(&mut self, shard: usize) {
         match recv_spin(&self.from_shards[shard], &mut self.prof.recv) {
             ToCoord::Parked(report) => {
@@ -990,9 +1208,38 @@ impl Coordinator {
         }
     }
 
-    /// Process one export conversation after sending [`ToShard::ExecuteHead`]
-    /// to `emitter`, until the emitter parks.
-    fn interlude(&mut self, emitter: usize) {
+    /// A fresh execution bound for `emitter`, computed from the *current*
+    /// heads: the minimum over the coordinator's own queue head and every
+    /// other shard's effective head. Callers must guarantee every other
+    /// shard is parked with a fresh report (nothing of theirs in flight),
+    /// or the bound could run ahead of an unreported event.
+    fn refresh_bound(&mut self, emitter: usize) -> Bound {
+        let mut b: Option<Bound> = self.queue.peek().map(|(t, r)| Bound::at(t, r.clone()));
+        for m in 0..self.shards() {
+            if m == emitter {
+                continue;
+            }
+            if let Some((t, r, _)) = self.effective_head(m) {
+                let hb = Bound::at(t, r);
+                b = Some(match b {
+                    None => hb,
+                    Some(cur) => cur.min(hb),
+                });
+            }
+        }
+        b.unwrap_or(Bound {
+            time: SimTime::MAX,
+            rank: None,
+        })
+    }
+
+    /// Process export conversations from `emitter` until it parks — after
+    /// sending [`ToShard::ExecuteHead`] (classic candidate round,
+    /// `refresh: false`) or [`ToShard::Advance`] into a batched run
+    /// (`refresh: true`, every candidate resolution piggybacks the next
+    /// monotone bound on its Ack so the whole same-shard run costs this one
+    /// round).
+    fn interlude(&mut self, emitter: usize, refresh: bool) {
         loop {
             let msg = recv_spin(&self.from_shards[emitter], &mut self.prof.recv);
             if !matches!(msg, ToCoord::Parked(_)) {
@@ -1033,12 +1280,37 @@ impl Coordinator {
                         reports: &mut self.reports,
                         probe_view: &mut self.probe_view,
                         recv: &mut self.prof.recv,
+                        fused: false,
                     };
                     self.sim.release_deps(&mut ctx, id);
                     let (k, sub) = (ctx.k, ctx.sub);
                     let injects = self.outboxes[emitter].take();
+                    let bound = if refresh {
+                        // Prefetch the next bound from post-interlude heads
+                        // so the shard keeps running without another round.
+                        // It may sort below the standing grant (the
+                        // interlude just created fresh event chains), but
+                        // always strictly above the completion being
+                        // acknowledged.
+                        let b = self.refresh_bound(emitter);
+                        self.prof.batched_candidates += 1;
+                        if b < self.granted[emitter] {
+                            // The interlude's fresh chains pulled the
+                            // horizon back below the standing grant.
+                            self.prof.bound_clamps += 1;
+                        }
+                        self.granted[emitter] = b.clone();
+                        Some(b)
+                    } else {
+                        None
+                    };
                     self.to_shards[emitter]
-                        .send(ToShard::Ack { k, sub, injects })
+                        .send(ToShard::Ack {
+                            k,
+                            sub,
+                            injects,
+                            bound,
+                        })
                         .unwrap_or_else(|_| panic!("shard alive"));
                 }
                 ToCoord::KilledRetry {
@@ -1067,12 +1339,20 @@ impl Coordinator {
                         reports: &mut self.reports,
                         probe_view: &mut self.probe_view,
                         recv: &mut self.prof.recv,
+                        fused: false,
                     };
                     self.sim.coord_kill_retry(&mut ctx, job);
                     let (k, sub) = (ctx.k, ctx.sub);
                     let injects = self.outboxes[emitter].take();
+                    // Kills happen only on the classic fault-candidate path
+                    // (kill-inducing events never batch), so no prefetch.
                     self.to_shards[emitter]
-                        .send(ToShard::Ack { k, sub, injects })
+                        .send(ToShard::Ack {
+                            k,
+                            sub,
+                            injects,
+                            bound: None,
+                        })
                         .unwrap_or_else(|_| panic!("shard alive"));
                 }
                 ToCoord::KilledCheckpoint {
@@ -1094,7 +1374,9 @@ impl Coordinator {
     fn execute_own(&mut self, at: SimTime, rank: Rank, ev: Event) {
         self.delivered += 1;
         self.last = self.last.max(at);
-        self.sim.probes = Some(self.probe_view.clone());
+        if !self.fused {
+            self.sim.probes = Some(self.probe_view.clone());
+        }
         let mut ctx = CoordCtx {
             queue: &mut self.queue,
             now: at,
@@ -1109,6 +1391,7 @@ impl Coordinator {
             reports: &mut self.reports,
             probe_view: &mut self.probe_view,
             recv: &mut self.prof.recv,
+            fused: self.fused,
         };
         self.sim.dispatch_event(&mut ctx, ev);
     }
@@ -1135,6 +1418,146 @@ impl Coordinator {
         }
     }
 
+    /// Total real events delivered across every participant, from the
+    /// shards' parked reports (exact whenever all shards are parked —
+    /// i.e. at every round top).
+    fn total_events(&self) -> u64 {
+        self.delivered + self.reports.iter().map(|r| r.delivered).sum::<u64>()
+    }
+
+    /// Evaluate the execution governor at an epoch boundary. Cheap: one
+    /// comparison per round until the next epoch threshold is crossed.
+    fn governor_trips(&mut self) -> bool {
+        if matches!(self.governor, Governor::Off) {
+            return false;
+        }
+        let events = self.total_events();
+        if events < self.gov_next_check {
+            return false;
+        }
+        self.gov_next_check = events + GOV_CHECK_EVERY;
+        match self.governor {
+            Governor::Off => false,
+            Governor::Force => true,
+            Governor::Auto => {
+                if spin_budget() == 0 {
+                    // A single available core cannot overlap shard and
+                    // coordinator execution: every sync round degenerates
+                    // to a futex round trip, so serial strictly wins.
+                    return true;
+                }
+                let sync_rounds = self.prof.candidate_rounds + self.prof.grant_rounds;
+                (sync_rounds as f64) > GOV_SYNC_ROUNDS_PER_EVENT_MAX * (events as f64)
+            }
+        }
+    }
+
+    /// Governor fold: recall every shard's state and queue, splice them
+    /// into the coordinator's replica, and switch to the fused serial
+    /// tail. Called only at a round top, where every shard is parked (so
+    /// nothing is in flight) — a clean epoch boundary.
+    fn fold(&mut self) {
+        let shards = self.shards();
+        self.prof.governor_fired = true;
+        self.prof.governor_at_events = self.total_events();
+        for m in 0..shards {
+            self.to_shards[m]
+                .send(ToShard::Surrender)
+                .unwrap_or_else(|_| panic!("shard alive"));
+        }
+        for m in 0..shards {
+            let msg = match recv_spin(&self.from_shards[m], &mut self.prof.recv) {
+                ToCoord::Surrendered(b) => *b,
+                _ => unreachable!("a parked shard answers surrender immediately"),
+            };
+            let SurrenderedShard {
+                yielded,
+                queue,
+                records,
+                delivered,
+                last,
+                peak,
+                recv,
+            } = msg;
+            // Reschedule the shard's undelivered events here under fresh
+            // keys, remembering the translation: running jobs hold their
+            // completion event's key for the fault layer's kill-by-cancel.
+            // NetUpdate replicas are dropped — the real link event already
+            // lives on this queue and the serial role applies the network
+            // change itself.
+            let mut keymap: HashMap<EventKey, EventKey> = HashMap::with_capacity(queue.len());
+            for (at, rank, old_key, ev) in queue {
+                if matches!(ev, Event::NetUpdate(_)) {
+                    continue;
+                }
+                let new_key = self.queue.schedule(at, rank, ev);
+                keymap.insert(old_key, new_key);
+            }
+            // Undelivered outbox events are part of the global order too.
+            for (at, rank, ev) in self.outboxes[m].take() {
+                debug_assert!(!matches!(ev, Event::NetUpdate(_)));
+                self.queue.schedule(at, rank, ev);
+            }
+            let owned: Vec<usize> = (0..self.sim.federation.len())
+                .filter(|&s| owner(s, shards) == m)
+                .collect();
+            self.sim.absorb_shard(yielded, &owned, &keymap);
+            self.records.extend(records);
+            self.delivered += delivered;
+            self.last = self.last.max(last);
+            self.folded_peak += peak;
+            self.folded_recv.spins += recv.spins;
+            self.folded_recv.blocks += recv.blocks;
+        }
+        // Pending outage mirrors pair one-to-one with real outage events
+        // that were still queued on their owning shards — just folded into
+        // this queue, where the full serial handler sets `down_since`
+        // itself. Probes off: the serial path reads live site state.
+        self.mirrors.clear();
+        self.sim.probes = None;
+        // The shards' parked reports are history now; in particular their
+        // `pending` counts must stop feeding `CoordCtx::pending` (the
+        // folded events live in this queue) or the sample tick would renew
+        // itself forever.
+        for r in &mut self.reports {
+            r.head = None;
+            r.candidate = false;
+            r.pending = 0;
+            r.probes.clear();
+        }
+        // Renumber the merged queue to the serial engine's inline
+        // `(time, seq)` ordering and translate the completion keys running
+        // jobs hold (see `RankQueue::fuse_serial`).
+        let tailmap = self.queue.fuse_serial();
+        self.sim.remap_running_keys(&tailmap);
+        // Flush the records buffered so far. Conservative execution is
+        // globally monotone in `(time, rank)`, so everything buffered here
+        // stamps strictly before anything the tail will emit: replaying the
+        // sorted prefix now and ingesting directly from here on reproduces
+        // the serial ingest (and RNG draw) sequence without holding
+        // millions of records to the end of the run.
+        let mut records = std::mem::take(&mut self.records);
+        sort_records(&mut records);
+        for (_, rec) in records {
+            self.sim.replay_record(rec);
+        }
+        self.fused = true;
+    }
+
+    /// The serial tail: one fused replica, the exact serial pop-execute
+    /// loop, no rounds and no messages. The queue is in tail mode (inline
+    /// `(time, seq)` order); ranks are gone, so the execution context
+    /// carries a sentinel no handler reads (child ranks and record stamps
+    /// are both pre-fold concepts).
+    fn run_tail(&mut self) {
+        debug_assert!(self.fused, "serial tail before the fold");
+        let sentinel = Rank::root(u64::MAX);
+        while let Some((t, ev)) = self.queue.pop_tail() {
+            self.prof.serial_tail_events += 1;
+            self.execute_own(t, sentinel.clone(), ev);
+        }
+    }
+
     /// The synchronization driver: decide, act, repeat.
     fn drive(&mut self) {
         let shards = self.shards();
@@ -1142,6 +1565,13 @@ impl Coordinator {
             self.recv_parked(i);
         }
         loop {
+            if !self.fused && self.governor_trips() {
+                self.fold();
+            }
+            if self.fused {
+                self.run_tail();
+                return;
+            }
             let round_t0 = Instant::now();
             let own_head = self.queue.peek().map(|(t, r)| (t, r.clone()));
             let effs: Vec<Option<(SimTime, Rank, bool)>> =
@@ -1232,7 +1662,7 @@ impl Coordinator {
                     .send(ToShard::ExecuteHead { at, rank })
                     .unwrap_or_else(|_| panic!("shard alive"));
                 let interlude_t0 = Instant::now();
-                self.interlude(j);
+                self.interlude(j, false);
                 self.prof.rounds += 1;
                 self.prof.candidate_rounds += 1;
                 self.prof
@@ -1245,14 +1675,66 @@ impl Coordinator {
             }
 
             // Non-candidate minimum (a parked head or an undelivered
-            // event): raise bounds so its shard (and any other shard with
-            // admitted work) free-runs. B_j = min over the coordinator's
-            // head and every *other* shard's effective head — all strictly
-            // above shard j's own minimum, so j always progresses. Any
-            // Advance carries the destination's whole outbox: a raised
-            // bound may admit undelivered events, and they are always above
-            // the destination's executed frontier (every cross-shard event
-            // is created above every bound standing at its creation).
+            // event): raise the min shard's bound so it free-runs.
+            //
+            // Only the min shard can have admitted work — every other
+            // shard's bound is clamped by this shard's head, which sorts
+            // below everything they hold — so the batched protocol grants
+            // exactly one shard per round: B_j = min over the coordinator's
+            // head and every *other* shard's effective head, all strictly
+            // above shard j's own minimum, so j always progresses. The
+            // Advance carries j's whole outbox: a raised bound may admit
+            // undelivered events, and they are always above the
+            // destination's executed frontier (every cross-shard event is
+            // created above every bound standing at its creation). Watched
+            // completions inside the run resolve through refresh
+            // interludes on this same round (the Ack prefetches the next
+            // bound), so a same-shard run of K admitted events — candidate
+            // completions included — costs exactly one grant round.
+            //
+            // Per-event mode (PR 6) broadcasts bounds to every shard whose
+            // bound can rise and parks each candidate individually.
+            if !self.per_event {
+                let mut b: Option<Bound> = own_head.as_ref().map(|(t, r)| Bound::at(*t, r.clone()));
+                for (i, e) in effs.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    if let Some((t, r, _)) = e {
+                        let hb = Bound::at(*t, r.clone());
+                        b = Some(match b {
+                            None => hb,
+                            Some(cur) => cur.min(hb),
+                        });
+                    }
+                }
+                // No other participant has any event left: the shard may
+                // drain everything it has (fault candidates still park it).
+                let b = b.unwrap_or(Bound {
+                    time: SimTime::MAX,
+                    rank: None,
+                });
+                debug_assert!(
+                    b > self.granted[j],
+                    "the min shard's grant always rises (at {:?})",
+                    (at, &rank),
+                );
+                self.granted[j] = b.clone();
+                let injects = self.outboxes[j].take();
+                self.to_shards[j]
+                    .send(ToShard::Advance { bound: b, injects })
+                    .unwrap_or_else(|_| panic!("shard alive"));
+                self.prof.rounds += 1;
+                self.prof.grant_rounds += 1;
+                self.prof.advances_sent += 1;
+                self.prof.grant_occupancy.record(1.0);
+                self.interlude(j, true);
+                self.prof
+                    .round_wall
+                    .record(round_t0.elapsed().as_secs_f64());
+                continue;
+            }
+
             let mut awaiting = Vec::new();
             for m in 0..shards {
                 let mut b: Option<Bound> = own_head.as_ref().map(|(t, r)| Bound::at(*t, r.clone()));
@@ -1330,6 +1812,8 @@ pub(crate) fn run_sharded(
     make_sim: &(dyn Fn() -> GridSim + Sync),
     threads: usize,
     watched: Arc<HashSet<JobId>>,
+    governor: Governor,
+    per_event: bool,
 ) -> ShardedOutcome {
     let coord_sim = make_sim();
     let nsites = coord_sim.federation.len();
@@ -1386,6 +1870,7 @@ pub(crate) fn run_sharded(
             .map(|_| ShardReport {
                 head: None,
                 candidate: false,
+                delivered: 0,
                 floor: None,
                 last: SimTime::ZERO,
                 pending: 0,
@@ -1399,7 +1884,27 @@ pub(crate) fn run_sharded(
         delivered: 0,
         last: SimTime::ZERO,
         prof: SyncRecorder::new(),
+        per_event,
+        governor,
+        gov_next_check: GOV_WARMUP_EVENTS,
+        fused: false,
+        folded_peak: 0,
+        folded_recv: RecvTally::default(),
     };
+    // Pre-spawn fold: on a host with one available core the governor's
+    // tripwire is a foregone conclusion (`spin_budget() == 0` — no core to
+    // overlap shard and coordinator execution on), and the dominant cost of
+    // a doomed sharded start is building the per-shard workload replicas.
+    // Fold before the fleet exists: prime everything (all fault kinds
+    // included) on this queue, fuse it to the serial tail, and never spawn.
+    if matches!(governor, Governor::Auto) && spin_budget() == 0 {
+        coordinator.prof.governor_fired = true;
+        coordinator.prof.governor_at_events = 0;
+        coordinator.prime_fused();
+        coordinator.run_tail();
+        return merge(coordinator, Vec::new(), lookahead);
+    }
+
     let fault_rank_base = coordinator.prime();
 
     std::thread::scope(|scope| {
@@ -1421,6 +1926,7 @@ pub(crate) fn run_sharded(
                     net_updates: 0,
                     delivered: 0,
                     last: SimTime::ZERO,
+                    per_event,
                     tx,
                     rx,
                     recv: RecvTally::default(),
@@ -1430,6 +1936,12 @@ pub(crate) fn run_sharded(
         }
 
         coordinator.drive();
+
+        if coordinator.fused {
+            // The governor folded mid-run: every shard already surrendered
+            // its state and exited; there is nothing left to finish.
+            return merge(coordinator, Vec::new(), lookahead);
+        }
 
         // Drain finished: collect every shard's final state.
         let mut finals: Vec<ShardFinal> = Vec::with_capacity(shards);
@@ -1451,16 +1963,27 @@ pub(crate) fn run_sharded(
     })
 }
 
+/// Sort buffered accounting records into global serial (stamp) order, so a
+/// replay through the virgin ingest channel sees the exact serial draw
+/// sequence.
+fn sort_records(records: &mut [(Stamp, BufRecord)]) {
+    records.sort_by(|a, b| {
+        let ((ta, ra, sa), _) = a;
+        let ((tb, rb, sb), _) = b;
+        ta.cmp(tb).then_with(|| ra.cmp(rb)).then_with(|| sa.cmp(sb))
+    });
+}
+
 /// Fold the shards' final state into the coordinator's replica and finish
 /// the run exactly as the serial `GridSim::run` would.
 fn merge(mut c: Coordinator, finals: Vec<ShardFinal>, lookahead: Lookahead) -> ShardedOutcome {
     let shards = c.shards();
     let mut delivered = c.delivered;
     let mut end = c.last;
-    let mut peak = c.queue.peak_len();
+    let mut peak = c.queue.peak_len() + c.folded_peak;
     let mut jobs_done = c.sim.jobs_done;
     let mut records = std::mem::take(&mut c.records);
-    let mut shard_recv = RecvTally::default();
+    let mut shard_recv = c.folded_recv;
 
     for (me, mut f) in finals.into_iter().enumerate() {
         // Swap in the authoritative per-site state (utilization integrals,
@@ -1507,11 +2030,7 @@ fn merge(mut c: Coordinator, finals: Vec<ShardFinal>, lookahead: Lookahead) -> S
     // Replay every buffered accounting record in global serial (stamp)
     // order through the coordinator's virgin ingest channel: the lossy
     // ingest RNG sees the exact serial draw sequence.
-    records.sort_by(|a, b| {
-        let ((ta, ra, sa), _) = a;
-        let ((tb, rb, sb), _) = b;
-        ta.cmp(tb).then_with(|| ra.cmp(rb)).then_with(|| sa.cmp(sb))
-    });
+    sort_records(&mut records);
     for (_, rec) in records {
         c.sim.replay_record(rec);
     }

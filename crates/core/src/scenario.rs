@@ -258,6 +258,34 @@ pub struct RunOptions {
     pub live_stats_path: Option<PathBuf>,
     /// Bucket width for the windowed series (`None` = one hour).
     pub live_stats_bucket: Option<tg_des::SimDuration>,
+    /// The sharded engine's adaptive execution governor (see [`Governor`]).
+    /// Ignored on the serial path. Like every option here this is an
+    /// observer-only knob: a governed fold lands on the byte-identical
+    /// serial tail, so outputs never change — only wall time does.
+    pub governor: Governor,
+    /// PR 6 compatibility: run the sharded protocol with one sync round per
+    /// emission candidate instead of batched same-shard runs. Only useful
+    /// for differential tests and protocol-overhead measurements; slower.
+    pub per_event_sync: bool,
+}
+
+/// The sharded engine's adaptive execution governor: when conservative-sync
+/// overhead makes `--threads N` slower than serial (a 1-core host, a
+/// pathologically chatty scenario), the coordinator recalls every shard's
+/// state at a clean epoch boundary mid-run and finishes on the exact serial
+/// path — so `--threads` is never much worse than serial. Byte-identity is
+/// unaffected either way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Governor {
+    /// Measure online (via the sync profiler) and fold when the tripwire
+    /// trips: fewer than two available cores, or sync rounds per event
+    /// above the built-in threshold. The default.
+    #[default]
+    Auto,
+    /// Never fold (bench/protocol measurement).
+    Off,
+    /// Fold unconditionally at the first epoch boundary (tests).
+    Force,
 }
 
 impl RunOptions {
@@ -380,7 +408,13 @@ impl Scenario {
                 assemble(cfg, &library, jobs.clone(), RngFactory::new(seed), opts)
             };
             let wall_start = std::time::Instant::now();
-            let outcome = crate::parallel::run_sharded(&make_sim, opts.threads, watched);
+            let outcome = crate::parallel::run_sharded(
+                &make_sim,
+                opts.threads,
+                watched,
+                opts.governor,
+                opts.per_event_sync,
+            );
             let wall = wall_start.elapsed().as_secs_f64();
             debug_assert!(outcome.min_lookahead >= tg_des::SimDuration::ZERO);
             (

@@ -2426,6 +2426,112 @@ impl GridSim {
         }
     }
 
+    /// Shard half of the mid-run governor fold: strip the replica down to
+    /// the state the coordinator must take over. Everything else (the jobs
+    /// arena, the untouched data-layer replica, the network copy) is
+    /// dropped here — the coordinator's own replica is authoritative for
+    /// all of it. Scheduler counters are deliberately *not* harvested: the
+    /// boxes themselves move across, and the coordinator's single
+    /// end-of-run [`GridSim::harvest_scheduler_counters`] reads their
+    /// cumulative totals exactly once.
+    pub(crate) fn surrender(self) -> ShardYield {
+        ShardYield {
+            federation: self.federation,
+            schedulers: self.schedulers,
+            running: self.running,
+            span_track: self.span_track,
+            rc_backlog: self.rc_backlog,
+            armed_wakeups: self.armed_wakeups,
+            faults: self.faults.map(|f| FaultYield {
+                crashed_cores: f.crashed_cores,
+                outage_offline: f.outage_offline,
+                down_since: f.down_since,
+                report: f.report,
+            }),
+            metrics: self.metrics,
+            sketches: self.obs.sketches,
+            series: self.obs.series,
+            jobs_done: self.jobs_done,
+        }
+    }
+
+    /// Coordinator half of the governor fold: take over a surrendering
+    /// shard's authoritative state so the remainder of the run can execute
+    /// on the exact serial path. `owned` lists the site indices the shard
+    /// owned; `keymap` translates the shard's queue keys to the
+    /// coordinator's (completion events were rescheduled into the
+    /// coordinator's queue under fresh keys, and the kill path cancels by
+    /// [`RunningRec`] key).
+    pub(crate) fn absorb_shard(
+        &mut self,
+        mut y: ShardYield,
+        owned: &[usize],
+        keymap: &HashMap<EventKey, EventKey>,
+    ) {
+        for &s in owned {
+            std::mem::swap(
+                self.federation.site_mut(SiteId(s)),
+                y.federation.site_mut(SiteId(s)),
+            );
+            std::mem::swap(&mut self.schedulers[s], &mut y.schedulers[s]);
+        }
+        for (id, mut rec) in y.running {
+            rec.key = *keymap
+                .get(&rec.key)
+                .expect("running job's completion event folded with its shard");
+            let prev = self.running.insert(id, rec);
+            debug_assert!(prev.is_none(), "job running on two participants");
+        }
+        for (id, track) in y.span_track {
+            self.span_track.insert(id, track);
+        }
+        for (site, q) in y.rc_backlog {
+            if owned.contains(&site.index()) {
+                self.rc_backlog.insert(site, q);
+            }
+        }
+        for (site, at) in y.armed_wakeups {
+            self.armed_wakeups.insert(site, at);
+        }
+        if let Some(fy) = y.faults {
+            let f = self
+                .faults
+                .as_mut()
+                .expect("shards have a fault layer only when the coordinator does");
+            // Per-site fault state is single-writer: the owning shard's
+            // values are authoritative for its sites. `degraded_since` stays
+            // ours — link windows are replicated everywhere and already
+            // tracked here.
+            for &s in owned {
+                f.crashed_cores[s] = fy.crashed_cores[s];
+                f.outage_offline[s] = fy.outage_offline[s];
+                f.down_since[s] = fy.down_since[s];
+            }
+            f.report.merge_from(&fy.report);
+        }
+        self.metrics.merge_from(&y.metrics);
+        if self.obs.is_enabled() {
+            self.obs.sketches.merge_from(&y.sketches);
+            self.obs.series.merge_from(&y.series);
+        }
+        self.jobs_done += y.jobs_done;
+    }
+
+    /// Translate the completion-event keys held by running jobs after the
+    /// governor's fold renumbered the coordinator queue
+    /// (`RankQueue::fuse_serial`). Every running job's completion event is
+    /// live on that queue — cancellation removes the job from the registry
+    /// too — so a missing translation is a protocol bug, not a tolerable
+    /// state (a stale raw key could collide with a fresh seq and cancel the
+    /// wrong event).
+    pub(crate) fn remap_running_keys(&mut self, keymap: &tg_des::shard::KeyTranslation) {
+        for rec in self.running.values_mut() {
+            rec.key = keymap
+                .get(rec.key)
+                .expect("running job's completion event is pending on the fused queue");
+        }
+    }
+
     /// Occupancy probes for every site, read from this participant's
     /// replica. Only the probes of sites this participant *owns* are
     /// meaningful; the sharded driver filters to those when assembling the
@@ -2443,6 +2549,35 @@ impl GridSim {
             })
             .collect()
     }
+}
+
+/// The state a shard hands back when the execution governor folds the run
+/// to serial mid-flight: exactly the per-site state the shard owned, plus
+/// its observer books. Built by [`GridSim::surrender`], consumed by
+/// [`GridSim::absorb_shard`]; the driver ships it across the shard channel
+/// boxed together with the shard's drained queue.
+pub(crate) struct ShardYield {
+    federation: Federation,
+    schedulers: Vec<Box<dyn BatchScheduler>>,
+    running: HashMap<JobId, RunningRec>,
+    span_track: HashMap<JobId, SpanTrack>,
+    rc_backlog: HashMap<SiteId, VecDeque<Job>>,
+    armed_wakeups: HashMap<SiteId, SimTime>,
+    faults: Option<FaultYield>,
+    metrics: MetricsRegistry,
+    sketches: SpanSketchbook,
+    series: WindowedSeries,
+    jobs_done: usize,
+}
+
+/// The fault-layer slice of a [`ShardYield`]: per-site single-writer state
+/// plus the shard's half of the fault report. The retry book, ingest
+/// channel, and policies stay with the coordinator (it already owns them).
+struct FaultYield {
+    crashed_cores: Vec<usize>,
+    outage_offline: Vec<usize>,
+    down_since: Vec<Option<SimTime>>,
+    report: FaultReport,
 }
 
 impl Simulation for GridSim {

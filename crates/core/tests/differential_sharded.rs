@@ -7,7 +7,7 @@
 //! targeted sync-layer cases (2-site ping-pong workflows, cross-shard fault
 //! delivery) — and comparing every deterministic output field.
 
-use tg_core::{FaultSpec, RunOptions, ScenarioConfig, SimOutput};
+use tg_core::{FaultSpec, Governor, RunOptions, ScenarioConfig, SimOutput};
 
 fn load_config(name: &str) -> ScenarioConfig {
     let path = format!("{}/../../configs/{name}.json", env!("CARGO_MANIFEST_DIR"));
@@ -273,6 +273,217 @@ fn random_scenarios_are_identical_sharded() {
             &format!("case {case} (users={users} days={days} threads={threads} seed={seed})"),
         );
     }
+}
+
+/// All four execution strategies agree byte-for-byte on one faulty,
+/// sampled scenario: serial, the batched grant protocol (governor off so
+/// the whole run stays sharded even on a 1-core host), the per-event
+/// protocol (one sync round per emission candidate, PR 6 behaviour), and a
+/// forced mid-run governor fold onto the serial tail.
+#[test]
+fn sync_protocol_modes_are_identical() {
+    let mut cfg = ScenarioConfig::baseline(100, 5);
+    cfg.name = "protocol-modes".into();
+    cfg.sample_interval = Some(tg_des::SimDuration::from_hours(12));
+    cfg.faults = Some(FaultSpec {
+        site_outages: vec![tg_fault::OutageWindow {
+            site: 1,
+            start_hours: 24.0,
+            duration_hours: 6.0,
+            notice_hours: 0.0,
+        }],
+        ..FaultSpec::default()
+    });
+    let scenario = cfg.build();
+    let serial = scenario.run_with(11, &RunOptions::with_metrics());
+
+    // Batched protocol, full sharded run.
+    let mut batched = RunOptions::with_metrics();
+    batched.threads = 4;
+    batched.governor = Governor::Off;
+    let out = scenario.run_with(11, &batched);
+    assert_identical(&serial, &out, "batched protocol");
+    let sync = out
+        .profile
+        .sync
+        .as_ref()
+        .expect("sharded run profiles sync");
+    assert!(!sync.governor_fired, "governor off never folds");
+    assert_eq!(sync.serial_tail_events, 0, "no serial tail without a fold");
+    assert!(
+        sync.batched_candidates > 0,
+        "watched candidates resolved inside batched grants: {sync:?}"
+    );
+
+    // Per-event protocol: every candidate parks for its own round.
+    let mut per_event = RunOptions::with_metrics();
+    per_event.threads = 4;
+    per_event.governor = Governor::Off;
+    per_event.per_event_sync = true;
+    let out_pe = scenario.run_with(11, &per_event);
+    assert_identical(&serial, &out_pe, "per-event protocol");
+    let sync_pe = out_pe.profile.sync.as_ref().expect("sync profile");
+    assert!(
+        sync_pe.candidate_rounds > sync.candidate_rounds,
+        "per-event pays candidate rounds batching avoids: \
+         per-event {} vs batched {}",
+        sync_pe.candidate_rounds,
+        sync.candidate_rounds
+    );
+
+    // Forced fold: shards recalled at the first epoch boundary, remainder
+    // of the run executes on the fused serial path.
+    let mut forced = RunOptions::with_metrics();
+    forced.threads = 4;
+    forced.governor = Governor::Force;
+    let out_gov = scenario.run_with(11, &forced);
+    assert_identical(&serial, &out_gov, "governor fold");
+    let sync_gov = out_gov.profile.sync.as_ref().expect("sync profile");
+    assert!(sync_gov.governor_fired, "forced governor must fire");
+    assert!(sync_gov.governor_at_events > 0, "fold point recorded");
+    assert!(
+        sync_gov.serial_tail_events > 0,
+        "events actually ran on the fused tail: {sync_gov:?}"
+    );
+    assert_eq!(
+        serial.events_delivered,
+        sync_gov.governor_at_events + sync_gov.serial_tail_events,
+        "every event is either pre-fold or on the serial tail"
+    );
+}
+
+/// On a single-core host the Auto governor folds *before* the shard fleet
+/// is built (`spin_budget() == 0` makes the tripwire a foregone
+/// conclusion, and per-shard workload replicas are the dominant setup
+/// cost). The whole run executes on the fused serial tail: zero sync
+/// rounds, fold point at event zero, and byte-identical output. Gated on
+/// host core count — on a multi-core machine Auto shards normally and the
+/// pre-fold path is unreachable by design.
+#[test]
+fn governor_prefolds_on_single_core_hosts() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores != 1 {
+        eprintln!("skipping: host has {cores} cores, pre-spawn fold needs 1");
+        return;
+    }
+    let mut cfg = ScenarioConfig::baseline(80, 4);
+    cfg.name = "prefold".into();
+    cfg.sample_interval = Some(tg_des::SimDuration::from_hours(12));
+    cfg.faults = Some(FaultSpec {
+        site_outages: vec![tg_fault::OutageWindow {
+            site: 1,
+            start_hours: 20.0,
+            duration_hours: 6.0,
+            notice_hours: 0.0,
+        }],
+        ..FaultSpec::default()
+    });
+    let scenario = cfg.build();
+    let serial = scenario.run_with(17, &RunOptions::with_metrics());
+    let mut opts = RunOptions::with_metrics();
+    opts.threads = 4; // Governor::Auto is the default
+    let out = scenario.run_with(17, &opts);
+    assert_identical(&serial, &out, "pre-spawn fold");
+    let sync = out.profile.sync.as_ref().expect("sync profile");
+    assert!(sync.governor_fired, "Auto folds on a 1-core host");
+    assert_eq!(sync.governor_at_events, 0, "fold happens before any event");
+    assert_eq!(sync.rounds, 0, "no shard ever spawned, no sync rounds");
+    assert_eq!(
+        sync.serial_tail_events, out.events_delivered,
+        "every event runs on the fused tail"
+    );
+}
+
+/// Property test across protocol modes: random scenarios are byte-identical
+/// run serial, batched-sharded, and per-event-sharded (both with the
+/// governor off so the protocols run to completion regardless of host core
+/// count). Same LCG scheme as `random_scenarios_are_identical_sharded`.
+#[test]
+fn random_scenarios_identical_across_protocols() {
+    let mut state = 0x2545f4914f6cdd1du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for case in 0..4u64 {
+        let users = 30 + (next() % 40) as usize;
+        let days = 2 + next() % 3;
+        let mut cfg = ScenarioConfig::baseline(users, days);
+        cfg.name = format!("proto-prop-{case}");
+        for s in &mut cfg.sites {
+            s.batch_nodes = (16 + (next() % 64) as usize).max(16);
+        }
+        if next() % 2 == 0 {
+            cfg.faults = Some(FaultSpec {
+                site_outages: vec![tg_fault::OutageWindow {
+                    site: (next() % 3) as usize,
+                    start_hours: 8.0 + (next() % 30) as f64,
+                    duration_hours: 2.0 + (next() % 8) as f64,
+                    notice_hours: 0.0,
+                }],
+                ..FaultSpec::default()
+            });
+        }
+        let seed = next();
+        let threads = 2 + (next() % 7) as usize;
+        let scenario = cfg.build();
+        let serial = scenario.run_with(seed, &RunOptions::default());
+        let label = format!("proto case {case} (users={users} threads={threads} seed={seed})");
+        let mut opts = RunOptions::with_threads(threads);
+        opts.governor = Governor::Off;
+        let batched = scenario.run_with(seed, &opts);
+        assert_identical(&serial, &batched, &format!("{label} batched"));
+        opts.per_event_sync = true;
+        let per_event = scenario.run_with(seed, &opts);
+        assert_identical(&serial, &per_event, &format!("{label} per-event"));
+    }
+}
+
+/// Pins the batched-grant contract: with no fault candidates in play, a
+/// same-shard run of watched events costs *zero* dedicated candidate
+/// rounds — each run rides exactly the one grant round that admitted it,
+/// with every watched completion resolved by a prefetched-bound ack. The
+/// per-event protocol on the identical scenario pays one parked round per
+/// candidate, which is what the batching removed.
+#[test]
+fn same_shard_run_costs_one_grant_round() {
+    let mut cfg = ScenarioConfig::baseline(80, 4);
+    cfg.name = "batched-runs".into();
+    let scenario = cfg.build();
+    let mk = |per_event: bool| {
+        let mut opts = RunOptions::with_metrics();
+        opts.threads = 2; // single shard: every run is same-shard
+        opts.governor = Governor::Off;
+        opts.per_event_sync = per_event;
+        opts
+    };
+    let batched = scenario.run_with(5, &mk(false));
+    let sync = batched.profile.sync.as_ref().expect("sync profile");
+    assert_eq!(sync.shards, 1);
+    // The pin: no faults → no fault candidates → not a single dedicated
+    // candidate round. Every watched event resolved inside a grant.
+    assert_eq!(
+        sync.candidate_rounds, 0,
+        "a same-shard run must not park per event: {sync:?}"
+    );
+    assert!(sync.batched_candidates > 0, "runs carried watched events");
+    assert!(
+        sync.grant_rounds < batched.events_delivered,
+        "grants cover multi-event runs: {} grant rounds for {} events",
+        sync.grant_rounds,
+        batched.events_delivered
+    );
+    let per_event = scenario.run_with(5, &mk(true));
+    assert_identical(&batched, &per_event, "batched vs per-event");
+    let sync_pe = per_event.profile.sync.as_ref().expect("sync profile");
+    assert!(
+        sync_pe.candidate_rounds > 0 && sync_pe.rounds > sync.rounds,
+        "per-event pays the rounds batching removed: {} vs {}",
+        sync_pe.rounds,
+        sync.rounds
+    );
 }
 
 /// `--threads 1` must be the serial path exactly: same outputs, and the

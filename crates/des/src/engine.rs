@@ -63,16 +63,18 @@ struct Scheduled<E> {
 /// Seqs are allocated 0, 1, 2, … for the engine's lifetime, so a bitmap
 /// beats a `HashSet<u64>`: membership flips on the delivery hot path touch
 /// one cache line instead of hashing into a table that grows to tens of
-/// megabytes on multi-million-event runs.
+/// megabytes on multi-million-event runs. Shared with the shard queue's
+/// fused serial tail ([`crate::shard::RankQueue::fuse_serial`]), which
+/// adopts the same seq discipline.
 #[derive(Debug, Default)]
-struct SeqSet {
+pub(crate) struct SeqSet {
     bits: Vec<u64>,
     len: usize,
 }
 
 impl SeqSet {
     #[inline]
-    fn insert(&mut self, seq: u64) -> bool {
+    pub(crate) fn insert(&mut self, seq: u64) -> bool {
         let (word, bit) = ((seq / 64) as usize, seq % 64);
         if word >= self.bits.len() {
             self.bits.resize(word + 1, 0);
@@ -90,7 +92,7 @@ impl SeqSet {
     /// Insert every seq in `[start, end)`. Used when a stream source
     /// reserves its sequence block up front so `pending` stays exact while
     /// the events themselves are still unpulled.
-    fn insert_range(&mut self, start: u64, end: u64) {
+    pub(crate) fn insert_range(&mut self, start: u64, end: u64) {
         for seq in start..end {
             self.insert(seq);
         }
@@ -98,7 +100,7 @@ impl SeqSet {
 
     /// Remove `seq`, reporting whether it was present.
     #[inline]
-    fn remove(&mut self, seq: u64) -> bool {
+    pub(crate) fn remove(&mut self, seq: u64) -> bool {
         let (word, bit) = ((seq / 64) as usize, seq % 64);
         let Some(w) = self.bits.get_mut(word) else {
             return false;
@@ -114,7 +116,7 @@ impl SeqSet {
     }
 
     #[inline]
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.len
     }
 }

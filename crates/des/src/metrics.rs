@@ -399,6 +399,23 @@ pub struct SyncProfile {
     /// timestamp was below the shard's standing grant, voiding a higher
     /// free-running bound the shard had already been given.
     pub bound_clamps: u64,
+    /// Watched-completion candidates resolved *inside* a batched grant:
+    /// their export conversation rode an already-open round (the ack
+    /// carried a prefetched bound), so no dedicated candidate round was
+    /// paid for them.
+    #[serde(default)]
+    pub batched_candidates: u64,
+    /// Whether the adaptive execution governor degraded this run to the
+    /// serial path mid-run (see the `governor` run option).
+    #[serde(default)]
+    pub governor_fired: bool,
+    /// Events delivered (all participants) when the governor folded the
+    /// shards into the coordinator; 0 when it never fired.
+    #[serde(default)]
+    pub governor_at_events: u64,
+    /// Events executed on the fused serial path after the fold.
+    #[serde(default)]
+    pub serial_tail_events: u64,
     /// Coordinator receives satisfied within the spin window.
     pub recv_spins: u64,
     /// Coordinator receives that fell back to a blocking wait.

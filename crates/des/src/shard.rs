@@ -21,10 +21,10 @@
 //! floors, coordinator barriers) lives with the simulation driver; it is a
 //! consumer of these types, not part of them.
 
-use crate::engine::EventKey;
+use crate::engine::{EventKey, SeqSet};
 use crate::time::{SimDuration, SimTime};
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 use std::sync::Arc;
 
 #[derive(Debug, PartialEq, Eq)]
@@ -145,18 +145,86 @@ impl<E> PartialOrd for RankedEntry<E> {
     }
 }
 
+/// An entry in the fused serial tail: ordered by inline `(at, seq)`, no
+/// rank chain to walk. `seq` doubles as the cancellation key.
+struct SeqEntry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for SeqEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for SeqEntry<E> {}
+impl<E> Ord for SeqEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at
+            .cmp(&other.at)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+impl<E> PartialOrd for SeqEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Post-[`fuse_serial`](RankQueue::fuse_serial) state: the serial engine's
+/// queue discipline — inline `(time, seq)` ordering and bitmap tombstones.
+///
+/// Like the engine, the bulk pending set lives in a *sorted deque*, not the
+/// heap: the renumbered entries are already in delivery order, so they pop
+/// from the front at O(1) instead of paying a million-entry heap
+/// percolation each. Only events scheduled after the fuse go through the
+/// heap, which stays small (in-flight completions and ticks). Every staged
+/// seq is lower than every heap seq, so the two-source pop is a single
+/// `(at, seq)` comparison.
+struct SerialTail<E> {
+    staged: VecDeque<SeqEntry<E>>,
+    heap: BinaryHeap<Reverse<SeqEntry<E>>>,
+    live: SeqSet,
+    cancelled: SeqSet,
+}
+
+/// Old-key → new-key translation returned by
+/// [`fuse_serial`](RankQueue::fuse_serial). Dense: old keys come from one
+/// per-queue counter, so a flat vector indexed by the raw key beats a
+/// hash map with millions of entries.
+pub struct KeyTranslation {
+    map: Vec<EventKey>,
+}
+
+impl KeyTranslation {
+    /// The post-fuse key for `old`, or `None` if `old` was not live at the
+    /// fuse (already delivered, cancelled, or a placeholder).
+    pub fn get(&self, old: EventKey) -> Option<EventKey> {
+        let k = self.map.get(old.raw_shard() as usize).copied()?;
+        (k != EventKey::placeholder()).then_some(k)
+    }
+}
+
 /// A cancellable event queue ordered by `(time, [`Rank`])` — the shard-local
 /// counterpart of the serial engine's `(time, seq)` queue.
 ///
 /// Cancellation is tombstone-based like the serial engine's: [`cancel`]
 /// (RankQueue::cancel) marks a key, pops skip marked entries, and the live
 /// set keeps `len` exact and double-cancels honest.
+///
+/// [`fuse_serial`](RankQueue::fuse_serial) switches the queue into *tail
+/// mode* for the adaptive governor's serial finish: entries are renumbered
+/// to the serial engine's inline `(time, seq)` order and rank bookkeeping
+/// stops entirely. In tail mode use [`schedule_tail`](RankQueue::schedule_tail)
+/// / [`pop_tail`](RankQueue::pop_tail); the rank-based accessors panic.
 pub struct RankQueue<E> {
     heap: BinaryHeap<Reverse<RankedEntry<E>>>,
     cancelled: HashSet<u64>,
     live: HashSet<u64>,
     next_key: u64,
     peak_len: usize,
+    tail: Option<SerialTail<E>>,
 }
 
 impl<E> Default for RankQueue<E> {
@@ -167,6 +235,7 @@ impl<E> Default for RankQueue<E> {
             live: HashSet::new(),
             next_key: 0,
             peak_len: 0,
+            tail: None,
         }
     }
 }
@@ -179,6 +248,7 @@ impl<E> RankQueue<E> {
 
     /// Schedule `event` at `(at, rank)`; the returned key cancels it.
     pub fn schedule(&mut self, at: SimTime, rank: Rank, event: E) -> EventKey {
+        debug_assert!(self.tail.is_none(), "fused queue: use schedule_tail");
         let key = self.next_key;
         self.next_key += 1;
         self.live.insert(key);
@@ -195,6 +265,14 @@ impl<E> RankQueue<E> {
     /// Cancel a pending event. `false` if it already fired or was cancelled.
     pub fn cancel(&mut self, key: EventKey) -> bool {
         let raw = key.raw_shard();
+        if let Some(tail) = &mut self.tail {
+            return if tail.live.remove(raw) {
+                tail.cancelled.insert(raw);
+                true
+            } else {
+                false
+            };
+        }
         if self.live.remove(&raw) {
             self.cancelled.insert(raw);
             true
@@ -215,6 +293,7 @@ impl<E> RankQueue<E> {
 
     /// The `(time, rank)` of the next live event, if any.
     pub fn peek(&mut self) -> Option<(SimTime, &Rank)> {
+        debug_assert!(self.tail.is_none(), "fused queue: ranks are gone");
         self.skip_cancelled();
         self.heap.peek().map(|Reverse(e)| (e.at, &e.rank))
     }
@@ -223,12 +302,14 @@ impl<E> RankQueue<E> {
     /// access lets a sharded driver classify the head (may it execute
     /// freely, or must it synchronize first?) without popping it.
     pub fn peek_full(&mut self) -> Option<(SimTime, &Rank, &E)> {
+        debug_assert!(self.tail.is_none(), "fused queue: ranks are gone");
         self.skip_cancelled();
         self.heap.peek().map(|Reverse(e)| (e.at, &e.rank, &e.event))
     }
 
     /// Pop the next live event.
     pub fn pop(&mut self) -> Option<(SimTime, Rank, E)> {
+        debug_assert!(self.tail.is_none(), "fused queue: use pop_tail");
         self.skip_cancelled();
         let Reverse(e) = self.heap.pop()?;
         self.live.remove(&e.key);
@@ -237,17 +318,172 @@ impl<E> RankQueue<E> {
 
     /// Live (scheduled, uncancelled) event count.
     pub fn len(&self) -> usize {
-        self.live.len()
+        match &self.tail {
+            Some(t) => t.live.len(),
+            None => self.live.len(),
+        }
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.len() == 0
     }
 
     /// High-water mark of the live event count.
     pub fn peak_len(&self) -> usize {
         self.peak_len
+    }
+
+    /// Switch to the serial engine's queue discipline (*tail mode*): every
+    /// live entry is renumbered with ascending sequence numbers in
+    /// `(time, rank)` order; events scheduled afterwards (via
+    /// [`schedule_tail`](RankQueue::schedule_tail)) take still-higher seqs.
+    ///
+    /// This preserves delivery order exactly. Renumbering in `(time, rank)`
+    /// order reproduces the pending events' serial seq order, and the
+    /// serial tie-break — at equal time, an already-pending event beats any
+    /// newly scheduled one — is precisely "lower seq wins". What changes is
+    /// the cost: the renumbered bulk pops from a sorted deque at O(1) (the
+    /// engine's staged-backlog trick), comparisons become two inline
+    /// integers instead of a walk over [`Rank`] chains, scheduling stops
+    /// allocating a rank node per event, and cancellation flips dense
+    /// bitmap bits instead of hashing.
+    ///
+    /// Returns the old-key → new-key translation so the caller can remap
+    /// any stored cancellation handles (running jobs' completion keys).
+    pub fn fuse_serial(&mut self) -> KeyTranslation {
+        assert!(self.tail.is_none(), "queue already fused");
+        let heap = std::mem::take(&mut self.heap);
+        let cancelled = std::mem::take(&mut self.cancelled);
+        self.live.clear();
+        let mut entries: Vec<RankedEntry<E>> =
+            heap.into_vec().into_iter().map(|Reverse(e)| e).collect();
+        entries.retain(|e| !cancelled.contains(&e.key));
+        entries.sort_unstable();
+        let mut map = vec![EventKey::placeholder(); self.next_key as usize];
+        let mut staged = VecDeque::with_capacity(entries.len());
+        for (seq, e) in entries.into_iter().enumerate() {
+            map[e.key as usize] = EventKey::from_raw_shard(seq as u64);
+            staged.push_back(SeqEntry {
+                at: e.at,
+                seq: seq as u64,
+                event: e.event,
+            });
+        }
+        let mut live = SeqSet::default();
+        live.insert_range(0, staged.len() as u64);
+        self.next_key = staged.len() as u64;
+        self.peak_len = self.peak_len.max(staged.len());
+        self.tail = Some(SerialTail {
+            staged,
+            heap: BinaryHeap::new(),
+            live,
+            cancelled: SeqSet::default(),
+        });
+        KeyTranslation { map }
+    }
+
+    /// Enter tail mode directly from a freshly primed event list, skipping
+    /// the rank heap entirely. The queue must be unused and unfused;
+    /// `entries` must already be in serial delivery order (ascending time,
+    /// priming order as the tie-break — what [`fuse_serial`]
+    /// (RankQueue::fuse_serial) would have produced had the same events
+    /// been primed under root ranks). For a run that knows at startup it
+    /// will execute serially, priming through ranks just to renumber them
+    /// away would pay a rank-node allocation and a heap percolation per
+    /// event; this stages the whole set at a walk of the vector.
+    pub fn fuse_primed(&mut self, entries: Vec<(SimTime, E)>) {
+        assert!(self.tail.is_none(), "queue already fused");
+        assert!(
+            self.heap.is_empty() && self.next_key == 0,
+            "fuse_primed requires a fresh queue"
+        );
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 <= w[1].0),
+            "primed entries must be sorted by time"
+        );
+        let staged: VecDeque<SeqEntry<E>> = entries
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (at, event))| SeqEntry {
+                at,
+                seq: seq as u64,
+                event,
+            })
+            .collect();
+        let mut live = SeqSet::default();
+        live.insert_range(0, staged.len() as u64);
+        self.next_key = staged.len() as u64;
+        self.peak_len = self.peak_len.max(staged.len());
+        self.tail = Some(SerialTail {
+            staged,
+            heap: BinaryHeap::new(),
+            live,
+            cancelled: SeqSet::default(),
+        });
+    }
+
+    /// Schedule in tail mode: ordering is `(at, seq)` with `seq` allocated
+    /// in call order — the serial engine's discipline.
+    pub fn schedule_tail(&mut self, at: SimTime, event: E) -> EventKey {
+        let seq = self.next_key;
+        self.next_key += 1;
+        let tail = self
+            .tail
+            .as_mut()
+            .expect("schedule_tail before fuse_serial");
+        tail.live.insert(seq);
+        tail.heap.push(Reverse(SeqEntry { at, seq, event }));
+        self.peak_len = self.peak_len.max(tail.live.len());
+        EventKey::from_raw_shard(seq)
+    }
+
+    /// Pop the next live event in tail mode. Two sources — the staged
+    /// (renumbered, pre-fuse) deque and the heap of post-fuse schedules —
+    /// merged by `(at, seq)`.
+    pub fn pop_tail(&mut self) -> Option<(SimTime, E)> {
+        let tail = self.tail.as_mut().expect("pop_tail before fuse_serial");
+        loop {
+            let from_staged = match (tail.staged.front(), tail.heap.peek()) {
+                (Some(s), Some(Reverse(h))) => (s.at, s.seq) < (h.at, h.seq),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return None,
+            };
+            let e = if from_staged {
+                tail.staged.pop_front().expect("front just peeked")
+            } else {
+                let Reverse(e) = tail.heap.pop().expect("top just peeked");
+                e
+            };
+            if tail.cancelled.remove(e.seq) {
+                continue;
+            }
+            tail.live.remove(e.seq);
+            return Some((e.at, e.event));
+        }
+    }
+
+    /// Consume the queue, returning every *live* entry in `(time, rank)`
+    /// order along with the [`EventKey`] it was scheduled under. Cancelled
+    /// entries are skipped. This is the surrender path of an adaptive
+    /// sharded run: a shard folding into the coordinator hands over its
+    /// pending events, and the keys let the receiver translate any stored
+    /// cancellation handles (e.g. pending completion events) to the keys
+    /// the absorbing queue assigns.
+    pub fn drain(mut self) -> Vec<(SimTime, Rank, EventKey, E)> {
+        let mut out = Vec::with_capacity(self.live.len());
+        while let Some((at, rank, key, ev)) = self.pop_with_key() {
+            out.push((at, rank, key, ev));
+        }
+        out
+    }
+
+    fn pop_with_key(&mut self) -> Option<(SimTime, Rank, EventKey, E)> {
+        self.skip_cancelled();
+        let Reverse(e) = self.heap.pop()?;
+        self.live.remove(&e.key);
+        Some((e.at, e.rank, EventKey::from_raw_shard(e.key), e.event))
     }
 }
 
